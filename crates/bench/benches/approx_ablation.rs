@@ -1,0 +1,101 @@
+//! Criterion benches for the approximation algorithms (the "efficient
+//! heuristics" the paper's conclusion calls for): cost of greedy, MMR,
+//! GMM and local search at sizes where exact search is infeasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divr_bench::workloads as w;
+use divr_core::approx;
+use divr_core::problem::ObjectiveKind;
+use divr_core::ratio::Ratio;
+
+fn heuristics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approx_heuristics");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [128usize, 512] {
+        g.bench_with_input(BenchmarkId::new("greedy_max_sum", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 10, Ratio::new(1, 2), 200, |p| {
+                    approx::greedy_max_sum(p).map(|s| s.len())
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mmr", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 10, Ratio::new(1, 2), 200, |p| {
+                    approx::mmr(p).map(|s| s.len())
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gmm_max_min", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 10, Ratio::new(1, 2), 200, |p| {
+                    approx::gmm_max_min(p).map(|s| s.len())
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn local_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approx_local_search");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [64usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 8, Ratio::new(1, 2), 201, |p| {
+                    let init: Vec<usize> = (0..8).collect();
+                    approx::local_search_swap(p, ObjectiveKind::MaxSum, init, 10).0
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+/// One-pass streaming maintenance (Section 1 early-termination
+/// direction): cost per stream of n arrivals with a k-set maintained by
+/// insert-or-swap, vs. the offline greedy on the same universe.
+fn streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approx_streaming");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [256usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("stream_max_sum", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 8, Ratio::new(1, 2), 202, |p| {
+                    let rel = divr_core::relevance::AttributeRelevance {
+                        attr: 0,
+                        default: Ratio::ZERO,
+                    };
+                    let dis = w::l1_distance();
+                    let mut s = divr_core::streaming::StreamingDiversifier::new(
+                        ObjectiveKind::MaxSum,
+                        &rel,
+                        &dis,
+                        Ratio::new(1, 2),
+                        8,
+                    );
+                    s.extend(p.universe().iter().cloned());
+                    s.value()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("offline_greedy", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 8, Ratio::new(1, 2), 202, |p| {
+                    approx::greedy_max_sum(p).map(|s| p.f_ms(&s))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, heuristics, local_search, streaming);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the Figure 2 distance construction: building the
+//! suffix-truth table (Θ(2^m)) and evaluating δ_dis per pair (the
+//! PTIME-per-call oracle the Theorem 5.2 reduction relies on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divr_bench::workloads as w;
+use divr_reductions::q3sat_mono::{paper_delta, semantic_delta, PrefixTruth};
+
+fn table_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_prefix_truth_build");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for m in [8usize, 10, 12] {
+        let qbf = w::q3sat_instance(m);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &qbf, |b, qbf| {
+            b.iter(|| PrefixTruth::new(qbf))
+        });
+    }
+    g.finish();
+}
+
+fn per_pair_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_delta_per_pair");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let qbf = w::q3sat_instance(8);
+    let pt = PrefixTruth::new(&qbf);
+    let t: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+    let s: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
+    g.bench_function("semantic_memoized", |b| {
+        b.iter(|| semantic_delta(&pt, &t, &s))
+    });
+    g.bench_function("paper_recursive", |b| b.iter(|| paper_delta(&qbf, &t, &s)));
+    g.finish();
+}
+
+criterion_group!(benches, table_construction, per_pair_oracle);
+criterion_main!(benches);

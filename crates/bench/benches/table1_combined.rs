@@ -1,0 +1,71 @@
+//! Criterion benches for Table I (combined complexity): solver cost on
+//! reduction-generated instances as the *query/formula* grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divr_bench::workloads as w;
+use divr_core::problem::ObjectiveKind;
+use divr_reductions as red;
+use divr_relquery::Query;
+
+fn qrd_cq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1c_qrd_sat_gadget");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [3usize, 4, 5, 6] {
+        let cnf = w::sat_instance(n);
+        g.bench_with_input(BenchmarkId::new("max_sum", n), &cnf, |b, cnf| {
+            b.iter(|| red::sat_qrd::to_qrd_max_sum(cnf).qrd(ObjectiveKind::MaxSum))
+        });
+        g.bench_with_input(BenchmarkId::new("max_min", n), &cnf, |b, cnf| {
+            b.iter(|| red::sat_qrd::to_qrd_max_min(cnf).qrd(ObjectiveKind::MaxMin))
+        });
+    }
+    g.finish();
+}
+
+fn qrd_mono_cq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1c_qrd_mono_q3sat_gadget");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for m in [4usize, 5, 6, 7] {
+        let qbf = w::q3sat_instance(m);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &qbf, |b, qbf| {
+            b.iter(|| red::q3sat_mono::to_qrd_mono(qbf).qrd(ObjectiveKind::Mono))
+        });
+    }
+    g.finish();
+}
+
+fn fo_eval_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1c_fo_eval_wide_negation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let db = w::graph_db(6, 14, 10);
+    for width in [2usize, 3, 4] {
+        let q: Query = w::wide_negation_query(width).into();
+        g.bench_with_input(BenchmarkId::from_parameter(width), &q, |b, q| {
+            b.iter(|| q.eval(&db).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+fn rdc_sigma1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1c_rdc_sigma1_gadget");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [3usize, 4, 5] {
+        let cnf = w::sat_instance(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cnf, |b, cnf| {
+            b.iter(|| red::sigma1_rdc::sigma1_to_rdc_ms(cnf, 1).rdc(ObjectiveKind::MaxSum))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, qrd_cq, qrd_mono_cq, fo_eval_width, rdc_sigma1);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for Table I (data complexity): fixed query shape,
+//! growing data. Hard cells (F_MS/F_MM, k = n/2) against the tractable
+//! F_mono algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divr_bench::workloads as w;
+use divr_core::problem::ObjectiveKind;
+use divr_core::ratio::Ratio;
+use divr_core::solvers::{counting, exact, mono};
+
+fn hard_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1d_hard_exact_search");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [12usize, 14, 16] {
+        g.bench_with_input(BenchmarkId::new("qrd_max_sum", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, n / 2, Ratio::new(1, 2), 1, |p| {
+                    exact::maximize(p, ObjectiveKind::MaxSum).map(|(v, _)| v)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rdc_count_all", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, n / 2, Ratio::new(1, 2), 3, |p| {
+                    counting::rdc(p, ObjectiveKind::MaxSum, Ratio::ZERO)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn mono_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1d_mono_ptime");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [128usize, 256, 512] {
+        g.bench_with_input(BenchmarkId::new("qrd_mono", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 10, Ratio::new(1, 2), 4, |p| {
+                    mono::max_mono(p).map(|(v, _)| v)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("drp_mono_r8", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 10, Ratio::new(1, 2), 4, |p| {
+                    let subset: Vec<usize> = (0..10).collect();
+                    mono::drp_mono(p, &subset, 8)
+                })
+            })
+        });
+        // Pseudo-polynomial DP: polynomial only on magnitude-bounded
+        // scores (high-entropy scores blow up the reachable-sum set —
+        // that is the Thm 7.5 #P-hardness manifesting).
+        g.bench_with_input(BenchmarkId::new("rdc_mono_dp", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_bounded_score_problem(n, 10, Ratio::new(1, 2), 4, |p| {
+                    counting::rdc_mono_dp(p, Ratio::int(40))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, hard_cells, mono_cells);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for Table II (special cases): λ = 0, identity
+//! queries, constant k, and the r-in-input DRP remark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divr_bench::workloads as w;
+use divr_core::problem::ObjectiveKind;
+use divr_core::ratio::Ratio;
+use divr_core::solvers::{counting, exact, mono, relevance_only};
+
+fn lambda0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_lambda0");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [1024usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("qrd_ms", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 10, Ratio::ZERO, 6, |p| {
+                    relevance_only::qrd_ms(p, Ratio::int(500))
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rdc_mm_closed_form", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 10, Ratio::ZERO, 7, |p| {
+                    relevance_only::rdc_mm(p, Ratio::int(50))
+                })
+            })
+        });
+    }
+    for n in [64usize, 256] {
+        g.bench_with_input(BenchmarkId::new("rdc_ms_dp", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 8, Ratio::ZERO, 8, |p| {
+                    relevance_only::rdc_ms(p, Ratio::int(2000))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn constant_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_constant_k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for n in [32usize, 128, 256] {
+        g.bench_with_input(BenchmarkId::new("qrd_k3", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 3, Ratio::new(1, 2), 9, |p| {
+                    exact::maximize(p, ObjectiveKind::MaxSum).map(|(v, _)| v)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rdc_k3", n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 3, Ratio::new(1, 2), 9, |p| {
+                    counting::rdc(p, ObjectiveKind::MaxMin, Ratio::int(10))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn drp_r_in_input(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_drp_mono_r_sweep");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for exp in [4u32, 8, 12] {
+        let r_val = 1usize << exp;
+        g.bench_with_input(BenchmarkId::from_parameter(r_val), &r_val, |b, &r_val| {
+            b.iter(|| {
+                w::with_point_problem(256, 8, Ratio::new(1, 2), 10, |p| {
+                    let subset: Vec<usize> = (0..8).collect();
+                    mono::drp_mono(p, &subset, r_val)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, lambda0, constant_k, drp_r_in_input);
+criterion_main!(benches);

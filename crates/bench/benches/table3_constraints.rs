@@ -1,0 +1,63 @@
+//! Criterion benches for Table III: compatibility constraints flip the
+//! tractable F_mono data-complexity cell to NP-hard (Thm 9.3), except at
+//! constant k (Cor 9.7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use divr_bench::workloads as w;
+use divr_core::constraints::{CmPred, Constraint};
+use divr_core::problem::ObjectiveKind;
+use divr_core::ratio::Ratio;
+use divr_core::solvers::{constrained, mono};
+use divr_reductions::constraints_hard;
+
+fn constrained_vs_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3_qrd_mono_identity");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    // The constrained search is exponential (that is the theorem), so
+    // the gadget stays small: n variables, n clauses (clause ratio 1;
+    // the repro binary's T3 rows use the same family).
+    for n in [2usize, 3, 4] {
+        let mut r_src = w::rng(7500 + n as u64);
+        let cnf = divr_logic::gen::random_3sat(&mut r_src, n, n);
+        let red = constraints_hard::sat_to_constrained_qrd(&cnf);
+        g.bench_with_input(BenchmarkId::new("with_constraints", n), &red, |b, red| {
+            b.iter(|| constraints_hard::constrained_qrd(red))
+        });
+        let p = red.instance.problem();
+        let bound = red.instance.bound;
+        g.bench_with_input(BenchmarkId::new("without_constraints", n), &p, |b, p| {
+            b.iter(|| mono::qrd_mono(p, bound))
+        });
+    }
+    g.finish();
+}
+
+fn constant_k_with_constraints(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3_constant_k_with_constraints");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let conflict = Constraint::builder()
+        .forall(2)
+        .exists(0)
+        .premise(CmPred::attrs_eq((0, 0), (1, 0)))
+        .premise(CmPred::attrs_ne((0, 1), (1, 1)))
+        .conclusion(CmPred::attrs_ne((0, 0), (0, 0)))
+        .build();
+    let cs = vec![conflict];
+    for n in [32usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                w::with_point_problem(n, 3, Ratio::new(1, 2), 11, |p| {
+                    constrained::rdc(p, ObjectiveKind::MaxSum, Ratio::int(10), &cs)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, constrained_vs_free, constant_k_with_constraints);
+criterion_main!(benches);

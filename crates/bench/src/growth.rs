@@ -1,0 +1,144 @@
+//! Growth-shape classification for measured scaling series.
+//!
+//! The reproduction cannot measure membership in NP, but it can check
+//! that a solver's runtime *shape* matches the paper's classification:
+//! we fit both a polynomial model `log t = a + b·log n` and an
+//! exponential model `log t = a + b·n` by least squares and pick the
+//! better fit (with a bias rule: tiny, flat series classify as
+//! polynomial — constant work dominated by noise).
+
+use crate::Point;
+use std::fmt;
+
+/// The classification outcome for a measured series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Growth {
+    /// Runtime ≈ `n^degree`.
+    Polynomial {
+        /// Fitted exponent.
+        degree: f64,
+    },
+    /// Runtime ≈ `base^n`.
+    Exponential {
+        /// Fitted per-unit growth factor.
+        base: f64,
+    },
+}
+
+impl fmt::Display for Growth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Growth::Polynomial { degree } => write!(f, "poly(n^{degree:.1})"),
+            Growth::Exponential { base } => write!(f, "exp(~{base:.2}^n)"),
+        }
+    }
+}
+
+impl Growth {
+    /// Whether the series was classified as super-polynomial.
+    pub fn is_exponential(&self) -> bool {
+        matches!(self, Growth::Exponential { .. })
+    }
+}
+
+/// Least-squares fit of `y = a + b·x`; returns `(a, b, r²)`.
+fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx == 0.0 {
+        return (my, 0.0, 1.0);
+    }
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (a, b, r2)
+}
+
+/// Classifies a measured series. Requires at least three points.
+pub fn classify(points: &[Point]) -> Growth {
+    assert!(points.len() >= 3, "need at least three points to classify");
+    let log_t: Vec<f64> = points
+        .iter()
+        .map(|p| p.seconds.max(1e-9).ln())
+        .collect();
+    let log_n: Vec<f64> = points.iter().map(|p| p.size.max(1.0).ln()).collect();
+    let n: Vec<f64> = points.iter().map(|p| p.size).collect();
+
+    let (_, b_poly, r2_poly) = linear_fit(&log_n, &log_t);
+    let (_, b_exp, r2_exp) = linear_fit(&n, &log_t);
+
+    // Flat series (total growth < 4×) → effectively constant/low-poly:
+    // classify polynomial regardless of fit noise.
+    let total_growth = points.last().unwrap().seconds / points[0].seconds.max(1e-9);
+    if total_growth < 4.0 {
+        return Growth::Polynomial {
+            degree: b_poly.max(0.0),
+        };
+    }
+    if r2_exp > r2_poly {
+        Growth::Exponential { base: b_exp.exp() }
+    } else {
+        Growth::Polynomial { degree: b_poly }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64, sizes: &[f64]) -> Vec<Point> {
+        sizes
+            .iter()
+            .map(|&n| Point {
+                size: n,
+                seconds: f(n),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_quadratic() {
+        let pts = series(|n| 1e-6 * n * n, &[8.0, 16.0, 32.0, 64.0, 128.0]);
+        match classify(&pts) {
+            Growth::Polynomial { degree } => assert!((degree - 2.0).abs() < 0.2),
+            g => panic!("expected polynomial, got {g}"),
+        }
+    }
+
+    #[test]
+    fn detects_exponential() {
+        let pts = series(|n| 1e-7 * 2f64.powf(n), &[6.0, 8.0, 10.0, 12.0, 14.0]);
+        match classify(&pts) {
+            Growth::Exponential { base } => assert!((base - 2.0).abs() < 0.3),
+            g => panic!("expected exponential, got {g}"),
+        }
+    }
+
+    #[test]
+    fn flat_series_is_polynomial() {
+        let pts = series(|_| 1e-5, &[8.0, 16.0, 32.0]);
+        assert!(!classify(&pts).is_exponential());
+    }
+
+    #[test]
+    fn linear_is_polynomial_degree_one() {
+        let pts = series(|n| 2e-6 * n, &[16.0, 64.0, 256.0, 1024.0]);
+        match classify(&pts) {
+            Growth::Polynomial { degree } => assert!((degree - 1.0).abs() < 0.2),
+            g => panic!("expected polynomial, got {g}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn too_few_points_panics() {
+        classify(&[
+            Point { size: 1.0, seconds: 1.0 },
+            Point { size: 2.0, seconds: 2.0 },
+        ]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Distance (diversity) functions `δ_dis(t, s)`.
+//!
+//! The paper's axioms (Section 3.1): `δ_dis` is PTIME-computable,
+//! non-negative, **symmetric**, and `δ_dis(t, t) = 0`. Implementations
+//! here enforce the latter two structurally: pair tables canonicalize the
+//! key order, and every `dist` short-circuits to zero on identical tuples.
+//!
+//! * [`ConstantDistance`] — `δ_dis ≡ c` off the diagonal (the
+//!   "distance dropped" λ=0 settings use `c = 0`),
+//! * [`TableDistance`] — explicit pair values with a default; the workhorse
+//!   of the lower-bound gadgets (Theorems 5.1–7.5 all define `δ_dis` by
+//!   case analysis on tuple pairs),
+//! * [`HammingDistance`] — number of differing attributes (a stand-in for
+//!   the paper's "difference between types" in Example 3.1),
+//! * [`NumericDistance`] — `|a − b|` on a numeric attribute,
+//! * [`ClosureDistance`] — arbitrary symmetric logic (symmetrized by
+//!   evaluating on the canonical order).
+
+use crate::ratio::Ratio;
+use divr_relquery::Tuple;
+use std::collections::HashMap;
+
+/// A distance function on pairs of result tuples.
+///
+/// Contract: `dist(a, b) == dist(b, a)` and `dist(t, t) == 0`; values are
+/// non-negative. Implementations in this module guarantee the contract.
+pub trait Distance {
+    /// The distance `δ_dis(a, b)`.
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio;
+}
+
+/// `δ_dis(a, b) = c` for all `a ≠ b` (0 on the diagonal).
+#[derive(Clone, Debug)]
+pub struct ConstantDistance(pub Ratio);
+
+impl Distance for ConstantDistance {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        if a == b {
+            Ratio::ZERO
+        } else {
+            self.0
+        }
+    }
+}
+
+/// Explicit pair distances with a default for unlisted pairs. Keys are
+/// canonicalized (sorted), so insertion order of a pair is irrelevant and
+/// symmetry holds by construction.
+#[derive(Clone, Debug, Default)]
+pub struct TableDistance {
+    entries: HashMap<(Tuple, Tuple), Ratio>,
+    default: Ratio,
+}
+
+impl TableDistance {
+    /// Creates an empty table with the given default off-diagonal value.
+    pub fn with_default(default: Ratio) -> Self {
+        TableDistance {
+            entries: HashMap::new(),
+            default,
+        }
+    }
+
+    fn key(a: &Tuple, b: &Tuple) -> (Tuple, Tuple) {
+        if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        }
+    }
+
+    /// Sets the distance of one unordered pair.
+    pub fn set(&mut self, a: Tuple, b: Tuple, value: Ratio) -> &mut Self {
+        assert!(!value.is_negative(), "distance must be non-negative");
+        assert!(
+            a != b || value.is_zero(),
+            "distance of a tuple to itself must be zero"
+        );
+        self.entries.insert(Self::key(&a, &b), value);
+        self
+    }
+
+    /// Builder-style [`TableDistance::set`].
+    pub fn with(mut self, a: Tuple, b: Tuple, value: Ratio) -> Self {
+        self.set(a, b, value);
+        self
+    }
+
+    /// Number of explicit pair entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Distance for TableDistance {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        if a == b {
+            return Ratio::ZERO;
+        }
+        self.entries
+            .get(&Self::key(a, b))
+            .copied()
+            .unwrap_or(self.default)
+    }
+}
+
+/// Number of positions at which the tuples differ, optionally scaled.
+#[derive(Clone, Debug)]
+pub struct HammingDistance {
+    /// Per-position weight (defaults to 1).
+    pub weight: Ratio,
+}
+
+impl Default for HammingDistance {
+    fn default() -> Self {
+        HammingDistance { weight: Ratio::ONE }
+    }
+}
+
+impl Distance for HammingDistance {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        let differing = a
+            .iter()
+            .zip(b.iter())
+            .filter(|(x, y)| x != y)
+            .count()
+            .max(a.arity().abs_diff(b.arity()));
+        self.weight.scale(differing as i64)
+    }
+}
+
+/// `|a[attr] − b[attr]|` on an integer attribute; non-integer values
+/// contribute `fallback`.
+#[derive(Clone, Debug)]
+pub struct NumericDistance {
+    /// Which attribute position to compare.
+    pub attr: usize,
+    /// Distance used when either side lacks an integer at `attr` (applies
+    /// only to distinct tuples; the diagonal stays 0).
+    pub fallback: Ratio,
+}
+
+impl Distance for NumericDistance {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        if a == b {
+            return Ratio::ZERO;
+        }
+        match (
+            a.get(self.attr).and_then(|v| v.as_int()),
+            b.get(self.attr).and_then(|v| v.as_int()),
+        ) {
+            (Some(x), Some(y)) => Ratio::int((x - y).abs()),
+            _ => self.fallback,
+        }
+    }
+}
+
+/// Wraps a closure; symmetry is enforced by evaluating on the canonical
+/// (sorted) order of the pair, and the diagonal is forced to zero.
+pub struct ClosureDistance<F: Fn(&Tuple, &Tuple) -> Ratio>(pub F);
+
+impl<F: Fn(&Tuple, &Tuple) -> Ratio> Distance for ClosureDistance<F> {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        if a == b {
+            return Ratio::ZERO;
+        }
+        if a <= b {
+            self.0(a, b)
+        } else {
+            self.0(b, a)
+        }
+    }
+}
+
+impl Distance for Box<dyn Distance + '_> {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        (**self).dist(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_zero_on_diagonal() {
+        let d = ConstantDistance(Ratio::int(3));
+        assert_eq!(d.dist(&Tuple::ints([1]), &Tuple::ints([1])), Ratio::ZERO);
+        assert_eq!(d.dist(&Tuple::ints([1]), &Tuple::ints([2])), Ratio::int(3));
+    }
+
+    #[test]
+    fn table_symmetric_by_construction() {
+        let a = Tuple::ints([1]);
+        let b = Tuple::ints([2]);
+        let d = TableDistance::with_default(Ratio::ZERO).with(b.clone(), a.clone(), Ratio::int(7));
+        assert_eq!(d.dist(&a, &b), Ratio::int(7));
+        assert_eq!(d.dist(&b, &a), Ratio::int(7));
+        assert_eq!(d.dist(&a, &a), Ratio::ZERO);
+    }
+
+    #[test]
+    fn table_default_applies() {
+        let d = TableDistance::with_default(Ratio::ONE);
+        assert_eq!(
+            d.dist(&Tuple::ints([1]), &Tuple::ints([9])),
+            Ratio::ONE
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "itself must be zero")]
+    fn nonzero_diagonal_rejected() {
+        TableDistance::default().set(Tuple::ints([1]), Tuple::ints([1]), Ratio::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_rejected() {
+        TableDistance::default().set(Tuple::ints([1]), Tuple::ints([2]), Ratio::int(-1));
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        let d = HammingDistance::default();
+        assert_eq!(
+            d.dist(&Tuple::ints([1, 2, 3]), &Tuple::ints([1, 9, 9])),
+            Ratio::int(2)
+        );
+        assert_eq!(
+            d.dist(&Tuple::ints([1, 2]), &Tuple::ints([1, 2])),
+            Ratio::ZERO
+        );
+    }
+
+    #[test]
+    fn numeric_absolute_difference() {
+        let d = NumericDistance {
+            attr: 0,
+            fallback: Ratio::ONE,
+        };
+        assert_eq!(d.dist(&Tuple::ints([10]), &Tuple::ints([3])), Ratio::int(7));
+        assert_eq!(d.dist(&Tuple::ints([3]), &Tuple::ints([10])), Ratio::int(7));
+        let s1 = Tuple::new(vec![divr_relquery::Value::str("a")]);
+        let s2 = Tuple::new(vec![divr_relquery::Value::str("b")]);
+        assert_eq!(d.dist(&s1, &s2), Ratio::ONE);
+        assert_eq!(d.dist(&s1, &s1), Ratio::ZERO);
+    }
+
+    #[test]
+    fn closure_symmetrized() {
+        // A deliberately asymmetric closure becomes symmetric through
+        // canonical ordering.
+        let d = ClosureDistance(|a: &Tuple, _b: &Tuple| {
+            Ratio::int(a[0].as_int().unwrap())
+        });
+        let t1 = Tuple::ints([1]);
+        let t5 = Tuple::ints([5]);
+        assert_eq!(d.dist(&t1, &t5), d.dist(&t5, &t1));
+        assert_eq!(d.dist(&t1, &t1), Ratio::ZERO);
+    }
+}

@@ -1,0 +1,358 @@
+//! Exact rational arithmetic.
+//!
+//! Every score in this crate — relevance values, distances, λ, objective
+//! values `F(U)`, bounds `B` — is an exact rational. The paper's decision
+//! and counting problems hinge on exact threshold comparisons
+//! (`F(U) ≥ B`), and several reductions pick bounds like
+//! `B = 2^{n+1}/(2^{m+n}−1)` (Theorem 7.2) where floating point would
+//! silently corrupt counts. `Ratio` is an `i128`-backed reduced fraction
+//! with a total order; arithmetic panics on overflow (reductions and
+//! workloads stay far below `i128` range).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number, always stored reduced with a positive
+/// denominator (so derived `Eq`/`Hash` agree with numeric equality).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+const OVERFLOW_MSG: &str = "Ratio arithmetic overflow (scores exceeded i128 range)";
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Builds `num / den`, reducing to lowest terms. Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        Ratio::new_i128(i128::from(num), i128::from(den))
+    }
+
+    /// Builds from `i128` parts, reducing. Panics if `den == 0`.
+    pub fn new_i128(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Ratio denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        if g == 0 {
+            return Ratio::ZERO;
+        }
+        Ratio {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Builds the integer `n`.
+    pub fn int(n: i64) -> Self {
+        Ratio {
+            num: i128::from(n),
+            den: 1,
+        }
+    }
+
+    /// The reduced numerator.
+    pub fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// The reduced denominator (always positive).
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether this is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Multiplies by an integer.
+    pub fn scale(&self, n: i64) -> Ratio {
+        *self * Ratio::int(n)
+    }
+
+    /// The minimum of two ratios.
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two ratios.
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Approximate `f64` value (for display/benchmark summaries only —
+    /// never used in decisions).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ZERO
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Self {
+        Ratio::int(n)
+    }
+}
+
+impl From<i32> for Ratio {
+    fn from(n: i32) -> Self {
+        Ratio::int(i64::from(n))
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        // a/b + c/d = (a·(l/b) + c·(l/d)) / l with l = lcm(b, d).
+        let g = gcd(self.den, rhs.den);
+        let l = (self.den / g).checked_mul(rhs.den).expect(OVERFLOW_MSG);
+        let left = self.num.checked_mul(l / self.den).expect(OVERFLOW_MSG);
+        let right = rhs.num.checked_mul(l / rhs.den).expect(OVERFLOW_MSG);
+        Ratio::new_i128(left.checked_add(right).expect(OVERFLOW_MSG), l)
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect(OVERFLOW_MSG);
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect(OVERFLOW_MSG);
+        Ratio::new_i128(num, den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        assert!(!rhs.is_zero(), "Ratio division by zero");
+        self * Ratio {
+            num: rhs.den,
+            den: rhs.num,
+        }
+        .normalized()
+    }
+}
+
+impl Ratio {
+    fn normalized(self) -> Ratio {
+        Ratio::new_i128(self.num, self.den)
+    }
+}
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ZERO, Add::add)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // a/b vs c/d  ⇔  a·d vs c·b (b, d > 0). Cross-reduce to avoid
+        // overflow.
+        let g_num = gcd(self.num, other.num).max(1);
+        let g_den = gcd(self.den, other.den).max(1);
+        // Dividing both sides of `a·d vs c·b` by the positive quantities
+        // g_num·g_den preserves the ordering.
+        let left = (self.num / g_num).checked_mul(other.den / g_den);
+        let right = (other.num / g_num).checked_mul(self.den / g_den);
+        match (left, right) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => panic!("{OVERFLOW_MSG}"),
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, 5), Ratio::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_denominator_panics() {
+        Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Ratio::new(1, 2);
+        let third = Ratio::new(1, 3);
+        assert_eq!(half + third, Ratio::new(5, 6));
+        assert_eq!(half - third, Ratio::new(1, 6));
+        assert_eq!(half * third, Ratio::new(1, 6));
+        assert_eq!(half / third, Ratio::new(3, 2));
+        assert_eq!(-half, Ratio::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::new(-1, 3));
+        assert!(Ratio::new(2, 4) == Ratio::new(1, 2));
+        assert!(Ratio::int(3) > Ratio::new(5, 2));
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let s: Ratio = [Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(1, 6)]
+            .into_iter()
+            .sum();
+        assert_eq!(s, Ratio::ONE);
+        assert_eq!(Ratio::new(1, 2).scale(4), Ratio::int(2));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(2, 3);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Ratio::new(2, 4));
+        s.insert(Ratio::new(1, 2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn large_value_comparisons() {
+        // The Theorem 7.2 bound shape: 2^{n+1} / (2^{m+n} − 1).
+        let b = Ratio::new_i128(1 << 21, (1i128 << 40) - 1);
+        let c = Ratio::new_i128((1 << 21) + 1, (1i128 << 40) - 1);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn division_by_negative() {
+        assert_eq!(Ratio::int(1) / Ratio::new(-1, 2), Ratio::int(-2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ratio::int(7).to_string(), "7");
+        assert_eq!(Ratio::new(-3, 6).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn is_predicates() {
+        assert!(Ratio::ZERO.is_zero());
+        assert!(Ratio::int(2).is_integer());
+        assert!(!Ratio::new(1, 2).is_integer());
+        assert!(Ratio::new(-1, 2).is_negative());
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert!((Ratio::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+}

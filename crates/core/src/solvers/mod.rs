@@ -1,0 +1,18 @@
+//! Solvers for the three diversification problems, organized by the
+//! paper's complexity landscape:
+//!
+//! | module | paper anchor | regime |
+//! |---|---|---|
+//! | [`exact`] | Thms 5.1/5.2, 6.1/6.2 upper bounds | exponential search, any objective |
+//! | [`counting`] | Thms 7.1–7.5 | exact counting; pseudo-poly DP for sum-decomposable `F` |
+//! | [`mono`] | Thms 5.4, 6.4 | PTIME algorithms for `F_mono` |
+//! | [`relevance_only`] | Thm 8.2 | PTIME/FP algorithms at `λ = 0` |
+//! | [`fixed_k`] | Cor 8.4 | polynomial enumeration for constant `k` |
+//! | [`constrained`] | Thm 9.3, Cors 9.4–9.7 | search under `C_m` constraints |
+
+pub mod constrained;
+pub mod counting;
+pub mod exact;
+pub mod fixed_k;
+pub mod mono;
+pub mod relevance_only;

@@ -1,0 +1,295 @@
+//! Streaming diversification — the "embed diversification in query
+//! evaluation" direction the paper's introduction motivates (Section 1:
+//! avoid computing all of `Q(D)` before picking a top set; also the
+//! continuous setting of Drosou & Pitoura that the related work cites).
+//!
+//! [`StreamingDiversifier`] consumes result tuples one at a time and
+//! maintains a current `k`-set by greedy insert/swap: a new tuple enters
+//! if the set is not yet full, or if swapping it for some selected tuple
+//! improves the objective. One pass costs `O(k)` distance evaluations per
+//! tuple for `F_MS`/`F_MM` (amortized over swap attempts), and the
+//! maintained value is monotone non-decreasing over the stream.
+//!
+//! `F_mono` is intentionally **not** supported: its diversity term
+//! averages distances against the *entire* `Q(D)` (Section 3.2), so no
+//! online rule can score a candidate without the full result — the
+//! same structural fact that makes `F_mono` costly in combined
+//! complexity (Theorem 5.2) makes it unstreamable.
+
+use crate::distance::Distance;
+use crate::problem::ObjectiveKind;
+use crate::ratio::Ratio;
+use crate::relevance::Relevance;
+use divr_relquery::Tuple;
+
+/// One-pass greedy diversifier over a stream of result tuples.
+pub struct StreamingDiversifier<'a> {
+    rel: &'a dyn Relevance,
+    dis: &'a dyn Distance,
+    kind: ObjectiveKind,
+    lambda: Ratio,
+    k: usize,
+    selected: Vec<Tuple>,
+    offered: usize,
+    swaps: usize,
+}
+
+impl<'a> StreamingDiversifier<'a> {
+    /// Creates a diversifier for `F_MS` or `F_MM`.
+    ///
+    /// Panics on `ObjectiveKind::Mono` (see module docs), `k = 0`, or
+    /// `λ ∉ [0, 1]`.
+    pub fn new(
+        kind: ObjectiveKind,
+        rel: &'a dyn Relevance,
+        dis: &'a dyn Distance,
+        lambda: Ratio,
+        k: usize,
+    ) -> Self {
+        assert!(
+            kind != ObjectiveKind::Mono,
+            "F_mono needs the whole Q(D) and cannot be streamed (Section 3.2)"
+        );
+        assert!(k >= 1, "k must be positive");
+        assert!(
+            lambda >= Ratio::ZERO && lambda <= Ratio::ONE,
+            "λ must lie in [0, 1]"
+        );
+        StreamingDiversifier {
+            rel,
+            dis,
+            kind,
+            lambda,
+            k,
+            selected: Vec::with_capacity(k),
+            offered: 0,
+            swaps: 0,
+        }
+    }
+
+    /// The objective value of an explicit set of tuples.
+    fn value_of(&self, set: &[Tuple]) -> Ratio {
+        let one_minus = Ratio::ONE - self.lambda;
+        match self.kind {
+            ObjectiveKind::MaxSum => {
+                let rel_sum: Ratio = set.iter().map(|t| self.rel.rel(t)).sum();
+                let mut dis_sum = Ratio::ZERO;
+                for (i, a) in set.iter().enumerate() {
+                    for b in &set[i + 1..] {
+                        dis_sum += self.dis.dist(a, b);
+                    }
+                }
+                one_minus.scale(set.len() as i64 - 1) * rel_sum
+                    + self.lambda * dis_sum.scale(2)
+            }
+            ObjectiveKind::MaxMin => {
+                if set.is_empty() {
+                    return Ratio::ZERO;
+                }
+                let min_rel = set.iter().map(|t| self.rel.rel(t)).min().expect("non-empty");
+                let mut min_dis: Option<Ratio> = None;
+                for (i, a) in set.iter().enumerate() {
+                    for b in &set[i + 1..] {
+                        let d = self.dis.dist(a, b);
+                        min_dis = Some(min_dis.map_or(d, |m| m.min(d)));
+                    }
+                }
+                one_minus * min_rel + self.lambda * min_dis.unwrap_or(Ratio::ZERO)
+            }
+            ObjectiveKind::Mono => unreachable!("rejected at construction"),
+        }
+    }
+
+    /// Offers the next stream tuple. Returns `true` iff the maintained
+    /// set changed. Duplicates of selected tuples are ignored (set
+    /// semantics).
+    pub fn offer(&mut self, t: Tuple) -> bool {
+        self.offered += 1;
+        if self.selected.contains(&t) {
+            return false;
+        }
+        if self.selected.len() < self.k {
+            self.selected.push(t);
+            return true;
+        }
+        // Try the best single swap.
+        let current = self.value_of(&self.selected);
+        let mut best: Option<(Ratio, usize)> = None;
+        for out in 0..self.selected.len() {
+            let saved = std::mem::replace(&mut self.selected[out], t.clone());
+            let v = self.value_of(&self.selected);
+            self.selected[out] = saved;
+            if v > current && best.is_none_or(|(b, _)| v > b) {
+                best = Some((v, out));
+            }
+        }
+        match best {
+            Some((_, out)) => {
+                self.selected[out] = t;
+                self.swaps += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Offers every tuple from an iterator.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        for t in tuples {
+            self.offer(t);
+        }
+    }
+
+    /// The currently maintained set (size ≤ k; == k once the stream has
+    /// produced k distinct tuples).
+    pub fn current(&self) -> &[Tuple] {
+        &self.selected
+    }
+
+    /// Whether a full candidate set has been assembled.
+    pub fn is_full(&self) -> bool {
+        self.selected.len() == self.k
+    }
+
+    /// The objective value of the current set.
+    pub fn value(&self) -> Ratio {
+        self.value_of(&self.selected)
+    }
+
+    /// Stream statistics: `(tuples offered, improving swaps)`.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.offered, self.swaps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::NumericDistance;
+    use crate::problem::DiversityProblem;
+    use crate::relevance::AttributeRelevance;
+    use crate::solvers::exact;
+
+    const REL: AttributeRelevance = AttributeRelevance {
+        attr: 1,
+        default: Ratio::ZERO,
+    };
+    const DIS: NumericDistance = NumericDistance {
+        attr: 0,
+        fallback: Ratio::ZERO,
+    };
+
+    fn universe(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::ints([i * 7 % 23, i % 6])).collect()
+    }
+
+    #[test]
+    fn fills_then_swaps() {
+        let mut s = StreamingDiversifier::new(
+            ObjectiveKind::MaxSum,
+            &REL,
+            &DIS,
+            Ratio::new(1, 2),
+            3,
+        );
+        for t in universe(10) {
+            s.offer(t);
+        }
+        assert!(s.is_full());
+        assert_eq!(s.current().len(), 3);
+        let (offered, _) = s.stats();
+        assert_eq!(offered, 10);
+    }
+
+    #[test]
+    fn value_is_monotone_over_the_stream() {
+        for kind in [ObjectiveKind::MaxSum, ObjectiveKind::MaxMin] {
+            let mut s =
+                StreamingDiversifier::new(kind, &REL, &DIS, Ratio::new(1, 3), 3);
+            let mut last = Ratio::ZERO;
+            let mut was_full = false;
+            for t in universe(14) {
+                s.offer(t);
+                if was_full {
+                    assert!(s.value() >= last, "{kind}: value regressed");
+                }
+                if s.is_full() {
+                    was_full = true;
+                    last = s.value();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_exceeds_offline_optimum_and_is_competitive() {
+        let u = universe(12);
+        let p = DiversityProblem::new(u.clone(), &REL, &DIS, Ratio::new(1, 2), 3);
+        for kind in [ObjectiveKind::MaxSum, ObjectiveKind::MaxMin] {
+            let (opt, _) = exact::maximize(&p, kind).unwrap();
+            let mut s = StreamingDiversifier::new(kind, &REL, &DIS, Ratio::new(1, 2), 3);
+            s.extend(u.iter().cloned());
+            assert!(s.value() <= opt, "{kind}: streaming beat the optimum?!");
+            assert!(
+                s.value().scale(4) >= opt,
+                "{kind}: streaming fell below ¼ of optimum ({} vs {opt})",
+                s.value()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut s =
+            StreamingDiversifier::new(ObjectiveKind::MaxMin, &REL, &DIS, Ratio::ONE, 2);
+        let t = Tuple::ints([1, 1]);
+        assert!(s.offer(t.clone()));
+        assert!(!s.offer(t.clone()));
+        assert_eq!(s.current().len(), 1);
+    }
+
+    #[test]
+    fn streaming_equals_offline_for_k1_maxmin() {
+        // k = 1, F_MM = (1−λ)·rel: the stream keeps the most relevant
+        // tuple, matching the offline optimum exactly.
+        let u = universe(15);
+        let p = DiversityProblem::new(u.clone(), &REL, &DIS, Ratio::ZERO, 1);
+        let (opt, _) = exact::maximize(&p, ObjectiveKind::MaxMin).unwrap();
+        let mut s = StreamingDiversifier::new(ObjectiveKind::MaxMin, &REL, &DIS, Ratio::ZERO, 1);
+        s.extend(u);
+        assert_eq!(s.value(), opt);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be streamed")]
+    fn mono_rejected() {
+        StreamingDiversifier::new(ObjectiveKind::Mono, &REL, &DIS, Ratio::ONE, 2);
+    }
+
+    #[test]
+    fn order_independence_of_membership_not_required_but_size_is() {
+        // Different stream orders may select different sets, but both
+        // are full candidate sets with positive value on this workload.
+        let u = universe(10);
+        let mut fwd = StreamingDiversifier::new(
+            ObjectiveKind::MaxSum,
+            &REL,
+            &DIS,
+            Ratio::new(1, 2),
+            3,
+        );
+        fwd.extend(u.iter().cloned());
+        let mut rev = StreamingDiversifier::new(
+            ObjectiveKind::MaxSum,
+            &REL,
+            &DIS,
+            Ratio::new(1, 2),
+            3,
+        );
+        rev.extend(u.iter().rev().cloned());
+        assert_eq!(fwd.current().len(), 3);
+        assert_eq!(rev.current().len(), 3);
+        assert!(fwd.value() > Ratio::ZERO);
+        assert!(rev.value() > Ratio::ZERO);
+    }
+}

@@ -1,0 +1,204 @@
+//! CNF formulas.
+
+use std::fmt;
+
+/// A literal: a 0-based variable index with a sign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// The variable index (0-based).
+    pub var: usize,
+    /// `true` for a positive occurrence `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal `x_var`.
+    pub fn pos(var: usize) -> Self {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// Negative literal `¬x_var`.
+    pub fn neg(var: usize) -> Self {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// Evaluates the literal under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clause(pub Vec<Lit>);
+
+impl Clause {
+    /// Evaluates the clause under a complete assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.eval(assignment))
+    }
+
+    /// The literals.
+    pub fn lits(&self) -> &[Lit] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula over variables `x0 .. x{num_vars-1}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Builds a CNF from clauses given as signed-literal lists:
+    /// `(var, positive)` pairs.
+    pub fn from_clauses(num_vars: usize, clauses: &[&[(usize, bool)]]) -> Self {
+        let clauses = clauses
+            .iter()
+            .map(|c| {
+                Clause(
+                    c.iter()
+                        .map(|&(v, p)| {
+                            assert!(v < num_vars, "literal variable out of range");
+                            Lit { var: v, positive: p }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Cnf { num_vars, clauses }
+    }
+
+    /// Evaluates the formula under a complete assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Whether every clause has at most three literals (a 3SAT instance;
+    /// the paper's reductions start from 3SAT/Q3SAT).
+    pub fn is_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.0.len() <= 3)
+    }
+
+    /// Total number of literal occurrences.
+    pub fn size(&self) -> usize {
+        self.clauses.iter().map(|c| c.0.len()).sum()
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_eval() {
+        let a = [true, false];
+        assert!(Lit::pos(0).eval(&a));
+        assert!(!Lit::neg(0).eval(&a));
+        assert!(Lit::neg(1).eval(&a));
+    }
+
+    #[test]
+    fn clause_eval() {
+        let c = Clause(vec![Lit::pos(0), Lit::neg(1)]);
+        assert!(c.eval(&[false, false]));
+        assert!(!c.eval(&[false, true]));
+    }
+
+    #[test]
+    fn cnf_eval() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1)
+        let f = Cnf::from_clauses(2, &[&[(0, true), (1, true)], &[(0, false), (1, true)]]);
+        assert!(f.eval(&[true, true]));
+        assert!(f.eval(&[false, true]));
+        assert!(!f.eval(&[true, false]));
+        assert!(!f.eval(&[false, false]));
+    }
+
+    #[test]
+    fn empty_cnf_is_true() {
+        let f = Cnf::from_clauses(1, &[]);
+        assert!(f.eval(&[false]));
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let f = Cnf {
+            num_vars: 1,
+            clauses: vec![Clause(vec![])],
+        };
+        assert!(!f.eval(&[true]));
+    }
+
+    #[test]
+    fn is_3cnf_checks_width() {
+        let f = Cnf::from_clauses(4, &[&[(0, true), (1, true), (2, true)]]);
+        assert!(f.is_3cnf());
+        let g = Cnf::from_clauses(
+            4,
+            &[&[(0, true), (1, true), (2, true), (3, true)]],
+        );
+        assert!(!g.is_3cnf());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        Cnf::from_clauses(1, &[&[(1, true)]]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let f = Cnf::from_clauses(2, &[&[(0, true), (1, false)]]);
+        assert_eq!(f.to_string(), "(x0 ∨ ¬x1)");
+    }
+}

@@ -1,0 +1,207 @@
+//! Counting problems over quantified formulas: #Σ₁SAT and #QBF.
+//!
+//! * **#Σ₁SAT** (Durand, Hermann & Kolaitis 2005; used in Theorem 7.1):
+//!   given `ϕ(X, Y) = ∃X ψ(X, Y)`, count the assignments of `Y` for which
+//!   `∃X ψ` holds. It is #·NP-complete.
+//! * **#QBF** (Ladner 1989; used in Theorems 7.1 and 7.2): given
+//!   `ϕ = ∃X ∀y1 P2y2 ... Pnyn ψ`, count the assignments of the leading
+//!   existential block `X` under which the remaining sentence is true.
+//!   It is #·PSPACE-complete.
+//!
+//! In both, the counted block is the **first** `m` variables of the
+//! formula — matching the variable layout of the paper's constructions.
+
+use crate::cnf::Cnf;
+use crate::qbf::{Qbf, Quant};
+use crate::sat;
+
+/// #Σ₁SAT: counts assignments of `Y = x_{m_x} .. x_{n-1}` (the *trailing*
+/// `n − m_x` variables) such that `∃ x_0..x_{m_x-1} ψ` holds.
+///
+/// The existential block `X` comes first to mirror the paper's
+/// `ϕ(X, Y) = ∃X ψ(X, Y)` with `X = {x1..xm}`, `Y = {y1..yn}`.
+pub fn count_sigma1(cnf: &Cnf, m_x: usize) -> u128 {
+    assert!(m_x <= cnf.num_vars);
+    let n_y = cnf.num_vars - m_x;
+    assert!(n_y <= 30, "counting block limited to 30 variables");
+    let mut count = 0u128;
+    for bits in 0..(1u64 << n_y) {
+        if sigma1_holds(cnf, m_x, bits) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Decides `∃X ψ(X, y̌)` for one assignment (bit `i` of `y_bits` gives
+/// `x_{m_x + i}`), by restricting the CNF and calling the DPLL solver.
+fn sigma1_holds(cnf: &Cnf, m_x: usize, y_bits: u64) -> bool {
+    // Restrict: drop satisfied clauses, remove false literals.
+    let mut clauses: Vec<Vec<(usize, bool)>> = Vec::with_capacity(cnf.clauses.len());
+    for clause in &cnf.clauses {
+        let mut reduced = Vec::new();
+        let mut satisfied = false;
+        for lit in clause.lits() {
+            if lit.var >= m_x {
+                let val = (y_bits >> (lit.var - m_x)) & 1 == 1;
+                if val == lit.positive {
+                    satisfied = true;
+                    break;
+                }
+                // literal false: drop it
+            } else {
+                reduced.push((lit.var, lit.positive));
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        if reduced.is_empty() {
+            return false; // empty clause under this Y assignment
+        }
+        clauses.push(reduced);
+    }
+    let clause_slices: Vec<&[(usize, bool)]> = clauses.iter().map(Vec::as_slice).collect();
+    let restricted = Cnf::from_clauses(m_x.max(1), &clause_slices);
+    sat::satisfiable(&restricted)
+}
+
+/// #QBF: counts assignments of the leading block `x_0 .. x_{m-1}` (all of
+/// which must be `∃`-quantified in `qbf.prefix`) under which the remaining
+/// quantified sentence is true.
+pub fn count_qbf(qbf: &Qbf, m: usize) -> u128 {
+    assert!(m <= qbf.num_vars());
+    assert!(m <= 30, "counting block limited to 30 variables");
+    assert!(
+        qbf.prefix[..m].iter().all(|q| *q == Quant::Exists),
+        "the counted block must be existential"
+    );
+    let mut count = 0u128;
+    let mut assignment = vec![false; m];
+    for bits in 0..(1u64 << m) {
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            *slot = (bits >> i) & 1 == 1;
+        }
+        if qbf.is_true_from(&assignment) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Naive #Σ₁SAT by double enumeration, for differential testing.
+pub fn count_sigma1_naive(cnf: &Cnf, m_x: usize) -> u128 {
+    let n = cnf.num_vars;
+    assert!(n <= 24);
+    let n_y = n - m_x;
+    let mut count = 0u128;
+    let mut assignment = vec![false; n];
+    for y_bits in 0..(1u64 << n_y) {
+        let mut found = false;
+        for x_bits in 0..(1u64 << m_x) {
+            for (i, slot) in assignment.iter_mut().enumerate().take(m_x) {
+                *slot = (x_bits >> i) & 1 == 1;
+            }
+            for i in 0..n_y {
+                assignment[m_x + i] = (y_bits >> i) & 1 == 1;
+            }
+            if cnf.eval(&assignment) {
+                found = true;
+                break;
+            }
+        }
+        if found {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+    use crate::qbf::{Qbf, Quant};
+
+    #[test]
+    fn sigma1_simple() {
+        // ϕ(X={x0}, Y={x1}) = ∃x0 (x0 ∨ x1): holds for both values of x1 → 2.
+        let f = Cnf::from_clauses(2, &[&[(0, true), (1, true)]]);
+        assert_eq!(count_sigma1(&f, 1), 2);
+    }
+
+    #[test]
+    fn sigma1_restricting_clause() {
+        // ϕ(X={x0}, Y={x1}) = ∃x0 (x0) ∧ (¬x0) — unsat for every Y → 0.
+        let f = Cnf::from_clauses(2, &[&[(0, true)], &[(0, false)]]);
+        assert_eq!(count_sigma1(&f, 1), 0);
+    }
+
+    #[test]
+    fn sigma1_y_only_formula() {
+        // ϕ(∅, Y={x0,x1}) = (x0 ∨ x1) with no existential block → #SAT = 3.
+        let f = Cnf::from_clauses(2, &[&[(0, true), (1, true)]]);
+        assert_eq!(count_sigma1(&f, 0), 3);
+    }
+
+    #[test]
+    fn sigma1_matches_naive_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..=8);
+            let m_x = rng.gen_range(0..=n);
+            let clauses = rng.gen_range(1..=10);
+            let f = crate::gen::random_3sat(&mut rng, n, clauses);
+            assert_eq!(
+                count_sigma1(&f, m_x),
+                count_sigma1_naive(&f, m_x),
+                "formula {f} m_x={m_x}"
+            );
+        }
+    }
+
+    #[test]
+    fn qbf_count_forall_tail() {
+        // ∃x0 ∀x1 (x0 ∨ x1): needs x0=1 → exactly 1 counted assignment.
+        let f = Cnf::from_clauses(2, &[&[(0, true), (1, true)]]);
+        let q = Qbf::new(vec![Quant::Exists, Quant::Forall], f);
+        assert_eq!(count_qbf(&q, 1), 1);
+    }
+
+    #[test]
+    fn qbf_count_with_inner_exists() {
+        // ∃x0 ∀x1 ∃x2 ((x0∨¬x1∨x2) ∧ (¬x2∨x1)):
+        // x0=1: x1=1 → pick x2=1 ok; x1=0 → need clause1: 1 → ok with x2=0
+        //   (clause2: ¬x2 true). So x0=1 works.
+        // x0=0: x1=0 → clause1 = 0∨1∨x2 true; clause2 needs x2=0 → ok.
+        //   x1=1 → clause1 = 0∨0∨x2 → x2=1; clause2 = ¬1∨1 → true. Works too.
+        let f = Cnf::from_clauses(
+            3,
+            &[&[(0, true), (1, false), (2, true)], &[(2, false), (1, true)]],
+        );
+        let q = Qbf::new(vec![Quant::Exists, Quant::Forall, Quant::Exists], f);
+        assert_eq!(count_qbf(&q, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be existential")]
+    fn qbf_count_rejects_forall_in_block() {
+        let f = Cnf::from_clauses(1, &[]);
+        let q = Qbf::new(vec![Quant::Forall], f);
+        count_qbf(&q, 1);
+    }
+
+    #[test]
+    fn qbf_count_entire_prefix_existential_is_sharp_sat() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..=7);
+            let m = rng.gen_range(0..=8);
+            let f = crate::gen::random_3sat(&mut rng, n, m);
+            let q = Qbf::new(vec![Quant::Exists; n], f.clone());
+            assert_eq!(count_qbf(&q, n), sat::count_models(&f));
+        }
+    }
+}

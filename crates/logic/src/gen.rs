@@ -1,0 +1,142 @@
+//! Random instance generators (seeded, for reproducible benchmarks).
+
+use crate::cnf::{Clause, Cnf, Lit};
+use crate::qbf::{Qbf, Quant};
+use rand::Rng;
+
+/// A uniform random 3SAT instance: `num_clauses` clauses of exactly
+/// `min(3, num_vars)` distinct variables each, signs uniform.
+pub fn random_3sat<R: Rng>(rng: &mut R, num_vars: usize, num_clauses: usize) -> Cnf {
+    assert!(num_vars >= 1);
+    let width = num_vars.min(3);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut vars = Vec::with_capacity(width);
+        while vars.len() < width {
+            let v = rng.gen_range(0..num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lits = vars
+            .into_iter()
+            .map(|v| Lit {
+                var: v,
+                positive: rng.gen_bool(0.5),
+            })
+            .collect();
+        clauses.push(Clause(lits));
+    }
+    Cnf { num_vars, clauses }
+}
+
+/// A random prenex Q3SAT sentence with alternating-or-random quantifiers.
+///
+/// `forced_first` pins the first quantifier (the paper's #QBF instances
+/// need a leading `∃` block, Q3SAT instances come in both flavors).
+pub fn random_q3sat<R: Rng>(
+    rng: &mut R,
+    num_vars: usize,
+    num_clauses: usize,
+    forced_first: Option<Quant>,
+) -> Qbf {
+    let matrix = random_3sat(rng, num_vars, num_clauses);
+    let mut prefix: Vec<Quant> = (0..num_vars)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                Quant::Exists
+            } else {
+                Quant::Forall
+            }
+        })
+        .collect();
+    if let (Some(q), true) = (forced_first, num_vars > 0) {
+        prefix[0] = q;
+    }
+    Qbf::new(prefix, matrix)
+}
+
+/// A random #QBF instance `∃x_0..x_{m-1} ∀x_m P x_{m+1} ... ψ` with a
+/// leading existential block of size `m` (paper Theorem 7.1's source
+/// problem shape). Returns `(qbf, m)`.
+pub fn random_sharp_qbf<R: Rng>(
+    rng: &mut R,
+    m: usize,
+    n_rest: usize,
+    num_clauses: usize,
+) -> (Qbf, usize) {
+    let num_vars = m + n_rest;
+    assert!(num_vars >= 1);
+    let matrix = random_3sat(rng, num_vars, num_clauses);
+    let mut prefix = vec![Quant::Exists; m];
+    for i in 0..n_rest {
+        if i == 0 {
+            prefix.push(Quant::Forall); // the paper's shape: ∃X ∀y1 ...
+        } else {
+            prefix.push(if rng.gen_bool(0.5) {
+                Quant::Exists
+            } else {
+                Quant::Forall
+            });
+        }
+    }
+    (Qbf::new(prefix, matrix), m)
+}
+
+/// Random subset-sum weights in `[0, max_weight]`.
+pub fn random_weights<R: Rng>(rng: &mut R, n: usize, max_weight: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..=max_weight)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn three_sat_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let f = random_3sat(&mut rng, 6, 10);
+        assert_eq!(f.num_vars, 6);
+        assert_eq!(f.clauses.len(), 10);
+        assert!(f.is_3cnf());
+        // distinct vars per clause
+        for c in &f.clauses {
+            let mut vars: Vec<usize> = c.lits().iter().map(|l| l.var).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), c.lits().len());
+        }
+    }
+
+    #[test]
+    fn small_var_count_narrows_clauses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let f = random_3sat(&mut rng, 2, 5);
+        assert!(f.clauses.iter().all(|c| c.lits().len() == 2));
+    }
+
+    #[test]
+    fn q3sat_forced_first() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let q = random_q3sat(&mut rng, 5, 8, Some(Quant::Forall));
+        assert_eq!(q.prefix[0], Quant::Forall);
+    }
+
+    #[test]
+    fn sharp_qbf_block_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let (q, m) = random_sharp_qbf(&mut rng, 3, 4, 10);
+        assert_eq!(m, 3);
+        assert!(q.prefix[..3].iter().all(|x| *x == Quant::Exists));
+        assert_eq!(q.prefix[3], Quant::Forall);
+        assert_eq!(q.num_vars(), 7);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(42);
+        let mut b = rand::rngs::StdRng::seed_from_u64(42);
+        assert_eq!(random_3sat(&mut a, 5, 7), random_3sat(&mut b, 5, 7));
+    }
+}

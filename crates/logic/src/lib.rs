@@ -1,0 +1,30 @@
+//! # divr-logic — propositional and quantified Boolean machinery
+//!
+//! The lower bounds of *On the Complexity of Query Result Diversification*
+//! (Deng & Fan) are proved by reductions from a small zoo of canonical
+//! problems. This crate implements each of those problems **directly**, so
+//! that the executable reductions in `divr-reductions` can be
+//! cross-validated instance by instance:
+//!
+//! | paper problem | here |
+//! |---|---|
+//! | 3SAT (Thm 5.1)                | [`Cnf`], [`sat::solve`] |
+//! | #SAT (Thm 7.4)                | [`sat::count_models`] |
+//! | Q3SAT / QSAT (Thms 5.2, 6.2)  | [`Qbf`], [`Qbf::is_true`] |
+//! | #Σ₁SAT (Thm 7.1)              | [`counting::count_sigma1`] |
+//! | #QBF (Thms 7.1, 7.2)          | [`counting::count_qbf`] |
+//! | #SSP / #SSPk (Lemma 7.6, Thm 7.5) | [`ssp`] |
+//!
+//! All counters return `u128` (exact counts for the instance sizes of the
+//! reproduction) and are backed by either DPLL-style search or dynamic
+//! programming, with naive enumerators available for differential testing.
+
+pub mod cnf;
+pub mod counting;
+pub mod gen;
+pub mod qbf;
+pub mod sat;
+pub mod ssp;
+
+pub use cnf::{Clause, Cnf, Lit};
+pub use qbf::{Qbf, Quant};

@@ -1,0 +1,274 @@
+//! DPLL satisfiability and exact model counting.
+//!
+//! `solve` decides 3SAT instances (Theorem 5.1's source problem);
+//! `count_models` computes #SAT (Theorem 7.4's source problem). Both use
+//! DPLL search with unit propagation; the counter multiplies by
+//! `2^(free variables)` at satisfied leaves. (Pure-literal elimination is
+//! deliberately *not* used — it is unsound for counting.)
+
+use crate::cnf::Cnf;
+
+/// The state of a clause under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one literal unassigned, rest false: (var, required value).
+    Unit(usize, bool),
+    /// Two or more literals unassigned.
+    Open,
+}
+
+fn clause_state(clause: &crate::cnf::Clause, assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned: Option<(usize, bool)> = None;
+    let mut unassigned_count = 0;
+    for lit in clause.lits() {
+        match assignment[lit.var] {
+            Some(v) => {
+                if v == lit.positive {
+                    return ClauseState::Satisfied;
+                }
+            }
+            None => {
+                unassigned_count += 1;
+                if unassigned.is_none() {
+                    unassigned = Some((lit.var, lit.positive));
+                }
+            }
+        }
+    }
+    match (unassigned_count, unassigned) {
+        (0, _) => ClauseState::Conflict,
+        (1, Some((v, p))) => ClauseState::Unit(v, p),
+        _ => ClauseState::Open,
+    }
+}
+
+/// Runs unit propagation to fixpoint. Returns `false` on conflict; records
+/// propagated variables in `trail`.
+fn propagate(cnf: &Cnf, assignment: &mut [Option<bool>], trail: &mut Vec<usize>) -> bool {
+    loop {
+        let mut changed = false;
+        for clause in &cnf.clauses {
+            match clause_state(clause, assignment) {
+                ClauseState::Conflict => return false,
+                ClauseState::Unit(v, p) => {
+                    assignment[v] = Some(p);
+                    trail.push(v);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn undo(assignment: &mut [Option<bool>], trail: &[usize], from: usize) {
+    for &v in &trail[from..] {
+        assignment[v] = None;
+    }
+}
+
+/// Picks the first unassigned variable occurring in an unsatisfied clause,
+/// or any unassigned variable if all clauses are satisfied.
+fn pick_branch_var(cnf: &Cnf, assignment: &[Option<bool>]) -> Option<usize> {
+    for clause in &cnf.clauses {
+        if matches!(clause_state(clause, assignment), ClauseState::Open) {
+            for lit in clause.lits() {
+                if assignment[lit.var].is_none() {
+                    return Some(lit.var);
+                }
+            }
+        }
+    }
+    assignment.iter().position(Option::is_none)
+}
+
+fn all_satisfied(cnf: &Cnf, assignment: &[Option<bool>]) -> bool {
+    cnf.clauses
+        .iter()
+        .all(|c| matches!(clause_state(c, assignment), ClauseState::Satisfied))
+}
+
+/// Decides satisfiability; returns a model if one exists.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment = vec![None; cnf.num_vars];
+    let mut trail = Vec::new();
+    if !propagate(cnf, &mut assignment, &mut trail) {
+        return None;
+    }
+    if search(cnf, &mut assignment) {
+        Some(
+            assignment
+                .into_iter()
+                .map(|v| v.unwrap_or(false))
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+fn search(cnf: &Cnf, assignment: &mut [Option<bool>]) -> bool {
+    if all_satisfied(cnf, assignment) {
+        return true;
+    }
+    let Some(var) = pick_branch_var(cnf, assignment) else {
+        // Everything assigned but not all satisfied → conflict.
+        return false;
+    };
+    for value in [true, false] {
+        let mut trail = vec![var];
+        assignment[var] = Some(value);
+        if propagate(cnf, assignment, &mut trail) && search(cnf, assignment) {
+            return true;
+        }
+        undo(assignment, &trail, 0);
+    }
+    false
+}
+
+/// Whether the instance is satisfiable.
+pub fn satisfiable(cnf: &Cnf) -> bool {
+    solve(cnf).is_some()
+}
+
+/// Exact #SAT: the number of satisfying assignments over **all**
+/// `num_vars` variables.
+pub fn count_models(cnf: &Cnf) -> u128 {
+    let mut assignment = vec![None; cnf.num_vars];
+    count_rec(cnf, &mut assignment)
+}
+
+fn count_rec(cnf: &Cnf, assignment: &mut [Option<bool>]) -> u128 {
+    // Propagate units first; every propagated value is forced, so it does
+    // not change the count.
+    let mut trail = Vec::new();
+    if !propagate(cnf, assignment, &mut trail) {
+        undo(assignment, &trail, 0);
+        return 0;
+    }
+    let count = if all_satisfied(cnf, assignment) {
+        let free = assignment.iter().filter(|v| v.is_none()).count() as u32;
+        1u128 << free
+    } else if let Some(var) = pick_branch_var(cnf, assignment) {
+        let mut total = 0u128;
+        for value in [true, false] {
+            assignment[var] = Some(value);
+            total += count_rec(cnf, assignment);
+            assignment[var] = None;
+        }
+        total
+    } else {
+        0
+    };
+    undo(assignment, &trail, 0);
+    count
+}
+
+/// Naive 2^n model counter, for differential testing.
+pub fn count_models_naive(cnf: &Cnf) -> u128 {
+    let n = cnf.num_vars;
+    assert!(n <= 30, "naive counter limited to 30 variables");
+    let mut count = 0u128;
+    let mut assignment = vec![false; n];
+    for bits in 0..(1u64 << n) {
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            *slot = (bits >> i) & 1 == 1;
+        }
+        if cnf.eval(&assignment) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+
+    fn tiny_sat() -> Cnf {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1) — models: x1=1 (x0 free) → 2 models.
+        Cnf::from_clauses(2, &[&[(0, true), (1, true)], &[(0, false), (1, true)]])
+    }
+
+    fn tiny_unsat() -> Cnf {
+        Cnf::from_clauses(1, &[&[(0, true)], &[(0, false)]])
+    }
+
+    #[test]
+    fn solve_finds_model() {
+        let m = solve(&tiny_sat()).unwrap();
+        assert!(tiny_sat().eval(&m));
+    }
+
+    #[test]
+    fn solve_detects_unsat() {
+        assert!(solve(&tiny_unsat()).is_none());
+    }
+
+    #[test]
+    fn count_small() {
+        assert_eq!(count_models(&tiny_sat()), 2);
+        assert_eq!(count_models(&tiny_unsat()), 0);
+    }
+
+    #[test]
+    fn count_empty_formula() {
+        let f = Cnf::from_clauses(3, &[]);
+        assert_eq!(count_models(&f), 8);
+    }
+
+    #[test]
+    fn count_matches_naive_on_fixed_instances() {
+        let cases = vec![
+            Cnf::from_clauses(
+                4,
+                &[
+                    &[(0, true), (1, false), (2, true)],
+                    &[(1, true), (2, false), (3, true)],
+                    &[(0, false), (3, false)],
+                ],
+            ),
+            Cnf::from_clauses(
+                5,
+                &[
+                    &[(0, true), (1, true), (2, true)],
+                    &[(2, false), (3, true), (4, false)],
+                    &[(0, false), (4, true)],
+                    &[(1, false), (3, false)],
+                ],
+            ),
+        ];
+        for f in cases {
+            assert_eq!(count_models(&f), count_models_naive(&f), "formula {f}");
+        }
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2) forces all three true.
+        let f = Cnf::from_clauses(
+            3,
+            &[&[(0, true)], &[(0, false), (1, true)], &[(1, false), (2, true)]],
+        );
+        assert_eq!(solve(&f), Some(vec![true, true, true]));
+        assert_eq!(count_models(&f), 1);
+    }
+
+    #[test]
+    fn randomized_differential_counting() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..=8);
+            let m = rng.gen_range(0..=12);
+            let f = crate::gen::random_3sat(&mut rng, n, m);
+            assert_eq!(count_models(&f), count_models_naive(&f), "formula {f}");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Subset-sum counting: #SSP and #SSPk.
+//!
+//! * **#SSP** (Berbeglia & Hahn 2010; paper Section 7.2): given weights
+//!   `π : W → ℕ` and a target `d`, count subsets `T ⊆ W` with
+//!   `Σ_{w∈T} π(w) = d`.
+//! * **#SSPk** (Lemma 7.6): additionally require `|T| = l`. The paper shows
+//!   #SSPk #P-complete by a parsimonious reduction from #SSP, and then
+//!   Turing-reduces #SSPk to `RDC(CQ, F_mono)` via the difference
+//!   `X − Y` of two ≥-threshold counts (Theorem 7.5). The threshold
+//!   variants needed by that trick are provided here as the reference
+//!   implementation.
+//!
+//! All counters use pseudo-polynomial dynamic programming over
+//! `(index, cardinality, sum)`, exact in `u128`.
+
+use std::collections::HashMap;
+
+/// Sparse DP: `tables[c][s]` = number of `c`-element subsets with sum `s`.
+/// Keyed by *reachable* sums, so enormous weights (as produced by the
+/// Lemma 7.6 digit encoding) stay cheap — the table size is bounded by the
+/// number of distinct achievable sums, not the magnitude of the weights.
+fn cardinality_sum_tables(w: &[u64], l: usize) -> Vec<HashMap<u64, u128>> {
+    let mut dp: Vec<HashMap<u64, u128>> = vec![HashMap::new(); l + 1];
+    dp[0].insert(0, 1);
+    for &x in w {
+        for c in (1..=l).rev() {
+            let updates: Vec<(u64, u128)> = dp[c - 1]
+                .iter()
+                .map(|(&s, &cnt)| (s + x, cnt))
+                .collect();
+            for (s, cnt) in updates {
+                *dp[c].entry(s).or_insert(0) += cnt;
+            }
+        }
+    }
+    dp
+}
+
+/// Counts subsets `T ⊆ w` with `Σ_{x∈T} x = d` (#SSP).
+pub fn count_subset_sum(w: &[u64], d: u64) -> u128 {
+    let mut dp: HashMap<u64, u128> = HashMap::new();
+    dp.insert(0, 1);
+    for &x in w {
+        let updates: Vec<(u64, u128)> = dp.iter().map(|(&s, &cnt)| (s + x, cnt)).collect();
+        for (s, cnt) in updates {
+            *dp.entry(s).or_insert(0) += cnt;
+        }
+    }
+    dp.get(&d).copied().unwrap_or(0)
+}
+
+/// Counts subsets `T ⊆ w` with `|T| = l` and `Σ = d` (#SSPk).
+pub fn count_subset_sum_k(w: &[u64], d: u64, l: usize) -> u128 {
+    if l > w.len() {
+        return 0;
+    }
+    let dp = cardinality_sum_tables(w, l);
+    dp[l].get(&d).copied().unwrap_or(0)
+}
+
+/// Counts subsets `T ⊆ w` with `|T| = l` and `Σ ≥ d`.
+///
+/// This is the threshold count the Theorem 7.5 Turing reduction queries
+/// twice: `#SSPk(d) = (#{Σ ≥ d}) − (#{Σ ≥ d + 1})`.
+pub fn count_subset_sum_k_at_least(w: &[u64], d: u64, l: usize) -> u128 {
+    if l > w.len() {
+        return 0;
+    }
+    let dp = cardinality_sum_tables(w, l);
+    dp[l]
+        .iter()
+        .filter(|(&s, _)| s >= d)
+        .map(|(_, &cnt)| cnt)
+        .sum()
+}
+
+/// Naive #SSPk by enumeration, for differential testing.
+pub fn count_subset_sum_k_naive(w: &[u64], d: u64, l: usize) -> u128 {
+    assert!(w.len() <= 24);
+    let mut count = 0u128;
+    for mask in 0..(1u64 << w.len()) {
+        if mask.count_ones() as usize != l {
+            continue;
+        }
+        let sum: u64 = w
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, &x)| x)
+            .sum();
+        if sum == d {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The paper's parsimonious reduction #SSP → #SSPk (Lemma 7.6), made
+/// executable.
+///
+/// Given `(W, π, d)` it produces `(W', π', d', l)` with
+/// `#SSP(W, π, d) = #SSPk(W', π', d', l)`: each element `w_i` becomes a
+/// pair `(w_i, 1)/(w_i, 0)` whose weights carry an indicator digit block
+/// (base `|W|+1` here, replacing the paper's decimal digits) plus the
+/// original weight, and `l = |W|`.
+pub struct SspToSspk {
+    /// The transformed weight vector `π'(w')`.
+    pub weights: Vec<u64>,
+    /// The transformed target `d'`.
+    pub target: u64,
+    /// The required cardinality `l = |W|`.
+    pub cardinality: usize,
+}
+
+/// Builds the Lemma 7.6 instance. Panics if the encoding would overflow
+/// `u64` (the indicator digits need `(|W|+1)^{|W|}`-sized place values, so
+/// keep `|W| ≤ 12` or so).
+pub fn ssp_to_sspk(w: &[u64], d: u64) -> SspToSspk {
+    let n = w.len() as u32;
+    let total: u64 = w.iter().sum();
+    // Place value for the indicator digits: must exceed any achievable
+    // weight-sum so digit blocks cannot interfere.
+    let base = total + 1;
+    let place = |i: u32| -> u64 {
+        base.checked_mul((n + 1) as u64)
+            .and_then(|_| {
+                // indicator for element i lives at base * (n+1)^i
+                let mut p = base;
+                for _ in 0..i {
+                    p = p.checked_mul((n + 1) as u64)?;
+                }
+                Some(p)
+            })
+            .expect("SSP→SSPk encoding overflow: instance too large")
+    };
+    let mut weights = Vec::with_capacity(2 * w.len());
+    let mut target = d;
+    for (i, &wi) in w.iter().enumerate() {
+        let p = place(i as u32);
+        // (w_i, 1): indicator digit + the real weight.
+        weights.push(p + wi);
+        // (w_i, 0): indicator digit only.
+        weights.push(p);
+        target += p; // d' has a 1 in every indicator digit.
+    }
+    SspToSspk {
+        weights,
+        target,
+        cardinality: w.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_basic() {
+        // {1, 2, 3}: subsets summing to 3: {3}, {1,2} → 2.
+        assert_eq!(count_subset_sum(&[1, 2, 3], 3), 2);
+        // sum 0: the empty set.
+        assert_eq!(count_subset_sum(&[1, 2, 3], 0), 1);
+        // impossible sum.
+        assert_eq!(count_subset_sum(&[1, 2, 3], 7), 0);
+        assert_eq!(count_subset_sum(&[1, 2, 3], 6), 1);
+    }
+
+    #[test]
+    fn count_with_duplicates() {
+        // {2, 2}: subsets summing to 2: two singletons.
+        assert_eq!(count_subset_sum(&[2, 2], 2), 2);
+        assert_eq!(count_subset_sum(&[2, 2], 4), 1);
+    }
+
+    #[test]
+    fn count_k_basic() {
+        // {1, 2, 3, 4}, sum 5, size 2: {1,4}, {2,3} → 2.
+        assert_eq!(count_subset_sum_k(&[1, 2, 3, 4], 5, 2), 2);
+        // size 1: none sum to 5.
+        assert_eq!(count_subset_sum_k(&[1, 2, 3, 4], 5, 1), 0);
+        // size too large.
+        assert_eq!(count_subset_sum_k(&[1, 2], 3, 3), 0);
+    }
+
+    #[test]
+    fn zero_weights_counted() {
+        // {0, 0, 5}: subsets of size 2 summing to 5: {0a,5}, {0b,5} → 2.
+        assert_eq!(count_subset_sum_k(&[0, 0, 5], 5, 2), 2);
+    }
+
+    #[test]
+    fn at_least_threshold() {
+        let w = [1u64, 2, 3, 4];
+        // size-2 subsets: sums 3,4,5,5,6,7 → ≥5: 4 of them.
+        assert_eq!(count_subset_sum_k_at_least(&w, 5, 2), 4);
+        // the X − Y trick recovers the exact count:
+        let x = count_subset_sum_k_at_least(&w, 5, 2);
+        let y = count_subset_sum_k_at_least(&w, 6, 2);
+        assert_eq!(x - y, count_subset_sum_k(&w, 5, 2));
+    }
+
+    #[test]
+    fn dp_matches_naive_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=10);
+            let w: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=12)).collect();
+            let d = rng.gen_range(0..=20);
+            let l = rng.gen_range(0..=n);
+            assert_eq!(
+                count_subset_sum_k(&w, d, l),
+                count_subset_sum_k_naive(&w, d, l),
+                "w={w:?} d={d} l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_7_6_reduction_is_parsimonious() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..=7);
+            let w: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=9)).collect();
+            let d = rng.gen_range(0..=15);
+            let inst = ssp_to_sspk(&w, d);
+            assert_eq!(
+                count_subset_sum(&w, d),
+                count_subset_sum_k(&inst.weights, inst.target, inst.cardinality),
+                "w={w:?} d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_7_6_structure() {
+        let inst = ssp_to_sspk(&[3, 5], 8);
+        assert_eq!(inst.weights.len(), 4);
+        assert_eq!(inst.cardinality, 2);
+        // Exactly one subset: both (w_i, 1) elements → sum = d'.
+        assert_eq!(
+            count_subset_sum_k(&inst.weights, inst.target, inst.cardinality),
+            1
+        );
+    }
+}

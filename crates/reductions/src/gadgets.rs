@@ -1,0 +1,310 @@
+//! The Figure 5 gadget relations and CNF-circuit encodings.
+//!
+//! Figure 5 of the paper defines four relation instances used by the
+//! counting reductions of Theorem 7.1:
+//!
+//! ```text
+//! I_01(X) = {1, 0}           — the Boolean domain
+//! I_∨(B, A1, A2)             — B = A1 ∨ A2 as a truth table
+//! I_∧(B, A1, A2)             — B = A1 ∧ A2
+//! I_¬(A, Ā)                  — Ā = ¬A
+//! ```
+//!
+//! With these, "the formula ϕ′ can be expressed in CQ": a CNF evaluation
+//! becomes a chain of gate atoms over existentially quantified wire
+//! variables, with the circuit's output wire exposed — the
+//! [`CircuitEncoder`] below builds exactly that chain, for use in both CQ
+//! bodies and FO formulas.
+
+use divr_logic::{Cnf, Lit};
+use divr_relquery::query::{var, Atom, Term, Var};
+use divr_relquery::{Database, Value};
+
+/// Relation name for the Boolean domain `I_01`.
+pub const BOOL_REL: &str = "bool01";
+/// Relation name for the disjunction table `I_∨`.
+pub const OR_REL: &str = "or2";
+/// Relation name for the conjunction table `I_∧`.
+pub const AND_REL: &str = "and2";
+/// Relation name for the negation table `I_¬`.
+pub const NOT_REL: &str = "not1";
+
+/// Adds `I_01` to the database (idempotent by name collision = panic;
+/// call once).
+pub fn add_boolean_domain(db: &mut Database) {
+    db.create_relation(BOOL_REL, &["x"]).unwrap();
+    db.insert(BOOL_REL, vec![Value::int(1)]).unwrap();
+    db.insert(BOOL_REL, vec![Value::int(0)]).unwrap();
+}
+
+/// Adds the three gate relations of Figure 5.
+pub fn add_gate_relations(db: &mut Database) {
+    db.create_relation(OR_REL, &["b", "a1", "a2"]).unwrap();
+    db.create_relation(AND_REL, &["b", "a1", "a2"]).unwrap();
+    db.create_relation(NOT_REL, &["a", "na"]).unwrap();
+    for a1 in [0i64, 1] {
+        for a2 in [0i64, 1] {
+            db.insert(
+                OR_REL,
+                vec![
+                    Value::int(i64::from(a1 == 1 || a2 == 1)),
+                    Value::int(a1),
+                    Value::int(a2),
+                ],
+            )
+            .unwrap();
+            db.insert(
+                AND_REL,
+                vec![
+                    Value::int(i64::from(a1 == 1 && a2 == 1)),
+                    Value::int(a1),
+                    Value::int(a2),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    db.insert(NOT_REL, vec![Value::int(0), Value::int(1)]).unwrap();
+    db.insert(NOT_REL, vec![Value::int(1), Value::int(0)]).unwrap();
+}
+
+/// Builds gate-atom chains evaluating Boolean formulas over the Figure 5
+/// relations. Wire variables are fresh (`_w0`, `_w1`, ...) and must be
+/// existentially quantified by the caller (implicit in CQ bodies).
+pub struct CircuitEncoder {
+    atoms: Vec<Atom>,
+    wires: Vec<Var>,
+    fresh: usize,
+}
+
+impl Default for CircuitEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CircuitEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        CircuitEncoder {
+            atoms: Vec::new(),
+            wires: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    fn fresh_wire(&mut self) -> Term {
+        let v = Var::new(format!("_w{}", self.fresh));
+        self.fresh += 1;
+        self.wires.push(v.clone());
+        Term::Var(v)
+    }
+
+    /// The gate atoms accumulated so far.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Consumes the encoder, returning gate atoms and wire variables.
+    pub fn finish(self) -> (Vec<Atom>, Vec<Var>) {
+        (self.atoms, self.wires)
+    }
+
+    /// `out = a ∨ b`.
+    pub fn or(&mut self, a: Term, b: Term) -> Term {
+        let out = self.fresh_wire();
+        self.atoms.push(Atom::new(OR_REL, vec![out.clone(), a, b]));
+        out
+    }
+
+    /// `out = a ∧ b`.
+    pub fn and(&mut self, a: Term, b: Term) -> Term {
+        let out = self.fresh_wire();
+        self.atoms.push(Atom::new(AND_REL, vec![out.clone(), a, b]));
+        out
+    }
+
+    /// `out = ¬a`.
+    pub fn not(&mut self, a: Term) -> Term {
+        let out = self.fresh_wire();
+        self.atoms.push(Atom::new(NOT_REL, vec![a, out.clone()]));
+        out
+    }
+
+    /// The wire carrying a literal's value, given input wire terms
+    /// indexed by variable.
+    pub fn literal(&mut self, lit: Lit, inputs: &[Term]) -> Term {
+        let base = inputs[lit.var].clone();
+        if lit.positive {
+            base
+        } else {
+            self.not(base)
+        }
+    }
+
+    /// Encodes a full CNF evaluation; returns the output wire. The empty
+    /// CNF yields constant `1`; an empty clause yields constant `0`.
+    pub fn cnf(&mut self, cnf: &Cnf, inputs: &[Term]) -> Term {
+        let mut clause_outs = Vec::with_capacity(cnf.clauses.len());
+        for clause in &cnf.clauses {
+            let mut lits = clause.lits().iter();
+            let out = match lits.next() {
+                None => Term::Const(Value::int(0)),
+                Some(&first) => {
+                    let mut acc = self.literal(first, inputs);
+                    for &l in lits {
+                        let w = self.literal(l, inputs);
+                        acc = self.or(acc, w);
+                    }
+                    acc
+                }
+            };
+            clause_outs.push(out);
+        }
+        let mut outs = clause_outs.into_iter();
+        match outs.next() {
+            None => Term::Const(Value::int(1)),
+            Some(first) => {
+                let mut acc = first;
+                for o in outs {
+                    acc = self.and(acc, o);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Encodes the paper's auxiliary formula `ϕ′ = (ψ ∨ z) ∧ ¬z`
+    /// (used by Theorems 6.1 and 7.1 to guarantee both satisfying and
+    /// falsifying rows exist). Returns the output wire.
+    pub fn phi_prime(&mut self, psi: &Cnf, inputs: &[Term], z: Term) -> Term {
+        let psi_out = self.cnf(psi, inputs);
+        let with_z = self.or(psi_out, z.clone());
+        let not_z = self.not(z);
+        self.and(with_z, not_z)
+    }
+}
+
+/// Standard input wire terms `x0 .. x{n-1}` for circuit inputs.
+pub fn input_terms(n: usize) -> Vec<Term> {
+    (0..n).map(|i| var(format!("x{i}"))).collect()
+}
+
+/// Variables (not terms) for the same input wires.
+pub fn input_vars(n: usize) -> Vec<Var> {
+    (0..n).map(|i| Var::new(format!("x{i}"))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divr_relquery::query::ConjunctiveQuery;
+    use divr_relquery::{Query, Tuple};
+
+    fn gadget_db() -> Database {
+        let mut db = Database::new();
+        add_boolean_domain(&mut db);
+        add_gate_relations(&mut db);
+        db
+    }
+
+    #[test]
+    fn gate_relations_are_truth_tables() {
+        let db = gadget_db();
+        assert_eq!(db.relation(BOOL_REL).unwrap().len(), 2);
+        assert_eq!(db.relation(OR_REL).unwrap().len(), 4);
+        assert_eq!(db.relation(AND_REL).unwrap().len(), 4);
+        assert_eq!(db.relation(NOT_REL).unwrap().len(), 2);
+        assert!(db
+            .relation(OR_REL)
+            .unwrap()
+            .contains(&Tuple::ints([1, 1, 0])));
+        assert!(db
+            .relation(AND_REL)
+            .unwrap()
+            .contains(&Tuple::ints([0, 1, 0])));
+        assert!(db
+            .relation(NOT_REL)
+            .unwrap()
+            .contains(&Tuple::ints([0, 1])));
+    }
+
+    /// Builds `Q(x̄, out) :- bool01(x0) ∧ ... ∧ gates` and checks the
+    /// output column equals the CNF's truth value on every row.
+    fn check_circuit(cnf: &Cnf) {
+        let db = gadget_db();
+        let n = cnf.num_vars;
+        let inputs = input_terms(n);
+        let mut enc = CircuitEncoder::new();
+        let out = enc.cnf(cnf, &inputs);
+        let (gate_atoms, _) = enc.finish();
+        let mut atoms: Vec<Atom> = inputs
+            .iter()
+            .map(|t| Atom::new(BOOL_REL, vec![t.clone()]))
+            .collect();
+        atoms.extend(gate_atoms);
+        let mut head = inputs.clone();
+        head.push(out);
+        let q: Query = ConjunctiveQuery::new(head, atoms, vec![]).into();
+        let result = q.eval(&db).unwrap();
+        // One row per input assignment.
+        assert_eq!(result.len(), 1 << n);
+        for row in result.tuples() {
+            let bits: Vec<bool> = (0..n).map(|i| row[i].as_int() == Some(1)).collect();
+            let expected = i64::from(cnf.eval(&bits));
+            assert_eq!(row[n].as_int(), Some(expected), "assignment {bits:?}");
+        }
+    }
+
+    #[test]
+    fn circuit_matches_cnf_semantics() {
+        check_circuit(&Cnf::from_clauses(
+            3,
+            &[&[(0, true), (1, false), (2, true)], &[(1, true), (2, false)]],
+        ));
+        check_circuit(&Cnf::from_clauses(2, &[&[(0, true)], &[(1, false)]]));
+        // single unit clause
+        check_circuit(&Cnf::from_clauses(1, &[&[(0, false)]]));
+    }
+
+    #[test]
+    fn empty_cnf_is_constant_true() {
+        check_circuit(&Cnf::from_clauses(2, &[]));
+    }
+
+    #[test]
+    fn phi_prime_forces_z_zero() {
+        // ϕ′ = (ψ ∨ z) ∧ ¬z with ψ = (x0): output 1 iff x0 = 1 ∧ z = 0.
+        let db = gadget_db();
+        let psi = Cnf::from_clauses(1, &[&[(0, true)]]);
+        let inputs = input_terms(1);
+        let z = var("z");
+        let mut enc = CircuitEncoder::new();
+        let out = enc.phi_prime(&psi, &inputs, z.clone());
+        let (gate_atoms, _) = enc.finish();
+        let mut atoms = vec![
+            Atom::new(BOOL_REL, vec![inputs[0].clone()]),
+            Atom::new(BOOL_REL, vec![z.clone()]),
+        ];
+        atoms.extend(gate_atoms);
+        let q: Query =
+            ConjunctiveQuery::new(vec![inputs[0].clone(), z, out], atoms, vec![]).into();
+        let result = q.eval(&db).unwrap();
+        assert_eq!(result.len(), 4);
+        for row in result.tuples() {
+            let expected = i64::from(row[0].as_int() == Some(1) && row[1].as_int() == Some(0));
+            assert_eq!(row[2].as_int(), Some(expected));
+        }
+    }
+
+    #[test]
+    fn randomized_circuits_agree_with_eval() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let n = rng.gen_range(1..=4);
+            let m = rng.gen_range(0..=6);
+            check_circuit(&divr_logic::gen::random_3sat(&mut rng, n, m));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # divr-reductions — the paper's lower bounds, made executable
+//!
+//! Every hardness result in *On the Complexity of Query Result
+//! Diversification* (Deng & Fan) is proved by a reduction from a canonical
+//! problem. This crate implements each reduction as a function from source
+//! instances (CNF formulas, QBFs, subset-sum instances, membership
+//! queries) to diversification instances, so that the equivalences claimed
+//! by the theorems can be checked *per instance* against the direct
+//! solvers in `divr-logic`:
+//!
+//! | module | theorem | reduction |
+//! |---|---|---|
+//! | [`sat_qrd`]     | Thm 5.1 (CQ), Thm 7.4 | 3SAT → QRD(CQ, F_MS/F_MM); #SAT → RDC |
+//! | [`membership_qrd`] | Thm 5.1 (FO), Thm 6.1 (FO) | FO-membership → QRD/DRP(FO, F_MS/F_MM) |
+//! | [`q3sat_mono`]  | Thm 5.2, Lemma 5.3, Fig 2, Thm 6.2 | Q3SAT → QRD/DRP(CQ, F_mono) |
+//! | [`sat_drp`]     | Thm 6.1 (CQ) | ¬3SAT → DRP(CQ, F_MS/F_MM) |
+//! | [`sigma1_rdc`]  | Thm 7.1, Fig 5 | #Σ₁SAT → RDC(CQ, ·); #QBF → RDC(FO, ·) |
+//! | [`qbf_mono_rdc`]| Thm 7.2, Lemma 7.3 | #QBF → RDC(CQ, F_mono) |
+//! | [`sspk_rdc`]    | Thm 7.5, Lemma 7.6 | #SSP → #SSPk → RDC(identity, F_mono), Turing |
+//! | [`lambda0`]     | Thm 8.2 | 3SAT → QRD at λ = 0 |
+//! | [`lambda1`]     | Thm 8.3 | #Σ₁SAT/#QBF → RDC, membership → QRD/DRP, #SSPk → RDC(F_mono), all at λ = 1 |
+//! | [`constraints_hard`] | Thm 9.3 / Cor 9.4 | 3SAT → QRD(identity, F_mono) + C_m |
+//! | [`constraints_special`] | Cor 9.5 / 9.6 | 3SAT → QRD/DRP/RDC at λ ∈ {0, 1} + C_m, parsimonious RDC |
+//!
+//! [`gadgets`] holds the Figure 5 relations (`I_01`, `I_∨`, `I_∧`, `I_¬`)
+//! and the CNF-circuit encodings built from them; [`instance`] is the
+//! common carrier type for reduced diversification instances.
+
+pub mod constraints_hard;
+pub mod constraints_special;
+pub mod gadgets;
+pub mod instance;
+pub mod lambda0;
+pub mod lambda1;
+pub mod membership_qrd;
+pub mod q3sat_mono;
+pub mod qbf_mono_rdc;
+pub mod sat_drp;
+pub mod sat_qrd;
+pub mod sigma1_rdc;
+pub mod sspk_rdc;
+
+pub use instance::Instance;
+
+use divr_relquery::Tuple;
+
+/// Encodes a Boolean vector as a tuple of 0/1 integers.
+pub fn bits_to_tuple(bits: &[bool]) -> Tuple {
+    Tuple::ints(bits.iter().map(|&b| i64::from(b)))
+}
+
+/// Decodes a 0/1 integer tuple back into booleans; `None` if any value is
+/// not a 0/1 integer.
+pub fn tuple_to_bits(t: &Tuple) -> Option<Vec<bool>> {
+    t.iter()
+        .map(|v| match v.as_int() {
+            Some(0) => Some(false),
+            Some(1) => Some(true),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let bits = vec![true, false, true, true];
+        let t = bits_to_tuple(&bits);
+        assert_eq!(t, Tuple::ints([1, 0, 1, 1]));
+        assert_eq!(tuple_to_bits(&t), Some(bits));
+    }
+
+    #[test]
+    fn non_boolean_tuple_rejected() {
+        assert_eq!(tuple_to_bits(&Tuple::ints([0, 2])), None);
+    }
+}

@@ -1,0 +1,526 @@
+//! Theorem 5.2 (Q3SAT → QRD(CQ, F_mono)), Lemma 5.3, the Figure 2
+//! construction, and Theorem 6.2 (Q3SAT → DRP(CQ, F_mono)).
+//!
+//! For `ϕ = P1x1 ... Pmxm ψ`, the database is the Boolean domain, the CQ
+//! query `Q(x̄) = R01(x1) ∧ ... ∧ R01(xm)` generates all `2^m` truth
+//! assignments, relevance is constant, `λ = 1`, `k = 1`, `B = 1`.
+//! The work is done by the distance function: δ_dis is defined recursively
+//! (Fig. 2) so that — this is **Lemma 5.3** — for tuples `t, s` agreeing
+//! on their first `l` bits and differing at bit `l+1`:
+//!
+//! ```text
+//! δ_dis(t, s) = 1   iff   P_{l+1}x_{l+1} ... Pmxm ψ is true under t^l.
+//! ```
+//!
+//! A counting argument then shows `F_mono({t}) ≥ 1` for some `t` iff `ϕ`
+//! is true. We implement **both sides of Lemma 5.3**: the paper's literal
+//! recursion ([`paper_delta`]) and the semantic characterization
+//! ([`PrefixTruth`] + [`semantic_delta`]); their exhaustive agreement is
+//! checked in tests — an executable proof-check of the lemma.
+//!
+//! Theorem 6.2 reuses δ_dis with the scaling `δ*` (halve distances from
+//! the all-ones tuple `t̂` to suffixes starting `1`, double those starting
+//! `0`) so that `rank({t̂}) = 1` iff `ϕ` is true.
+//!
+//! ## A flaw in the published Theorem 6.2 gadget — and a repair
+//!
+//! The literal construction ([`to_drp_mono_paper`]) is **incorrect on tie
+//! instances**: whenever the only positive base distance adjacent to `t̂`
+//! is the deepest probe pair `{t̂, (1,..,1,0)}` (e.g.
+//! `ϕ = ∀x1 ∃x2 (x1)`), both endpoints receive the same scaled share, tie
+//! at the top, and `rank(t̂) = 1` although `ϕ` is false — the proof's
+//! choice of the witness `t*` assumes `δ_dis(t*, s) = 1` for pairs whose
+//! common prefix is `1^{l0−1}·0`, but minimality of `l0` forces that
+//! suffix sentence to be *false* (see `paper_variant_counterexample`).
+//! No symmetric rescaling of δ alone can fix this (a single shared edge
+//! contributes equally to both endpoints). [`to_drp_mono`] repairs the
+//! gadget with `λ = 1/2`, scaling factors `1/4` (suffixes starting 1) and
+//! `4` (starting 0), and an infinitesimal relevance bonus
+//! `ε = 2^{−2m}` for every tuple except `t̂`: when `ϕ` is false some
+//! tuple's distance mass weakly dominates `t̂`'s and the ε-bonus makes it
+//! strict; when `ϕ` is true `t̂`'s distance margin (≥ `2^m − 2`
+//! unnormalized) dwarfs ε. The repaired equivalence holds for **all**
+//! instances with `m ≥ 2`, with no degeneracy caveat.
+
+use crate::instance::Instance;
+use crate::{bits_to_tuple, tuple_to_bits};
+use crate::gadgets::{add_boolean_domain, BOOL_REL};
+use divr_core::distance::ClosureDistance;
+use divr_core::ratio::Ratio;
+use divr_core::relevance::ConstantRelevance;
+use divr_logic::{Cnf, Qbf, Quant};
+use divr_relquery::query::{Atom, ConjunctiveQuery, Query, Term, Var};
+use divr_relquery::{Database, Tuple};
+use std::sync::Arc;
+
+/// Truth of every suffix sentence: `table(l, p)` = is
+/// `P_{l+1}x_{l+1} ... Pmxm ψ` true under the length-`l` prefix encoded by
+/// `p` (bit `i` of `p` = value of `x_{i+1}`)?
+///
+/// Built bottom-up in `O(2^m)` — the memoized form of `Qbf::is_true_from`.
+pub struct PrefixTruth {
+    m: usize,
+    /// `table[l][p]` for `l ∈ [0, m]`, `p ∈ [0, 2^l)`.
+    table: Vec<Vec<bool>>,
+}
+
+impl PrefixTruth {
+    /// Precomputes all suffix-sentence truths for `ϕ`.
+    pub fn new(qbf: &Qbf) -> Self {
+        let m = qbf.num_vars();
+        assert!(m <= 24, "PrefixTruth limited to 24 variables");
+        let mut table: Vec<Vec<bool>> = Vec::with_capacity(m + 1);
+        // Base: full assignments evaluate the matrix.
+        let mut full = vec![false; 1 << m];
+        let mut assignment = vec![false; m];
+        for (p, slot) in full.iter_mut().enumerate() {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = (p >> i) & 1 == 1;
+            }
+            *slot = qbf.matrix.eval(&assignment);
+        }
+        table.push(full);
+        // Fold quantifiers from x_m down to x_1; table is built in
+        // reverse (index 0 = level m) and flipped at the end.
+        for l in (0..m).rev() {
+            let child = &table[table.len() - 1];
+            let mut level = vec![false; 1 << l];
+            for (p, slot) in level.iter_mut().enumerate() {
+                let t = child[p | (1 << l)];
+                let f = child[p];
+                *slot = match qbf.prefix[l] {
+                    Quant::Exists => t || f,
+                    Quant::Forall => t && f,
+                };
+            }
+            table.push(level);
+        }
+        table.reverse();
+        PrefixTruth { m, table }
+    }
+
+    /// Number of quantified variables.
+    pub fn num_vars(&self) -> usize {
+        self.m
+    }
+
+    /// Is the suffix sentence after `prefix` true under it?
+    pub fn suffix_true(&self, prefix: &[bool]) -> bool {
+        let l = prefix.len();
+        let p = prefix
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &b)| acc | (usize::from(b) << i));
+        self.table[l][p]
+    }
+
+    /// Truth of the whole sentence.
+    pub fn sentence_true(&self) -> bool {
+        self.table[0][0]
+    }
+}
+
+fn common_prefix_len(t: &[bool], s: &[bool]) -> usize {
+    t.iter().zip(s.iter()).take_while(|(a, b)| a == b).count()
+}
+
+/// The semantic side of Lemma 5.3: `δ_dis(t, s) = 1` iff the suffix
+/// sentence after the common prefix of `t` and `s` is true under it
+/// (0 for identical tuples).
+pub fn semantic_delta(pt: &PrefixTruth, t: &[bool], s: &[bool]) -> bool {
+    let l = common_prefix_len(t, s);
+    if l == pt.num_vars() {
+        return false;
+    }
+    pt.suffix_true(&t[..l])
+}
+
+/// The paper's literal recursive definition of δ_dis (proof of Thm 5.2 and
+/// Fig. 2), for a pair agreeing on its first `l` bits:
+///
+/// * `l = m−1`: 1 iff (`Pm = ∀` and both completions satisfy ψ) or
+///   (`Pm = ∃` and at least one does);
+/// * `l < m−1`: recurse on the probe pairs
+///   `(t^l·1·1..1, t^l·1·0..0)` and `(t^l·0·1..1, t^l·0·0..0)`,
+///   combined by `P_{l+1}` (∀: both, ∃: either).
+pub fn paper_delta(qbf: &Qbf, t: &[bool], s: &[bool]) -> bool {
+    let m = qbf.num_vars();
+    assert_eq!(t.len(), m);
+    assert_eq!(s.len(), m);
+    let l = common_prefix_len(t, s);
+    if l == m {
+        return false;
+    }
+    delta_probe(qbf, &t[..l])
+}
+
+fn delta_probe(qbf: &Qbf, prefix: &[bool]) -> bool {
+    let m = qbf.num_vars();
+    let l = prefix.len();
+    debug_assert!(l < m);
+    if l == m - 1 {
+        let mut a = prefix.to_vec();
+        a.push(true);
+        let mut b = prefix.to_vec();
+        b.push(false);
+        let ta = qbf.matrix.eval(&a);
+        let tb = qbf.matrix.eval(&b);
+        match qbf.prefix[l] {
+            Quant::Forall => ta && tb,
+            Quant::Exists => ta || tb,
+        }
+    } else {
+        let mut p1 = prefix.to_vec();
+        p1.push(true);
+        let mut p0 = prefix.to_vec();
+        p0.push(false);
+        let d1 = delta_probe(qbf, &p1);
+        let d0 = delta_probe(qbf, &p0);
+        match qbf.prefix[l] {
+            Quant::Forall => d1 && d0,
+            Quant::Exists => d1 || d0,
+        }
+    }
+}
+
+/// The all-assignments CQ `Q(x̄) = R01(x1) ∧ ... ∧ R01(xm)`.
+fn boolean_cube_query(m: usize) -> Query {
+    let head: Vec<Term> = (0..m).map(|i| Term::Var(Var::new(format!("x{i}")))).collect();
+    let atoms: Vec<Atom> = head
+        .iter()
+        .map(|t| Atom::new(BOOL_REL, vec![t.clone()]))
+        .collect();
+    Query::Cq(ConjunctiveQuery::new(head, atoms, vec![]))
+}
+
+fn boolean_db() -> Database {
+    let mut db = Database::new();
+    add_boolean_domain(&mut db);
+    db
+}
+
+fn delta_ratio(pt: &PrefixTruth, a: &Tuple, b: &Tuple) -> Ratio {
+    let ta = tuple_to_bits(a).expect("Boolean-cube tuples");
+    let tb = tuple_to_bits(b).expect("Boolean-cube tuples");
+    if semantic_delta(pt, &ta, &tb) {
+        Ratio::ONE
+    } else {
+        Ratio::ZERO
+    }
+}
+
+/// Theorem 5.2: Q3SAT → QRD(CQ, F_mono) with `λ = 1`, `k = 1`, `B = 1`.
+/// The instance is a *yes* instance iff `ϕ` is true.
+pub fn to_qrd_mono(qbf: &Qbf) -> Instance {
+    let m = qbf.num_vars();
+    assert!(m >= 1, "need at least one quantified variable");
+    let pt = Arc::new(PrefixTruth::new(qbf));
+    let dis = ClosureDistance(move |a: &Tuple, b: &Tuple| delta_ratio(&pt, a, b));
+    Instance {
+        db: boolean_db(),
+        query: boolean_cube_query(m),
+        rel: Box::new(ConstantRelevance(Ratio::ONE)),
+        dis: Box::new(dis),
+        lambda: Ratio::ONE,
+        k: 1,
+        bound: Ratio::ONE,
+    }
+}
+
+/// Theorem 6.2's DRP instance: the scaled distance `δ*`, the candidate
+/// `U = {t̂}` with `t̂ = (1,...,1)`, and `r = 1`.
+pub struct Q3satDrp {
+    /// The constructed instance (bound unused by DRP).
+    pub instance: Instance,
+    /// The candidate set `{t̂}`.
+    pub candidate: Vec<Tuple>,
+}
+
+/// A `δ*`-style scaled distance: pairs incident to `t̂` are scaled by
+/// `one_factor` when the other endpoint starts with 1, `zero_factor` when
+/// it starts with 0.
+fn scaled_distance(
+    qbf: &Qbf,
+    one_factor: Ratio,
+    zero_factor: Ratio,
+) -> ClosureDistance<impl Fn(&Tuple, &Tuple) -> Ratio> {
+    let pt = Arc::new(PrefixTruth::new(qbf));
+    let hat = bits_to_tuple(&vec![true; qbf.num_vars()]);
+    ClosureDistance(move |a: &Tuple, b: &Tuple| {
+        let base = delta_ratio(&pt, a, b);
+        let s = if *a == hat {
+            b
+        } else if *b == hat {
+            a
+        } else {
+            return base;
+        };
+        if s[0].as_int() == Some(1) {
+            base * one_factor
+        } else {
+            base * zero_factor
+        }
+    })
+}
+
+/// Theorem 6.2, **as published**: `λ = 1`, constant relevance, `δ*` with
+/// factors `1/2` and `2`. Correct on "generic" instances but provably
+/// wrong on tie instances — see the module docs and
+/// `paper_variant_counterexample`.
+pub fn to_drp_mono_paper(qbf: &Qbf) -> Q3satDrp {
+    let m = qbf.num_vars();
+    assert!(m >= 1, "need at least one quantified variable");
+    let t_hat_tuple = bits_to_tuple(&vec![true; m]);
+    Q3satDrp {
+        instance: Instance {
+            db: boolean_db(),
+            query: boolean_cube_query(m),
+            rel: Box::new(ConstantRelevance(Ratio::ONE)),
+            dis: Box::new(scaled_distance(qbf, Ratio::new(1, 2), Ratio::int(2))),
+            lambda: Ratio::ONE,
+            k: 1,
+            bound: Ratio::ZERO,
+        },
+        candidate: vec![t_hat_tuple],
+    }
+}
+
+/// Theorem 6.2, **repaired** (module docs): Q3SAT → DRP(CQ, F_mono) with
+/// `rank({t̂}) = 1` iff `ϕ` is true, for every instance with `m ≥ 2`.
+pub fn to_drp_mono(qbf: &Qbf) -> Q3satDrp {
+    let m = qbf.num_vars();
+    assert!(m >= 2, "the repaired gadget requires m ≥ 2 variables");
+    let t_hat_tuple = bits_to_tuple(&vec![true; m]);
+    // ε = 2^{-2m}: strictly positive, far below the true-case margin.
+    let epsilon = Ratio::new_i128(1, 1i128 << (2 * m as u32));
+    let hat = t_hat_tuple.clone();
+    let rel = divr_core::relevance::ClosureRelevance(move |t: &Tuple| {
+        if *t == hat {
+            Ratio::ZERO
+        } else {
+            epsilon
+        }
+    });
+    Q3satDrp {
+        instance: Instance {
+            db: boolean_db(),
+            query: boolean_cube_query(m),
+            rel: Box::new(rel),
+            dis: Box::new(scaled_distance(qbf, Ratio::new(1, 4), Ratio::int(4))),
+            lambda: Ratio::new(1, 2),
+            k: 1,
+            bound: Ratio::ZERO,
+        },
+        candidate: vec![t_hat_tuple],
+    }
+}
+
+/// The Figure 2 example sentence
+/// `ϕ = ∃x1 ∀x2 ∃x3 ∀x4 (x1 ∨ x2 ∨ ¬x3) ∧ (¬x2 ∨ ¬x3 ∨ x4)`.
+pub fn fig2_qbf() -> Qbf {
+    let matrix = Cnf::from_clauses(
+        4,
+        &[
+            &[(0, true), (1, true), (2, false)],
+            &[(1, false), (2, false), (3, true)],
+        ],
+    );
+    Qbf::new(
+        vec![Quant::Exists, Quant::Forall, Quant::Exists, Quant::Forall],
+        matrix,
+    )
+}
+
+/// The Figure 2 tuple numbering: `t_j` (1-based) assigns
+/// `x_i = 1 − bit_i(j−1)` with bits MSB-first — so `t_1 = (1,1,1,1)` and
+/// `t_16 = (0,0,0,0)`.
+pub fn fig2_tuple(j: usize) -> Vec<bool> {
+    assert!((1..=16).contains(&j));
+    let b = j - 1;
+    (0..4).map(|i| (b >> (3 - i)) & 1 == 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divr_core::problem::ObjectiveKind;
+    use divr_logic::gen::random_q3sat;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefix_truth_matches_is_true_from() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let q = random_q3sat(&mut rng, 5, 6, None);
+            let pt = PrefixTruth::new(&q);
+            assert_eq!(pt.sentence_true(), q.is_true());
+            for l in 0..=5usize {
+                for p in 0..(1usize << l) {
+                    let prefix: Vec<bool> = (0..l).map(|i| (p >> i) & 1 == 1).collect();
+                    assert_eq!(
+                        pt.suffix_true(&prefix),
+                        q.is_true_from(&prefix),
+                        "{q} l={l} p={p:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// **Lemma 5.3, executable**: the paper's recursive δ_dis equals the
+    /// semantic suffix-sentence characterization, exhaustively.
+    #[test]
+    fn lemma_5_3_recursive_equals_semantic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        for trial in 0..12 {
+            let m = 2 + trial % 5;
+            let q = random_q3sat(&mut rng, m, 2 * m, None);
+            let pt = PrefixTruth::new(&q);
+            for tb in 0..(1u32 << m) {
+                for sb in 0..(1u32 << m) {
+                    let t: Vec<bool> = (0..m).map(|i| (tb >> i) & 1 == 1).collect();
+                    let s: Vec<bool> = (0..m).map(|i| (sb >> i) & 1 == 1).collect();
+                    assert_eq!(
+                        paper_delta(&q, &t, &s),
+                        semantic_delta(&pt, &t, &s),
+                        "{q} t={t:?} s={s:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The distance table printed in Figure 2, checked entry by entry.
+    #[test]
+    fn figure_2_distance_table() {
+        let q = fig2_qbf();
+        let pt = PrefixTruth::new(&q);
+        let d = |i: usize, j: usize| semantic_delta(&pt, &fig2_tuple(i), &fig2_tuple(j));
+        // l = 3 rows.
+        let expected_l3 = [
+            ((1, 2), false),
+            ((3, 4), true),
+            ((5, 6), true),
+            ((7, 8), true),
+            ((9, 10), false),
+            ((11, 12), true),
+            ((13, 14), false),
+            ((15, 16), true),
+        ];
+        for ((i, j), e) in expected_l3 {
+            assert_eq!(d(i, j), e, "l=3 pair t{i},t{j}");
+        }
+        // l = 2 rows: all four blocks are 1.
+        for (r1, r2) in [(1..=2, 3..=4), (5..=6, 7..=8), (9..=10, 11..=12), (13..=14, 15..=16)]
+        {
+            for i in r1.clone() {
+                for j in r2.clone() {
+                    assert!(d(i, j), "l=2 pair t{i},t{j}");
+                }
+            }
+        }
+        // l = 1 rows.
+        for (r1, r2) in [(1..=4, 5..=8), (9..=12, 13..=16)] {
+            for i in r1.clone() {
+                for j in r2.clone() {
+                    assert!(d(i, j), "l=1 pair t{i},t{j}");
+                }
+            }
+        }
+        // l = 0 row.
+        for i in 1..=8 {
+            for j in 9..=16 {
+                assert!(d(i, j), "l=0 pair t{i},t{j}");
+            }
+        }
+    }
+
+    /// Theorem 5.2: the reduction decides Q3SAT.
+    #[test]
+    fn qrd_mono_decides_q3sat() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut seen = [0usize; 2];
+        for trial in 0..20 {
+            let m = 2 + trial % 4;
+            let q = random_q3sat(&mut rng, m, m + 2, None);
+            let expect = q.is_true();
+            seen[usize::from(expect)] += 1;
+            assert_eq!(to_qrd_mono(&q).qrd(ObjectiveKind::Mono), expect, "{q}");
+        }
+        assert!(seen[0] > 0 && seen[1] > 0, "need both outcomes; got {seen:?}");
+    }
+
+    /// The Figure 2 sentence is true; its QRD instance must be a yes
+    /// instance with the valid singleton predicted by the proof.
+    #[test]
+    fn fig2_instance_is_yes() {
+        let q = fig2_qbf();
+        assert!(q.is_true());
+        let inst = to_qrd_mono(&q);
+        assert!(inst.qrd(ObjectiveKind::Mono));
+        assert_eq!(inst.problem().n(), 16);
+    }
+
+    /// Theorem 6.2 (repaired gadget): rank({t̂}) = 1 iff ϕ true, on
+    /// arbitrary instances — no degeneracy caveat.
+    #[test]
+    fn drp_mono_decides_q3sat() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let mut seen = [0usize; 2];
+        for trial in 0..24 {
+            let m = 2 + trial % 4;
+            let q = random_q3sat(&mut rng, m, m + 1, None);
+            let expect = q.is_true();
+            seen[usize::from(expect)] += 1;
+            let red = to_drp_mono(&q);
+            assert_eq!(
+                red.instance.drp(ObjectiveKind::Mono, &red.candidate, 1),
+                expect,
+                "{q}"
+            );
+        }
+        assert!(seen[0] > 0 && seen[1] > 0, "need both outcomes; got {seen:?}");
+    }
+
+    /// The repaired gadget also handles the fully degenerate case (all
+    /// distances zero): the ε-bonus strictly ranks any other tuple above
+    /// t̂, so DRP correctly answers "no".
+    #[test]
+    fn repaired_gadget_handles_unsat_matrix() {
+        let matrix = Cnf::from_clauses(2, &[&[(0, true)], &[(0, false)], &[(1, true)]]);
+        let q = Qbf::new(vec![Quant::Exists, Quant::Exists], matrix);
+        assert!(!q.is_true());
+        let red = to_drp_mono(&q);
+        assert!(!red.instance.drp(ObjectiveKind::Mono, &red.candidate, 1));
+    }
+
+    /// **The published Theorem 6.2 gadget is wrong on tie instances.**
+    /// `ϕ = ∀x1 ∃x2 (x1)` is false, the only positive base distance is
+    /// the pair {(1,1), (1,0)}, and the ½-scaling gives both endpoints
+    /// the same `F_mono`; the literal construction therefore reports
+    /// rank(t̂) = 1 ("ϕ true") incorrectly, while the repaired one
+    /// answers correctly.
+    #[test]
+    fn paper_variant_counterexample() {
+        let matrix = Cnf::from_clauses(2, &[&[(0, true)]]);
+        let q = Qbf::new(vec![Quant::Forall, Quant::Exists], matrix);
+        assert!(!q.is_true());
+        let paper = to_drp_mono_paper(&q);
+        assert!(
+            paper.instance.drp(ObjectiveKind::Mono, &paper.candidate, 1),
+            "the literal gadget ties at the top and wrongly keeps rank 1"
+        );
+        let repaired = to_drp_mono(&q);
+        assert!(!repaired.instance.drp(ObjectiveKind::Mono, &repaired.candidate, 1));
+    }
+
+    /// On true sentences the published gadget is sound (the ⇒ direction
+    /// of the proof holds): Figure 2's sentence ranks t̂ first.
+    #[test]
+    fn paper_variant_sound_on_true_sentences() {
+        let q = fig2_qbf();
+        assert!(q.is_true());
+        let red = to_drp_mono_paper(&q);
+        assert!(red.instance.drp(ObjectiveKind::Mono, &red.candidate, 1));
+    }
+}

@@ -1,0 +1,173 @@
+//! Theorem 7.2: the parsimonious reduction **#QBF → RDC(CQ, F_mono)**,
+//! with the scaled distance `δ**` and Lemma 7.3.
+//!
+//! For `ϕ = ∃x1..xm ∀y1 P2y2 ... Pnyn ψ(X, Y)`: the database is the
+//! Boolean domain, the CQ generates all `2^{m+n}` assignments,
+//! `δ_rel ≡ 1`, `λ = 1`, `k = 1`, and
+//! `B = 2^{n+1} / (2^{m+n} − 1)`. The base distance is the Theorem 5.2
+//! suffix-truth construction over the full `(m+n)`-variable prefix;
+//! `δ**` then (a) zeroes pairs whose `X`-prefixes differ, and for pairs
+//! sharing a prefix `t^m`, with `t̆ = (t^m, 1..1)`: (b) halves
+//! `δ(t̆, s)` when `s`'s `Y`-part starts with 1, (c) **quadruples** it
+//! when it starts with 0, (d) leaves other pairs unscaled.
+//!
+//! The counting argument (verified here instance-by-instance against the
+//! direct #QBF counter): `{t̆}` is valid iff `∀y1 P2y2 ... ψ` holds under
+//! `t^m` — the quadrupled `2^{n−1}` suffix-0 distances reach `2^{n+1}`
+//! exactly when the suffix sentence is true — and no other singleton can
+//! reach `B` (their mass is at most `2^n + 2 < 2^{n+1}`, which requires
+//! `n ≥ 2`; the paper notes the `n = 1` equality case itself).
+
+use crate::instance::Instance;
+use crate::q3sat_mono::{semantic_delta, PrefixTruth};
+use crate::{bits_to_tuple, tuple_to_bits};
+use crate::gadgets::{add_boolean_domain, BOOL_REL};
+use divr_core::distance::ClosureDistance;
+use divr_core::ratio::Ratio;
+use divr_core::relevance::ConstantRelevance;
+use divr_logic::{Qbf, Quant};
+use divr_relquery::query::{Atom, ConjunctiveQuery, Query, Term, Var};
+use divr_relquery::{Database, Tuple};
+use std::sync::Arc;
+
+/// Builds the Theorem 7.2 instance for a #QBF sentence whose leading
+/// existential block has size `m`. Requires `n = total − m ≥ 2`
+/// (see module docs) and `∀` at position `m`.
+pub fn to_rdc_mono(qbf: &Qbf, m: usize) -> Instance {
+    let total = qbf.num_vars();
+    assert!(m >= 1 && m < total);
+    let n = total - m;
+    assert!(n >= 2, "the Theorem 7.2 gadget needs n ≥ 2 (its own counting argument)");
+    assert!(
+        qbf.prefix[..m].iter().all(|q| *q == Quant::Exists),
+        "counted block must be existential"
+    );
+    assert_eq!(
+        qbf.prefix[m],
+        Quant::Forall,
+        "the paper's #QBF shape has ∀y1 after the existential block"
+    );
+
+    let mut db = Database::new();
+    add_boolean_domain(&mut db);
+    let head: Vec<Term> = (0..total)
+        .map(|i| Term::Var(Var::new(format!("v{i}"))))
+        .collect();
+    let atoms: Vec<Atom> = head
+        .iter()
+        .map(|t| Atom::new(BOOL_REL, vec![t.clone()]))
+        .collect();
+    let query = Query::Cq(ConjunctiveQuery::new(head, atoms, vec![]));
+
+    let pt = Arc::new(PrefixTruth::new(qbf));
+    let dis = ClosureDistance(move |a: &Tuple, b: &Tuple| {
+        let ta = tuple_to_bits(a).expect("Boolean-cube tuples");
+        let tb = tuple_to_bits(b).expect("Boolean-cube tuples");
+        // (a) prefixes over X must agree.
+        if ta[..m] != tb[..m] {
+            return Ratio::ZERO;
+        }
+        let base = if semantic_delta(&pt, &ta, &tb) {
+            Ratio::ONE
+        } else {
+            Ratio::ZERO
+        };
+        // t̆ = (prefix, 1, ..., 1).
+        let a_is_hat = ta[m..].iter().all(|&b| b);
+        let b_is_hat = tb[m..].iter().all(|&b| b);
+        let s = if a_is_hat && !b_is_hat {
+            &tb
+        } else if b_is_hat && !a_is_hat {
+            &ta
+        } else {
+            return base; // (d)
+        };
+        if s[m] {
+            base / Ratio::int(2) // (b)
+        } else {
+            base.scale(4) // (c)
+        }
+    });
+
+    Instance {
+        db,
+        query,
+        rel: Box::new(ConstantRelevance(Ratio::ONE)),
+        dis: Box::new(dis),
+        lambda: Ratio::ONE,
+        k: 1,
+        bound: Ratio::new_i128(1i128 << (n + 1), (1i128 << total) - 1),
+    }
+}
+
+/// The witness the proof predicts for a counted prefix: the tuple
+/// `t̆ = (prefix, 1, ..., 1)`.
+pub fn witness_tuple(prefix: &[bool], n: usize) -> Tuple {
+    let mut bits = prefix.to_vec();
+    bits.extend(std::iter::repeat_n(true, n));
+    bits_to_tuple(&bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divr_core::problem::ObjectiveKind;
+    use divr_logic::counting::count_qbf;
+    use divr_logic::gen::random_sharp_qbf;
+    use rand::SeedableRng;
+
+    #[test]
+    fn count_matches_sharp_qbf() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(89);
+        let mut nonzero = 0;
+        for trial in 0..10 {
+            let m = 1 + trial % 2;
+            let n = 2 + trial % 2;
+            let (qbf, m) = random_sharp_qbf(&mut rng, m, n, 2 * (m + n));
+            let expected = count_qbf(&qbf, m);
+            if expected > 0 {
+                nonzero += 1;
+            }
+            assert_eq!(
+                to_rdc_mono(&qbf, m).rdc(ObjectiveKind::Mono),
+                expected,
+                "{qbf}"
+            );
+        }
+        assert!(nonzero > 0, "want at least one positive count");
+    }
+
+    #[test]
+    fn witnesses_are_the_valid_singletons() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        let (qbf, m) = random_sharp_qbf(&mut rng, 2, 2, 6);
+        let inst = to_rdc_mono(&qbf, m);
+        let p = inst.problem();
+        let n = qbf.num_vars() - m;
+        for bits in 0..(1u32 << m) {
+            let prefix: Vec<bool> = (0..m).map(|i| (bits >> i) & 1 == 1).collect();
+            let expected = qbf.is_true_from(&prefix);
+            let witness = witness_tuple(&prefix, n);
+            let idx = p.indices_of(&[witness]).expect("in universe");
+            let valid = p.f_mono(&idx) >= inst.bound;
+            assert_eq!(valid, expected, "prefix {prefix:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 2")]
+    fn n1_rejected_per_paper_equality_case() {
+        let matrix = divr_logic::Cnf::from_clauses(2, &[&[(0, true), (1, true)]]);
+        let qbf = Qbf::new(vec![Quant::Exists, Quant::Forall], matrix);
+        to_rdc_mono(&qbf, 1);
+    }
+
+    #[test]
+    fn bound_is_the_papers_ratio() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let (qbf, m) = random_sharp_qbf(&mut rng, 1, 2, 4);
+        let inst = to_rdc_mono(&qbf, m);
+        // B = 2^{n+1} / (2^{m+n} − 1) with m = 1, n = 2 → 8/7.
+        assert_eq!(inst.bound, Ratio::new(8, 7));
+    }
+}

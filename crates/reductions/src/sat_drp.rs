@@ -1,0 +1,399 @@
+//! Theorem 6.1 (CQ case): reduction from the **complement** of 3SAT to
+//! DRP over identity queries, for max-sum and max-min diversification.
+//!
+//! From `ϕ = C1 ∧ ... ∧ Cl` build `ϕ′ = (C1 ∨ z) ∧ ... ∧ (Cl ∨ z) ∧ ¬z`
+//! with a fresh variable `z`; `ϕ′` is satisfied exactly by the satisfying
+//! assignments of `ϕ` extended with `z = 0`, and is always *falsifiable*
+//! (set `z = 1`). The relation
+//! `RC(cid, L1, V1, L2, V2, L3, V3, Z, VZ, A)` stores, for each clause
+//! `Ci ∨ z`, **every** assignment of its variables together with a
+//! satisfaction flag `A`; clause `l+1` (`¬z`) contributes two rows with
+//! fresh padding constants. The candidate set `U` takes, for each clause,
+//! the all-ones assignment (which satisfies `Ci ∨ z` via `z = 1`, flag 1)
+//! plus the `z = 1, A = 0` row of clause `l+1`; `F_MS(U) = l(l−1)`.
+//!
+//! With distance 1 on consistent, distinct-clause, both-satisfying pairs
+//! (`λ = 1`, `k = l+1`, `r = 1`): if `ϕ` is satisfiable, the `z = 0`
+//! family scores `(l+1)·l > l(l−1)`, pushing `rank(U) ≥ 2`; if not, the
+//! paper argues no set beats `F_MS(U) = l(l−1)`.
+//!
+//! ## A flaw in the published max-sum gadget — and a repair
+//!
+//! The published ⇐ argument claims any candidate set has at most `l`
+//! flag-1 tuples, hence `F_MS(S) ≤ l(l−1)`. That is wrong: for
+//! `ϕ = (x0) ∧ (¬x0)` (unsatisfiable), the set
+//! `{(0, x0=1, z=0, A=1), (1, x0=0, z=0, A=1), (¬z row with z=0, A=1)}`
+//! has **two** consistent flag-1 pairs — `F_MS = 4 > 2 = F_MS(U)` — so
+//! `rank(U) > 1` although `ϕ` is unsatisfiable
+//! (`paper_variant_counterexample` below). `F_MS` rewards pairwise
+//! consistency, not the global consistency the proof needs. The repaired
+//! gadget ([`to_drp_max_sum`]) adds a **decoy clique**: `l+1` fresh rows,
+//! pairwise distance 1 except one zero pair, and takes `U` = the decoys,
+//! so `F_MS(U) = l(l+1) − 2` — exactly the best value any candidate set
+//! can reach without being a full flag-1 clique. A full clique forces one
+//! row per clause of `ϕ′`, all flags 1, globally consistent, `z = 0` —
+//! i.e. a satisfying assignment scoring `l(l+1) > F_MS(U)`. Hence
+//! `rank(U) = 1` iff `ϕ` is unsatisfiable, now for *all* instances.
+//! The max-min variant ([`to_drp_max_min`]) is sound as published: its
+//! `δ′` demands a full clique (any cross pair scores 0), which restores
+//! the global-consistency argument.
+
+use crate::instance::Instance;
+use divr_core::distance::ClosureDistance;
+use divr_core::ratio::Ratio;
+use divr_core::relevance::ConstantRelevance;
+use divr_logic::Cnf;
+use divr_relquery::{Database, Query, Tuple, Value};
+use std::collections::HashSet;
+
+/// Name of the clause-assignment relation.
+pub const CLAUSE_REL: &str = "RCdrp";
+
+fn var_name(v: usize) -> Value {
+    Value::str(format!("x{v}"))
+}
+
+/// The DRP instance plus its candidate set `U`.
+pub struct SatDrp {
+    /// The constructed instance (bound unused by DRP).
+    pub instance: Instance,
+    /// The candidate set `U` (size `l + 1`).
+    pub candidate: Vec<Tuple>,
+}
+
+/// Gadget flavor: the literal paper construction for max-sum, its decoy
+/// repair, or the (sound) max-min variant.
+#[allow(clippy::enum_variant_names)]
+enum Flavor {
+    MaxSumPaper,
+    MaxSumRepaired,
+    MaxMin,
+}
+
+fn build(cnf: &Cnf, flavor: Flavor) -> SatDrp {
+    let l = cnf.clauses.len();
+    assert!(l >= 2, "the Theorem 6.1 gadget assumes l > 1 clauses");
+    let mut db = Database::new();
+    db.create_relation(
+        CLAUSE_REL,
+        &["cid", "l1", "v1", "l2", "v2", "l3", "v3", "z", "vz", "a"],
+    )
+    .unwrap();
+    let mut candidate: Vec<Tuple> = Vec::with_capacity(l + 1);
+    for (cid, clause) in cnf.clauses.iter().enumerate() {
+        let mut vars: Vec<usize> = Vec::new();
+        for lit in clause.lits() {
+            if !vars.contains(&lit.var) {
+                vars.push(lit.var);
+            }
+        }
+        assert!(!vars.is_empty(), "clauses must be non-empty");
+        let w = vars.len();
+        // Enumerate assignments of the clause variables and z.
+        for bits in 0..(1u32 << (w + 1)) {
+            let assignment: Vec<(usize, bool)> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (bits >> i) & 1 == 1))
+                .collect();
+            let z_val = (bits >> w) & 1 == 1;
+            let clause_sat = clause.lits().iter().any(|lit| {
+                assignment
+                    .iter()
+                    .find(|(v, _)| *v == lit.var)
+                    .map(|(_, val)| *val == lit.positive)
+                    .unwrap_or(false)
+            }) || z_val;
+            let mut slots = assignment.clone();
+            while slots.len() < 3 {
+                slots.push(*slots.last().unwrap());
+            }
+            let mut row = vec![Value::int(cid as i64)];
+            for (v, val) in &slots {
+                row.push(var_name(*v));
+                row.push(Value::int(i64::from(*val)));
+            }
+            row.push(Value::str("z"));
+            row.push(Value::int(i64::from(z_val)));
+            row.push(Value::int(i64::from(clause_sat)));
+            let tuple = Tuple::new(row.clone());
+            db.insert(CLAUSE_REL, row).unwrap();
+            // U's representative for this clause: all clause vars and z
+            // set to 1 (flag is then 1, since z = 1 satisfies Ci ∨ z).
+            if z_val && slots.iter().all(|(_, val)| *val) {
+                candidate.push(tuple);
+            }
+        }
+    }
+    // Clause l+1 (¬z): two rows with fresh padding constants e1..e3/f1..f3.
+    let pad = |row: &mut Vec<Value>| {
+        for i in 1..=3 {
+            row.push(Value::str(format!("e{i}")));
+            row.push(Value::str(format!("f{i}")));
+        }
+    };
+    for (vz, a) in [(1i64, 0i64), (0, 1)] {
+        let mut row = vec![Value::int(l as i64)];
+        pad(&mut row);
+        row.push(Value::str("z"));
+        row.push(Value::int(vz));
+        row.push(Value::int(a));
+        let tuple = Tuple::new(row.clone());
+        db.insert(CLAUSE_REL, row).unwrap();
+        if vz == 1 {
+            candidate.push(tuple); // the z = 1, A = 0 row joins U
+        }
+    }
+    assert_eq!(candidate.len(), l + 1);
+
+    // Decoys for the repaired max-sum gadget: cids "d0".."dl" (strings, so
+    // they never collide with real clause ids).
+    let mut decoys: Vec<Tuple> = Vec::new();
+    if matches!(flavor, Flavor::MaxSumRepaired) {
+        for i in 0..=l {
+            let mut row = vec![Value::str(format!("d{i}"))];
+            pad(&mut row);
+            row.push(Value::str("z"));
+            row.push(Value::int(0));
+            row.push(Value::int(0));
+            let tuple = Tuple::new(row.clone());
+            db.insert(CLAUSE_REL, row).unwrap();
+            decoys.push(tuple);
+        }
+    }
+
+    // δ_dis: 1 iff distinct clauses, consistent shared variables, and both
+    // flags 1.
+    let arity = 10usize;
+    let is_decoy = |t: &Tuple| t[0].as_str().is_some();
+    let base_delta = move |t: &Tuple, s: &Tuple| -> bool {
+        if t[0] == s[0] {
+            return false;
+        }
+        if t[arity - 1] != Value::int(1) || s[arity - 1] != Value::int(1) {
+            return false;
+        }
+        for i in [1usize, 3, 5, 7] {
+            for j in [1usize, 3, 5, 7] {
+                if t[i] == s[j] && t[i + 1] != s[j + 1] {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+    let dis: Box<dyn divr_core::distance::Distance> = match flavor {
+        Flavor::MaxMin => {
+            // δ′ of the F_MM variant: 2 on satisfying consistent pairs
+            // outside U, 1 on pairs inside U, 0 otherwise.
+            let u_set: HashSet<Tuple> = candidate.iter().cloned().collect();
+            Box::new(ClosureDistance(move |t: &Tuple, s: &Tuple| {
+                let t_in = u_set.contains(t);
+                let s_in = u_set.contains(s);
+                if t_in && s_in {
+                    Ratio::ONE
+                } else if !t_in && !s_in && base_delta(t, s) {
+                    Ratio::int(2)
+                } else {
+                    Ratio::ZERO
+                }
+            }))
+        }
+        Flavor::MaxSumPaper => Box::new(ClosureDistance(move |t: &Tuple, s: &Tuple| {
+            if base_delta(t, s) {
+                Ratio::ONE
+            } else {
+                Ratio::ZERO
+            }
+        })),
+        Flavor::MaxSumRepaired => {
+            // Decoy–decoy pairs score 1 except {d0, d1}; decoy–real pairs
+            // score 0; real–real pairs as in the paper.
+            let d0 = decoys[0].clone();
+            let d1 = decoys[1].clone();
+            Box::new(ClosureDistance(move |t: &Tuple, s: &Tuple| {
+                match (is_decoy(t), is_decoy(s)) {
+                    (true, true) => {
+                        let is_dead_pair = (*t == d0 && *s == d1) || (*t == d1 && *s == d0);
+                        if is_dead_pair {
+                            Ratio::ZERO
+                        } else {
+                            Ratio::ONE
+                        }
+                    }
+                    (false, false) => {
+                        if base_delta(t, s) {
+                            Ratio::ONE
+                        } else {
+                            Ratio::ZERO
+                        }
+                    }
+                    _ => Ratio::ZERO,
+                }
+            }))
+        }
+    };
+
+    let candidate = match flavor {
+        Flavor::MaxSumRepaired => decoys,
+        _ => candidate,
+    };
+    SatDrp {
+        instance: Instance {
+            db,
+            query: Query::identity(CLAUSE_REL),
+            rel: Box::new(ConstantRelevance(Ratio::ONE)),
+            dis,
+            lambda: Ratio::ONE,
+            k: l + 1,
+            bound: Ratio::ZERO,
+        },
+        candidate,
+    }
+}
+
+/// ¬3SAT → DRP(CQ/identity, F_MS), **repaired** with a decoy clique
+/// (module docs): `rank(U) = 1` iff `ϕ` unsatisfiable, for all instances.
+pub fn to_drp_max_sum(cnf: &Cnf) -> SatDrp {
+    build(cnf, Flavor::MaxSumRepaired)
+}
+
+/// ¬3SAT → DRP(CQ/identity, F_MS), **as published**. Sound when `ϕ` is
+/// satisfiable, but wrong on unsatisfiable instances whose rows admit
+/// many pairwise-consistent flag-1 pairs — see the module docs.
+pub fn to_drp_max_sum_paper(cnf: &Cnf) -> SatDrp {
+    build(cnf, Flavor::MaxSumPaper)
+}
+
+/// ¬3SAT → DRP(CQ/identity, F_MM): `rank(U) = 1` iff `ϕ` unsatisfiable
+/// (sound as published).
+pub fn to_drp_max_min(cnf: &Cnf) -> SatDrp {
+    build(cnf, Flavor::MaxMin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divr_core::problem::ObjectiveKind;
+    use divr_logic::sat;
+    use rand::SeedableRng;
+
+    fn fixed_sat() -> Cnf {
+        Cnf::from_clauses(
+            3,
+            &[
+                &[(0, true), (1, true), (2, true)],
+                &[(0, false), (1, true), (2, false)],
+            ],
+        )
+    }
+
+    fn fixed_unsat() -> Cnf {
+        Cnf::from_clauses(2, &[&[(0, true)], &[(0, false)]])
+    }
+
+    #[test]
+    fn paper_candidate_value_is_l_times_l_minus_1() {
+        // For l clauses, the paper's U has l flag-1 rows (pairwise
+        // distance 1) plus one flag-0 row: F_MS(U) = l(l−1) ordered pairs.
+        let cnf = fixed_sat();
+        let l = cnf.clauses.len() as i64;
+        let red = to_drp_max_sum_paper(&cnf);
+        let p = red.instance.problem();
+        let idx = p.indices_of(&red.candidate).expect("U ⊆ Q(D)");
+        assert_eq!(p.f_ms(&idx), Ratio::int(l * (l - 1)));
+    }
+
+    #[test]
+    fn repaired_candidate_value_is_decoy_maximum() {
+        // The decoy clique scores l(l+1) − 2 (one dead pair).
+        let cnf = fixed_sat();
+        let l = cnf.clauses.len() as i64;
+        let red = to_drp_max_sum(&cnf);
+        let p = red.instance.problem();
+        let idx = p.indices_of(&red.candidate).expect("U ⊆ Q(D)");
+        assert_eq!(p.f_ms(&idx), Ratio::int(l * (l + 1) - 2));
+    }
+
+    /// **The published Theorem 6.1 max-sum gadget is wrong on pairwise-
+    /// consistent unsatisfiable instances**: for ϕ = (x0) ∧ (¬x0) the set
+    /// {(0, x0=1, z=0, A=1), (1, x0=0, z=0, A=1), (¬z, z=0, A=1)} has two
+    /// consistent flag-1 pairs, F_MS = 4 > 2 = F_MS(U), so the literal
+    /// gadget reports rank(U) > 1 ("ϕ satisfiable") incorrectly. The
+    /// repaired gadget answers correctly.
+    #[test]
+    fn paper_variant_counterexample() {
+        let cnf = fixed_unsat();
+        assert!(!sat::satisfiable(&cnf));
+        let paper = to_drp_max_sum_paper(&cnf);
+        assert!(
+            !paper.instance.drp(ObjectiveKind::MaxSum, &paper.candidate, 1),
+            "the literal gadget is beaten by a pairwise-consistent non-clique"
+        );
+        let repaired = to_drp_max_sum(&cnf);
+        assert!(repaired.instance.drp(ObjectiveKind::MaxSum, &repaired.candidate, 1));
+    }
+
+    /// On satisfiable instances the published max-sum gadget is sound.
+    #[test]
+    fn paper_variant_sound_on_satisfiable_instances() {
+        let red = to_drp_max_sum_paper(&fixed_sat());
+        assert!(!red.instance.drp(ObjectiveKind::MaxSum, &red.candidate, 1));
+    }
+
+    #[test]
+    fn drp_tracks_unsatisfiability() {
+        for (cnf, is_sat) in [(fixed_sat(), true), (fixed_unsat(), false)] {
+            let red = to_drp_max_sum(&cnf);
+            assert_eq!(
+                red.instance.drp(ObjectiveKind::MaxSum, &red.candidate, 1),
+                !is_sat,
+                "MS on {cnf}"
+            );
+            let red = to_drp_max_min(&cnf);
+            assert_eq!(
+                red.instance.drp(ObjectiveKind::MaxMin, &red.candidate, 1),
+                !is_sat,
+                "MM on {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_equivalence_with_dpll() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        for trial in 0..12 {
+            let n = 2 + trial % 3;
+            let m = 2 + trial % 3;
+            let cnf = divr_logic::gen::random_3sat(&mut rng, n, m);
+            let expect = !sat::satisfiable(&cnf);
+            let red = to_drp_max_sum(&cnf);
+            assert_eq!(
+                red.instance.drp(ObjectiveKind::MaxSum, &red.candidate, 1),
+                expect,
+                "MS on {cnf}"
+            );
+            let red = to_drp_max_min(&cnf);
+            assert_eq!(
+                red.instance.drp(ObjectiveKind::MaxMin, &red.candidate, 1),
+                expect,
+                "MM on {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_min_distance_structure() {
+        // In the MM variant F_MM(U) = 1 exactly.
+        let red = to_drp_max_min(&fixed_sat());
+        let p = red.instance.problem();
+        let idx = p.indices_of(&red.candidate).unwrap();
+        assert_eq!(p.f_mm(&idx), Ratio::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "l > 1")]
+    fn single_clause_rejected() {
+        to_drp_max_sum(&Cnf::from_clauses(1, &[&[(0, true)]]));
+    }
+}

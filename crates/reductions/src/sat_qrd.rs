@@ -1,0 +1,250 @@
+//! Theorem 5.1 (CQ case) and Theorem 7.4: reductions from 3SAT / #SAT to
+//! QRD / RDC over identity queries, for max-sum and max-min
+//! diversification.
+//!
+//! Given `ϕ = C1 ∧ ... ∧ Cl` over variables `x1..xm`, the construction
+//! populates one relation
+//! `RC(cid, L1, V1, L2, V2, L3, V3)` with, for each clause, every truth
+//! assignment of its (≤ 3) variables that satisfies it (≤ 8 tuples per
+//! clause — no exponential blow-up). The query is the identity query; the
+//! relevance function is constant 1; the distance function is
+//!
+//! ```text
+//! δ_dis(t, s) = 1  iff  t.cid ≠ s.cid and t, s agree on every variable
+//!                        appearing in both
+//! ```
+//!
+//! and `λ = 1`, `k = l`. Then with `B = l(l−1)` (max-sum) or `B = 1`
+//! (max-min), valid sets are exactly the families of one satisfying local
+//! assignment per clause that are globally consistent, i.e. the satisfying
+//! assignments of the variables occurring in `ϕ` — giving both the
+//! NP-hardness of QRD (Thm 5.1) and, because the correspondence is
+//! bijective, the #P-hardness of RDC (Thm 7.4, parsimonious).
+
+use crate::instance::Instance;
+use divr_core::distance::ClosureDistance;
+use divr_core::ratio::Ratio;
+use divr_core::relevance::ConstantRelevance;
+use divr_logic::Cnf;
+use divr_relquery::{Database, Query, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// Name of the clause-assignment relation.
+pub const CLAUSE_REL: &str = "RC";
+
+fn var_name(v: usize) -> Value {
+    Value::str(format!("x{v}"))
+}
+
+/// Builds the clause-assignment relation for `ϕ`. Clauses narrower than
+/// three literals pad by repeating their last variable (with a consistent
+/// value), preserving the paper's fixed arity.
+fn build_clause_db(cnf: &Cnf) -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        CLAUSE_REL,
+        &["cid", "l1", "v1", "l2", "v2", "l3", "v3"],
+    )
+    .unwrap();
+    for (cid, clause) in cnf.clauses.iter().enumerate() {
+        let vars: Vec<usize> = {
+            let mut vs: Vec<usize> = clause.lits().iter().map(|l| l.var).collect();
+            vs.dedup();
+            let mut seen = Vec::new();
+            for v in vs {
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+            }
+            seen
+        };
+        assert!(!vars.is_empty(), "clauses must be non-empty");
+        let w = vars.len();
+        for bits in 0..(1u32 << w) {
+            let assignment: Vec<(usize, bool)> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (bits >> i) & 1 == 1))
+                .collect();
+            let satisfied = clause.lits().iter().any(|l| {
+                assignment
+                    .iter()
+                    .find(|(v, _)| *v == l.var)
+                    .map(|(_, val)| *val == l.positive)
+                    .unwrap_or(false)
+            });
+            if !satisfied {
+                continue;
+            }
+            // Pad to three (var, value) slots by repeating the last one.
+            let mut slots = assignment.clone();
+            while slots.len() < 3 {
+                slots.push(*slots.last().unwrap());
+            }
+            let mut row = vec![Value::int(cid as i64)];
+            for (v, val) in slots {
+                row.push(var_name(v));
+                row.push(Value::int(i64::from(val)));
+            }
+            db.insert(CLAUSE_REL, row).unwrap();
+        }
+    }
+    db
+}
+
+/// The gadget distance: 1 iff distinct clauses and consistent shared
+/// variables, else 0.
+fn gadget_distance() -> ClosureDistance<impl Fn(&Tuple, &Tuple) -> Ratio> {
+    ClosureDistance(|t: &Tuple, s: &Tuple| {
+        if t[0] == s[0] {
+            return Ratio::ZERO;
+        }
+        for i in [1usize, 3, 5] {
+            for j in [1usize, 3, 5] {
+                if t[i] == s[j] && t[i + 1] != s[j + 1] {
+                    return Ratio::ZERO;
+                }
+            }
+        }
+        Ratio::ONE
+    })
+}
+
+fn base_instance(cnf: &Cnf, bound: Ratio) -> Instance {
+    assert!(
+        cnf.clauses.len() >= 2,
+        "the Theorem 5.1 gadget assumes l > 1 clauses (as the paper does)"
+    );
+    Instance {
+        db: build_clause_db(cnf),
+        query: Query::identity(CLAUSE_REL),
+        rel: Box::new(ConstantRelevance(Ratio::ONE)),
+        dis: Box::new(gadget_distance()),
+        lambda: Ratio::ONE,
+        k: cnf.clauses.len(),
+        bound,
+    }
+}
+
+/// 3SAT → QRD(CQ/identity, F_MS): `B = l(l−1)`.
+pub fn to_qrd_max_sum(cnf: &Cnf) -> Instance {
+    let l = cnf.clauses.len() as i64;
+    base_instance(cnf, Ratio::int(l * (l - 1)))
+}
+
+/// 3SAT → QRD(CQ/identity, F_MM): `B = 1`.
+pub fn to_qrd_max_min(cnf: &Cnf) -> Instance {
+    base_instance(cnf, Ratio::ONE)
+}
+
+/// The number of satisfying assignments **of the variables occurring in
+/// `ϕ`** — what the valid sets of this gadget are in bijection with
+/// (variables that never occur are unconstrained and do not appear in any
+/// gadget tuple).
+pub fn occurring_model_count(cnf: &Cnf) -> u128 {
+    let occurring: BTreeSet<usize> = cnf
+        .clauses
+        .iter()
+        .flat_map(|c| c.lits().iter().map(|l| l.var))
+        .collect();
+    let unused = cnf.num_vars - occurring.len();
+    divr_logic::sat::count_models(cnf) >> unused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divr_core::problem::ObjectiveKind;
+    use divr_logic::sat;
+    use rand::SeedableRng;
+
+    fn fixed_sat() -> Cnf {
+        // (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ x1 ∨ ¬x2) — satisfiable.
+        Cnf::from_clauses(
+            3,
+            &[
+                &[(0, true), (1, true), (2, true)],
+                &[(0, false), (1, true), (2, false)],
+            ],
+        )
+    }
+
+    fn fixed_unsat() -> Cnf {
+        // x0 ∧ ¬x0 padded with a second variable to keep clauses wide.
+        Cnf::from_clauses(2, &[&[(0, true)], &[(0, false)]])
+    }
+
+    #[test]
+    fn clause_db_has_only_satisfying_rows() {
+        let db = build_clause_db(&fixed_sat());
+        // each 3-var clause: 2^3 − 1 = 7 satisfying rows.
+        assert_eq!(db.relation(CLAUSE_REL).unwrap().len(), 14);
+    }
+
+    #[test]
+    fn qrd_tracks_satisfiability_ms_and_mm() {
+        for (cnf, expect) in [(fixed_sat(), true), (fixed_unsat(), false)] {
+            assert_eq!(
+                to_qrd_max_sum(&cnf).qrd(ObjectiveKind::MaxSum),
+                expect,
+                "MS on {cnf}"
+            );
+            assert_eq!(
+                to_qrd_max_min(&cnf).qrd(ObjectiveKind::MaxMin),
+                expect,
+                "MM on {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_equivalence_with_dpll() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for trial in 0..25 {
+            let n = 2 + trial % 4;
+            let m = 2 + trial % 5;
+            let cnf = divr_logic::gen::random_3sat(&mut rng, n, m);
+            let expect = sat::satisfiable(&cnf);
+            assert_eq!(
+                to_qrd_max_sum(&cnf).qrd(ObjectiveKind::MaxSum),
+                expect,
+                "MS on {cnf}"
+            );
+            assert_eq!(
+                to_qrd_max_min(&cnf).qrd(ObjectiveKind::MaxMin),
+                expect,
+                "MM on {cnf}"
+            );
+        }
+    }
+
+    /// Theorem 7.4: the same gadget counts models (parsimonious up to the
+    /// variables that actually occur).
+    #[test]
+    fn rdc_counts_models() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for trial in 0..15 {
+            let n = 2 + trial % 3;
+            let m = 2 + trial % 4;
+            let cnf = divr_logic::gen::random_3sat(&mut rng, n, m);
+            let expected = occurring_model_count(&cnf);
+            assert_eq!(
+                to_qrd_max_sum(&cnf).rdc(ObjectiveKind::MaxSum),
+                expected,
+                "#MS on {cnf}"
+            );
+            assert_eq!(
+                to_qrd_max_min(&cnf).rdc(ObjectiveKind::MaxMin),
+                expected,
+                "#MM on {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "l > 1")]
+    fn single_clause_rejected() {
+        let cnf = Cnf::from_clauses(1, &[&[(0, true)]]);
+        to_qrd_max_sum(&cnf);
+    }
+}

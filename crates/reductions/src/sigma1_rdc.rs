@@ -1,0 +1,329 @@
+//! Theorem 7.1: parsimonious counting reductions
+//! **#Σ₁SAT → RDC(CQ, F_MS/F_MM)** and **#QBF → RDC(FO, F_MS/F_MM)**,
+//! built on the Figure 5 gadget relations.
+//!
+//! Both use the auxiliary formula `ϕ′ = (ψ ∨ z) ∧ ¬z` and the circuit
+//! encoding of [`crate::gadgets`]:
+//!
+//! * **CQ**: `Q(ȳ, z, a) = ∃x̄, wires (R01(y_j)… ∧ R01(z) ∧ R01(x_i)… ∧ gates)`
+//!   returns `(t_Y, z, a)` whenever *some* X-assignment drives the
+//!   `ϕ′`-circuit to output `a`. Tuples `(t_Y, 0, 1)` exist iff
+//!   `∃X ψ(X, t_Y)`; the tuple `(1,…,1, 1, 0)` always exists.
+//! * **FO**: `Q(x̄, z, b)` asserts `b` equals the truth value of
+//!   `Φ(x̄, z) = ∀y1 P2y2 … Pnyn ∃wires(circuit = 1)` via
+//!   `(b = 1 ∧ Φ) ∨ (b = 0 ∧ ¬Φ)`.
+//!
+//! With `λ = 0` and relevance 1 on `(·, 0, 1)` tuples, 2 on the
+//! distinguished `(1..1, 1, 0)` tuple and 0 elsewhere:
+//! `k = 2, B = 3` makes the valid sets exactly the pairs
+//! `{(t, 0, 1), (1..1, 1, 0)}` — one per counted assignment (max-sum);
+//! `k = 1, B = 1` with relevance on `(·, 0, 1)` only does the same for
+//! max-min. Both are **parsimonious**: the RDC count equals #Σ₁SAT /
+//! #QBF exactly.
+
+use crate::gadgets::{
+    add_boolean_domain, add_gate_relations, CircuitEncoder, BOOL_REL,
+};
+use crate::instance::Instance;
+use divr_core::distance::ConstantDistance;
+use divr_core::ratio::Ratio;
+use divr_core::relevance::ClosureRelevance;
+use divr_logic::{Cnf, Qbf, Quant};
+use divr_relquery::query::{cnst, var, Atom, CmpOp, ConjunctiveQuery, FoQuery, Formula, Query, Term, Var};
+use divr_relquery::{Database, Tuple};
+
+pub(crate) fn gadget_db() -> Database {
+    let mut db = Database::new();
+    add_boolean_domain(&mut db);
+    add_gate_relations(&mut db);
+    db
+}
+
+/// Relevance for the max-sum variant: 1 on `(·, 0, 1)`, 2 on the
+/// distinguished all-ones/`z=1`/`0` tuple, 0 elsewhere. `counted` is the
+/// number of leading tuple positions that carry the counted assignment.
+fn ms_relevance(counted: usize) -> ClosureRelevance<impl Fn(&Tuple) -> Ratio> {
+    ClosureRelevance(move |t: &Tuple| {
+        let n = t.arity();
+        debug_assert_eq!(n, counted + 2);
+        let z = t[n - 2].as_int();
+        let flag = t[n - 1].as_int();
+        if z == Some(0) && flag == Some(1) {
+            Ratio::ONE
+        } else if z == Some(1)
+            && flag == Some(0)
+            && (0..counted).all(|i| t[i].as_int() == Some(1))
+        {
+            Ratio::int(2)
+        } else {
+            Ratio::ZERO
+        }
+    })
+}
+
+/// Relevance for the max-min variant: 1 on `(·, 0, 1)`, 0 elsewhere.
+fn mm_relevance() -> ClosureRelevance<impl Fn(&Tuple) -> Ratio> {
+    ClosureRelevance(|t: &Tuple| {
+        let n = t.arity();
+        if t[n - 2].as_int() == Some(0) && t[n - 1].as_int() == Some(1) {
+            Ratio::ONE
+        } else {
+            Ratio::ZERO
+        }
+    })
+}
+
+/// Builds the CQ `Q(ȳ, z, a)` for `ϕ(X, Y) = ∃X ψ(X, Y)` with `m_x`
+/// existential variables (`x0..`) and `n_y = ψ.num_vars − m_x` counted
+/// variables (`y0..`).
+pub(crate) fn sigma1_query(cnf: &Cnf, m_x: usize) -> Query {
+    let n_y = cnf.num_vars - m_x;
+    // Circuit inputs: variable v < m_x → x{v}; else y{v − m_x}.
+    let inputs: Vec<Term> = (0..cnf.num_vars)
+        .map(|v| {
+            if v < m_x {
+                var(format!("x{v}"))
+            } else {
+                var(format!("y{}", v - m_x))
+            }
+        })
+        .collect();
+    let z = var("z");
+    let mut enc = CircuitEncoder::new();
+    let out = enc.phi_prime(cnf, &inputs, z.clone());
+    let (gate_atoms, _) = enc.finish();
+    let mut atoms: Vec<Atom> = inputs
+        .iter()
+        .map(|t| Atom::new(BOOL_REL, vec![t.clone()]))
+        .collect();
+    atoms.push(Atom::new(BOOL_REL, vec![z.clone()]));
+    atoms.extend(gate_atoms);
+    let mut head: Vec<Term> = (0..n_y).map(|j| var(format!("y{j}"))).collect();
+    head.push(z);
+    head.push(out);
+    Query::Cq(ConjunctiveQuery::new(head, atoms, vec![]))
+}
+
+/// Theorem 7.1 (CQ, F_MS): #Σ₁SAT → RDC with `λ = 0`, `k = 2`, `B = 3`.
+/// The valid-set count equals the number of Y-assignments with
+/// `∃X ψ(X, Y)`.
+pub fn sigma1_to_rdc_ms(cnf: &Cnf, m_x: usize) -> Instance {
+    let n_y = cnf.num_vars - m_x;
+    assert!(n_y >= 1, "need at least one counted variable");
+    Instance {
+        db: gadget_db(),
+        query: sigma1_query(cnf, m_x),
+        rel: Box::new(ms_relevance(n_y)),
+        dis: Box::new(ConstantDistance(Ratio::ZERO)),
+        lambda: Ratio::ZERO,
+        k: 2,
+        bound: Ratio::int(3),
+    }
+}
+
+/// Theorem 7.1 (CQ, F_MM): #Σ₁SAT → RDC with `λ = 0`, `k = 1`, `B = 1`.
+pub fn sigma1_to_rdc_mm(cnf: &Cnf, m_x: usize) -> Instance {
+    let n_y = cnf.num_vars - m_x;
+    assert!(n_y >= 1, "need at least one counted variable");
+    Instance {
+        db: gadget_db(),
+        query: sigma1_query(cnf, m_x),
+        rel: Box::new(mm_relevance()),
+        dis: Box::new(ConstantDistance(Ratio::ZERO)),
+        lambda: Ratio::ZERO,
+        k: 1,
+        bound: Ratio::ONE,
+    }
+}
+
+/// Builds the FO query `Q(x̄, z, b)` for a #QBF instance
+/// `ϕ = ∃x0..x{m−1} ∀/∃ y …  ψ`: `b` carries the truth value of the
+/// quantified suffix applied to `ϕ′`'s circuit.
+pub(crate) fn qbf_fo_query(qbf: &Qbf, m: usize) -> Query {
+    let total = qbf.num_vars();
+    let n_rest = total - m;
+    let inputs: Vec<Term> = (0..total)
+        .map(|v| {
+            if v < m {
+                var(format!("x{v}"))
+            } else {
+                var(format!("y{}", v - m))
+            }
+        })
+        .collect();
+    let z = var("z");
+    let b = var("b");
+    let mut enc = CircuitEncoder::new();
+    let out = enc.phi_prime(&qbf.matrix, &inputs, z.clone());
+    let (gate_atoms, wires) = enc.finish();
+    // ∃wires (gates ∧ out = 1)
+    let mut gate_formulas: Vec<Formula> = gate_atoms.into_iter().map(Formula::Atom).collect();
+    gate_formulas.push(Formula::cmp(out, CmpOp::Eq, cnst(1)));
+    let mut phi = Formula::exists(wires, Formula::and(gate_formulas));
+    // Wrap the y quantifiers innermost-out, guarded over the Boolean
+    // domain.
+    for j in (0..n_rest).rev() {
+        let yv = Var::new(format!("y{j}"));
+        let guard = Formula::atom(BOOL_REL, vec![Term::Var(yv.clone())]);
+        phi = match qbf.prefix[m + j] {
+            Quant::Forall => Formula::forall(vec![yv], Formula::implies(guard, phi)),
+            Quant::Exists => Formula::exists(vec![yv], Formula::and(vec![guard, phi])),
+        };
+    }
+    // Body: x̄, z, b Boolean ∧ (b = 1 ∧ Φ) ∨ (b = 0 ∧ ¬Φ).
+    let mut conjuncts: Vec<Formula> = (0..m)
+        .map(|i| Formula::atom(BOOL_REL, vec![var(format!("x{i}"))]))
+        .collect();
+    conjuncts.push(Formula::atom(BOOL_REL, vec![z]));
+    conjuncts.push(Formula::atom(BOOL_REL, vec![b.clone()]));
+    conjuncts.push(Formula::or(vec![
+        Formula::and(vec![Formula::cmp(b.clone(), CmpOp::Eq, cnst(1)), phi.clone()]),
+        Formula::and(vec![
+            Formula::cmp(b, CmpOp::Eq, cnst(0)),
+            Formula::not(phi),
+        ]),
+    ]));
+    let mut head: Vec<Var> = (0..m).map(|i| Var::new(format!("x{i}"))).collect();
+    head.push(Var::new("z"));
+    head.push(Var::new("b"));
+    Query::Fo(FoQuery::new(head, Formula::and(conjuncts)))
+}
+
+/// Theorem 7.1 (FO, F_MS): #QBF → RDC(FO, F_MS), parsimonious, with
+/// `λ = 0`, `k = 2`, `B = 3`. `m` is the size of the leading existential
+/// block being counted.
+pub fn qbf_to_rdc_fo_ms(qbf: &Qbf, m: usize) -> Instance {
+    assert!(m >= 1 && m <= qbf.num_vars());
+    assert!(
+        qbf.prefix[..m].iter().all(|q| *q == Quant::Exists),
+        "counted block must be existential"
+    );
+    Instance {
+        db: gadget_db(),
+        query: qbf_fo_query(qbf, m),
+        rel: Box::new(ms_relevance(m)),
+        dis: Box::new(ConstantDistance(Ratio::ZERO)),
+        lambda: Ratio::ZERO,
+        k: 2,
+        bound: Ratio::int(3),
+    }
+}
+
+/// Theorem 7.1 (FO, F_MM): #QBF → RDC(FO, F_MM), `λ = 0`, `k = 1`,
+/// `B = 1`.
+pub fn qbf_to_rdc_fo_mm(qbf: &Qbf, m: usize) -> Instance {
+    assert!(m >= 1 && m <= qbf.num_vars());
+    assert!(
+        qbf.prefix[..m].iter().all(|q| *q == Quant::Exists),
+        "counted block must be existential"
+    );
+    Instance {
+        db: gadget_db(),
+        query: qbf_fo_query(qbf, m),
+        rel: Box::new(mm_relevance()),
+        dis: Box::new(ConstantDistance(Ratio::ZERO)),
+        lambda: Ratio::ZERO,
+        k: 1,
+        bound: Ratio::ONE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divr_core::problem::ObjectiveKind;
+    use divr_logic::counting::{count_qbf, count_sigma1};
+    use divr_relquery::QueryLanguage;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cq_query_universe_shape() {
+        // ϕ(X={x0}, Y={y0}) = ∃x0 (x0 ∨ y0).
+        let cnf = Cnf::from_clauses(2, &[&[(0, true), (1, true)]]);
+        let inst = sigma1_to_rdc_ms(&cnf, 1);
+        assert_eq!(inst.query.language(), QueryLanguage::Cq);
+        let p = inst.problem();
+        // Rows (y, z, a): for each (y, z) the reachable circuit outputs.
+        // z=1 → a=0 only; z=0 → a = ∃x ψ. All three columns Boolean.
+        assert!(p.n() >= 4);
+        for t in p.universe() {
+            assert_eq!(t.arity(), 3);
+        }
+    }
+
+    #[test]
+    fn sigma1_count_matches_direct_counter() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        for trial in 0..10 {
+            let n = 2 + trial % 3;
+            let m_x = 1 + trial % (n - 1).max(1);
+            let clauses = 1 + trial % 4;
+            let cnf = divr_logic::gen::random_3sat(&mut rng, n, clauses);
+            if cnf.num_vars - m_x == 0 {
+                continue;
+            }
+            let expected = count_sigma1(&cnf, m_x);
+            assert_eq!(
+                sigma1_to_rdc_ms(&cnf, m_x).rdc(ObjectiveKind::MaxSum),
+                expected,
+                "MS on {cnf} m_x={m_x}"
+            );
+            assert_eq!(
+                sigma1_to_rdc_mm(&cnf, m_x).rdc(ObjectiveKind::MaxMin),
+                expected,
+                "MM on {cnf} m_x={m_x}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigma1_unsat_gives_zero() {
+        // ∃x0 (x0) ∧ (¬x0): no Y assignment works.
+        let cnf = Cnf::from_clauses(2, &[&[(0, true)], &[(0, false)]]);
+        assert_eq!(sigma1_to_rdc_ms(&cnf, 1).rdc(ObjectiveKind::MaxSum), 0);
+        assert_eq!(sigma1_to_rdc_mm(&cnf, 1).rdc(ObjectiveKind::MaxMin), 0);
+    }
+
+    #[test]
+    fn qbf_fo_query_is_full_fo() {
+        let (qbf, m) = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            divr_logic::gen::random_sharp_qbf(&mut rng, 2, 2, 4)
+        };
+        let inst = qbf_to_rdc_fo_ms(&qbf, m);
+        assert_eq!(inst.query.language(), QueryLanguage::Fo);
+    }
+
+    #[test]
+    fn qbf_count_matches_direct_counter() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        for trial in 0..6 {
+            let m = 1 + trial % 2;
+            let n_rest = 1 + trial % 2;
+            let clauses = 2 + trial % 3;
+            let (qbf, m) = divr_logic::gen::random_sharp_qbf(&mut rng, m, n_rest, clauses);
+            let expected = count_qbf(&qbf, m);
+            assert_eq!(
+                qbf_to_rdc_fo_ms(&qbf, m).rdc(ObjectiveKind::MaxSum),
+                expected,
+                "MS on {qbf}"
+            );
+            assert_eq!(
+                qbf_to_rdc_fo_mm(&qbf, m).rdc(ObjectiveKind::MaxMin),
+                expected,
+                "MM on {qbf}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinguished_tuple_always_present() {
+        let cnf = Cnf::from_clauses(2, &[&[(0, true), (1, false)]]);
+        let inst = sigma1_to_rdc_ms(&cnf, 1);
+        let p = inst.problem();
+        // (y=1, z=1, a=0) must be in Q(D).
+        let distinguished = Tuple::ints([1, 1, 0]);
+        assert!(p.universe().contains(&distinguished));
+        assert_eq!(inst.rel.rel(&distinguished), Ratio::int(2));
+    }
+}

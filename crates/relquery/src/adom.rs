@@ -1,0 +1,48 @@
+//! Active domain computation.
+
+use crate::database::Database;
+use crate::query::Query;
+use crate::value::Value;
+
+/// The active domain of a query/database pair: all constants appearing in
+/// the database plus all constants mentioned by the query — the paper's
+/// `adom(Q, D)` (proof of Theorem 5.2). First-order quantifiers and
+/// unconstrained head variables range over this set.
+pub fn active_domain(db: &Database, query: &Query) -> Vec<Value> {
+    let mut dom = db.active_domain();
+    dom.extend(query.constants());
+    dom.sort();
+    dom.dedup();
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{cnst, var, ConjunctiveQuery};
+
+    #[test]
+    fn query_constants_join_the_domain() {
+        let mut db = Database::new();
+        db.create_relation("R", &["x"]).unwrap();
+        db.insert("R", vec![Value::int(1)]).unwrap();
+        let q: Query = ConjunctiveQuery::builder()
+            .head(vec![var("x")])
+            .atom("R", vec![var("x")])
+            .cmp(var("x"), crate::query::CmpOp::Ne, cnst(9))
+            .build()
+            .unwrap()
+            .into();
+        assert_eq!(
+            active_domain(&db, &q),
+            vec![Value::int(1), Value::int(9)]
+        );
+    }
+
+    #[test]
+    fn empty_database_identity() {
+        let db = Database::new();
+        let q = Query::identity("R");
+        assert!(active_domain(&db, &q).is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Databases: named collections of relations.
+
+use crate::relation::Relation;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::{Error, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An in-memory relational database `D` over a schema
+/// `R = (R1, ..., Rn)` (paper, Section 3.1).
+///
+/// Relations are stored by name in a `BTreeMap` for deterministic
+/// iteration. The database also exposes its **active domain** — the set of
+/// constants occurring in any tuple — which drives the active-domain
+/// semantics of first-order query evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a new empty relation with named attributes.
+    pub fn create_relation(&mut self, name: &str, attributes: &[&str]) -> Result<()> {
+        if self.relations.contains_key(name) {
+            return Err(Error::DuplicateRelation(name.to_string()));
+        }
+        self.relations.insert(
+            name.to_string(),
+            Relation::new(RelationSchema::new(name, attributes)),
+        );
+        Ok(())
+    }
+
+    /// Adds (or replaces) a fully built relation.
+    pub fn add_relation(&mut self, relation: Relation) {
+        self.relations.insert(relation.name().to_string(), relation);
+    }
+
+    /// Inserts a tuple of values into the named relation.
+    pub fn insert(&mut self, relation: &str, values: Vec<Value>) -> Result<bool> {
+        match self.relations.get_mut(relation) {
+            Some(r) => r.insert(Tuple::new(values)),
+            None => Err(Error::UnknownRelation(relation.to_string())),
+        }
+    }
+
+    /// Inserts a pre-built tuple into the named relation.
+    pub fn insert_tuple(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
+        match self.relations.get_mut(relation) {
+            Some(r) => r.insert(tuple),
+            None => Err(Error::UnknownRelation(relation.to_string())),
+        }
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether a relation with this name exists.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterates over relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// The number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The total number of tuples across relations — the `|D|` that data
+    /// complexity is measured in.
+    pub fn size(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The **active domain** of the database: every constant appearing in
+    /// any tuple, deduplicated and sorted. First-order quantifiers range
+    /// over this set (plus query constants; see
+    /// [`crate::adom::active_domain`]).
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut dom: Vec<Value> = self
+            .relations
+            .values()
+            .flat_map(|r| r.iter().flat_map(|t| t.iter().cloned()))
+            .collect();
+        dom.sort();
+        dom.dedup();
+        dom
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "database [{} relations, {} tuples]",
+            self.relation_count(),
+            self.size()
+        )?;
+        for r in self.relations.values() {
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_insert_lookup() {
+        let mut db = Database::new();
+        db.create_relation("R", &["x", "y"]).unwrap();
+        assert!(db.insert("R", vec![Value::int(1), Value::int(2)]).unwrap());
+        assert!(!db.insert("R", vec![Value::int(1), Value::int(2)]).unwrap());
+        assert_eq!(db.relation("R").unwrap().len(), 1);
+        assert_eq!(db.size(), 1);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = Database::new();
+        db.create_relation("R", &["x"]).unwrap();
+        assert_eq!(
+            db.create_relation("R", &["y"]).unwrap_err(),
+            Error::DuplicateRelation("R".into())
+        );
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.insert("nope", vec![]).unwrap_err(),
+            Error::UnknownRelation(_)
+        ));
+        assert!(db.relation("nope").is_err());
+    }
+
+    #[test]
+    fn active_domain_sorted_dedup() {
+        let mut db = Database::new();
+        db.create_relation("R", &["x"]).unwrap();
+        db.create_relation("S", &["x"]).unwrap();
+        db.insert("R", vec![Value::int(2)]).unwrap();
+        db.insert("R", vec![Value::int(1)]).unwrap();
+        db.insert("S", vec![Value::int(2)]).unwrap();
+        db.insert("S", vec![Value::str("a")]).unwrap();
+        assert_eq!(
+            db.active_domain(),
+            vec![Value::int(1), Value::int(2), Value::str("a")]
+        );
+    }
+
+    #[test]
+    fn add_relation_replaces() {
+        let mut db = Database::new();
+        db.create_relation("R", &["x"]).unwrap();
+        db.insert("R", vec![Value::int(1)]).unwrap();
+        let fresh = Relation::with_arity("R", 1);
+        db.add_relation(fresh);
+        assert_eq!(db.relation("R").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Backtracking join evaluation for conjunctive queries.
+//!
+//! The evaluator processes atoms left to right, maintaining a partial
+//! variable assignment. Each comparison is applied as soon as both of its
+//! sides are bound, pruning the search early. Combined complexity is
+//! exponential in the query size (the membership problem for CQ is
+//! NP-complete), data complexity polynomial for a fixed query — the
+//! asymmetry the paper's Table I rests on.
+
+use crate::database::Database;
+use crate::query::{Comparison, ConjunctiveQuery, Term, Var};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::{Error, Result};
+use std::collections::HashMap;
+
+/// Evaluates a conjunctive query.
+pub(crate) fn eval_cq(db: &Database, cq: &ConjunctiveQuery) -> Result<Relation> {
+    let mut out = Relation::with_arity("Q", cq.head().len());
+    let mut search = Search::new(db, cq, HashMap::new())?;
+    search.run(&mut |env| {
+        let row: Vec<Value> = cq
+            .head()
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => env[v].clone(),
+            })
+            .collect();
+        out.insert(Tuple::new(row)).map(|_| true)
+    })?;
+    Ok(out)
+}
+
+/// Decides `t ∈ Q(D)` for a CQ by seeding the join search with the head
+/// bindings induced by `t` and stopping at the first witness.
+pub(crate) fn cq_contains(db: &Database, cq: &ConjunctiveQuery, t: &Tuple) -> Result<bool> {
+    debug_assert_eq!(t.arity(), cq.head().len());
+    // Unify the head template with the candidate tuple.
+    let mut env: HashMap<Var, Value> = HashMap::new();
+    for (term, val) in cq.head().iter().zip(t.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != val {
+                    return Ok(false);
+                }
+            }
+            Term::Var(v) => {
+                if let Some(prev) = env.get(v) {
+                    if prev != val {
+                        return Ok(false);
+                    }
+                } else {
+                    env.insert(v.clone(), val.clone());
+                }
+            }
+        }
+    }
+    let mut found = false;
+    let mut search = Search::new(db, cq, env)?;
+    search.run(&mut |_| {
+        found = true;
+        Ok(false) // stop at the first witness
+    })?;
+    Ok(found)
+}
+
+/// Backtracking state for one CQ evaluation.
+struct Search<'a> {
+    relations: Vec<&'a Relation>,
+    cq: &'a ConjunctiveQuery,
+    env: HashMap<Var, Value>,
+    /// `cmp_after[i]` = comparisons fully bound once atom `i` has been
+    /// unified (given the atoms processed before it).
+    cmp_after: Vec<Vec<&'a Comparison>>,
+    /// Comparisons decidable before any atom (constant-only, or bound by a
+    /// pre-seeded head assignment).
+    cmp_initial: Vec<&'a Comparison>,
+}
+
+impl<'a> Search<'a> {
+    fn new(
+        db: &'a Database,
+        cq: &'a ConjunctiveQuery,
+        env: HashMap<Var, Value>,
+    ) -> Result<Self> {
+        let mut relations = Vec::with_capacity(cq.atoms().len());
+        for atom in cq.atoms() {
+            let rel = db.relation(&atom.relation)?;
+            if rel.arity() != atom.terms.len() {
+                return Err(Error::ArityMismatch {
+                    relation: atom.relation.clone(),
+                    expected: rel.arity(),
+                    found: atom.terms.len(),
+                });
+            }
+            relations.push(rel);
+        }
+        // Schedule each comparison at the earliest atom index after which
+        // all of its variables are bound.
+        let mut bound: Vec<Var> = env.keys().cloned().collect();
+        let mut cmp_initial = Vec::new();
+        let mut cmp_after: Vec<Vec<&Comparison>> = vec![Vec::new(); cq.atoms().len()];
+        let mut pending: Vec<&Comparison> = cq.comparisons().iter().collect();
+        pending.retain(|c| {
+            if c.variables().iter().all(|v| bound.contains(v)) {
+                cmp_initial.push(*c);
+                false
+            } else {
+                true
+            }
+        });
+        for (i, atom) in cq.atoms().iter().enumerate() {
+            for v in atom.variables() {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+            pending.retain(|c| {
+                if c.variables().iter().all(|v| bound.contains(v)) {
+                    cmp_after[i].push(*c);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        debug_assert!(pending.is_empty(), "safety validation guarantees binding");
+        Ok(Search {
+            relations,
+            cq,
+            env,
+            cmp_after,
+            cmp_initial,
+        })
+    }
+
+    /// Runs the search; `emit` is called with the full assignment for each
+    /// satisfying leaf and returns `Ok(false)` to stop the search early.
+    fn run(&mut self, emit: &mut dyn FnMut(&HashMap<Var, Value>) -> Result<bool>) -> Result<()> {
+        for c in &self.cmp_initial {
+            if !check(c, &self.env) {
+                return Ok(());
+            }
+        }
+        self.descend(0, emit)?;
+        Ok(())
+    }
+
+    /// Returns `Ok(false)` when the caller asked to stop.
+    fn descend(
+        &mut self,
+        depth: usize,
+        emit: &mut dyn FnMut(&HashMap<Var, Value>) -> Result<bool>,
+    ) -> Result<bool> {
+        if depth == self.cq.atoms().len() {
+            return emit(&self.env);
+        }
+        let atom = &self.cq.atoms()[depth];
+        let rel = self.relations[depth];
+        'tuples: for tuple in rel {
+            // Unify atom terms with the tuple, collecting fresh bindings.
+            let mut fresh: Vec<Var> = Vec::new();
+            for (term, val) in atom.terms.iter().zip(tuple.iter()) {
+                let ok = match term {
+                    Term::Const(c) => c == val,
+                    Term::Var(v) => match self.env.get(v) {
+                        Some(prev) => prev == val,
+                        None => {
+                            self.env.insert(v.clone(), val.clone());
+                            fresh.push(v.clone());
+                            true
+                        }
+                    },
+                };
+                if !ok {
+                    for v in fresh.drain(..) {
+                        self.env.remove(&v);
+                    }
+                    continue 'tuples;
+                }
+            }
+            // Apply the comparisons that just became decidable.
+            let cmp_ok = self.cmp_after[depth].iter().all(|c| check(c, &self.env));
+            if cmp_ok {
+                let keep_going = self.descend(depth + 1, emit)?;
+                if !keep_going {
+                    for v in fresh {
+                        self.env.remove(&v);
+                    }
+                    return Ok(false);
+                }
+            }
+            for v in fresh {
+                self.env.remove(&v);
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn check(c: &Comparison, env: &HashMap<Var, Value>) -> bool {
+    let l = resolve(&c.lhs, env);
+    let r = resolve(&c.rhs, env);
+    c.op.eval(l, r)
+}
+
+fn resolve<'e>(t: &'e Term, env: &'e HashMap<Var, Value>) -> &'e Value {
+    match t {
+        Term::Const(c) => c,
+        Term::Var(v) => &env[v],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{cnst, var, CmpOp};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("R", &["x", "y"]).unwrap();
+        db.create_relation("S", &["y", "z"]).unwrap();
+        for (x, y) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert("R", vec![Value::int(x), Value::int(y)]).unwrap();
+        }
+        for (y, z) in [(2, 10), (3, 20), (3, 30)] {
+            db.insert("S", vec![Value::int(y), Value::int(z)]).unwrap();
+        }
+        db
+    }
+
+    fn cq_join() -> ConjunctiveQuery {
+        // Q(x, z) :- R(x, y), S(y, z)
+        ConjunctiveQuery::builder()
+            .head(vec![var("x"), var("z")])
+            .atom("R", vec![var("x"), var("y")])
+            .atom("S", vec![var("y"), var("z")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn join_produces_expected_rows() {
+        let out = eval_cq(&db(), &cq_join()).unwrap();
+        let mut rows = out.sorted_tuples();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                Tuple::ints([1, 10]),
+                Tuple::ints([2, 20]),
+                Tuple::ints([2, 30]),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        // Q(x) :- R(x, y), y >= 3
+        let q = ConjunctiveQuery::builder()
+            .head(vec![var("x")])
+            .atom("R", vec![var("x"), var("y")])
+            .cmp(var("y"), CmpOp::Ge, cnst(3))
+            .build()
+            .unwrap();
+        let out = eval_cq(&db(), &q).unwrap();
+        assert_eq!(out.sorted_tuples(), vec![Tuple::ints([2]), Tuple::ints([3])]);
+    }
+
+    #[test]
+    fn repeated_variables_unify() {
+        // Q(x) :- R(x, x) — empty on our data
+        let q = ConjunctiveQuery::builder()
+            .head(vec![var("x")])
+            .atom("R", vec![var("x"), var("x")])
+            .build()
+            .unwrap();
+        assert!(eval_cq(&db(), &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn constants_in_atoms_select() {
+        // Q(z) :- S(3, z)
+        let q = ConjunctiveQuery::builder()
+            .head(vec![var("z")])
+            .atom("S", vec![cnst(3), var("z")])
+            .build()
+            .unwrap();
+        let out = eval_cq(&db(), &q).unwrap();
+        assert_eq!(out.sorted_tuples(), vec![Tuple::ints([20]), Tuple::ints([30])]);
+    }
+
+    #[test]
+    fn variable_to_variable_comparison() {
+        // Q(x, z) :- R(x, y), S(y, z), z > x
+        let q = ConjunctiveQuery::builder()
+            .head(vec![var("x"), var("z")])
+            .atom("R", vec![var("x"), var("y")])
+            .atom("S", vec![var("y"), var("z")])
+            .cmp(var("z"), CmpOp::Gt, var("x"))
+            .build()
+            .unwrap();
+        let out = eval_cq(&db(), &q).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn contains_finds_member_and_rejects_nonmember() {
+        let q = cq_join();
+        assert!(cq_contains(&db(), &q, &Tuple::ints([2, 30])).unwrap());
+        assert!(!cq_contains(&db(), &q, &Tuple::ints([1, 30])).unwrap());
+    }
+
+    #[test]
+    fn contains_with_constant_head() {
+        // Q(1, z) :- S(3, z)
+        let q = ConjunctiveQuery::builder()
+            .head(vec![cnst(1), var("z")])
+            .atom("S", vec![cnst(3), var("z")])
+            .build()
+            .unwrap();
+        assert!(cq_contains(&db(), &q, &Tuple::ints([1, 20])).unwrap());
+        assert!(!cq_contains(&db(), &q, &Tuple::ints([2, 20])).unwrap());
+    }
+
+    #[test]
+    fn contains_with_repeated_head_var() {
+        // Q(x, x) :- R(x, y)
+        let q = ConjunctiveQuery::builder()
+            .head(vec![var("x"), var("x")])
+            .atom("R", vec![var("x"), var("y")])
+            .build()
+            .unwrap();
+        assert!(cq_contains(&db(), &q, &Tuple::ints([1, 1])).unwrap());
+        assert!(!cq_contains(&db(), &q, &Tuple::ints([1, 2])).unwrap());
+    }
+
+    #[test]
+    fn cartesian_product() {
+        // Q(x, y2) :- R(x, y), R(x2, y2) — 9 combinations projected to (x, y2)
+        let q = ConjunctiveQuery::builder()
+            .head(vec![var("x"), var("y2")])
+            .atom("R", vec![var("x"), var("y")])
+            .atom("R", vec![var("x2"), var("y2")])
+            .build()
+            .unwrap();
+        let out = eval_cq(&db(), &q).unwrap();
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn unknown_relation_is_error() {
+        let q = ConjunctiveQuery::builder()
+            .head(vec![var("x")])
+            .atom("Nope", vec![var("x")])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            eval_cq(&db(), &q),
+            Err(Error::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn atom_arity_mismatch_is_error() {
+        let q = ConjunctiveQuery::builder()
+            .head(vec![var("x")])
+            .atom("R", vec![var("x")])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            eval_cq(&db(), &q),
+            Err(Error::ArityMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,827 @@
+//! Bottom-up first-order evaluation over binding tables, with
+//! active-domain semantics, plus top-down membership checking.
+//!
+//! Every subformula evaluates to a [`Bindings`]: the set of assignments to
+//! its free variables that satisfy it. Negation complements against
+//! `adom^|vars|`; `∀x̄ φ` is rewritten to `¬∃x̄ ¬φ`. This is the textbook
+//! active-domain evaluation whose combined complexity is PSPACE-complete
+//! (Vardi 1982) and whose data complexity for a fixed query is polynomial —
+//! the pair of facts the paper's FO rows in Table I inherit.
+
+use crate::database::Database;
+use crate::query::{Atom, Comparison, FoQuery, Formula, Term, Var};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::{Error, Result};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A set of assignments over a fixed, sorted list of variables.
+#[derive(Clone, Debug)]
+pub(crate) struct Bindings {
+    /// The variables covered, sorted ascending.
+    vars: Vec<Var>,
+    /// Satisfying rows; `rows[i][j]` is the value of `vars[j]`.
+    rows: HashSet<Box<[Value]>>,
+}
+
+impl Bindings {
+    /// The unit table: no variables, one (empty) satisfying row — "true".
+    fn unit() -> Self {
+        let mut rows = HashSet::new();
+        rows.insert(Vec::new().into_boxed_slice());
+        Bindings {
+            vars: Vec::new(),
+            rows,
+        }
+    }
+
+    /// No satisfying rows over the given variables — "false".
+    fn none(vars: Vec<Var>) -> Self {
+        Bindings {
+            vars,
+            rows: HashSet::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn position(&self, v: &Var) -> Option<usize> {
+        self.vars.binary_search(v).ok()
+    }
+
+    /// Natural join with another binding table.
+    fn join(&self, other: &Bindings) -> Bindings {
+        // Output variables: sorted union.
+        let out_vars: Vec<Var> = {
+            let mut s: BTreeSet<Var> = self.vars.iter().cloned().collect();
+            s.extend(other.vars.iter().cloned());
+            s.into_iter().collect()
+        };
+        // Shared variables and their positions in both inputs.
+        let shared: Vec<(usize, usize)> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.position(v).map(|j| (i, j)))
+            .collect();
+        // Build hash index on the smaller side keyed by shared values.
+        let (build, probe, build_is_self) = if self.rows.len() <= other.rows.len() {
+            (self, other, true)
+        } else {
+            (other, self, false)
+        };
+        let build_key_pos: Vec<usize> = shared
+            .iter()
+            .map(|&(i, j)| if build_is_self { i } else { j })
+            .collect();
+        let probe_key_pos: Vec<usize> = shared
+            .iter()
+            .map(|&(i, j)| if build_is_self { j } else { i })
+            .collect();
+        let mut index: HashMap<Vec<Value>, Vec<&Box<[Value]>>> = HashMap::new();
+        for row in &build.rows {
+            let key: Vec<Value> = build_key_pos.iter().map(|&p| row[p].clone()).collect();
+            index.entry(key).or_default().push(row);
+        }
+        // Precompute, for each output var, where to fetch it from.
+        enum Src {
+            Probe(usize),
+            Build(usize),
+        }
+        let srcs: Vec<Src> = out_vars
+            .iter()
+            .map(|v| {
+                if let Some(p) = probe.position(v) {
+                    Src::Probe(p)
+                } else {
+                    Src::Build(build.position(v).expect("var in union"))
+                }
+            })
+            .collect();
+        let mut rows = HashSet::new();
+        for prow in &probe.rows {
+            let key: Vec<Value> = probe_key_pos.iter().map(|&p| prow[p].clone()).collect();
+            if let Some(matches) = index.get(&key) {
+                for brow in matches {
+                    let out: Box<[Value]> = srcs
+                        .iter()
+                        .map(|s| match s {
+                            Src::Probe(p) => prow[*p].clone(),
+                            Src::Build(p) => brow[*p].clone(),
+                        })
+                        .collect();
+                    rows.insert(out);
+                }
+            }
+        }
+        Bindings {
+            vars: out_vars,
+            rows,
+        }
+    }
+
+    /// Complements against `adom^|vars|`.
+    fn complement(&self, adom: &[Value]) -> Bindings {
+        let n = self.vars.len();
+        let mut rows = HashSet::new();
+        if n == 0 {
+            // adom^0 = { () }.
+            let empty: Box<[Value]> = Vec::new().into_boxed_slice();
+            if !self.rows.contains(&empty) {
+                rows.insert(empty);
+            }
+            return Bindings {
+                vars: self.vars.clone(),
+                rows,
+            };
+        }
+        if adom.is_empty() {
+            // adom^n = ∅ for n > 0.
+            return Bindings {
+                vars: self.vars.clone(),
+                rows,
+            };
+        }
+        let mut current = vec![0usize; n];
+        loop {
+            let row: Box<[Value]> = current.iter().map(|&i| adom[i].clone()).collect();
+            if !self.rows.contains(&row) {
+                rows.insert(row);
+            }
+            // Odometer increment; returns once every index combination
+            // has been visited.
+            let mut pos = n;
+            loop {
+                if pos == 0 {
+                    return Bindings {
+                        vars: self.vars.clone(),
+                        rows,
+                    };
+                }
+                pos -= 1;
+                current[pos] += 1;
+                if current[pos] < adom.len() {
+                    break;
+                }
+                current[pos] = 0;
+            }
+        }
+    }
+
+    /// Projects away the given variables (`∃`-quantification).
+    fn project_out(&self, drop: &[Var]) -> Bindings {
+        let keep_idx: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !drop.contains(v))
+            .map(|(i, _)| i)
+            .collect();
+        let vars: Vec<Var> = keep_idx.iter().map(|&i| self.vars[i].clone()).collect();
+        let rows: HashSet<Box<[Value]>> = self
+            .rows
+            .iter()
+            .map(|r| keep_idx.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Bindings { vars, rows }
+    }
+
+    /// Extends the table to cover `target` (a superset of `self.vars`),
+    /// crossing missing variables with the active domain.
+    fn extend_to(&self, target: &[Var], adom: &[Value]) -> Bindings {
+        debug_assert!(self.vars.iter().all(|v| target.contains(v)));
+        let missing: Vec<Var> = target
+            .iter()
+            .filter(|v| self.position(v).is_none())
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            return self.clone();
+        }
+        let mut sorted_target: Vec<Var> = target.to_vec();
+        sorted_target.sort();
+        sorted_target.dedup();
+        let mut result = Bindings::none(sorted_target.clone());
+        if adom.is_empty() {
+            return result;
+        }
+        // For each row, cross with adom^|missing|.
+        let n = missing.len();
+        let src_pos: Vec<Option<usize>> = sorted_target
+            .iter()
+            .map(|v| self.position(v))
+            .collect();
+        let missing_pos: Vec<usize> = sorted_target
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| self.position(v).is_none())
+            .map(|(i, _)| i)
+            .collect();
+        for row in &self.rows {
+            let mut counters = vec![0usize; n];
+            loop {
+                let mut out: Vec<Value> = Vec::with_capacity(sorted_target.len());
+                for (i, sp) in src_pos.iter().enumerate() {
+                    match sp {
+                        Some(p) => out.push(row[*p].clone()),
+                        None => {
+                            let mi = missing_pos.iter().position(|&mp| mp == i).unwrap();
+                            out.push(adom[counters[mi]].clone());
+                        }
+                    }
+                }
+                result.rows.insert(out.into_boxed_slice());
+                // Odometer over the missing variables.
+                let mut pos = n;
+                let mut done = false;
+                loop {
+                    if pos == 0 {
+                        done = true;
+                        break;
+                    }
+                    pos -= 1;
+                    counters[pos] += 1;
+                    if counters[pos] < adom.len() {
+                        break;
+                    }
+                    counters[pos] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        result
+    }
+
+    /// In-place union; `other` must have the same variable list.
+    fn union(&mut self, other: Bindings) {
+        debug_assert_eq!(self.vars, other.vars);
+        self.rows.extend(other.rows);
+    }
+
+    /// Filters rows by a comparison whose variables are covered here.
+    fn filter_cmp(&mut self, c: &Comparison) {
+        let pos = |t: &Term| -> Option<usize> {
+            match t {
+                Term::Var(v) => self.vars.binary_search(v).ok(),
+                Term::Const(_) => None,
+            }
+        };
+        let lp = pos(&c.lhs);
+        let rp = pos(&c.rhs);
+        self.rows.retain(|row| {
+            let l = match (&c.lhs, lp) {
+                (Term::Const(v), _) => v,
+                (_, Some(p)) => &row[p],
+                _ => unreachable!("filter_cmp requires covered variables"),
+            };
+            let r = match (&c.rhs, rp) {
+                (Term::Const(v), _) => v,
+                (_, Some(p)) => &row[p],
+                _ => unreachable!("filter_cmp requires covered variables"),
+            };
+            c.op.eval(l, r)
+        });
+    }
+}
+
+/// Evaluates a formula to the set of satisfying assignments over its free
+/// variables.
+fn eval_formula(db: &Database, adom: &[Value], f: &Formula) -> Result<Bindings> {
+    match f {
+        Formula::Atom(a) => eval_atom(db, a),
+        Formula::Cmp(c) => Ok(eval_cmp(adom, c)),
+        Formula::And(fs) => {
+            // Atoms and complex subformulas first; comparisons are applied
+            // as filters once their variables are covered, materializing
+            // adom-tables only when unavoidable.
+            let mut acc = Bindings::unit();
+            let (cmps, others): (Vec<&Formula>, Vec<&Formula>) =
+                fs.iter().partition(|g| matches!(g, Formula::Cmp(_)));
+            for g in others {
+                let b = eval_formula(db, adom, g)?;
+                acc = acc.join(&b);
+                if acc.is_empty() {
+                    // Short-circuit: the conjunction can no longer be
+                    // satisfied, but we must still return the right
+                    // variable set (sorted, as BTreeSet iteration is).
+                    let vars: Vec<Var> = f.free_vars().into_iter().collect();
+                    return Ok(Bindings::none(vars));
+                }
+            }
+            for g in cmps {
+                if let Formula::Cmp(c) = g {
+                    let cv = c.variables();
+                    if cv.iter().all(|v| acc.position(v).is_some()) {
+                        acc.filter_cmp(c);
+                    } else {
+                        acc = acc.join(&eval_cmp(adom, c));
+                    }
+                }
+            }
+            Ok(acc)
+        }
+        Formula::Or(fs) => {
+            let all_vars: Vec<Var> = f.free_vars().into_iter().collect();
+            let mut acc = Bindings::none(all_vars.clone());
+            for g in fs {
+                let b = eval_formula(db, adom, g)?;
+                acc.union(b.extend_to(&all_vars, adom));
+            }
+            Ok(acc)
+        }
+        Formula::Not(g) => {
+            // Double-negation elimination. This matters beyond aesthetics:
+            // the ∀ → ¬∃¬ rewrite below would otherwise complement the
+            // *inner* formula over adom^|free vars| — e.g. the paper's Q0
+            // (Example 3.1) has a ∀ over eight variables guarding a
+            // negation, and the narrow outer complement is the difference
+            // between adom¹ and adom⁹ work.
+            if let Formula::Not(h) = &**g {
+                return eval_formula(db, adom, h);
+            }
+            let b = eval_formula(db, adom, g)?;
+            Ok(b.complement(adom))
+        }
+        Formula::Exists(vs, g) => {
+            let b = eval_formula(db, adom, g)?;
+            let projected = b.project_out(vs);
+            if adom.is_empty() {
+                // ∃ over an empty domain is unsatisfiable.
+                return Ok(Bindings::none(projected.vars));
+            }
+            Ok(projected)
+        }
+        Formula::Forall(vs, g) => {
+            // ∀x̄ φ ≡ ¬∃x̄ ¬φ under active-domain semantics.
+            let rewritten = Formula::not(Formula::exists(
+                vs.clone(),
+                Formula::not((**g).clone()),
+            ));
+            eval_formula(db, adom, &rewritten)
+        }
+    }
+}
+
+fn eval_atom(db: &Database, a: &Atom) -> Result<Bindings> {
+    let rel = db.relation(&a.relation)?;
+    if rel.arity() != a.terms.len() {
+        return Err(Error::ArityMismatch {
+            relation: a.relation.clone(),
+            expected: rel.arity(),
+            found: a.terms.len(),
+        });
+    }
+    let mut vars: Vec<Var> = a.variables();
+    vars.sort();
+    vars.dedup();
+    let mut rows = HashSet::new();
+    'tuples: for t in rel {
+        let mut row: Vec<Option<Value>> = vec![None; vars.len()];
+        for (term, val) in a.terms.iter().zip(t.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != val {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => {
+                    let p = vars.binary_search(v).expect("var collected");
+                    match &row[p] {
+                        Some(prev) => {
+                            if prev != val {
+                                continue 'tuples;
+                            }
+                        }
+                        None => row[p] = Some(val.clone()),
+                    }
+                }
+            }
+        }
+        rows.insert(
+            row.into_iter()
+                .map(|v| v.expect("all atom vars bound"))
+                .collect::<Box<[Value]>>(),
+        );
+    }
+    Ok(Bindings { vars, rows })
+}
+
+fn eval_cmp(adom: &[Value], c: &Comparison) -> Bindings {
+    let mut vars = c.variables();
+    vars.sort();
+    vars.dedup();
+    match vars.len() {
+        0 => {
+            let l = c.lhs.as_const().expect("no vars");
+            let r = c.rhs.as_const().expect("no vars");
+            if c.op.eval(l, r) {
+                Bindings::unit()
+            } else {
+                Bindings::none(vec![])
+            }
+        }
+        1 => {
+            let mut rows = HashSet::new();
+            for v in adom {
+                let l = match &c.lhs {
+                    Term::Const(x) => x,
+                    Term::Var(_) => v,
+                };
+                let r = match &c.rhs {
+                    Term::Const(x) => x,
+                    Term::Var(_) => v,
+                };
+                if c.op.eval(l, r) {
+                    rows.insert(vec![v.clone()].into_boxed_slice());
+                }
+            }
+            Bindings { vars, rows }
+        }
+        2 => {
+            // Two distinct variables: materialize satisfying pairs over
+            // adom² (vars are in sorted order).
+            let lv = c.lhs.as_var().expect("two vars");
+            let mut rows = HashSet::new();
+            let lhs_first = vars[0] == *lv;
+            for a in adom {
+                for b in adom {
+                    // row = [vars[0] := a, vars[1] := b]
+                    let (l, r) = if lhs_first { (a, b) } else { (b, a) };
+                    if c.op.eval(l, r) {
+                        rows.insert(vec![a.clone(), b.clone()].into_boxed_slice());
+                    }
+                }
+            }
+            Bindings { vars, rows }
+        }
+        _ => unreachable!("a comparison has at most two variables"),
+    }
+}
+
+/// Evaluates an FO query to its result relation.
+pub(crate) fn eval_fo_query(db: &Database, adom: &[Value], q: &FoQuery) -> Result<Relation> {
+    let body = eval_formula(db, adom, q.body())?;
+    let mut head_sorted: Vec<Var> = q.head().to_vec();
+    head_sorted.sort();
+    let full = body.extend_to(&head_sorted, adom);
+    // Reorder each row from sorted-var order to head order.
+    let perm: Vec<usize> = q
+        .head()
+        .iter()
+        .map(|v| full.position(v).expect("head covered"))
+        .collect();
+    let mut out = Relation::with_arity("Q", q.head().len());
+    for row in &full.rows {
+        let t: Tuple = perm.iter().map(|&i| row[i].clone()).collect();
+        out.insert(t)?;
+    }
+    Ok(out)
+}
+
+/// Decides `t ∈ Q(D)` top-down (polynomial space in the query size): bind
+/// the head to `t`, then model-check the body with quantifiers ranging
+/// over the active domain.
+pub(crate) fn fo_contains(db: &Database, adom: &[Value], q: &FoQuery, t: &Tuple) -> Result<bool> {
+    let mut env: HashMap<Var, Value> = HashMap::new();
+    for (v, val) in q.head().iter().zip(t.iter()) {
+        env.insert(v.clone(), val.clone());
+    }
+    satisfies(db, adom, q.body(), &mut env)
+}
+
+fn satisfies(
+    db: &Database,
+    adom: &[Value],
+    f: &Formula,
+    env: &mut HashMap<Var, Value>,
+) -> Result<bool> {
+    match f {
+        Formula::Atom(a) => {
+            let rel = db.relation(&a.relation)?;
+            if rel.arity() != a.terms.len() {
+                return Err(Error::ArityMismatch {
+                    relation: a.relation.clone(),
+                    expected: rel.arity(),
+                    found: a.terms.len(),
+                });
+            }
+            let mut vals = Vec::with_capacity(a.terms.len());
+            for term in &a.terms {
+                match term {
+                    Term::Const(c) => vals.push(c.clone()),
+                    Term::Var(v) => match env.get(v) {
+                        Some(val) => vals.push(val.clone()),
+                        None => {
+                            return Err(Error::UnsafeQuery(format!(
+                                "unbound variable {v} during membership check"
+                            )))
+                        }
+                    },
+                }
+            }
+            Ok(rel.contains(&Tuple::new(vals)))
+        }
+        Formula::Cmp(c) => {
+            let get = |t: &Term| -> Result<Value> {
+                match t {
+                    Term::Const(v) => Ok(v.clone()),
+                    Term::Var(v) => env.get(v).cloned().ok_or_else(|| {
+                        Error::UnsafeQuery(format!(
+                            "unbound variable {v} during membership check"
+                        ))
+                    }),
+                }
+            };
+            let l = get(&c.lhs)?;
+            let r = get(&c.rhs)?;
+            Ok(c.op.eval(&l, &r))
+        }
+        Formula::Not(g) => Ok(!satisfies(db, adom, g, env)?),
+        Formula::And(fs) => {
+            for g in fs {
+                if !satisfies(db, adom, g, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(fs) => {
+            for g in fs {
+                if satisfies(db, adom, g, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Exists(vs, g) => quantify(db, adom, vs, g, env, false),
+        Formula::Forall(vs, g) => quantify(db, adom, vs, g, env, true),
+    }
+}
+
+/// Iterates assignments of `vs` over the active domain. With
+/// `universal = false` returns true iff some assignment satisfies `g`;
+/// with `universal = true` iff all do.
+fn quantify(
+    db: &Database,
+    adom: &[Value],
+    vs: &[Var],
+    g: &Formula,
+    env: &mut HashMap<Var, Value>,
+    universal: bool,
+) -> Result<bool> {
+    fn rec(
+        db: &Database,
+        adom: &[Value],
+        vs: &[Var],
+        g: &Formula,
+        env: &mut HashMap<Var, Value>,
+        universal: bool,
+        i: usize,
+    ) -> Result<bool> {
+        if i == vs.len() {
+            return satisfies(db, adom, g, env);
+        }
+        // Shadowing: remember any outer binding of this variable.
+        let outer = env.get(&vs[i]).cloned();
+        for val in adom {
+            env.insert(vs[i].clone(), val.clone());
+            let sat = rec(db, adom, vs, g, env, universal, i + 1)?;
+            if sat != universal {
+                restore(env, &vs[i], outer);
+                return Ok(!universal);
+            }
+        }
+        restore(env, &vs[i], outer);
+        Ok(universal)
+    }
+    fn restore(env: &mut HashMap<Var, Value>, v: &Var, outer: Option<Value>) {
+        match outer {
+            Some(val) => {
+                env.insert(v.clone(), val);
+            }
+            None => {
+                env.remove(v);
+            }
+        }
+    }
+    rec(db, adom, vs, g, env, universal, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{cnst, var, CmpOp, Query};
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    /// R = {1, 2, 3}, S = {2, 3}, E(x,y) edges of a small graph.
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("R", &["x"]).unwrap();
+        db.create_relation("S", &["x"]).unwrap();
+        db.create_relation("E", &["x", "y"]).unwrap();
+        for i in 1..=3 {
+            db.insert("R", vec![Value::int(i)]).unwrap();
+        }
+        for i in 2..=3 {
+            db.insert("S", vec![Value::int(i)]).unwrap();
+        }
+        for (a, b) in [(1, 2), (2, 3)] {
+            db.insert("E", vec![Value::int(a), Value::int(b)]).unwrap();
+        }
+        db
+    }
+
+    fn adom(db: &Database) -> Vec<Value> {
+        db.active_domain()
+    }
+
+    fn eval(db: &Database, q: &FoQuery) -> Relation {
+        let full: Query = q.clone().into();
+        let ad = crate::adom::active_domain(db, &full);
+        eval_fo_query(db, &ad, q).unwrap()
+    }
+
+    #[test]
+    fn negation_via_difference() {
+        // Q(x) := R(x) & !S(x)  →  {1}
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::and(vec![
+                Formula::atom("R", vec![var("x")]),
+                Formula::not(Formula::atom("S", vec![var("x")])),
+            ]),
+        );
+        let d = db();
+        assert_eq!(eval(&d, &q).sorted_tuples(), vec![Tuple::ints([1])]);
+    }
+
+    #[test]
+    fn exists_projects() {
+        // Q(x) := exists y. E(x, y)  →  {1, 2}
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::exists(vec![v("y")], Formula::atom("E", vec![var("x"), var("y")])),
+        );
+        let d = db();
+        assert_eq!(
+            eval(&d, &q).sorted_tuples(),
+            vec![Tuple::ints([1]), Tuple::ints([2])]
+        );
+    }
+
+    #[test]
+    fn forall_over_active_domain() {
+        // Q(x) := R(x) & forall y. (S(y) -> y >= x)
+        // x=1: all of {2,3} ≥ 1 ✓; x=2: ✓; x=3: S(2) has 2 < 3 ✗.
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::and(vec![
+                Formula::atom("R", vec![var("x")]),
+                Formula::forall(
+                    vec![v("y")],
+                    Formula::implies(
+                        Formula::atom("S", vec![var("y")]),
+                        Formula::cmp(var("y"), CmpOp::Ge, var("x")),
+                    ),
+                ),
+            ]),
+        );
+        let d = db();
+        assert_eq!(
+            eval(&d, &q).sorted_tuples(),
+            vec![Tuple::ints([1]), Tuple::ints([2])]
+        );
+    }
+
+    #[test]
+    fn disjunction_extends_variables() {
+        // Q(x) := S(x) | x = 1  →  {1, 2, 3}
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::or(vec![
+                Formula::atom("S", vec![var("x")]),
+                Formula::cmp(var("x"), CmpOp::Eq, cnst(1)),
+            ]),
+        );
+        let d = db();
+        assert_eq!(eval(&d, &q).len(), 3);
+    }
+
+    #[test]
+    fn unconstrained_head_ranges_over_adom() {
+        // Q(x, y) := R(x) — y free-floating over adom (3 values + none from query)
+        let q = FoQuery::new(vec![v("x"), v("y")], Formula::atom("R", vec![var("x")]));
+        let d = db();
+        assert_eq!(eval(&d, &q).len(), 9);
+    }
+
+    #[test]
+    fn comparison_only_conjunction() {
+        // Q(x) := x >= 2 & x <= 3 — over adom {1,2,3}
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::and(vec![
+                Formula::cmp(var("x"), CmpOp::Ge, cnst(2)),
+                Formula::cmp(var("x"), CmpOp::Le, cnst(3)),
+            ]),
+        );
+        let d = db();
+        assert_eq!(
+            eval(&d, &q).sorted_tuples(),
+            vec![Tuple::ints([2]), Tuple::ints([3])]
+        );
+    }
+
+    #[test]
+    fn two_variable_comparison_table() {
+        let d = db();
+        let c = Comparison::new(var("x"), CmpOp::Lt, var("y"));
+        let b = eval_cmp(&adom(&d), &c);
+        assert_eq!(b.rows.len(), 3); // (1,2) (1,3) (2,3)
+    }
+
+    #[test]
+    fn membership_agrees_with_evaluation() {
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::and(vec![
+                Formula::atom("R", vec![var("x")]),
+                Formula::not(Formula::atom("S", vec![var("x")])),
+            ]),
+        );
+        let d = db();
+        let full: Query = q.clone().into();
+        let ad = crate::adom::active_domain(&d, &full);
+        let result = eval(&d, &q);
+        for i in 1..=3 {
+            let t = Tuple::ints([i]);
+            assert_eq!(
+                fo_contains(&d, &ad, &q, &t).unwrap(),
+                result.contains(&t),
+                "membership mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantifier_shadowing_in_membership() {
+        // Q(x) := R(x) & exists x. S(x) — inner x shadows outer.
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::and(vec![
+                Formula::atom("R", vec![var("x")]),
+                Formula::exists(vec![v("x")], Formula::atom("S", vec![var("x")])),
+            ]),
+        );
+        let d = db();
+        let full: Query = q.clone().into();
+        let ad = crate::adom::active_domain(&d, &full);
+        assert!(fo_contains(&d, &ad, &q, &Tuple::ints([1])).unwrap());
+    }
+
+    #[test]
+    fn complement_of_unit_is_false() {
+        let b = Bindings::unit();
+        let c = b.complement(&[Value::int(1)]);
+        assert!(c.is_empty());
+        let cc = c.complement(&[Value::int(1)]);
+        assert!(!cc.is_empty());
+    }
+
+    #[test]
+    fn empty_adom_quantifiers() {
+        // ∃x (x = x) over an empty database is false; ∀x (x != x) is true.
+        let d = Database::new();
+        let exists_q = Formula::exists(vec![v("x")], Formula::cmp(var("x"), CmpOp::Eq, var("x")));
+        let forall_q = Formula::forall(vec![v("x")], Formula::cmp(var("x"), CmpOp::Ne, var("x")));
+        let b = eval_formula(&d, &[], &exists_q).unwrap();
+        assert!(b.is_empty());
+        let b2 = eval_formula(&d, &[], &forall_q).unwrap();
+        assert!(!b2.is_empty());
+    }
+
+    #[test]
+    fn join_on_disjoint_vars_is_cross_product() {
+        let d = db();
+        let a = eval_atom(&d, &Atom::new("R", vec![var("x")])).unwrap();
+        let b = eval_atom(&d, &Atom::new("S", vec![var("y")])).unwrap();
+        let j = a.join(&b);
+        assert_eq!(j.rows.len(), 6);
+    }
+
+    #[test]
+    fn atom_with_repeated_vars() {
+        let mut d = db();
+        d.insert("E", vec![Value::int(5), Value::int(5)]).unwrap();
+        let b = eval_atom(&d, &Atom::new("E", vec![var("x"), var("x")])).unwrap();
+        assert_eq!(b.rows.len(), 1);
+    }
+}

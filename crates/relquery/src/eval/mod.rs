@@ -1,0 +1,133 @@
+//! Query evaluation.
+//!
+//! * `CQ`/`UCQ`: backtracking multiway join with eager application of
+//!   comparison predicates (`cq_eval`).
+//! * `∃FO⁺`/`FO`: bottom-up evaluation over *binding tables* with
+//!   active-domain semantics (`fo_eval`) — negation complements against
+//!   `adom^|vars|`, `∀` is rewritten to `¬∃¬`.
+//! * Membership `t ∈ Q(D)`: decided without materializing `Q(D)`
+//!   (top-down model checking for FO; head-seeded join search for CQ) —
+//!   the key subroutine of the paper's NP/PSPACE upper-bound algorithms.
+
+mod cq_eval;
+mod fo_eval;
+
+use crate::adom::active_domain;
+use crate::database::Database;
+use crate::query::Query;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// Evaluates `Q(D)` under set semantics. The result relation is named `Q`.
+pub fn eval_query(db: &Database, query: &Query) -> Result<Relation> {
+    query.validate()?;
+    match query {
+        Query::Identity(r) => {
+            let src = db.relation(r)?;
+            let mut out = Relation::with_arity("Q", src.arity());
+            for t in src {
+                out.insert(t.clone())?;
+            }
+            Ok(out)
+        }
+        Query::Cq(cq) => cq_eval::eval_cq(db, cq),
+        Query::Ucq(ucq) => {
+            let mut out = Relation::with_arity("Q", ucq.arity());
+            for d in ucq.disjuncts() {
+                for t in cq_eval::eval_cq(db, d)?.tuples() {
+                    out.insert(t.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        Query::Fo(fq) => {
+            let adom = active_domain(db, query);
+            fo_eval::eval_fo_query(db, &adom, fq)
+        }
+    }
+}
+
+/// Decides `t ∈ Q(D)` without computing all of `Q(D)`.
+pub fn query_contains(db: &Database, query: &Query, t: &Tuple) -> Result<bool> {
+    query.validate()?;
+    match query {
+        Query::Identity(r) => {
+            let src = db.relation(r)?;
+            Ok(t.arity() == src.arity() && src.contains(t))
+        }
+        Query::Cq(cq) => {
+            if t.arity() != cq.head().len() {
+                return Ok(false);
+            }
+            cq_eval::cq_contains(db, cq, t)
+        }
+        Query::Ucq(ucq) => {
+            if t.arity() != ucq.arity() {
+                return Ok(false);
+            }
+            for d in ucq.disjuncts() {
+                if cq_eval::cq_contains(db, d, t)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Query::Fo(fq) => {
+            if t.arity() != fq.head().len() {
+                return Ok(false);
+            }
+            let adom = active_domain(db, query);
+            // Under active-domain semantics every output value comes from
+            // the active domain; anything else cannot be in Q(D).
+            if t.iter().any(|v| adom.binary_search(v).is_err()) {
+                return Ok(false);
+            }
+            fo_eval::fo_contains(db, &adom, fq, t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{var, ConjunctiveQuery, Query};
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("R", &["x", "y"]).unwrap();
+        db.insert("R", vec![Value::int(1), Value::int(2)]).unwrap();
+        db.insert("R", vec![Value::int(2), Value::int(3)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn identity_eval_copies_relation() {
+        let d = db();
+        let out = eval_query(&d, &Query::identity("R")).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.set_eq(d.relation("R").unwrap()));
+    }
+
+    #[test]
+    fn identity_contains() {
+        let d = db();
+        let q = Query::identity("R");
+        assert!(query_contains(&d, &q, &Tuple::ints([1, 2])).unwrap());
+        assert!(!query_contains(&d, &q, &Tuple::ints([9, 9])).unwrap());
+        assert!(!query_contains(&d, &q, &Tuple::ints([1])).unwrap());
+    }
+
+    #[test]
+    fn contains_arity_mismatch_is_false() {
+        let d = db();
+        let q: Query = ConjunctiveQuery::builder()
+            .head(vec![var("x")])
+            .atom("R", vec![var("x"), var("y")])
+            .build()
+            .unwrap()
+            .into();
+        assert!(!query_contains(&d, &q, &Tuple::ints([1, 2])).unwrap());
+    }
+}

@@ -1,0 +1,106 @@
+//! # divr-relquery — in-memory relational query substrate
+//!
+//! This crate implements the relational machinery that the paper
+//! *On the Complexity of Query Result Diversification* (Deng & Fan,
+//! VLDB 2013 / TODS 2014) assumes as its substrate:
+//!
+//! * a data model of [`Value`]s, [`Tuple`]s, [`Relation`]s and
+//!   [`Database`]s with **set semantics** (Section 3 of the paper),
+//! * the four query languages of Section 4 — conjunctive queries
+//!   ([`ConjunctiveQuery`], `CQ`), unions of conjunctive queries
+//!   ([`UnionQuery`], `UCQ`), positive existential first-order queries
+//!   (`∃FO⁺`) and full first-order queries ([`FoQuery`], `FO`) — all with
+//!   the built-in predicates `=, ≠, <, ≤, >, ≥`, plus identity queries,
+//! * query evaluation `Q(D)` with **active-domain semantics** (polynomial
+//!   data complexity for fixed queries, exponential combined complexity —
+//!   exactly the asymmetry Table I of the paper is about),
+//! * membership checks `t ∈ Q(D)` that do *not* materialize `Q(D)`
+//!   (the paper's PSPACE guess-and-check upper bounds rely on this), and
+//! * a small text syntax for queries ([`parser`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use divr_relquery::{Database, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_relation("likes", &["person", "item"]).unwrap();
+//! db.insert("likes", vec![Value::str("ann"), Value::str("book")]).unwrap();
+//! db.insert("likes", vec![Value::str("bob"), Value::str("game")]).unwrap();
+//!
+//! let q = divr_relquery::parser::parse_query("Q(x) :- likes(x, 'book')").unwrap();
+//! let out = q.eval(&db).unwrap();
+//! assert_eq!(out.len(), 1);
+//! ```
+
+pub mod adom;
+pub mod database;
+pub mod eval;
+pub mod parser;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use database::Database;
+pub use query::{
+    Atom, CmpOp, Comparison, ConjunctiveQuery, FoQuery, Formula, Query, QueryLanguage, Term,
+    UnionQuery, Var,
+};
+pub use relation::Relation;
+pub use schema::RelationSchema;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Errors produced by schema operations, query validation and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A relation referenced by a query or insert does not exist.
+    UnknownRelation(String),
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// A tuple's arity does not match the relation schema.
+    ArityMismatch {
+        /// The relation involved.
+        relation: String,
+        /// Arity required by the schema.
+        expected: usize,
+        /// Arity that was supplied.
+        found: usize,
+    },
+    /// A query is not *safe*: a head variable or comparison variable is not
+    /// bound by any relation atom (CQ/UCQ), or a body free variable does not
+    /// appear in the head (FO).
+    UnsafeQuery(String),
+    /// A query failed structural validation (e.g. a UCQ whose disjuncts have
+    /// different head arities).
+    MalformedQuery(String),
+    /// Text could not be parsed as a query.
+    Parse(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            Error::DuplicateRelation(r) => write!(f, "relation `{r}` already exists"),
+            Error::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: expected {expected}, found {found}"
+            ),
+            Error::UnsafeQuery(m) => write!(f, "unsafe query: {m}"),
+            Error::MalformedQuery(m) => write!(f, "malformed query: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

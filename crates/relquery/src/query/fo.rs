@@ -1,0 +1,415 @@
+//! First-order queries (`FO`) and their positive-existential fragment
+//! (`∃FO⁺`).
+//!
+//! Formulas are built from relation atoms and comparisons using `∧`, `∨`,
+//! `¬`, `∃` and `∀` (paper, Section 4.1). Quantifiers range over the
+//! **active domain** (constants of `D` and `Q`) — the standard semantics
+//! for which FO query evaluation is PSPACE-complete in combined complexity
+//! and polynomial for a fixed query, the split Table I of the paper builds
+//! on.
+
+use super::{Atom, Comparison, Term, Var};
+use crate::value::Value;
+use crate::{Error, Result};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order formula over relation atoms and comparisons.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// A relation atom `R(t̄)`.
+    Atom(Atom),
+    /// A comparison `t1 op t2`.
+    Cmp(Comparison),
+    /// Negation `¬φ`.
+    Not(Box<Formula>),
+    /// Conjunction `φ1 ∧ ... ∧ φn` (n ≥ 1).
+    And(Vec<Formula>),
+    /// Disjunction `φ1 ∨ ... ∨ φn` (n ≥ 1).
+    Or(Vec<Formula>),
+    /// Existential quantification `∃ x̄ φ`.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification `∀ x̄ φ`.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// Convenience: an atom formula.
+    pub fn atom(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Formula::Atom(Atom::new(relation, terms))
+    }
+
+    /// Convenience: a comparison formula.
+    pub fn cmp(lhs: Term, op: super::CmpOp, rhs: Term) -> Self {
+        Formula::Cmp(Comparison::new(lhs, op, rhs))
+    }
+
+    /// Convenience: negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Self {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Convenience: conjunction of two formulas (flattens nested `And`s).
+    pub fn and(fs: Vec<Formula>) -> Self {
+        let mut flat = Vec::with_capacity(fs.len());
+        for f in fs {
+            match f {
+                Formula::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        Formula::And(flat)
+    }
+
+    /// Convenience: disjunction (flattens nested `Or`s).
+    pub fn or(fs: Vec<Formula>) -> Self {
+        let mut flat = Vec::with_capacity(fs.len());
+        for f in fs {
+            match f {
+                Formula::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        Formula::Or(flat)
+    }
+
+    /// Convenience: `∃ x̄ φ`.
+    pub fn exists(vars: Vec<Var>, f: Formula) -> Self {
+        Formula::Exists(vars, Box::new(f))
+    }
+
+    /// Convenience: `∀ x̄ φ`.
+    pub fn forall(vars: Vec<Var>, f: Formula) -> Self {
+        Formula::Forall(vars, Box::new(f))
+    }
+
+    /// Convenience: implication `φ → ψ ≡ ¬φ ∨ ψ`.
+    pub fn implies(premise: Formula, conclusion: Formula) -> Self {
+        Formula::or(vec![Formula::not(premise), conclusion])
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut out, &mut BTreeSet::new());
+        out
+    }
+
+    fn collect_free(&self, out: &mut BTreeSet<Var>, bound: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Atom(a) => {
+                for v in a.variables() {
+                    if !bound.contains(&v) {
+                        out.insert(v);
+                    }
+                }
+            }
+            Formula::Cmp(c) => {
+                for v in c.variables() {
+                    if !bound.contains(&v) {
+                        out.insert(v);
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(out, bound),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(out, bound);
+                }
+            }
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let newly: Vec<Var> = vs
+                    .iter()
+                    .filter(|v| bound.insert((*v).clone()))
+                    .cloned()
+                    .collect();
+                f.collect_free(out, bound);
+                for v in newly {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Whether the formula lies in the positive-existential fragment
+    /// (no `¬`, no `∀`) — i.e. whether a query with this body is in
+    /// `∃FO⁺` rather than full `FO`.
+    pub fn is_positive_existential(&self) -> bool {
+        match self {
+            Formula::Atom(_) | Formula::Cmp(_) => true,
+            Formula::Not(_) | Formula::Forall(_, _) => false,
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().all(Formula::is_positive_existential)
+            }
+            Formula::Exists(_, f) => f.is_positive_existential(),
+        }
+    }
+
+    pub(crate) fn collect_constants(&self, out: &mut Vec<Value>) {
+        match self {
+            Formula::Atom(a) => {
+                for t in &a.terms {
+                    if let Term::Const(c) = t {
+                        out.push(c.clone());
+                    }
+                }
+            }
+            Formula::Cmp(c) => {
+                for t in [&c.lhs, &c.rhs] {
+                    if let Term::Const(v) = t {
+                        out.push(v.clone());
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_constants(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_constants(out);
+                }
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.collect_constants(out),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Cmp(c) => write!(f, "{c}"),
+            Formula::Not(inner) => write!(f, "!({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(vs, g) => {
+                write!(f, "exists ")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ". {g}")
+            }
+            Formula::Forall(vs, g) => {
+                write!(f, "forall ")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ". {g}")
+            }
+        }
+    }
+}
+
+/// A first-order query `Q(x̄) = φ(x̄)`: a head variable list plus a body
+/// formula whose free variables are exactly covered by the head.
+///
+/// Head variables not occurring freely in the body range over the active
+/// domain (active-domain semantics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoQuery {
+    head: Vec<Var>,
+    body: Formula,
+}
+
+impl FoQuery {
+    /// Builds an FO query from head variables and a body formula.
+    pub fn new(head: Vec<Var>, body: Formula) -> Self {
+        FoQuery { head, body }
+    }
+
+    /// The head variables.
+    pub fn head(&self) -> &[Var] {
+        &self.head
+    }
+
+    /// The body formula.
+    pub fn body(&self) -> &Formula {
+        &self.body
+    }
+
+    /// Validation: every free variable of the body must appear in the
+    /// head (otherwise the query's output would be underspecified), and
+    /// head variables must be distinct.
+    pub fn validate(&self) -> Result<()> {
+        let mut seen = BTreeSet::new();
+        for v in &self.head {
+            if !seen.insert(v.clone()) {
+                return Err(Error::MalformedQuery(format!(
+                    "duplicate head variable {v}"
+                )));
+            }
+        }
+        for v in self.body.free_vars() {
+            if !seen.contains(&v) {
+                return Err(Error::UnsafeQuery(format!(
+                    "body free variable {v} does not appear in the head"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn collect_constants(&self, out: &mut Vec<Value>) {
+        self.body.collect_constants(out);
+    }
+}
+
+impl fmt::Display for FoQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") := {}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{cnst, var, CmpOp};
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    #[test]
+    fn free_vars_respect_quantifiers() {
+        // exists y. R(x, y) & y < z   — free: {x, z}
+        let f = Formula::exists(
+            vec![v("y")],
+            Formula::and(vec![
+                Formula::atom("R", vec![var("x"), var("y")]),
+                Formula::cmp(var("y"), CmpOp::Lt, var("z")),
+            ]),
+        );
+        let free: Vec<String> = f.free_vars().iter().map(|v| v.name().into()).collect();
+        assert_eq!(free, vec!["x", "z"]);
+    }
+
+    #[test]
+    fn shadowing_quantifier_keeps_outer_free() {
+        // x free in: R(x) & exists x. S(x)
+        let f = Formula::and(vec![
+            Formula::atom("R", vec![var("x")]),
+            Formula::exists(vec![v("x")], Formula::atom("S", vec![var("x")])),
+        ]);
+        assert_eq!(f.free_vars().len(), 1);
+    }
+
+    #[test]
+    fn positive_existential_detection() {
+        let pos = Formula::exists(
+            vec![v("y")],
+            Formula::or(vec![
+                Formula::atom("R", vec![var("y")]),
+                Formula::atom("S", vec![var("y")]),
+            ]),
+        );
+        assert!(pos.is_positive_existential());
+        assert!(!Formula::not(pos.clone()).is_positive_existential());
+        assert!(!Formula::forall(vec![v("z")], pos).is_positive_existential());
+    }
+
+    #[test]
+    fn implies_desugars() {
+        let f = Formula::implies(
+            Formula::atom("R", vec![var("x")]),
+            Formula::atom("S", vec![var("x")]),
+        );
+        assert!(matches!(f, Formula::Or(_)));
+        assert!(!f.is_positive_existential());
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let f = Formula::and(vec![
+            Formula::and(vec![
+                Formula::atom("R", vec![var("x")]),
+                Formula::atom("S", vec![var("x")]),
+            ]),
+            Formula::atom("T", vec![var("x")]),
+        ]);
+        if let Formula::And(fs) = &f {
+            assert_eq!(fs.len(), 3);
+        } else {
+            panic!("expected And");
+        }
+    }
+
+    #[test]
+    fn query_validation_catches_unbound_free_var() {
+        let q = FoQuery::new(vec![v("x")], Formula::atom("R", vec![var("x"), var("y")]));
+        assert!(matches!(q.validate(), Err(Error::UnsafeQuery(_))));
+    }
+
+    #[test]
+    fn query_validation_catches_duplicate_head() {
+        let q = FoQuery::new(
+            vec![v("x"), v("x")],
+            Formula::atom("R", vec![var("x")]),
+        );
+        assert!(matches!(q.validate(), Err(Error::MalformedQuery(_))));
+    }
+
+    #[test]
+    fn valid_query_passes() {
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::exists(vec![v("y")], Formula::atom("R", vec![var("x"), var("y")])),
+        );
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn constants_collected_through_quantifiers() {
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::forall(
+                vec![v("y")],
+                Formula::or(vec![
+                    Formula::cmp(var("y"), CmpOp::Ne, cnst(9)),
+                    Formula::atom("R", vec![var("x"), cnst("c")]),
+                ]),
+            ),
+        );
+        let mut out = Vec::new();
+        q.collect_constants(&mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn display_roundtrippable_shape() {
+        let q = FoQuery::new(
+            vec![v("x")],
+            Formula::exists(vec![v("y")], Formula::atom("R", vec![var("x"), var("y")])),
+        );
+        assert_eq!(q.to_string(), "Q(x) := exists y. R(x, y)");
+    }
+}

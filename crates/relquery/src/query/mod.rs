@@ -1,0 +1,444 @@
+//! Query ASTs for the languages studied in the paper (Section 4.1):
+//! identity queries, `CQ`, `UCQ`, `∃FO⁺` and `FO`, all with the built-in
+//! predicates `=, ≠, <, ≤, >, ≥`.
+
+mod cq;
+mod fo;
+pub mod normalize;
+pub mod tableau;
+
+pub use cq::{ConjunctiveQuery, UnionQuery};
+pub use normalize::ucq_of;
+pub use tableau::{contained_in, equivalent, homomorphism, minimize, ucq_contained_in, Tableau};
+pub use fo::{FoQuery, Formula};
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::{Error, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// A query variable. Cheap to clone (interned name).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// Shorthand for building a [`Term::Var`].
+pub fn var(name: impl AsRef<str>) -> Term {
+    Term::Var(Var::new(name))
+}
+
+/// Shorthand for building a [`Term::Const`].
+pub fn cnst(v: impl Into<Value>) -> Term {
+    Term::Const(v.into())
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable occurrence.
+    Var(Var),
+    /// A constant occurrence.
+    Const(Value),
+}
+
+impl Term {
+    /// Returns the variable, if this term is one.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant, if this term is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The built-in comparison predicates of the paper's query languages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the predicate to two values under the domain's total order.
+    pub fn eval(self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+
+    /// The textual form used by the parser.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// A relation atom `R(t1, ..., tn)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation name.
+    pub relation: String,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// The distinct variables occurring in this atom, in first-occurrence
+    /// order.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut vs = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !vs.contains(v) {
+                    vs.push(v.clone());
+                }
+            }
+        }
+        vs
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A comparison `t1 op t2` between two terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comparison {
+    /// Left-hand term.
+    pub lhs: Term,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Right-hand term.
+    pub rhs: Term,
+}
+
+impl Comparison {
+    /// Builds a comparison.
+    pub fn new(lhs: Term, op: CmpOp, rhs: Term) -> Self {
+        Comparison { lhs, op, rhs }
+    }
+
+    /// The distinct variables of this comparison (0, 1 or 2).
+    pub fn variables(&self) -> Vec<Var> {
+        let mut vs = Vec::new();
+        for t in [&self.lhs, &self.rhs] {
+            if let Term::Var(v) = t {
+                if !vs.contains(v) {
+                    vs.push(v.clone());
+                }
+            }
+        }
+        vs
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// The query-language classes whose diversification complexity the paper
+/// charts (Tables I–III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryLanguage {
+    /// Identity queries `Q(x̄) = R(x̄)` — the setting of all prior work the
+    /// paper compares against (Section 8).
+    Identity,
+    /// Conjunctive queries (SPC).
+    Cq,
+    /// Unions of conjunctive queries (SPCU).
+    Ucq,
+    /// Positive existential FO (`∃FO⁺`).
+    ExistsFoPlus,
+    /// Full first-order logic (relational algebra).
+    Fo,
+}
+
+impl fmt::Display for QueryLanguage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QueryLanguage::Identity => "identity",
+            QueryLanguage::Cq => "CQ",
+            QueryLanguage::Ucq => "UCQ",
+            QueryLanguage::ExistsFoPlus => "∃FO+",
+            QueryLanguage::Fo => "FO",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A query in one of the paper's languages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// The identity query on a named relation: `Q(D) = D.R`.
+    Identity(String),
+    /// A conjunctive query.
+    Cq(ConjunctiveQuery),
+    /// A union of conjunctive queries.
+    Ucq(UnionQuery),
+    /// A first-order query; classified as `∃FO⁺` when its body is
+    /// negation- and `∀`-free, otherwise as `FO`.
+    Fo(FoQuery),
+}
+
+impl Query {
+    /// Builds an identity query on `relation`.
+    pub fn identity(relation: impl Into<String>) -> Self {
+        Query::Identity(relation.into())
+    }
+
+    /// The language this query belongs to (most specific classification).
+    pub fn language(&self) -> QueryLanguage {
+        match self {
+            Query::Identity(_) => QueryLanguage::Identity,
+            Query::Cq(_) => QueryLanguage::Cq,
+            Query::Ucq(_) => QueryLanguage::Ucq,
+            Query::Fo(q) => {
+                if q.body().is_positive_existential() {
+                    QueryLanguage::ExistsFoPlus
+                } else {
+                    QueryLanguage::Fo
+                }
+            }
+        }
+    }
+
+    /// The arity of the query result schema `R_Q`. Identity queries need
+    /// the database to resolve their relation's arity.
+    pub fn arity(&self, db: &Database) -> Result<usize> {
+        match self {
+            Query::Identity(r) => Ok(db.relation(r)?.arity()),
+            Query::Cq(q) => Ok(q.head().len()),
+            Query::Ucq(q) => Ok(q.arity()),
+            Query::Fo(q) => Ok(q.head().len()),
+        }
+    }
+
+    /// Structural validation (safety, arity coherence).
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Query::Identity(_) => Ok(()),
+            Query::Cq(q) => q.validate(),
+            Query::Ucq(q) => q.validate(),
+            Query::Fo(q) => q.validate(),
+        }
+    }
+
+    /// Evaluates the query: computes `Q(D)` under set semantics with
+    /// active-domain quantification.
+    pub fn eval(&self, db: &Database) -> Result<Relation> {
+        crate::eval::eval_query(db, self)
+    }
+
+    /// Decides `t ∈ Q(D)` *without* materializing `Q(D)` — the
+    /// membership-checking step of the paper's guess-and-check upper
+    /// bounds (proofs of Theorems 5.1 and 5.2).
+    pub fn contains(&self, db: &Database, t: &Tuple) -> Result<bool> {
+        crate::eval::query_contains(db, self, t)
+    }
+
+    /// All constants mentioned by the query (they join the database's
+    /// active domain for quantification purposes).
+    pub fn constants(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        match self {
+            Query::Identity(_) => {}
+            Query::Cq(q) => q.collect_constants(&mut out),
+            Query::Ucq(q) => {
+                for d in q.disjuncts() {
+                    d.collect_constants(&mut out);
+                }
+            }
+            Query::Fo(q) => q.collect_constants(&mut out),
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl From<ConjunctiveQuery> for Query {
+    fn from(q: ConjunctiveQuery) -> Self {
+        Query::Cq(q)
+    }
+}
+
+impl From<UnionQuery> for Query {
+    fn from(q: UnionQuery) -> Self {
+        Query::Ucq(q)
+    }
+}
+
+impl From<FoQuery> for Query {
+    fn from(q: FoQuery) -> Self {
+        Query::Fo(q)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Identity(r) => write!(f, "Q(x̄) :- {r}(x̄)"),
+            Query::Cq(q) => write!(f, "{q}"),
+            Query::Ucq(q) => write!(f, "{q}"),
+            Query::Fo(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+/// Fails with [`Error::MalformedQuery`] unless `cond` holds.
+pub(crate) fn ensure(cond: bool, msg: impl FnOnce() -> String) -> Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(Error::MalformedQuery(msg()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_semantics() {
+        let a = Value::int(1);
+        let b = Value::int(2);
+        assert!(CmpOp::Eq.eval(&a, &a));
+        assert!(CmpOp::Ne.eval(&a, &b));
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Le.eval(&a, &a));
+        assert!(CmpOp::Gt.eval(&b, &a));
+        assert!(CmpOp::Ge.eval(&b, &b));
+        assert!(!CmpOp::Lt.eval(&b, &a));
+    }
+
+    #[test]
+    fn atom_variables_dedup_in_order() {
+        let a = Atom::new("R", vec![var("y"), var("x"), var("y"), cnst(3)]);
+        let vs = a.variables();
+        assert_eq!(vs, vec![Var::new("y"), Var::new("x")]);
+    }
+
+    #[test]
+    fn comparison_variables() {
+        let c = Comparison::new(var("x"), CmpOp::Lt, cnst(5));
+        assert_eq!(c.variables(), vec![Var::new("x")]);
+        let c2 = Comparison::new(var("x"), CmpOp::Lt, var("x"));
+        assert_eq!(c2.variables().len(), 1);
+    }
+
+    #[test]
+    fn term_accessors() {
+        assert!(var("x").as_var().is_some());
+        assert!(var("x").as_const().is_none());
+        assert_eq!(cnst(7).as_const(), Some(&Value::int(7)));
+    }
+
+    #[test]
+    fn identity_language() {
+        assert_eq!(Query::identity("R").language(), QueryLanguage::Identity);
+    }
+
+    #[test]
+    fn display_atoms_and_comparisons() {
+        let a = Atom::new("R", vec![var("x"), cnst("v")]);
+        assert_eq!(a.to_string(), "R(x, 'v')");
+        let c = Comparison::new(var("x"), CmpOp::Ge, cnst(2));
+        assert_eq!(c.to_string(), "x >= 2");
+    }
+}

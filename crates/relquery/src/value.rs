@@ -1,0 +1,143 @@
+//! Attribute values.
+//!
+//! The paper's model works over an unspecified, totally ordered domain of
+//! constants with built-in predicates `=, ≠, <, ≤, >, ≥` (Section 4.1).
+//! We realize the domain as the disjoint union of 64-bit integers and
+//! interned strings. A total order across the two sorts (all integers
+//! before all strings) keeps the built-in predicates total, as the paper
+//! requires; well-formed queries compare values of a single sort.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value: an integer or an interned string.
+///
+/// `Value` is cheap to clone (strings are `Arc<str>`), hashable, and
+/// totally ordered (integers sort before strings; within a sort, the
+/// natural order applies).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant (reference-counted; cloning is O(1)).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Value::int(7);
+        assert_eq!(v.as_int(), Some(7));
+        assert_eq!(v.as_str(), None);
+        let w = Value::str("abc");
+        assert_eq!(w.as_str(), Some("abc"));
+        assert_eq!(w.as_int(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("x")), Value::str("x"));
+    }
+
+    #[test]
+    fn total_order_within_sorts() {
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert_eq!(Value::str("a"), Value::str("a"));
+    }
+
+    #[test]
+    fn ints_sort_before_strings() {
+        assert!(Value::int(i64::MAX) < Value::str(""));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(-4).to_string(), "-4");
+        assert_eq!(Value::str("hi").to_string(), "'hi'");
+    }
+
+    #[test]
+    fn hash_eq_consistency() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Value::str("a"));
+        s.insert(Value::str("a"));
+        s.insert(Value::int(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let v = Value::str("a long-ish string value");
+        let w = v.clone();
+        assert_eq!(v, w);
+    }
+}

@@ -1,0 +1,113 @@
+//! The Gollapudi–Sharma axiom profile of the paper's three objectives,
+//! checked empirically on seeded instances.
+//!
+//! G&S characterize diversification objectives by axioms and prove no
+//! function satisfies all of them; the paper's `F_MS`, `F_MM` and
+//! `F_mono` sit at different points of that trade-off, and those
+//! differences are exactly what drives their different complexity
+//! columns in Table I (e.g. `F_mono`'s dependence on tuples outside the
+//! selected set is why it cannot be streamed and why its combined
+//! complexity is PSPACE even for CQ).
+//!
+//! Run with: `cargo run --release --example axiom_profile`
+
+use divr::core::axioms::{
+    independence_of_irrelevant, make_optimal, monotone_in_inputs, scale_invariance,
+    stability_nested, TableInstance,
+};
+use divr::core::prelude::*;
+use divr::core::Ratio;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(seed: u64, n: usize) -> TableInstance {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rels = (0..n).map(|_| Ratio::int(rng.gen_range(0..6))).collect();
+    let dists = (0..n * (n - 1) / 2)
+        .map(|_| Ratio::int(rng.gen_range(0..6)))
+        .collect();
+    TableInstance::new(n, rels, dists, Ratio::new(rng.gen_range(0..=4), 4))
+}
+
+fn verdict(violations: usize, samples: usize) -> String {
+    if violations == 0 {
+        format!("held on all {samples} samples")
+    } else {
+        format!("VIOLATED on {violations}/{samples} samples")
+    }
+}
+
+fn main() {
+    const SAMPLES: u64 = 12;
+    let alphas = [Ratio::new(1, 3), Ratio::int(2), Ratio::int(9)];
+
+    println!("axiom profile over {SAMPLES} seeded instances (n = 6)\n");
+    println!(
+        "{:<34} {:<22} {:<22} {:<22}",
+        "axiom", "F_MS", "F_MM", "F_mono"
+    );
+    println!("{}", "-".repeat(100));
+
+    for (name, check) in [
+        (
+            "scale invariance",
+            Box::new(|inst: &TableInstance, kind: ObjectiveKind| {
+                scale_invariance(inst, kind, &alphas).is_some()
+            }) as Box<dyn Fn(&TableInstance, ObjectiveKind) -> bool>,
+        ),
+        (
+            "monotonicity in inputs",
+            Box::new(|inst: &TableInstance, kind: ObjectiveKind| {
+                monotone_in_inputs(inst, kind, 3, &[0, 2, 4], Ratio::ONE).is_some()
+            }),
+        ),
+        (
+            "independence of irrelevant attrs",
+            Box::new(|inst: &TableInstance, kind: ObjectiveKind| {
+                independence_of_irrelevant(inst, kind, 3, &[1, 3, 5], Ratio::ONE).is_some()
+            }),
+        ),
+        (
+            "stability (nested optima)",
+            Box::new(|inst: &TableInstance, kind: ObjectiveKind| {
+                stability_nested(inst, kind, 4).is_some()
+            }),
+        ),
+    ] {
+        let mut cells = Vec::new();
+        for kind in ObjectiveKind::ALL {
+            let violations = (0..SAMPLES)
+                .filter(|&seed| check(&random_instance(500 + seed, 6), kind))
+                .count();
+            cells.push(verdict(violations, SAMPLES as usize));
+        }
+        println!(
+            "{:<34} {:<22} {:<22} {:<22}",
+            name, cells[0], cells[1], cells[2]
+        );
+    }
+
+    // Richness, constructively: any (non-singleton) target can be made
+    // the unique optimum.
+    let target = vec![1usize, 4];
+    let inst = make_optimal(6, &target);
+    print!("\nrichness: target {target:?} made uniquely optimal for");
+    for kind in ObjectiveKind::ALL {
+        let optima = inst.optimal_sets(kind, target.len());
+        assert_eq!(optima, vec![target.clone()]);
+        print!(" {kind}");
+    }
+    println!();
+
+    // The known hand-crafted stability counterexample (see
+    // axioms::tests): best pair {0,1} is abandoned at k = 3.
+    let mut cex = TableInstance::new(5, vec![Ratio::ZERO; 5], vec![Ratio::ZERO; 10], Ratio::ONE);
+    cex = cex.with_dist(0, 1, Ratio::int(10));
+    for (i, j) in [(2, 3), (2, 4), (3, 4)] {
+        cex = cex.with_dist(i, j, Ratio::int(7));
+    }
+    println!(
+        "\nstability counterexample (max-sum): best 2-set {:?} vs best 3-set {:?}",
+        cex.optimal_sets(ObjectiveKind::MaxSum, 2)[0],
+        cex.optimal_sets(ObjectiveKind::MaxSum, 3)[0],
+    );
+}

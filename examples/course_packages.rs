@@ -1,0 +1,102 @@
+//! Example 9.1 (ρ2): course selection with prerequisite compatibility
+//! constraints.
+//!
+//! A student picks `k = 4` courses maximizing relevance (course rating)
+//! plus topic diversity, but taking CS450 requires both CS220 and CS350
+//! in the same package — a `C_m` constraint
+//! `∀t (t.id = CS450 → ∃s1, s2 (s1.id = CS220 ∧ s2.id = CS350))`.
+//! The example contrasts the unconstrained and constrained top sets, and
+//! shows RDC counting how many valid packages exist.
+//!
+//! Run with: `cargo run --example course_packages`
+
+use divr::core::prelude::*;
+use divr::relquery::{parser, Database, Value};
+
+fn main() {
+    let mut db = Database::new();
+    db.create_relation("courses", &["id", "topic", "rating"]).unwrap();
+    let rows: &[(&str, &str, i64)] = &[
+        ("CS450", "ml", 10),
+        ("CS220", "systems", 3),
+        ("CS350", "theory", 4),
+        ("CS410", "ml", 8),
+        ("CS430", "graphics", 7),
+        ("CS320", "systems", 6),
+        ("CS360", "theory", 5),
+        ("CS440", "nlp", 9),
+    ];
+    for &(id, topic, rating) in rows {
+        db.insert(
+            "courses",
+            vec![Value::str(id), Value::str(topic), Value::int(rating)],
+        )
+        .unwrap();
+    }
+
+    let q = parser::parse_query("Q(id, topic, rating) :- courses(id, topic, rating)").unwrap();
+
+    // ρ2: CS450 needs CS220 and CS350 (attribute 0 = id).
+    let rho2 = Constraint::builder()
+        .forall(1)
+        .exists(2)
+        .premise(CmPred::attr_eq_const(0, 0, "CS450"))
+        .conclusion(CmPred::attr_eq_const(1, 0, "CS220"))
+        .conclusion(CmPred::attr_eq_const(2, 0, "CS350"))
+        .build();
+    let constraints = vec![rho2];
+
+    let task = QueryDiversification::new(
+        db,
+        q,
+        Box::new(AttributeRelevance { attr: 2, default: Ratio::ZERO }),
+        // Different topics are diverse; same-topic pairs are not.
+        Box::new(divr::core::ClosureDistance(|a, b| {
+            if a[1] == b[1] {
+                Ratio::ZERO
+            } else {
+                Ratio::int(2)
+            }
+        })),
+        Ratio::new(1, 3),
+        4,
+    );
+
+    let kind = ObjectiveKind::MaxSum;
+    let (v_free, free) = task.top_set(kind).unwrap().unwrap();
+    println!("unconstrained best package (F_MS = {v_free}):");
+    for t in &free {
+        println!("  {t}");
+    }
+    let picked_450 = free.iter().any(|t| t[0].as_str() == Some("CS450"));
+    let has_prereqs = free.iter().any(|t| t[0].as_str() == Some("CS220"))
+        && free.iter().any(|t| t[0].as_str() == Some("CS350"));
+    if picked_450 && !has_prereqs {
+        println!("  → includes CS450 WITHOUT its prerequisites!\n");
+    }
+
+    let (v_con, con) = task.top_set_constrained(kind, &constraints).unwrap().unwrap();
+    println!("constrained best package (F_MS = {v_con}):");
+    for t in &con {
+        println!("  {t}");
+    }
+    assert!(v_con <= v_free);
+    let picked_450 = con.iter().any(|t| t[0].as_str() == Some("CS450"));
+    if picked_450 {
+        assert!(
+            con.iter().any(|t| t[0].as_str() == Some("CS220"))
+                && con.iter().any(|t| t[0].as_str() == Some("CS350")),
+            "constraint violated"
+        );
+        println!("  → CS450 travels with CS220 and CS350 ✓");
+    } else {
+        println!("  → dropping CS450 beat carrying its prerequisites");
+    }
+
+    // RDC with and without the constraint: how many packages reach the
+    // constrained optimum?
+    let n_free = task.rdc(kind, v_con).unwrap();
+    let n_con = task.rdc_constrained(kind, v_con, &constraints).unwrap();
+    println!("\npackages with F ≥ {v_con}: unconstrained {n_free}, constrained {n_con}");
+    assert!(n_con <= n_free);
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the full API surface in one small scenario.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use divr::core::prelude::*;
+use divr::core::solvers::{counting, exact, mono};
+use divr::relquery::{parser, Database, Value};
+
+fn main() {
+    // 1. A database of products: (id, category, price, rating).
+    let mut db = Database::new();
+    db.create_relation("products", &["id", "cat", "price", "rating"])
+        .unwrap();
+    let rows: &[(i64, &str, i64, i64)] = &[
+        (1, "book", 12, 5),
+        (2, "book", 18, 4),
+        (3, "game", 25, 5),
+        (4, "game", 30, 2),
+        (5, "toy", 9, 3),
+        (6, "toy", 22, 4),
+        (7, "art", 27, 3),
+        (8, "art", 14, 1),
+    ];
+    for &(id, cat, price, rating) in rows {
+        db.insert(
+            "products",
+            vec![
+                Value::int(id),
+                Value::str(cat),
+                Value::int(price),
+                Value::int(rating),
+            ],
+        )
+        .unwrap();
+    }
+
+    // 2. A conjunctive query in the datalog-style syntax: affordable items.
+    let q = parser::parse_query("Q(id, cat, price, rating) :- products(id, cat, price, rating), price <= 27")
+        .unwrap();
+    println!("query      : {q}");
+    println!("language   : {}", q.language());
+
+    // 3. Relevance = the rating column; distance = how many attributes
+    //    differ (categories, prices, ... the more they differ the more
+    //    diverse the pair).
+    let task = QueryDiversification::new(
+        db,
+        q,
+        Box::new(AttributeRelevance { attr: 3, default: Ratio::ZERO }),
+        Box::new(HammingDistance::default()),
+        Ratio::new(1, 2), // λ: balance relevance and diversity evenly
+        3,                // pick k = 3 products
+    );
+
+    // 4. The three objective functions of Gollapudi & Sharma (2009).
+    for kind in ObjectiveKind::ALL {
+        let (value, set) = task.top_set(kind).unwrap().expect("candidates exist");
+        println!("\n{kind}: best value = {value}");
+        for t in &set {
+            println!("  {t}");
+        }
+    }
+
+    // 5. The three analysis problems of the paper, on the prepared
+    //    instance.
+    let p = task.prepare().unwrap();
+    let bound = Ratio::int(10);
+
+    // QRD: does any k-set reach F(U) ≥ 10?
+    let qrd_ms = exact::qrd(&p, ObjectiveKind::MaxSum, bound);
+    println!("\nQRD(F_MS, B = {bound})  : {qrd_ms}");
+
+    // DRP: how does the "cheapest three" set rank under F_mono?
+    let cheapest = p.indices_of(&p.universe()[..3]).unwrap();
+    let rank_ok = mono::drp_mono(&p, &cheapest, 5);
+    println!("DRP(F_mono, U = first three, r = 5): rank ≤ 5 is {rank_ok}");
+
+    // RDC: how many valid sets reach the bound?
+    let count = counting::rdc(&p, ObjectiveKind::MaxSum, bound);
+    println!("RDC(F_MS, B = {bound})  : {count} valid sets");
+}

@@ -1,0 +1,108 @@
+//! Example 9.1 (ρ3): basketball team formation with a conflict
+//! constraint — "no more than two centers" — under **max-min**
+//! diversification (the team is only as good as its weakest link).
+//!
+//! ρ3 is a denial-style `C_3` constraint: three pairwise-distinct centers
+//! imply a contradiction. We also use DRP to evaluate a hand-picked
+//! lineup, as Section 4.2 suggests ("assessing the choices of users").
+//!
+//! Run with: `cargo run --example team_formation`
+
+use divr::core::prelude::*;
+use divr::relquery::{parser, Database, Value};
+
+fn main() {
+    let mut db = Database::new();
+    db.create_relation("players", &["id", "position", "skill", "style"])
+        .unwrap();
+    let rows: &[(&str, &str, i64, i64)] = &[
+        ("p1", "center", 9, 1),
+        ("p2", "center", 8, 2),
+        ("p3", "center", 8, 3),
+        ("p4", "forward", 7, 4),
+        ("p5", "forward", 6, 5),
+        ("p6", "guard", 7, 6),
+        ("p7", "guard", 6, 7),
+        ("p8", "guard", 5, 8),
+    ];
+    for &(id, pos, skill, style) in rows {
+        db.insert(
+            "players",
+            vec![
+                Value::str(id),
+                Value::str(pos),
+                Value::int(skill),
+                Value::int(style),
+            ],
+        )
+        .unwrap();
+    }
+    let q = parser::parse_query("Q(id, position, skill, style) :- players(id, position, skill, style)")
+        .unwrap();
+
+    // ρ3: at most two centers — any three pairwise-distinct selected
+    // centers yield a contradiction (an unsatisfiable conclusion).
+    let rho3 = Constraint::builder()
+        .forall(3)
+        .exists(0)
+        .premise(CmPred::attr_eq_const(0, 1, "center"))
+        .premise(CmPred::attr_eq_const(1, 1, "center"))
+        .premise(CmPred::attr_eq_const(2, 1, "center"))
+        .premise(CmPred::attrs_ne((0, 0), (1, 0)))
+        .premise(CmPred::attrs_ne((0, 0), (2, 0)))
+        .premise(CmPred::attrs_ne((1, 0), (2, 0)))
+        .conclusion(CmPred::attrs_ne((0, 0), (0, 0)))
+        .build();
+    let constraints = vec![rho3];
+
+    // Relevance = skill; distance = playing-style gap, so the lineup does
+    // not collapse into clones.
+    let task = QueryDiversification::new(
+        db,
+        q,
+        Box::new(AttributeRelevance { attr: 2, default: Ratio::ZERO }),
+        Box::new(NumericDistance { attr: 3, fallback: Ratio::ONE }),
+        Ratio::new(1, 2),
+        5,
+    );
+    let kind = ObjectiveKind::MaxMin;
+
+    let (v_free, free) = task.top_set(kind).unwrap().unwrap();
+    let centers = |team: &[divr::relquery::Tuple]| {
+        team.iter()
+            .filter(|t| t[1].as_str() == Some("center"))
+            .count()
+    };
+    println!("unconstrained lineup (F_MM = {v_free}, {} centers):", centers(&free));
+    for t in &free {
+        println!("  {t}");
+    }
+
+    let (v_con, con) = task.top_set_constrained(kind, &constraints).unwrap().unwrap();
+    println!("\nconstrained lineup (F_MM = {v_con}, {} centers):", centers(&con));
+    for t in &con {
+        println!("  {t}");
+    }
+    assert!(centers(&con) <= 2, "ρ3 must hold");
+    assert!(v_con <= v_free);
+
+    // A coach's hand-picked lineup, ranked among constrained lineups.
+    let p = task.prepare().unwrap();
+    let hand_picked: Vec<_> = p
+        .universe()
+        .iter()
+        .filter(|t| {
+            matches!(t[0].as_str(), Some("p1") | Some("p2") | Some("p4") | Some("p6") | Some("p8"))
+        })
+        .cloned()
+        .collect();
+    let idx = p.indices_of(&hand_picked).unwrap();
+    let rank = divr::core::solvers::constrained::rank_of(&p, kind, &idx, &constraints);
+    println!("\nhand-picked lineup ranks #{rank} among constrained lineups");
+    for r in [1u128, 5, 20] {
+        let within = task
+            .drp_constrained(kind, &hand_picked, r, &constraints)
+            .unwrap();
+        println!("  within top-{r}? {within}");
+    }
+}

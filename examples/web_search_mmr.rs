@@ -1,0 +1,87 @@
+//! Web-search result diversification: the approximation algorithms the
+//! paper calls for (Sections 1 and 10), compared against the exact
+//! optimum on a workload small enough to solve exactly, then timed on a
+//! larger one.
+//!
+//! Results are points in a 2-D "topic space" with a query-similarity
+//! score; `δ_dis` is the L1 distance between topic vectors.
+//!
+//! Run with: `cargo run --release --example web_search_mmr`
+
+use divr::core::approx;
+use divr::core::prelude::*;
+use divr::core::solvers::exact;
+use divr::relquery::Tuple;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn l1() -> divr::core::ClosureDistance<impl Fn(&Tuple, &Tuple) -> Ratio> {
+    divr::core::ClosureDistance(|a: &Tuple, b: &Tuple| {
+        let dx = (a[0].as_int().unwrap() - b[0].as_int().unwrap()).abs();
+        let dy = (a[1].as_int().unwrap() - b[1].as_int().unwrap()).abs();
+        Ratio::int(dx + dy)
+    })
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // --- Quality: n = 18, exact optimum reachable. ---
+    let universe = divr::core::gen::point_universe(&mut rng, 18, 2, 50);
+    let rel = divr::core::gen::random_relevance(&mut rng, &universe, 10);
+    let dis = l1();
+    let k = 5;
+    let lambda = Ratio::new(1, 2);
+    let p = DiversityProblem::new(universe, &rel, &dis, lambda, k);
+
+    println!("n = {}, k = {k}, λ = {lambda}", p.n());
+    let (opt_ms, _) = exact::maximize(&p, ObjectiveKind::MaxSum).unwrap();
+    let (opt_mm, _) = exact::maximize(&p, ObjectiveKind::MaxMin).unwrap();
+
+    println!("\nmax-sum (optimum {opt_ms}):");
+    for (name, set) in [
+        ("greedy (GS 2-approx)", approx::greedy_max_sum(&p).unwrap()),
+        ("MMR", approx::mmr(&p).unwrap()),
+    ] {
+        let v = p.f_ms(&set);
+        let (improved, _) = approx::local_search_swap(&p, ObjectiveKind::MaxSum, set.clone(), 30);
+        println!(
+            "  {name:<22} F = {v:>8} ({:.3} of opt), +local search → {:.3}",
+            v.to_f64() / opt_ms.to_f64(),
+            improved.to_f64() / opt_ms.to_f64()
+        );
+    }
+
+    println!("\nmax-min (optimum {opt_mm}):");
+    let gmm = approx::gmm_max_min(&p).unwrap();
+    let v = p.f_mm(&gmm);
+    let (improved, _) = approx::local_search_swap(&p, ObjectiveKind::MaxMin, gmm, 30);
+    println!(
+        "  {:<22} F = {v:>8} ({:.3} of opt), +local search → {:.3}",
+        "GMM (2-approx)",
+        v.to_f64() / opt_mm.to_f64(),
+        improved.to_f64() / opt_mm.to_f64()
+    );
+
+    // --- Speed: n = 400, exact search is out of reach; the heuristics
+    //     are not. ---
+    let universe = divr::core::gen::point_universe(&mut rng, 400, 2, 1000);
+    let rel = divr::core::gen::random_relevance(&mut rng, &universe, 100);
+    let dis = l1();
+    let p = DiversityProblem::new(universe, &rel, &dis, lambda, 10);
+    println!("\nscaling run: n = {}, k = {}", p.n(), p.k());
+    for (name, f) in [
+        ("greedy", approx::greedy_max_sum as fn(&DiversityProblem<'_>) -> Option<Vec<usize>>),
+        ("MMR", approx::mmr as fn(&DiversityProblem<'_>) -> Option<Vec<usize>>),
+        ("GMM", approx::gmm_max_min as fn(&DiversityProblem<'_>) -> Option<Vec<usize>>),
+    ] {
+        let start = Instant::now();
+        let set = f(&p).unwrap();
+        let elapsed = start.elapsed();
+        println!(
+            "  {name:<8} F_MS = {:>10}  F_MM = {:>6}  in {elapsed:?}",
+            p.f_ms(&set),
+            p.f_mm(&set)
+        );
+    }
+}

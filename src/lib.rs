@@ -1,0 +1,5 @@
+//! Facade crate re-exporting the full diversification workspace.
+pub use divr_core as core;
+pub use divr_logic as logic;
+pub use divr_reductions as reductions;
+pub use divr_relquery as relquery;

@@ -1,0 +1,126 @@
+//! End-to-end validation of the Section 3.2 dispersion equivalences:
+//! an identity-query diversification task solved through the pipeline
+//! must agree with the facility-dispersion formulation solved on its own
+//! terms (Prokopyev et al.), for max-sum exactly and for max-min at the
+//! λ extremes.
+
+use divr::core::dispersion::{Dispersion, DispersionVariant};
+use divr::core::pipeline::QueryDiversification;
+use divr::core::prelude::*;
+use divr::core::solvers::exact;
+use divr::core::Ratio;
+use divr::relquery::{Database, Query, Tuple, Value};
+use rand::{Rng, SeedableRng};
+
+fn store(n: i64) -> Database {
+    let mut db = Database::new();
+    db.create_relation("items", &["id", "price"]).unwrap();
+    for i in 0..n {
+        db.insert("items", vec![Value::int(i), Value::int((i * 7) % 23)])
+            .unwrap();
+    }
+    db
+}
+
+fn task(n: i64, lambda: Ratio, k: usize) -> QueryDiversification {
+    QueryDiversification::new(
+        store(n),
+        Query::identity("items"),
+        Box::new(AttributeRelevance {
+            attr: 1,
+            default: Ratio::ZERO,
+        }),
+        Box::new(NumericDistance {
+            attr: 0,
+            fallback: Ratio::ZERO,
+        }),
+        lambda,
+        k,
+    )
+}
+
+#[test]
+fn identity_max_sum_equals_dispersion_optimum() {
+    for lambda in [Ratio::ZERO, Ratio::new(1, 2), Ratio::ONE] {
+        let t = task(10, lambda, 4);
+        let (pipeline_opt, _) = t.top_set(ObjectiveKind::MaxSum).unwrap().unwrap();
+        let p = t.prepare().unwrap();
+        let d = Dispersion::from_max_sum(&p);
+        let (dispersion_opt, set) = d.brute_force(DispersionVariant::MaxSum, 4).unwrap();
+        assert_eq!(pipeline_opt, dispersion_opt, "λ={lambda}");
+        // The witness the dispersion solver found is a candidate set of
+        // the diversification problem with the same objective value.
+        assert_eq!(p.f_ms(&set), dispersion_opt);
+    }
+}
+
+#[test]
+fn identity_max_min_bounded_by_dispersion_everywhere_exact_at_extremes() {
+    for (num, den) in [(0i64, 1i64), (1, 3), (1, 1)] {
+        let lambda = Ratio::new(num, den);
+        let t = task(9, lambda, 3);
+        let (pipeline_opt, _) = t.top_set(ObjectiveKind::MaxMin).unwrap().unwrap();
+        let p = t.prepare().unwrap();
+        let d = Dispersion::from_max_min(&p);
+        let (dispersion_opt, _) = d.brute_force(DispersionVariant::MaxMin, 3).unwrap();
+        assert!(dispersion_opt >= pipeline_opt, "λ={lambda}");
+        if lambda == Ratio::ZERO || lambda == Ratio::ONE {
+            assert_eq!(dispersion_opt, pipeline_opt, "λ={lambda}");
+        }
+    }
+}
+
+#[test]
+fn dispersion_greedy_feeds_back_as_diversification_warm_start() {
+    // greedy on the dispersion side + local search on the
+    // diversification side — the hybrid never loses to either alone.
+    let t = task(14, Ratio::new(1, 2), 5);
+    let p = t.prepare().unwrap();
+    let d = Dispersion::from_max_sum(&p);
+    let greedy = d.greedy_max_sum(5).unwrap();
+    let greedy_v = p.f_ms(&greedy);
+    let (polished_v, polished) =
+        divr::core::approx::local_search_swap(&p, ObjectiveKind::MaxSum, greedy, 20);
+    assert!(polished_v >= greedy_v);
+    assert_eq!(p.f_ms(&polished), polished_v);
+    let (opt, _) = exact::maximize(&p, ObjectiveKind::MaxSum).unwrap();
+    assert!(polished_v <= opt);
+    assert!(polished_v.scale(2) >= opt, "2-approx preserved after polish");
+}
+
+#[test]
+fn random_table_instances_roundtrip_through_both_formulations() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    for trial in 0..8 {
+        let n = 6 + trial % 4;
+        let k = 2 + trial % 3;
+        let universe: Vec<Tuple> = (0..n as i64).map(|i| Tuple::ints([i])).collect();
+        let rel = divr::core::gen::random_relevance(&mut rng, &universe, 12);
+        let dis = divr::core::gen::random_distance(&mut rng, &universe, 12);
+        let lambda = Ratio::new(rng.gen_range(0..=4), 4);
+        let p = DiversityProblem::new(universe, &rel, &dis, lambda, k);
+        let (opt, _) = exact::maximize(&p, ObjectiveKind::MaxSum).unwrap();
+        let (dopt, _) = Dispersion::from_max_sum(&p)
+            .brute_force(DispersionVariant::MaxSum, k)
+            .unwrap();
+        assert_eq!(opt, dopt, "n={n} k={k} λ={lambda}");
+    }
+}
+
+#[test]
+fn equitable_variants_run_on_bridged_instances() {
+    // The extension variants (Max-MinSum, Min-DiffSum) are well-defined
+    // on bridged instances and respect their optimization senses.
+    let t = task(8, Ratio::new(1, 2), 3);
+    let p = t.prepare().unwrap();
+    let d = Dispersion::from_max_sum(&p);
+    let (minsum, set1) = d.brute_force(DispersionVariant::MaxMinSum, 3).unwrap();
+    let (diff, set2) = d.brute_force(DispersionVariant::MinDiffSum, 3).unwrap();
+    assert_eq!(d.value(DispersionVariant::MaxMinSum, &set1), minsum);
+    assert_eq!(d.value(DispersionVariant::MinDiffSum, &set2), diff);
+    // Spot-check the senses against two arbitrary candidate sets.
+    for s in [[0usize, 1, 2], [3, 5, 7]] {
+        assert!(d.value(DispersionVariant::MaxMinSum, &s) <= minsum);
+        assert!(d.value(DispersionVariant::MinDiffSum, &s) >= diff);
+    }
+}

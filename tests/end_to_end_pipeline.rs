@@ -1,0 +1,170 @@
+//! End-to-end integration: parse a query, evaluate it, diversify under
+//! all three objectives, and answer QRD/DRP/RDC — with every routed
+//! solver cross-checked against the generic exact engine.
+
+use divr::core::prelude::*;
+use divr::core::solvers::{counting, exact};
+use divr::relquery::{parser, Database, QueryLanguage, Tuple, Value};
+
+fn store_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation("catalog", &["item", "type", "price", "stock"])
+        .unwrap();
+    let rows: &[(&str, &str, i64, i64)] = &[
+        ("mug", "kitchen", 9, 4),
+        ("pan", "kitchen", 25, 2),
+        ("lamp", "home", 30, 1),
+        ("rug", "home", 28, 0),
+        ("pen", "office", 3, 9),
+        ("desk", "office", 120, 1),
+        ("book", "media", 15, 7),
+        ("game", "media", 25, 3),
+    ];
+    for &(i, t, p, s) in rows {
+        db.insert(
+            "catalog",
+            vec![Value::str(i), Value::str(t), Value::int(p), Value::int(s)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn task(k: usize, lambda: Ratio) -> QueryDiversification {
+    let q = parser::parse_query(
+        "Q(item, type, price) :- catalog(item, type, price, stock), price <= 30, stock >= 1",
+    )
+    .unwrap();
+    assert_eq!(q.language(), QueryLanguage::Cq);
+    QueryDiversification::new(
+        store_db(),
+        q,
+        Box::new(AttributeRelevance { attr: 2, default: Ratio::ZERO }),
+        Box::new(HammingDistance::default()),
+        lambda,
+        k,
+    )
+}
+
+#[test]
+fn universe_respects_query_filters() {
+    let t = task(3, Ratio::new(1, 2));
+    let p = t.prepare().unwrap();
+    // 8 rows minus desk (price 120) and rug (stock 0).
+    assert_eq!(p.n(), 6);
+    for tuple in p.universe() {
+        assert!(tuple[2].as_int().unwrap() <= 30);
+    }
+}
+
+#[test]
+fn routed_solvers_match_exact_engine_for_all_objectives() {
+    for lambda in [Ratio::ZERO, Ratio::new(1, 3), Ratio::ONE] {
+        let t = task(3, lambda);
+        let p = t.prepare().unwrap();
+        for kind in ObjectiveKind::ALL {
+            let (best, _) = exact::maximize(&p, kind).unwrap();
+            // QRD route agrees at and above the optimum.
+            assert!(t.qrd(kind, best).unwrap(), "{kind} λ={lambda}");
+            assert!(!t.qrd(kind, best + Ratio::new(1, 7)).unwrap());
+            // RDC route agrees with the pruned counter.
+            for b in [Ratio::ZERO, best, best + Ratio::ONE] {
+                assert_eq!(
+                    t.rdc(kind, b).unwrap(),
+                    counting::rdc_naive(&p, kind, b),
+                    "{kind} λ={lambda} B={b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn drp_route_matches_exact_ranks() {
+    let t = task(3, Ratio::new(1, 2));
+    let p = t.prepare().unwrap();
+    // Rank a handful of candidate sets through both routes.
+    let sets = [vec![0usize, 1, 2], vec![1, 3, 5], vec![2, 4, 5]];
+    for kind in ObjectiveKind::ALL {
+        for s in &sets {
+            let tuples = p.tuples_of(s);
+            let rank = exact::rank_of(&p, kind, s);
+            for r in 1..=6u128 {
+                assert_eq!(
+                    t.drp(kind, &tuples, r).unwrap(),
+                    rank <= r,
+                    "{kind} set {s:?} r={r} (rank {rank})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ucq_and_fo_routes_agree_when_equivalent() {
+    // The same selection written as UCQ and as ∃FO⁺ must give identical
+    // universes and hence identical diversification answers.
+    let ucq = parser::parse_query(
+        "Q(item) :- catalog(item, t, p, s), p <= 10; Q(item) :- catalog(item, t, p, s), p >= 28",
+    )
+    .unwrap();
+    assert_eq!(ucq.language(), QueryLanguage::Ucq);
+    let fo = parser::parse_query(
+        "Q(item) := exists t, p, s. (catalog(item, t, p, s) & (p <= 10 | p >= 28))",
+    )
+    .unwrap();
+    assert_eq!(fo.language(), QueryLanguage::ExistsFoPlus);
+    let db = store_db();
+    let a = ucq.eval(&db).unwrap();
+    let b = fo.eval(&db).unwrap();
+    assert!(a.set_eq(&b), "UCQ and ∃FO⁺ universes differ");
+
+    for q in [ucq, fo] {
+        let t = QueryDiversification::new(
+            store_db(),
+            q,
+            Box::new(ConstantRelevance(Ratio::ONE)),
+            Box::new(HammingDistance::default()),
+            Ratio::ONE,
+            2,
+        );
+        // mug, pen (≤10) + rug, lamp, desk (≥28) → C(5,2) pairs
+        assert_eq!(t.rdc(ObjectiveKind::MaxSum, Ratio::ZERO).unwrap(), 10);
+    }
+}
+
+#[test]
+fn identity_query_equals_prematerialized_universe() {
+    // Cor 8.1 setting: identity query ≡ handing Q(D) to the set layer.
+    let db = store_db();
+    let q = divr::relquery::Query::identity("catalog");
+    let t = QueryDiversification::new(
+        db.clone(),
+        q,
+        Box::new(ConstantRelevance(Ratio::ONE)),
+        Box::new(HammingDistance::default()),
+        Ratio::ONE,
+        2,
+    );
+    let p = t.prepare().unwrap();
+    assert_eq!(p.n(), db.relation("catalog").unwrap().len());
+}
+
+#[test]
+fn membership_check_agrees_with_materialization() {
+    let q = parser::parse_query(
+        "Q(item, price) :- catalog(item, t, price, s), price >= 20, s >= 1",
+    )
+    .unwrap();
+    let db = store_db();
+    let result = q.eval(&db).unwrap();
+    // Every catalog-derived pair decided identically by contains().
+    for row in db.relation("catalog").unwrap().tuples() {
+        let probe = Tuple::new(vec![row[0].clone(), row[2].clone()]);
+        assert_eq!(
+            q.contains(&db, &probe).unwrap(),
+            result.contains(&probe),
+            "probe {probe}"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based cross-validation of the tableau machinery
+//! (`relquery::query::tableau`) against the query evaluator:
+//!
+//! * homomorphism-based CQ containment must agree with Chandra–Merlin
+//!   canonical-database membership (two independent code paths);
+//! * containment must be *sound* on arbitrary databases: if `q1 ⊆ q2`
+//!   then `q1(D) ⊆ q2(D)` for every generated `D`;
+//! * minimization must preserve evaluation on arbitrary databases;
+//! * UCQ containment must be sound on arbitrary databases.
+
+use divr::relquery::query::{
+    cnst, contained_in, minimize, ucq_contained_in, var, Atom, ConjunctiveQuery, Query, Tableau,
+    Term, UnionQuery,
+};
+use divr::relquery::{Database, Value};
+use proptest::prelude::*;
+
+const VOCAB: [(&str, usize); 3] = [("E", 2), ("R", 2), ("S", 1)];
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0usize..4).prop_map(|i| var(format!("x{i}"))),
+        (0i64..2).prop_map(cnst),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (0usize..VOCAB.len()).prop_flat_map(|r| {
+        let (name, arity) = VOCAB[r];
+        proptest::collection::vec(term_strategy(), arity)
+            .prop_map(move |terms| Atom::new(name, terms))
+    })
+}
+
+/// A safe, comparison-free CQ with head `(x0)`: the first atom is forced
+/// to bind `x0`.
+fn cq_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    proptest::collection::vec(atom_strategy(), 1..4).prop_map(|mut atoms| {
+        // Force x0 into the first atom so the head is safe.
+        atoms[0].terms[0] = var("x0");
+        ConjunctiveQuery::new(vec![var("x0")], atoms, vec![])
+    })
+}
+
+fn db_strategy() -> impl Strategy<Value = Database> {
+    let facts = proptest::collection::vec((0usize..VOCAB.len(), 0i64..4, 0i64..4), 0..12);
+    facts.prop_map(|rows| {
+        let mut db = Database::new();
+        db.create_relation("E", &["a", "b"]).unwrap();
+        db.create_relation("R", &["a", "b"]).unwrap();
+        db.create_relation("S", &["a"]).unwrap();
+        for (r, a, b) in rows {
+            let (name, arity) = VOCAB[r];
+            let vals = if arity == 2 {
+                vec![Value::int(a), Value::int(b)]
+            } else {
+                vec![Value::int(a)]
+            };
+            db.insert(name, vals).unwrap();
+        }
+        db
+    })
+}
+
+/// Ensures the canonical database of `q` also has the full vocabulary, so
+/// evaluating any zoo query over it cannot hit `UnknownRelation`.
+fn canonical_db_with_vocab(q: &ConjunctiveQuery) -> (Database, divr::relquery::Tuple) {
+    let (mut db, frozen) = Tableau::of(q).unwrap().canonical_database().unwrap();
+    for (name, arity) in VOCAB {
+        if !db.has_relation(name) {
+            let attrs: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+            let refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+            db.create_relation(name, &refs).unwrap();
+        }
+    }
+    (db, frozen)
+}
+
+fn sorted_tuples(q: &ConjunctiveQuery, db: &Database) -> Vec<divr::relquery::Tuple> {
+    let mut ts = Query::Cq(q.clone()).eval(db).unwrap().tuples().to_vec();
+    ts.sort();
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn containment_agrees_with_canonical_membership(
+        q1 in cq_strategy(), q2 in cq_strategy()
+    ) {
+        let by_hom = contained_in(&q1, &q2).unwrap();
+        let (db, frozen) = canonical_db_with_vocab(&q1);
+        let by_eval = Query::Cq(q2.clone()).contains(&db, &frozen).unwrap();
+        prop_assert_eq!(by_hom, by_eval, "{:?} vs {:?}", q1, q2);
+    }
+
+    #[test]
+    fn containment_is_sound_on_random_databases(
+        q1 in cq_strategy(), q2 in cq_strategy(), db in db_strategy()
+    ) {
+        if contained_in(&q1, &q2).unwrap() {
+            let r1 = sorted_tuples(&q1, &db);
+            let r2 = sorted_tuples(&q2, &db);
+            for t in &r1 {
+                prop_assert!(r2.contains(t), "{:?} ⊆ {:?} but {:?} missing", q1, q2, t);
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_evaluation(q in cq_strategy(), db in db_strategy()) {
+        let m = minimize(&q).unwrap();
+        prop_assert!(m.atoms().len() <= q.atoms().len());
+        prop_assert_eq!(sorted_tuples(&q, &db), sorted_tuples(&m, &db));
+    }
+
+    #[test]
+    fn minimization_is_idempotent(q in cq_strategy()) {
+        let m = minimize(&q).unwrap();
+        let mm = minimize(&m).unwrap();
+        prop_assert_eq!(m.atoms().len(), mm.atoms().len());
+    }
+
+    #[test]
+    fn ucq_containment_is_sound(
+        d1 in proptest::collection::vec(cq_strategy(), 1..3),
+        d2 in proptest::collection::vec(cq_strategy(), 1..3),
+        db in db_strategy()
+    ) {
+        let u1 = UnionQuery::new(d1);
+        let u2 = UnionQuery::new(d2);
+        if ucq_contained_in(&u1, &u2).unwrap() {
+            let mut r1: Vec<_> = u1
+                .disjuncts()
+                .iter()
+                .flat_map(|q| sorted_tuples(q, &db))
+                .collect();
+            let r2: Vec<_> = u2
+                .disjuncts()
+                .iter()
+                .flat_map(|q| sorted_tuples(q, &db))
+                .collect();
+            r1.sort();
+            r1.dedup();
+            for t in &r1 {
+                prop_assert!(r2.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn self_containment_always_holds(q in cq_strategy()) {
+        prop_assert!(contained_in(&q, &q).unwrap());
+    }
+}

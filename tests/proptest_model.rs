@@ -1,0 +1,315 @@
+//! Property-based tests (proptest) on the core model invariants:
+//! exact rational arithmetic, objective-function axioms, k-best
+//! enumeration order, counting consistency, and query-evaluation
+//! agreement between materialization and membership.
+
+use divr::core::distance::{Distance, TableDistance};
+use divr::core::prelude::*;
+use divr::core::relevance::TableRelevance;
+use divr::core::solvers::{counting, mono};
+use divr::core::Ratio;
+use divr::relquery::{Tuple, Value};
+use proptest::prelude::*;
+
+fn ratio_strategy() -> impl Strategy<Value = Ratio> {
+    (-500i64..=500, 1i64..=40).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ratio_addition_commutes_and_associates(
+        a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()
+    ) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn ratio_multiplication_distributes(
+        a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()
+    ) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn ratio_order_is_translation_invariant(
+        a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()
+    ) {
+        prop_assert_eq!(a < b, a + c < b + c);
+    }
+
+    #[test]
+    fn ratio_division_roundtrip(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a / b) * b, a);
+    }
+}
+
+/// A small random diversification instance encoded as plain data.
+#[derive(Debug, Clone)]
+struct RawInstance {
+    n: usize,
+    k: usize,
+    lambda_num: i64,
+    rels: Vec<i64>,
+    dists: Vec<i64>, // upper-triangle row-major
+}
+
+fn instance_strategy() -> impl Strategy<Value = RawInstance> {
+    (3usize..=7)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                1usize..=3.min(n),
+                0i64..=4,
+                proptest::collection::vec(0i64..=6, n),
+                proptest::collection::vec(0i64..=6, n * (n - 1) / 2),
+            )
+        })
+        .prop_map(|(n, k, lambda_num, rels, dists)| RawInstance {
+            n,
+            k,
+            lambda_num,
+            rels,
+            dists,
+        })
+}
+
+fn build(raw: &RawInstance) -> (Vec<Tuple>, TableRelevance, TableDistance, Ratio, usize) {
+    let universe: Vec<Tuple> = (0..raw.n as i64).map(|i| Tuple::ints([i])).collect();
+    let mut rel = TableRelevance::with_default(Ratio::ZERO);
+    for (i, &r) in raw.rels.iter().enumerate() {
+        rel.set(universe[i].clone(), Ratio::int(r));
+    }
+    let mut dis = TableDistance::with_default(Ratio::ZERO);
+    let mut it = raw.dists.iter();
+    for i in 0..raw.n {
+        for j in (i + 1)..raw.n {
+            dis.set(
+                universe[i].clone(),
+                universe[j].clone(),
+                Ratio::int(*it.next().unwrap()),
+            );
+        }
+    }
+    (universe, rel, dis, Ratio::new(raw.lambda_num, 4), raw.k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Objective axioms: all three objectives are non-negative on
+    /// candidate sets, and F_MM never exceeds F_MS for |U| ≥ 2 with the
+    /// same functions (sum of non-negative terms dominates a min term
+    /// scaled the same way... checked only where the scaling allows:
+    /// (k−1)(1−λ)Σrel ≥ (1−λ)min rel and λΣδ ≥ λ min δ for k ≥ 2).
+    #[test]
+    fn objectives_nonnegative_and_ms_dominates_mm(raw in instance_strategy()) {
+        let (universe, rel, dis, lambda, k) = build(&raw);
+        let p = DiversityProblem::new(universe, &rel, &dis, lambda, k);
+        let subset: Vec<usize> = (0..k).collect();
+        for kind in ObjectiveKind::ALL {
+            let v = p.objective(kind, &subset);
+            prop_assert!(v >= Ratio::ZERO, "{kind} gave {v}");
+        }
+        if k >= 2 {
+            prop_assert!(p.f_ms(&subset) >= p.f_mm(&subset));
+        }
+    }
+
+    /// F_mono decomposition: F_mono(U) = Σ v(t) for every subset.
+    #[test]
+    fn mono_decomposes_into_item_scores(raw in instance_strategy()) {
+        let (universe, rel, dis, lambda, k) = build(&raw);
+        let p = DiversityProblem::new(universe, &rel, &dis, lambda, k);
+        let scores = p.mono_item_scores();
+        divr::core::combin::for_each_k_subset(p.n(), p.k(), |s| {
+            let direct = p.f_mono(s);
+            let summed: Ratio = s.iter().map(|&i| scores[i]).sum();
+            assert_eq!(direct, summed);
+            true
+        });
+    }
+
+    /// RDC counts are monotone non-increasing in the bound, and the
+    /// pruned counter equals naive enumeration everywhere.
+    #[test]
+    fn rdc_monotone_and_exact(raw in instance_strategy()) {
+        let (universe, rel, dis, lambda, k) = build(&raw);
+        let p = DiversityProblem::new(universe, &rel, &dis, lambda, k);
+        for kind in ObjectiveKind::ALL {
+            let mut prev = u128::MAX;
+            for b in 0..8 {
+                let bound = Ratio::int(b * 2);
+                let c = counting::rdc(&p, kind, bound);
+                assert_eq!(c, counting::rdc_naive(&p, kind, bound));
+                assert!(c <= prev);
+                prev = c;
+            }
+        }
+    }
+
+    /// The k-best sum enumeration emits values in non-increasing order
+    /// with no duplicates and total count C(n, k).
+    #[test]
+    fn top_r_sum_subsets_sound(raw in instance_strategy()) {
+        let scores: Vec<Ratio> = raw.rels.iter().map(|&r| Ratio::int(r)).collect();
+        let k = raw.k;
+        let total = divr::core::combin::binomial(scores.len(), k) as usize;
+        let all = mono::top_r_sets_by_sum(&scores, k, total + 5);
+        prop_assert_eq!(all.len(), total);
+        for w in all.windows(2) {
+            prop_assert!(w[0].0 >= w[1].0);
+        }
+        let mut sets: Vec<&Vec<usize>> = all.iter().map(|(_, s)| s).collect();
+        sets.sort();
+        sets.dedup();
+        prop_assert_eq!(sets.len(), total);
+    }
+
+    /// Distance-table symmetry survives arbitrary construction order.
+    #[test]
+    fn table_distance_symmetric(pairs in proptest::collection::vec((0i64..6, 0i64..6, 0i64..9), 0..20)) {
+        let mut dis = TableDistance::with_default(Ratio::ZERO);
+        for (a, b, v) in &pairs {
+            if a != b {
+                dis.set(Tuple::ints([*a]), Tuple::ints([*b]), Ratio::int(*v));
+            }
+        }
+        for a in 0..6i64 {
+            for b in 0..6i64 {
+                let ta = Tuple::ints([a]);
+                let tb = Tuple::ints([b]);
+                prop_assert_eq!(dis.dist(&ta, &tb), dis.dist(&tb, &ta));
+                if a == b {
+                    prop_assert_eq!(dis.dist(&ta, &tb), Ratio::ZERO);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CQ evaluation agrees with membership checking on every produced
+    /// and perturbed tuple.
+    #[test]
+    fn cq_eval_and_contains_agree(
+        rows in proptest::collection::vec((0i64..5, 0i64..5), 1..12),
+        lo in 0i64..4,
+    ) {
+        let mut db = divr::relquery::Database::new();
+        db.create_relation("R", &["a", "b"]).unwrap();
+        for (a, b) in &rows {
+            let _ = db.insert("R", vec![Value::int(*a), Value::int(*b)]);
+        }
+        let q = divr::relquery::parser::parse_query(
+            &format!("Q(a, b) :- R(a, b), b >= {lo}")
+        ).unwrap();
+        let result = q.eval(&db).unwrap();
+        for a in 0..5i64 {
+            for b in 0..5i64 {
+                let t = Tuple::ints([a, b]);
+                prop_assert_eq!(
+                    q.contains(&db, &t).unwrap(),
+                    result.contains(&t)
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Gollapudi–Sharma dispersion bridge is exact on every candidate
+    /// set of every random instance (Section 3.2 equivalence).
+    #[test]
+    fn dispersion_max_sum_bridge_pointwise_exact(raw in instance_strategy()) {
+        use divr::core::dispersion::{Dispersion, DispersionVariant};
+        let (universe, rel, dis, lambda, k) = build(&raw);
+        let p = DiversityProblem::new(universe, &rel, &dis, lambda, k);
+        let d = Dispersion::from_max_sum(&p);
+        divr::core::combin::for_each_k_subset(p.n(), k, |s| {
+            assert_eq!(d.value(DispersionVariant::MaxSum, s), p.f_ms(s));
+            true
+        });
+    }
+
+    /// The max-min bridge upper-bounds F_MM pointwise and is exact at
+    /// λ ∈ {0, 1}.
+    #[test]
+    fn dispersion_max_min_bridge_bounds(raw in instance_strategy()) {
+        use divr::core::dispersion::{Dispersion, DispersionVariant};
+        let (universe, rel, dis, lambda, k) = build(&raw);
+        // Singletons have no pairs on the dispersion side, so the
+        // upper-bound property only holds for |U| >= 2.
+        prop_assume!(k >= 2);
+        let p = DiversityProblem::new(universe, &rel, &dis, lambda, k);
+        let d = Dispersion::from_max_min(&p);
+        divr::core::combin::for_each_k_subset(p.n(), k, |s| {
+            let disp = d.value(DispersionVariant::MaxMin, s);
+            let fmm = p.f_mm(s);
+            assert!(disp >= fmm, "{disp} < {fmm}");
+            if lambda.is_zero() || lambda == Ratio::ONE {
+                assert_eq!(disp, fmm);
+            }
+            true
+        });
+    }
+
+    /// Streaming never exceeds the offline optimum and its maintained
+    /// value is monotone once the set is full.
+    #[test]
+    fn streaming_bounded_by_optimum_and_monotone(raw in instance_strategy()) {
+        use divr::core::solvers::exact;
+        use divr::core::StreamingDiversifier;
+        let (universe, rel, dis, lambda, k) = build(&raw);
+        let p = DiversityProblem::new(universe.clone(), &rel, &dis, lambda, k);
+        for kind in [ObjectiveKind::MaxSum, ObjectiveKind::MaxMin] {
+            let (opt, _) = exact::maximize(&p, kind).unwrap();
+            let mut s = StreamingDiversifier::new(kind, &rel, &dis, lambda, k);
+            let mut last: Option<Ratio> = None;
+            for t in &universe {
+                s.offer(t.clone());
+                if s.is_full() {
+                    let v = s.value();
+                    if let Some(prev) = last {
+                        prop_assert!(v >= prev, "{kind}: value regressed");
+                    }
+                    last = Some(v);
+                }
+            }
+            prop_assert!(s.value() <= opt, "{kind}: streaming above optimum");
+        }
+    }
+
+    /// Constrained counting equals unconstrained counting when Σ = ∅,
+    /// and never exceeds it otherwise.
+    #[test]
+    fn constrained_count_dominated_by_unconstrained(raw in instance_strategy(), b in 0i64..6) {
+        use divr::core::constraints::{CmPred, Constraint};
+        use divr::core::solvers::constrained;
+        let (universe, rel, dis, lambda, k) = build(&raw);
+        let p = DiversityProblem::new(universe, &rel, &dis, lambda, k);
+        let bound = Ratio::int(b);
+        let free = counting::rdc(&p, ObjectiveKind::MaxSum, bound);
+        prop_assert_eq!(
+            constrained::rdc(&p, ObjectiveKind::MaxSum, bound, &[]),
+            free
+        );
+        // A denial constraint can only shrink the count.
+        let denial = Constraint::builder()
+            .forall(2)
+            .exists(0)
+            .premise(CmPred::attrs_ne((0, 0), (1, 0)))
+            .conclusion(CmPred::attrs_eq((0, 0), (1, 0)))
+            .build();
+        let constrained_count =
+            constrained::rdc(&p, ObjectiveKind::MaxSum, bound, &[denial]);
+        prop_assert!(constrained_count <= free);
+    }
+}

@@ -1,0 +1,294 @@
+//! Broad randomized cross-validation of every executable reduction
+//! against the direct logic solvers — the integration-level form of the
+//! paper's theorem statements. Wider and more adversarial than the unit
+//! tests inside `divr-reductions`.
+
+use divr::core::problem::ObjectiveKind;
+use divr::logic::{counting, gen, sat, ssp, Quant};
+use divr::reductions as red;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn theorem_5_1_qrd_sat_gadgets() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1001);
+    for trial in 0..40 {
+        let n = 2 + trial % 5;
+        let m = 2 + trial % 6;
+        let cnf = gen::random_3sat(&mut rng, n, m);
+        let expect = sat::satisfiable(&cnf);
+        assert_eq!(
+            red::sat_qrd::to_qrd_max_sum(&cnf).qrd(ObjectiveKind::MaxSum),
+            expect
+        );
+        assert_eq!(
+            red::sat_qrd::to_qrd_max_min(&cnf).qrd(ObjectiveKind::MaxMin),
+            expect
+        );
+    }
+}
+
+#[test]
+fn theorem_5_2_qrd_mono_gadget() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1002);
+    for trial in 0..25 {
+        let m = 2 + trial % 5;
+        let qbf = gen::random_q3sat(&mut rng, m, m + 2, None);
+        assert_eq!(
+            red::q3sat_mono::to_qrd_mono(&qbf).qrd(ObjectiveKind::Mono),
+            qbf.is_true(),
+            "{qbf}"
+        );
+    }
+}
+
+#[test]
+fn theorem_6_1_drp_gadgets() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1003);
+    for trial in 0..15 {
+        let n = 2 + trial % 3;
+        let m = 2 + trial % 4;
+        let cnf = gen::random_3sat(&mut rng, n, m);
+        let expect = !sat::satisfiable(&cnf);
+        let r = red::sat_drp::to_drp_max_sum(&cnf);
+        assert_eq!(
+            r.instance.drp(ObjectiveKind::MaxSum, &r.candidate, 1),
+            expect,
+            "MS {cnf}"
+        );
+        let r = red::sat_drp::to_drp_max_min(&cnf);
+        assert_eq!(
+            r.instance.drp(ObjectiveKind::MaxMin, &r.candidate, 1),
+            expect,
+            "MM {cnf}"
+        );
+    }
+}
+
+#[test]
+fn theorem_6_2_drp_mono_repaired_gadget() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1004);
+    for trial in 0..20 {
+        let m = 2 + trial % 4;
+        let qbf = gen::random_q3sat(&mut rng, m, m + 1, None);
+        let r = red::q3sat_mono::to_drp_mono(&qbf);
+        assert_eq!(
+            r.instance.drp(ObjectiveKind::Mono, &r.candidate, 1),
+            qbf.is_true(),
+            "{qbf}"
+        );
+    }
+}
+
+#[test]
+fn theorem_7_1_rdc_sigma1_gadgets() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1005);
+    for trial in 0..15 {
+        let n = 2 + trial % 4;
+        let m_x = 1 + trial % (n - 1).max(1);
+        if n - m_x == 0 {
+            continue;
+        }
+        let cnf = gen::random_3sat(&mut rng, n, 1 + trial % 5);
+        let expected = counting::count_sigma1(&cnf, m_x);
+        assert_eq!(
+            red::sigma1_rdc::sigma1_to_rdc_ms(&cnf, m_x).rdc(ObjectiveKind::MaxSum),
+            expected,
+            "MS {cnf} m_x={m_x}"
+        );
+        assert_eq!(
+            red::sigma1_rdc::sigma1_to_rdc_mm(&cnf, m_x).rdc(ObjectiveKind::MaxMin),
+            expected,
+            "MM {cnf} m_x={m_x}"
+        );
+    }
+}
+
+#[test]
+fn theorem_7_1_rdc_fo_qbf_gadgets() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1006);
+    for trial in 0..6 {
+        let m = 1 + trial % 2;
+        let rest = 1 + trial % 2;
+        let (qbf, m) = gen::random_sharp_qbf(&mut rng, m, rest, 3);
+        let expected = counting::count_qbf(&qbf, m);
+        assert_eq!(
+            red::sigma1_rdc::qbf_to_rdc_fo_ms(&qbf, m).rdc(ObjectiveKind::MaxSum),
+            expected,
+            "{qbf}"
+        );
+    }
+}
+
+#[test]
+fn theorem_7_2_rdc_mono_gadget() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1007);
+    for trial in 0..10 {
+        let m = 1 + trial % 3;
+        let rest = 2 + trial % 2;
+        let (qbf, m) = gen::random_sharp_qbf(&mut rng, m, rest, 2 * (m + rest));
+        assert_eq!(
+            red::qbf_mono_rdc::to_rdc_mono(&qbf, m).rdc(ObjectiveKind::Mono),
+            counting::count_qbf(&qbf, m),
+            "{qbf}"
+        );
+    }
+}
+
+#[test]
+fn theorem_7_4_rdc_counts_models() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1008);
+    for trial in 0..15 {
+        let n = 2 + trial % 3;
+        let m = 2 + trial % 4;
+        let cnf = gen::random_3sat(&mut rng, n, m);
+        let expected = red::sat_qrd::occurring_model_count(&cnf);
+        assert_eq!(
+            red::sat_qrd::to_qrd_max_sum(&cnf).rdc(ObjectiveKind::MaxSum),
+            expected,
+            "{cnf}"
+        );
+    }
+}
+
+#[test]
+fn theorem_7_5_and_lemma_7_6_chain() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1009);
+    for _ in 0..15 {
+        let n = rng.gen_range(1..=7);
+        let w: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=8)).collect();
+        let d = rng.gen_range(0..=14);
+        let l = rng.gen_range(1..=n);
+        assert_eq!(
+            red::sspk_rdc::sspk_via_rdc(&w, d, l),
+            ssp::count_subset_sum_k(&w, d, l)
+        );
+        assert_eq!(red::sspk_rdc::ssp_via_rdc(&w, d), ssp::count_subset_sum(&w, d));
+    }
+}
+
+#[test]
+fn theorem_8_2_lambda0_gadgets() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1010);
+    for trial in 0..25 {
+        let n = 1 + trial % 5;
+        let m = 1 + trial % 6;
+        let cnf = gen::random_3sat(&mut rng, n, m);
+        let expect = sat::satisfiable(&cnf);
+        assert_eq!(
+            red::lambda0::to_qrd_ms_lambda0(&cnf).qrd(ObjectiveKind::MaxSum),
+            expect
+        );
+        assert_eq!(
+            red::lambda0::to_qrd_mm_lambda0(&cnf).qrd(ObjectiveKind::MaxMin),
+            expect
+        );
+    }
+}
+
+#[test]
+fn theorem_9_3_constrained_gadget() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1011);
+    for trial in 0..15 {
+        let n = 1 + trial % 3;
+        let m = 1 + trial % 4;
+        let cnf = gen::random_3sat(&mut rng, n, m);
+        let r = red::constraints_hard::sat_to_constrained_qrd(&cnf);
+        assert_eq!(
+            red::constraints_hard::constrained_qrd(&r),
+            sat::satisfiable(&cnf),
+            "{cnf}"
+        );
+    }
+}
+
+/// Lemma 5.3 at integration scale: the recursive and semantic distance
+/// definitions agree on every pair for sentences up to 8 variables.
+#[test]
+fn lemma_5_3_exhaustive_m8() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1012);
+    let qbf = gen::random_q3sat(&mut rng, 8, 16, Some(Quant::Forall));
+    let pt = red::q3sat_mono::PrefixTruth::new(&qbf);
+    for tb in 0..(1u32 << 8) {
+        for sb in (tb + 1)..(1u32 << 8) {
+            let t: Vec<bool> = (0..8).map(|i| (tb >> i) & 1 == 1).collect();
+            let s: Vec<bool> = (0..8).map(|i| (sb >> i) & 1 == 1).collect();
+            assert_eq!(
+                red::q3sat_mono::paper_delta(&qbf, &t, &s),
+                red::q3sat_mono::semantic_delta(&pt, &t, &s)
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_8_3_lambda1_counting_gadgets() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1013);
+    for trial in 0..20 {
+        let n = 2 + trial % 4;
+        let m_x = 1 + trial % (n - 1).max(1);
+        if n == m_x {
+            continue;
+        }
+        let cnf = gen::random_3sat(&mut rng, n, 1 + trial % 5);
+        let expect = counting::count_sigma1(&cnf, m_x);
+        assert_eq!(
+            red::lambda1::sigma1_to_rdc_ms_lambda1(&cnf, m_x).rdc(ObjectiveKind::MaxSum),
+            expect,
+            "MS {cnf} m_x={m_x}"
+        );
+        assert_eq!(
+            red::lambda1::sigma1_to_rdc_mm_lambda1(&cnf, m_x).rdc(ObjectiveKind::MaxMin),
+            expect,
+            "MM {cnf} m_x={m_x}"
+        );
+    }
+}
+
+#[test]
+fn theorem_8_3_lambda1_subset_sum_repaired_chain() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1014);
+    for _ in 0..15 {
+        let n = rng.gen_range(1..=7);
+        let w: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=8)).collect();
+        let d = rng.gen_range(0..=14);
+        let l = rng.gen_range(1..=n);
+        assert_eq!(
+            red::lambda1::sspk_via_rdc_lambda1(&w, d, l),
+            ssp::count_subset_sum_k(&w, d, l),
+            "w={w:?} d={d} l={l}"
+        );
+    }
+}
+
+#[test]
+fn corollaries_9_5_and_9_6_constrained_special_cases() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1015);
+    for trial in 0..12 {
+        let n = 1 + trial % 3;
+        let m = 1 + trial % 4;
+        let cnf = gen::random_3sat(&mut rng, n, m);
+        let expect_sat = sat::satisfiable(&cnf);
+        let expect_count = sat::count_models(&cnf);
+        for kind in ObjectiveKind::ALL {
+            let r = red::constraints_special::sat_to_qrd_lambda0(&cnf, kind);
+            assert_eq!(red::constraints_special::qrd(&r, kind), expect_sat, "{kind} {cnf}");
+        }
+        let r1 = red::constraints_special::sat_to_qrd_lambda1(&cnf);
+        assert_eq!(
+            red::constraints_special::qrd(&r1, ObjectiveKind::Mono),
+            expect_sat,
+            "{cnf}"
+        );
+        assert_eq!(
+            red::constraints_special::rdc(&r1, ObjectiveKind::Mono),
+            expect_count,
+            "λ=1 count {cnf}"
+        );
+        let rd = red::constraints_special::sat_to_drp_lambda0(&cnf);
+        assert_eq!(
+            red::constraints_special::drp(&rd, ObjectiveKind::Mono, 1),
+            !expect_sat,
+            "DRP λ=0 {cnf}"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The tractable-case algorithms (Theorems 5.4, 6.4, 8.2, Cors 8.1/8.4)
+//! against the generic exact engine, across random instances, λ values
+//! and k — integration-scale differential testing.
+
+use divr::core::distance::TableDistance;
+use divr::core::prelude::*;
+use divr::core::relevance::TableRelevance;
+use divr::core::solvers::{counting, exact, mono, relevance_only};
+use divr::core::Ratio;
+use rand::{Rng, SeedableRng};
+
+struct Inst {
+    universe: Vec<divr::relquery::Tuple>,
+    rel: TableRelevance,
+    dis: TableDistance,
+}
+
+fn random_instance(rng: &mut impl Rng, n: usize) -> Inst {
+    let universe = divr::core::gen::int_universe(n);
+    let rel = divr::core::gen::random_relevance(rng, &universe, 9);
+    let dis = divr::core::gen::random_distance(rng, &universe, 9);
+    Inst { universe, rel, dis }
+}
+
+#[test]
+fn mono_algorithms_match_exact() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2001);
+    for trial in 0..12 {
+        let n = 5 + trial % 5;
+        let k = 1 + trial % 4;
+        if k > n {
+            continue;
+        }
+        let lambda = [Ratio::ZERO, Ratio::new(1, 2), Ratio::ONE][trial % 3];
+        let inst = random_instance(&mut rng, n);
+        let p = DiversityProblem::new(inst.universe.clone(), &inst.rel, &inst.dis, lambda, k);
+        // QRD (Thm 5.4)
+        let exact_best = exact::maximize(&p, ObjectiveKind::Mono).map(|(v, _)| v);
+        let mono_best = mono::max_mono(&p).map(|(v, _)| v);
+        assert_eq!(exact_best, mono_best, "n={n} k={k} λ={lambda}");
+        // DRP (Thm 6.4)
+        let subset: Vec<usize> = (0..k).collect();
+        for r in 1..=5 {
+            assert_eq!(
+                mono::drp_mono(&p, &subset, r),
+                exact::drp(&p, ObjectiveKind::Mono, &subset, r as u128),
+                "n={n} k={k} r={r}"
+            );
+        }
+        // RDC via DP
+        for b in 0..6 {
+            let bound = Ratio::new(b * 3, 2);
+            assert_eq!(
+                counting::rdc_mono_dp(&p, bound),
+                counting::rdc_naive(&p, ObjectiveKind::Mono, bound),
+                "n={n} k={k} B={bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lambda0_algorithms_match_exact() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2002);
+    for trial in 0..12 {
+        let n = 5 + trial % 5;
+        let k = 1 + trial % 4;
+        let inst = random_instance(&mut rng, n);
+        let p = DiversityProblem::new(inst.universe.clone(), &inst.rel, &inst.dis, Ratio::ZERO, k);
+        let best_ms = exact::maximize(&p, ObjectiveKind::MaxSum).map(|(v, _)| v).unwrap();
+        let best_mm = exact::maximize(&p, ObjectiveKind::MaxMin).map(|(v, _)| v).unwrap();
+        for delta in [-1i64, 0, 1] {
+            let b_ms = best_ms + Ratio::int(delta);
+            assert_eq!(
+                relevance_only::qrd_ms(&p, b_ms),
+                exact::qrd(&p, ObjectiveKind::MaxSum, b_ms)
+            );
+            let b_mm = best_mm + Ratio::new(delta, 2);
+            assert_eq!(
+                relevance_only::qrd_mm(&p, b_mm),
+                exact::qrd(&p, ObjectiveKind::MaxMin, b_mm)
+            );
+        }
+        for b in 0..10 {
+            let bound = Ratio::int(b);
+            assert_eq!(
+                relevance_only::rdc_ms(&p, bound),
+                counting::rdc_naive(&p, ObjectiveKind::MaxSum, bound)
+            );
+            assert_eq!(
+                relevance_only::rdc_mm(&p, bound),
+                counting::rdc_naive(&p, ObjectiveKind::MaxMin, bound)
+            );
+        }
+        let subset: Vec<usize> = (0..k).collect();
+        for r in 1..=4 {
+            assert_eq!(
+                relevance_only::drp_ms(&p, &subset, r),
+                exact::drp(&p, ObjectiveKind::MaxSum, &subset, r as u128)
+            );
+            assert_eq!(
+                relevance_only::drp_mm(&p, &subset, r),
+                exact::drp(&p, ObjectiveKind::MaxMin, &subset, r as u128)
+            );
+        }
+    }
+}
+
+#[test]
+fn lambda_one_matches_exact_under_pure_diversity() {
+    // Thm 8.3: dropping relevance changes nothing structurally — the
+    // engine must stay exact at λ = 1.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2003);
+    for trial in 0..8 {
+        let n = 6 + trial % 3;
+        let k = 2 + trial % 3;
+        let inst = random_instance(&mut rng, n);
+        let p = DiversityProblem::new(inst.universe.clone(), &inst.rel, &inst.dis, Ratio::ONE, k);
+        for kind in ObjectiveKind::ALL {
+            let (best, set) = exact::maximize(&p, kind).unwrap();
+            assert_eq!(p.objective(kind, &set), best);
+            assert_eq!(exact::rank_of(&p, kind, &set), 1);
+        }
+    }
+}
+
+#[test]
+fn constrained_solvers_match_filtered_enumeration() {
+    use divr::core::constraints::{satisfies_all, CmPred, Constraint};
+    use divr::core::solvers::constrained;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2004);
+    // Constraint: value-0 tuples forbidden together with value-1 tuples
+    // sharing the same parity slot (arbitrary but non-trivial).
+    let c = Constraint::builder()
+        .forall(2)
+        .exists(0)
+        .premise(CmPred::attrs_eq((0, 0), (1, 0)))
+        .conclusion(CmPred::attrs_eq((0, 0), (1, 0)))
+        .build();
+    let needs_zero = Constraint::builder()
+        .forall(0)
+        .exists(1)
+        .conclusion(CmPred::attr_eq_const(0, 0, 0i64))
+        .build();
+    let cs = vec![c, needs_zero];
+    for trial in 0..8 {
+        let n = 5 + trial % 4;
+        let k = 2 + trial % 3;
+        let inst = random_instance(&mut rng, n);
+        let p = DiversityProblem::new(
+            inst.universe.clone(),
+            &inst.rel,
+            &inst.dis,
+            Ratio::new(1, 2),
+            k,
+        );
+        for kind in ObjectiveKind::ALL {
+            let bound = Ratio::int(trial as i64);
+            let mut brute = 0u128;
+            divr::core::combin::for_each_k_subset(p.n(), p.k(), |s| {
+                if satisfies_all(&p.tuples_of(s), &cs) && p.objective(kind, s) >= bound {
+                    brute += 1;
+                }
+                true
+            });
+            assert_eq!(
+                constrained::rdc(&p, kind, bound, &cs),
+                brute,
+                "{kind} n={n} k={k}"
+            );
+            assert_eq!(constrained::qrd(&p, kind, bound, &cs), brute > 0);
+        }
+    }
+}
