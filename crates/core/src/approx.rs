@@ -22,12 +22,23 @@
 use crate::problem::{DiversityProblem, ObjectiveKind};
 use crate::ratio::Ratio;
 
-/// The pair weight of the Gollapudi–Sharma Max-Sum Dispersion reduction:
-/// `w(u, v) = (1−λ)(δ_rel(u) + δ_rel(v)) + 2λ·δ_dis(u, v)`, chosen so that
-/// `F_MS(U) = Σ_{{u,v} ⊆ U} w(u, v)` for `|U| = k`.
+/// The pair weight of the Gollapudi–Sharma Max-Sum Dispersion reduction
+/// on raw components: `w = (1−λ)(rel_i + rel_j) + 2λ·dist_ij`, chosen so
+/// that `F_MS(U) = Σ_{{u,v} ⊆ U} w(u, v)` for `|U| = k`. Shared between
+/// the sequential path here, [`crate::dispersion`]'s bridge, and the
+/// exact tie fallback of [`crate::engine`].
+pub(crate) fn ms_pair_weight_parts(
+    lambda: Ratio,
+    rel_i: Ratio,
+    rel_j: Ratio,
+    dist_ij: Ratio,
+) -> Ratio {
+    (Ratio::ONE - lambda) * (rel_i + rel_j) + lambda * dist_ij.scale(2)
+}
+
+/// [`ms_pair_weight_parts`] read off a problem instance.
 fn ms_pair_weight(p: &DiversityProblem<'_>, i: usize, j: usize) -> Ratio {
-    let one_minus = Ratio::ONE - p.lambda();
-    one_minus * (p.rel_of(i) + p.rel_of(j)) + p.lambda() * p.dist_of(i, j).scale(2)
+    ms_pair_weight_parts(p.lambda(), p.rel_of(i), p.rel_of(j), p.dist_of(i, j))
 }
 
 /// Greedy 2-approximation for max-sum diversification: repeatedly pick
@@ -35,6 +46,26 @@ fn ms_pair_weight(p: &DiversityProblem<'_>, i: usize, j: usize) -> Ratio {
 /// finish with the item with the best marginal `F_MS` gain.
 ///
 /// Returns `None` when no candidate set exists (`|Q(D)| < k`).
+///
+/// For large universes, [`Engine::greedy_max_sum`](crate::engine::Engine::greedy_max_sum)
+/// computes the same result (up to equal-score ties) against a
+/// precomputed distance matrix.
+///
+/// # Example
+///
+/// ```
+/// use divr_core::approx;
+/// use divr_core::prelude::*;
+/// use divr_relquery::Tuple;
+///
+/// // Five points on a line, distance |Δ|, all equally relevant.
+/// let universe: Vec<Tuple> = (0..5).map(|i| Tuple::ints([i])).collect();
+/// let rel = ConstantRelevance(Ratio::ONE);
+/// let dis = NumericDistance { attr: 0, fallback: Ratio::ZERO };
+/// let p = DiversityProblem::new(universe, &rel, &dis, Ratio::ONE, 2);
+/// // At λ = 1 only distance matters: greedy takes the endpoints.
+/// assert_eq!(approx::greedy_max_sum(&p), Some(vec![0, 4]));
+/// ```
 pub fn greedy_max_sum(p: &DiversityProblem<'_>) -> Option<Vec<usize>> {
     let n = p.n();
     let k = p.k();
@@ -88,6 +119,21 @@ pub fn greedy_max_sum(p: &DiversityProblem<'_>) -> Option<Vec<usize>> {
 /// Greedy GMM for max-min diversification: seed with the pair maximizing
 /// `(1−λ)·min(rel) + λ·dist`, then repeatedly add the point maximizing
 /// the resulting `F_MM` value.
+///
+/// # Example
+///
+/// ```
+/// use divr_core::approx;
+/// use divr_core::prelude::*;
+/// use divr_relquery::Tuple;
+///
+/// let universe: Vec<Tuple> = (0..5).map(|i| Tuple::ints([i])).collect();
+/// let rel = ConstantRelevance(Ratio::ONE);
+/// let dis = NumericDistance { attr: 0, fallback: Ratio::ZERO };
+/// let p = DiversityProblem::new(universe, &rel, &dis, Ratio::ONE, 3);
+/// // Farthest-point style: endpoints first, then the midpoint.
+/// assert_eq!(approx::gmm_max_min(&p), Some(vec![0, 2, 4]));
+/// ```
 pub fn gmm_max_min(p: &DiversityProblem<'_>) -> Option<Vec<usize>> {
     let n = p.n();
     let k = p.k();
@@ -140,6 +186,22 @@ pub fn gmm_max_min(p: &DiversityProblem<'_>) -> Option<Vec<usize>> {
 
 /// MMR-style incremental selection: start from the most relevant item;
 /// repeatedly add `argmax_t (1−λ)·δ_rel(t) + λ·min_{s∈S} δ_dis(t, s)`.
+///
+/// # Example
+///
+/// ```
+/// use divr_core::approx;
+/// use divr_core::prelude::*;
+/// use divr_relquery::Tuple;
+///
+/// // Relevance = the attribute itself; at λ = 0 MMR degenerates to
+/// // top-k by relevance.
+/// let universe: Vec<Tuple> = (0..5).map(|i| Tuple::ints([i])).collect();
+/// let rel = AttributeRelevance { attr: 0, default: Ratio::ZERO };
+/// let dis = NumericDistance { attr: 0, fallback: Ratio::ZERO };
+/// let p = DiversityProblem::new(universe, &rel, &dis, Ratio::ZERO, 2);
+/// assert_eq!(approx::mmr(&p), Some(vec![3, 4]));
+/// ```
 pub fn mmr(p: &DiversityProblem<'_>) -> Option<Vec<usize>> {
     let n = p.n();
     let k = p.k();

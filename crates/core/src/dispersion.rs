@@ -73,6 +73,23 @@ impl fmt::Display for DispersionVariant {
 
 /// A dispersion instance: `n` nodes with weights `a_i` and symmetric
 /// pair weights `w(i,j)` (zero diagonal).
+///
+/// # Example
+///
+/// ```
+/// use divr_core::dispersion::{Dispersion, DispersionVariant};
+/// use divr_core::Ratio;
+///
+/// let mut d = Dispersion::new(3);
+/// d.set_edge(0, 1, Ratio::int(5))
+///     .set_edge(1, 2, Ratio::int(1))
+///     .set_edge(0, 2, Ratio::int(3));
+/// // Best 2-subset under Max-Sum: the heaviest edge.
+/// let (value, set) = d.brute_force(DispersionVariant::MaxSum, 2).unwrap();
+/// assert_eq!((value, set), (Ratio::int(5), vec![0, 1]));
+/// // Under Max-Min with 3 nodes, the weakest pair decides.
+/// assert_eq!(d.value(DispersionVariant::MaxMin, &[0, 1, 2]), Ratio::int(1));
+/// ```
 #[derive(Clone, Debug)]
 pub struct Dispersion {
     n: usize,
@@ -280,17 +297,34 @@ impl Dispersion {
     /// weights 0. For every candidate set `U`,
     /// `value(MaxSum, U) = F_MS(U)` exactly.
     pub fn from_max_sum(p: &DiversityProblem<'_>) -> Self {
-        let n = p.n();
-        let one_minus = Ratio::ONE - p.lambda();
+        Self::from_max_sum_parts(p.n(), p.lambda(), |i| p.rel_of(i), |i, j| p.dist_of(i, j))
+    }
+
+    /// [`Dispersion::from_max_sum`] on raw components (relevance and
+    /// distance oracles by index) — the shared core of the problem-based
+    /// and engine-based bridges.
+    pub fn from_max_sum_parts(
+        n: usize,
+        lambda: Ratio,
+        rel: impl Fn(usize) -> Ratio,
+        dist: impl Fn(usize, usize) -> Ratio,
+    ) -> Self {
         let mut d = Dispersion::new(n);
         for i in 0..n {
             for j in i + 1..n {
-                let w = one_minus * (p.rel_of(i) + p.rel_of(j))
-                    + p.lambda() * p.dist_of(i, j).scale(2);
+                let w = crate::approx::ms_pair_weight_parts(lambda, rel(i), rel(j), dist(i, j));
                 d.set_edge(i, j, w);
             }
         }
         d
+    }
+
+    /// The Gollapudi–Sharma bridge read off a prepared
+    /// [`Engine`](crate::engine::Engine): same exact weights as
+    /// [`Dispersion::from_max_sum`], without rebuilding a
+    /// [`DiversityProblem`].
+    pub fn from_engine(e: &crate::engine::Engine<'_>) -> Self {
+        Self::from_max_sum_parts(e.n(), e.lambda(), |i| e.rel_of(i), |i, j| e.dist_of(i, j))
     }
 
     /// The max-min bridge:
@@ -312,6 +346,7 @@ impl Dispersion {
         }
         d
     }
+
 }
 
 #[cfg(test)]

@@ -27,6 +27,16 @@ use std::collections::HashMap;
 pub trait Distance {
     /// The distance `δ_dis(a, b)`.
     fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio;
+
+    /// Approximate float distance, used by the batch engine
+    /// ([`crate::engine::DistanceMatrix`]) when precomputing the pairwise
+    /// matrix. The default converts the exact value; implementations
+    /// whose arithmetic is natively integral override it to skip the
+    /// rational reduction entirely. Must equal `self.dist(a, b).to_f64()`
+    /// up to `f64` rounding.
+    fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+        self.dist(a, b).to_f64()
+    }
 }
 
 /// `δ_dis(a, b) = c` for all `a ≠ b` (0 on the diagonal).
@@ -39,6 +49,14 @@ impl Distance for ConstantDistance {
             Ratio::ZERO
         } else {
             self.0
+        }
+    }
+
+    fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.0.to_f64()
         }
     }
 }
@@ -122,15 +140,23 @@ impl Default for HammingDistance {
     }
 }
 
-impl Distance for HammingDistance {
-    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
-        let differing = a
-            .iter()
+impl HammingDistance {
+    fn differing(a: &Tuple, b: &Tuple) -> usize {
+        a.iter()
             .zip(b.iter())
             .filter(|(x, y)| x != y)
             .count()
-            .max(a.arity().abs_diff(b.arity()));
-        self.weight.scale(differing as i64)
+            .max(a.arity().abs_diff(b.arity()))
+    }
+}
+
+impl Distance for HammingDistance {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        self.weight.scale(Self::differing(a, b) as i64)
+    }
+
+    fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+        self.weight.to_f64() * Self::differing(a, b) as f64
     }
 }
 
@@ -158,6 +184,19 @@ impl Distance for NumericDistance {
             _ => self.fallback,
         }
     }
+
+    fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        match (
+            a.get(self.attr).and_then(|v| v.as_int()),
+            b.get(self.attr).and_then(|v| v.as_int()),
+        ) {
+            (Some(x), Some(y)) => (x - y).abs() as f64,
+            _ => self.fallback.to_f64(),
+        }
+    }
 }
 
 /// Wraps a closure; symmetry is enforced by evaluating on the canonical
@@ -180,6 +219,20 @@ impl<F: Fn(&Tuple, &Tuple) -> Ratio> Distance for ClosureDistance<F> {
 impl Distance for Box<dyn Distance + '_> {
     fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
         (**self).dist(a, b)
+    }
+
+    fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+        (**self).dist_f64(a, b)
+    }
+}
+
+impl Distance for Box<dyn Distance + Send + Sync + '_> {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        (**self).dist(a, b)
+    }
+
+    fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+        (**self).dist_f64(a, b)
     }
 }
 

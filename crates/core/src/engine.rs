@@ -1,0 +1,1130 @@
+//! The batch diversification engine: precomputed distances, float-path
+//! argmax loops, exact-`Ratio` verification.
+//!
+//! The rest of this crate is written for *faithfulness to the paper*:
+//! every score is an exact rational ([`Ratio`]), every distance is
+//! recomputed through the [`Distance`] trait object, and the
+//! approximation routines in [`crate::approx`] scan candidates
+//! sequentially. That is the right trade-off for reproducing the
+//! hardness boundaries of Tables 1–3 — and the wrong one for serving
+//! diversification queries at scale, where Zhang et al.
+//! ("Diversification on Big Data in Query Processing") identify distance
+//! (re)computation as the dominant cost and Capannini et al.
+//! ("Efficient Diversification of Web Search Results") show MMR-family
+//! selection parallelizes cleanly over candidates.
+//!
+//! [`Engine`] packages that production path:
+//!
+//! * a flat, cache-friendly `f64` [`DistanceMatrix`] computed **once**
+//!   per universe (in parallel when the machine has cores to spare),
+//! * the same four heuristics as [`crate::approx`] —
+//!   [`Engine::greedy_max_sum`], [`Engine::gmm_max_min`],
+//!   [`Engine::mmr`], [`Engine::local_search_swap`] — with the
+//!   per-round argmax over candidates chunked across threads,
+//! * the `F_mono` PTIME selection ([`Engine::mono_top_k`]), so all three
+//!   objectives of the paper can be served from one prepared instance,
+//! * a batch entry point ([`Engine::serve`]) used by
+//!   [`QueryDiversification::prepare_engine`](crate::pipeline::QueryDiversification::prepare_engine)
+//!   to answer many `(objective, k)` requests against one matrix.
+//!
+//! ## Exactness contract
+//!
+//! Float arithmetic alone would silently break the paper-reproduction
+//! guarantees (ties decide reductions). The engine therefore treats
+//! `f64` scores as a *filter*, not a verdict: each argmax collects every
+//! candidate within [`F64_TIE_EPS`] of the float maximum and, whenever
+//! more than one survives, re-scores exactly in `Ratio` arithmetic via
+//! the original [`Distance`] oracle, breaking ties the same way the
+//! sequential code does (lowest index / lexicographic pair). As long as
+//! float error stays below the tie window — guaranteed for the integer
+//! and small-rational scores used throughout this repository — engine
+//! results are **identical** to the `Ratio`-path results up to genuinely
+//! equal-score ties; `tests/engine_matches_exact.rs` property-tests
+//! exactly that.
+
+use crate::approx::ms_pair_weight_parts;
+use crate::distance::Distance;
+use crate::problem::ObjectiveKind;
+use crate::ratio::Ratio;
+use crate::relevance::Relevance;
+use divr_relquery::Tuple;
+use std::ops::Range;
+
+/// Relative/absolute half-width of the float tie window: candidates
+/// whose `f64` score is within `max(F64_TIE_EPS, |best|·F64_TIE_EPS)`
+/// of the best are re-compared with exact arithmetic.
+pub const F64_TIE_EPS: f64 = 1e-9;
+
+/// Below this much estimated work (items × per-item cost units) a round
+/// is scanned inline — spawning threads costs more than the scan.
+const PAR_MIN_WORK: usize = 2048;
+
+/// Number of worker threads the engine will use by default: the
+/// machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into at most `threads` contiguous chunks, runs `map` on
+/// each (on worker threads when it pays off), and folds the non-`None`
+/// results with `reduce`. `work_per_item` is the caller's estimate of
+/// one item's evaluation cost (in arbitrary units where 1 ≈ a few float
+/// ops) — spawning is gated on total *work*, not item count, so a scan
+/// of 1000 items that each cost `O(n)` still parallelizes.
+fn par_map_reduce<T, M, R>(
+    n: usize,
+    threads: usize,
+    work_per_item: usize,
+    map: M,
+    reduce: R,
+) -> Option<T>
+where
+    T: Send,
+    M: Fn(Range<usize>) -> Option<T> + Sync,
+    R: Fn(T, T) -> T,
+{
+    if n == 0 {
+        return None;
+    }
+    if threads <= 1 || n.saturating_mul(work_per_item.max(1)) < PAR_MIN_WORK {
+        return map(0..n);
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let map = &map;
+        let handles: Vec<_> = (0..threads)
+            .filter_map(|t| {
+                let lo = t * chunk;
+                if lo >= n {
+                    return None;
+                }
+                let hi = (lo + chunk).min(n);
+                Some(scope.spawn(move || map(lo..hi)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("engine worker panicked"))
+            .reduce(reduce)
+    })
+}
+
+/// A precomputed, row-major `n × n` pairwise distance matrix in `f64`.
+///
+/// Rows are contiguous, so the per-round inner loops of the engine walk
+/// memory linearly instead of re-dispatching through the [`Distance`]
+/// trait object (and re-reducing `Ratio` fractions) `O(n·k)` times per
+/// query. The matrix stores the *approximate* values; exactness is
+/// restored by the engine's tie fallback (see the module docs).
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix for `universe` under `dis`, computing each
+    /// unordered pair once and mirroring. Row construction is spread
+    /// over `threads` workers (pass 1 to force a sequential build).
+    pub fn build(universe: &[Tuple], dis: &(dyn Distance + Sync), threads: usize) -> Self {
+        let n = universe.len();
+        let mut data = vec![0.0f64; n * n];
+        if n == 0 {
+            return DistanceMatrix { n, data };
+        }
+        // Upper-triangle fill. Parallel variant: workers claim row
+        // ranges; row i writes only the i-th row slice, so rows can be
+        // handed out as disjoint &mut chunks.
+        if threads <= 1 || n * n < 4096 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    data[i * n + j] = dis.dist_f64(&universe[i], &universe[j]);
+                }
+            }
+        } else {
+            // Row i holds n−1−i entries of the strict upper triangle, so
+            // contiguous row batches would be badly imbalanced (the first
+            // thread would own almost half the work). Deal rows to the
+            // workers round-robin instead: each worker's share of the
+            // triangle is then within one row of even.
+            let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, row) in data.chunks_mut(n).enumerate() {
+                buckets[i % threads].push((i, row));
+            }
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for (i, row) in bucket {
+                            for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+                                *slot = dis.dist_f64(&universe[i], &universe[j]);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        // Mirror the strict upper triangle onto the lower one.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data[j * n + i] = data[i * n + j];
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of universe items.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The approximate distance `δ_dis(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// The contiguous `i`-th row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Exact-verification fallback: recomputes every pair through the
+    /// `Ratio` oracle and returns the largest absolute deviation between
+    /// the stored float and the exact value. `0.0` means the matrix is
+    /// bit-exact (true whenever all distances are integers below 2⁵³).
+    pub fn verify_exact(&self, universe: &[Tuple], dis: &dyn Distance) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let exact = dis.dist(&universe[i], &universe[j]).to_f64();
+                let dev = (self.get(i, j) - exact).abs();
+                if dev > worst {
+                    worst = dev;
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// A candidate index whose float score survived the tie window, with its
+/// score.
+#[derive(Clone, Copy, Debug)]
+struct TieCandidate {
+    index: usize,
+    score: f64,
+}
+
+/// The tie-window threshold below a running maximum: scores at or above
+/// it are possible ties of `best`.
+#[inline]
+fn tie_threshold(best: f64) -> f64 {
+    best - F64_TIE_EPS.max(best.abs() * F64_TIE_EPS)
+}
+
+/// A chunk's running maximum plus its near-tie candidates (possibly
+/// with stale entries below the final threshold; pruned lazily).
+struct TieChunk {
+    best: f64,
+    ties: Vec<TieCandidate>,
+}
+
+/// Collects the argmax (and near-ties) of `eval` over `0..n` in a
+/// **single pass** — `eval` can be expensive (an O(k²) trial objective
+/// in local search), so each candidate is evaluated exactly once.
+/// `eval(i) == None` marks `i` ineligible; `work_per_item` feeds the
+/// parallelism gate (see [`par_map_reduce`]). Returns candidates in
+/// ascending index order, all within the tie window of the maximum.
+fn argmax_with_ties(
+    n: usize,
+    threads: usize,
+    work_per_item: usize,
+    eval: &(impl Fn(usize) -> Option<f64> + Sync),
+) -> Option<Vec<TieCandidate>> {
+    // The threshold is monotone in `best`, so an entry admitted under an
+    // earlier (lower) threshold and still within the final window is
+    // never lost; entries that fall below are pruned lazily (when the
+    // buffer doubles) and once more at the end.
+    let scan = |range: Range<usize>| {
+        let mut best = f64::NEG_INFINITY;
+        let mut ties: Vec<TieCandidate> = Vec::new();
+        let mut prune_at = 64;
+        for i in range {
+            if let Some(v) = eval(i) {
+                if v > best {
+                    best = v;
+                }
+                if v >= tie_threshold(best) {
+                    ties.push(TieCandidate { index: i, score: v });
+                    if ties.len() >= prune_at {
+                        let thr = tie_threshold(best);
+                        ties.retain(|t| t.score >= thr);
+                        prune_at = (ties.len() * 2).max(64);
+                    }
+                }
+            }
+        }
+        if ties.is_empty() {
+            return None;
+        }
+        let thr = tie_threshold(best);
+        ties.retain(|t| t.score >= thr);
+        Some(TieChunk { best, ties })
+    };
+    let merged = par_map_reduce(n, threads, work_per_item, scan, |mut a, b| {
+        let best = a.best.max(b.best);
+        let thr = tie_threshold(best);
+        a.ties.retain(|t| t.score >= thr);
+        a.ties.extend(b.ties.into_iter().filter(|t| t.score >= thr));
+        TieChunk { best, ties: a.ties }
+    })?;
+    Some(merged.ties)
+}
+
+/// Resolves a tie set with an exact scorer: returns the index whose
+/// exact score is maximal, preferring the **lowest index** among exact
+/// ties — the same rule as the sequential `Ratio`-path code
+/// (`max_by_key((score, Reverse(i)))`).
+fn resolve_ties_exact(ties: &[TieCandidate], exact: impl Fn(usize) -> Ratio) -> usize {
+    debug_assert!(!ties.is_empty());
+    if ties.len() == 1 {
+        return ties[0].index;
+    }
+    let mut best_idx = ties[0].index;
+    let mut best_score = exact(best_idx);
+    for t in &ties[1..] {
+        let s = exact(t.index);
+        if s > best_score || (s == best_score && t.index < best_idx) {
+            best_score = s;
+            best_idx = t.index;
+        }
+    }
+    best_idx
+}
+
+/// One request against a prepared engine: which objective, what `k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineRequest {
+    /// Objective function to optimize.
+    pub kind: ObjectiveKind,
+    /// Result size.
+    pub k: usize,
+}
+
+/// A prepared diversification instance that serves many requests.
+///
+/// Construction pays the `O(n²)` distance precomputation once; every
+/// subsequent call reuses the matrix. The exact [`Distance`] oracle is
+/// kept only for tie verification (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use divr_core::engine::{Engine, EngineRequest};
+/// use divr_core::prelude::*;
+/// use divr_relquery::Tuple;
+///
+/// let universe: Vec<Tuple> = (0..100).map(|i| Tuple::ints([i, i % 7])).collect();
+/// let rel = AttributeRelevance { attr: 1, default: Ratio::ZERO };
+/// let dis = NumericDistance { attr: 0, fallback: Ratio::ZERO };
+///
+/// // Prepare once (O(n²))…
+/// let engine = Engine::new(universe, &rel, &dis, Ratio::new(1, 2));
+/// // …serve many (objective, k) requests against the same matrix.
+/// for kind in ObjectiveKind::ALL {
+///     for k in [5, 10] {
+///         let (value, set) = engine.serve(EngineRequest { kind, k }).unwrap();
+///         assert_eq!(set.len(), k);
+///         assert!(value > Ratio::ZERO);
+///     }
+/// }
+/// ```
+pub struct Engine<'a> {
+    universe: Vec<Tuple>,
+    dis: &'a (dyn Distance + Sync),
+    rel_exact: Vec<Ratio>,
+    lambda: Ratio,
+    rel: Vec<f64>,
+    lam: f64,
+    one_minus: f64,
+    matrix: DistanceMatrix,
+    threads: usize,
+}
+
+impl<'a> Engine<'a> {
+    /// Prepares an engine over a materialized universe, using all
+    /// available cores for the matrix build.
+    ///
+    /// Panics if `λ ∉ [0, 1]` (same contract as
+    /// [`DiversityProblem::new`](crate::problem::DiversityProblem::new)).
+    pub fn new(
+        universe: Vec<Tuple>,
+        rel: &dyn Relevance,
+        dis: &'a (dyn Distance + Sync),
+        lambda: Ratio,
+    ) -> Self {
+        Self::with_threads(universe, rel, dis, lambda, default_threads())
+    }
+
+    /// [`Engine::new`] with an explicit worker count (1 = sequential).
+    pub fn with_threads(
+        universe: Vec<Tuple>,
+        rel: &dyn Relevance,
+        dis: &'a (dyn Distance + Sync),
+        lambda: Ratio,
+        threads: usize,
+    ) -> Self {
+        assert!(
+            lambda >= Ratio::ZERO && lambda <= Ratio::ONE,
+            "λ must lie in [0, 1]"
+        );
+        let threads = threads.max(1);
+        let rel_exact: Vec<Ratio> = universe.iter().map(|t| rel.rel(t)).collect();
+        let rel_f: Vec<f64> = rel_exact.iter().map(Ratio::to_f64).collect();
+        let matrix = DistanceMatrix::build(&universe, dis, threads);
+        Engine {
+            universe,
+            dis,
+            rel_exact,
+            lambda,
+            rel: rel_f,
+            lam: lambda.to_f64(),
+            one_minus: (Ratio::ONE - lambda).to_f64(),
+            matrix,
+            threads,
+        }
+    }
+
+    /// Number of universe items.
+    pub fn n(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.universe.is_empty()
+    }
+
+    /// The materialized universe `Q(D)`.
+    pub fn universe(&self) -> &[Tuple] {
+        &self.universe
+    }
+
+    /// The trade-off parameter λ.
+    pub fn lambda(&self) -> Ratio {
+        self.lambda
+    }
+
+    /// The precomputed distance matrix.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+
+    /// Worker threads used for per-round argmax scans.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Exact relevance of item `i` (from the construction-time cache).
+    pub fn rel_of(&self, i: usize) -> Ratio {
+        self.rel_exact[i]
+    }
+
+    /// Exact distance between items `i` and `j` (through the oracle —
+    /// used for tie verification, not in inner loops).
+    pub fn dist_of(&self, i: usize, j: usize) -> Ratio {
+        self.dis.dist(&self.universe[i], &self.universe[j])
+    }
+
+    /// Materializes a candidate set's tuples.
+    pub fn tuples_of(&self, subset: &[usize]) -> Vec<Tuple> {
+        subset.iter().map(|&i| self.universe[i].clone()).collect()
+    }
+
+    /// Exact objective value `F(U)` of a candidate set, matching
+    /// [`DiversityProblem::objective`](crate::problem::DiversityProblem::objective)
+    /// term for term.
+    pub fn objective_exact(&self, kind: ObjectiveKind, subset: &[usize]) -> Ratio {
+        match kind {
+            ObjectiveKind::MaxSum => crate::problem::f_ms_from(
+                subset.len(),
+                self.lambda,
+                |a| self.rel_exact[subset[a]],
+                |a, b| self.dist_of(subset[a], subset[b]),
+            ),
+            ObjectiveKind::MaxMin => crate::problem::f_mm_from(
+                subset.len(),
+                self.lambda,
+                |a| self.rel_exact[subset[a]],
+                |a, b| self.dist_of(subset[a], subset[b]),
+            ),
+            ObjectiveKind::Mono => subset.iter().map(|&i| self.mono_score_exact(i)).sum(),
+        }
+    }
+
+    /// Exact per-item mono score `v(t)` (Theorem 5.4's sort key).
+    fn mono_score_exact(&self, i: usize) -> Ratio {
+        let rel_part = (Ratio::ONE - self.lambda) * self.rel_exact[i];
+        let n = self.n();
+        if n <= 1 || self.lambda.is_zero() {
+            return rel_part;
+        }
+        let mut dsum = Ratio::ZERO;
+        for j in 0..n {
+            if j != i {
+                dsum += self.dist_of(i, j);
+            }
+        }
+        rel_part + self.lambda * dsum / Ratio::int(n as i64 - 1)
+    }
+
+    /// Float mono score of item `i`: one linear pass over a matrix row.
+    fn mono_score_f64(&self, i: usize) -> f64 {
+        let n = self.n();
+        let rel_part = self.one_minus * self.rel[i];
+        if n <= 1 || self.lam == 0.0 {
+            return rel_part;
+        }
+        let dsum: f64 = self.matrix.row(i).iter().sum();
+        rel_part + self.lam * dsum / (n as f64 - 1.0)
+    }
+
+    /// Argmax of relevance with lowest-index tie-break (the `k = 1` and
+    /// MMR-seed rule of [`crate::approx`]).
+    fn most_relevant(&self) -> Option<usize> {
+        let ties = argmax_with_ties(self.n(), self.threads, 1, &|i| Some(self.rel[i]))?;
+        Some(resolve_ties_exact(&ties, |i| self.rel_exact[i]))
+    }
+
+    /// Greedy pair-picking for `F_MS`, float path with exact tie
+    /// fallback — same semantics as [`crate::approx::greedy_max_sum`].
+    /// `None` when `k > n`.
+    pub fn greedy_max_sum(&self, k: usize) -> Option<Vec<usize>> {
+        let n = self.n();
+        if k > n {
+            return None;
+        }
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        if k == 1 {
+            return Some(vec![self.most_relevant()?]);
+        }
+        let mut available: Vec<usize> = (0..n).collect();
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        while chosen.len() + 1 < k {
+            let (i, j) = self.best_available_pair(&available)?;
+            chosen.push(i);
+            chosen.push(j);
+            available.retain(|&x| x != i && x != j);
+        }
+        if chosen.len() < k {
+            // k odd: best marginal F_MS gain, lowest index on ties.
+            let k_i = k as i64;
+            let eval = |ai: usize| {
+                let t = available[ai];
+                let row = self.matrix.row(t);
+                let d2: f64 = chosen.iter().map(|&s| row[s]).sum::<f64>() * 2.0;
+                Some(self.one_minus * (k_i - 1) as f64 * self.rel[t] + self.lam * d2)
+            };
+            let ties = argmax_with_ties(available.len(), self.threads, k, &eval)?;
+            let one_minus = Ratio::ONE - self.lambda;
+            let winner_pos = resolve_ties_exact(&ties, |ai| {
+                let t = available[ai];
+                one_minus.scale(k_i - 1) * self.rel_exact[t]
+                    + self.lambda
+                        * chosen
+                            .iter()
+                            .map(|&s| self.dist_of(s, t))
+                            .sum::<Ratio>()
+                            .scale(2)
+            });
+            chosen.push(available[winner_pos]);
+        }
+        chosen.sort_unstable();
+        Some(chosen)
+    }
+
+    /// The heaviest remaining pair under the Gollapudi–Sharma pair
+    /// weight, lexicographically first on ties (matching the sequential
+    /// scan order of `approx::greedy_max_sum`).
+    fn best_available_pair(&self, available: &[usize]) -> Option<(usize, usize)> {
+        let m = available.len();
+        if m < 2 {
+            return None;
+        }
+        // Parallel unit = anchor position; each anchor scans its tail.
+        let row_best = |ai: usize| {
+            let i = available[ai];
+            let ri = self.rel[i];
+            let row = self.matrix.row(i);
+            let mut best: Option<f64> = None;
+            for &j in &available[ai + 1..] {
+                let w = self.one_minus * (ri + self.rel[j]) + self.lam * 2.0 * row[j];
+                if best.is_none_or(|b| w > b) {
+                    best = Some(w);
+                }
+            }
+            best
+        };
+        let anchors = argmax_with_ties(m - 1, self.threads, m / 2 + 1, &row_best)?;
+        // Gather concrete near-tie pairs from the surviving anchors.
+        let best = anchors
+            .iter()
+            .map(|t| t.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let window = F64_TIE_EPS.max(best.abs() * F64_TIE_EPS);
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for t in &anchors {
+            let ai = t.index;
+            let i = available[ai];
+            let ri = self.rel[i];
+            let row = self.matrix.row(i);
+            for &j in &available[ai + 1..] {
+                let w = self.one_minus * (ri + self.rel[j]) + self.lam * 2.0 * row[j];
+                if w >= best - window {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        debug_assert!(!pairs.is_empty());
+        if pairs.len() == 1 {
+            return pairs.pop();
+        }
+        // Exact re-score; lexicographically smallest pair wins ties,
+        // matching the sequential double loop.
+        pairs.sort_unstable();
+        let mut winner = pairs[0];
+        let mut winner_w = self.exact_ms_pair_weight(winner.0, winner.1);
+        for &(i, j) in &pairs[1..] {
+            let w = self.exact_ms_pair_weight(i, j);
+            if w > winner_w {
+                winner = (i, j);
+                winner_w = w;
+            }
+        }
+        Some(winner)
+    }
+
+    fn exact_ms_pair_weight(&self, i: usize, j: usize) -> Ratio {
+        ms_pair_weight_parts(
+            self.lambda,
+            self.rel_exact[i],
+            self.rel_exact[j],
+            self.dist_of(i, j),
+        )
+    }
+
+    /// Greedy GMM for `F_MM` — same semantics as
+    /// [`crate::approx::gmm_max_min`], with the per-round candidate scan
+    /// parallelized and the nearest-selected distance maintained
+    /// incrementally (`O(n)` per round instead of `O(n·|chosen|)`).
+    pub fn gmm_max_min(&self, k: usize) -> Option<Vec<usize>> {
+        let n = self.n();
+        if k > n {
+            return None;
+        }
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        if k == 1 {
+            return Some(vec![self.most_relevant()?]);
+        }
+        let (i, j) = self.best_seed_pair()?;
+        let mut selected = vec![false; n];
+        let mut chosen = vec![i, j];
+        selected[i] = true;
+        selected[j] = true;
+        let mut min_rel = self.rel[i].min(self.rel[j]);
+        let mut min_rel_exact = self.rel_exact[i].min(self.rel_exact[j]);
+        let mut min_dis = self.matrix.get(i, j);
+        let mut min_dis_exact = self.dist_of(i, j);
+        // nearest[t] = min distance from t to the chosen set.
+        let mut nearest: Vec<f64> = (0..n)
+            .map(|t| self.matrix.get(i, t).min(self.matrix.get(j, t)))
+            .collect();
+        while chosen.len() < k {
+            let eval = |t: usize| {
+                if selected[t] {
+                    return None;
+                }
+                Some(
+                    self.one_minus * min_rel.min(self.rel[t])
+                        + self.lam * min_dis.min(nearest[t]),
+                )
+            };
+            let ties = argmax_with_ties(n, self.threads, 1, &eval)?;
+            let t = resolve_ties_exact(&ties, |t| {
+                (Ratio::ONE - self.lambda) * min_rel_exact.min(self.rel_exact[t])
+                    + self.lambda * self.exact_nearest(&chosen, t).min(min_dis_exact)
+            });
+            min_rel = min_rel.min(self.rel[t]);
+            min_rel_exact = min_rel_exact.min(self.rel_exact[t]);
+            min_dis = min_dis.min(nearest[t]);
+            min_dis_exact = min_dis_exact.min(self.exact_nearest(&chosen, t));
+            selected[t] = true;
+            chosen.push(t);
+            let row = self.matrix.row(t);
+            for (slot, &d) in nearest.iter_mut().zip(row) {
+                if d < *slot {
+                    *slot = d;
+                }
+            }
+        }
+        chosen.sort_unstable();
+        Some(chosen)
+    }
+
+    /// Exact minimum distance from `t` to the chosen set.
+    fn exact_nearest(&self, chosen: &[usize], t: usize) -> Ratio {
+        chosen
+            .iter()
+            .map(|&s| self.dist_of(s, t))
+            .min()
+            .expect("chosen is non-empty")
+    }
+
+    /// The GMM seed pair `argmax (1−λ)·min(rel) + λ·dist`,
+    /// lexicographically first on ties.
+    fn best_seed_pair(&self) -> Option<(usize, usize)> {
+        let n = self.n();
+        if n < 2 {
+            return None;
+        }
+        let seed_value = |i: usize, j: usize| {
+            self.one_minus * self.rel[i].min(self.rel[j]) + self.lam * self.matrix.get(i, j)
+        };
+        let row_best = |i: usize| {
+            let mut best: Option<f64> = None;
+            for j in (i + 1)..n {
+                let v = seed_value(i, j);
+                if best.is_none_or(|b| v > b) {
+                    best = Some(v);
+                }
+            }
+            best
+        };
+        let anchors = argmax_with_ties(n - 1, self.threads, n / 2 + 1, &row_best)?;
+        let best = anchors
+            .iter()
+            .map(|t| t.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let window = F64_TIE_EPS.max(best.abs() * F64_TIE_EPS);
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for t in &anchors {
+            let i = t.index;
+            for j in (i + 1)..n {
+                if seed_value(i, j) >= best - window {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        if pairs.len() == 1 {
+            return pairs.pop();
+        }
+        pairs.sort_unstable();
+        let one_minus = Ratio::ONE - self.lambda;
+        let exact = |&(i, j): &(usize, usize)| {
+            one_minus * self.rel_exact[i].min(self.rel_exact[j]) + self.lambda * self.dist_of(i, j)
+        };
+        let mut winner = pairs[0];
+        let mut winner_v = exact(&winner);
+        for p in &pairs[1..] {
+            let v = exact(p);
+            if v > winner_v {
+                winner = *p;
+                winner_v = v;
+            }
+        }
+        Some(winner)
+    }
+
+    /// MMR incremental selection — same semantics as
+    /// [`crate::approx::mmr`], the nearest-selected distance maintained
+    /// incrementally.
+    pub fn mmr(&self, k: usize) -> Option<Vec<usize>> {
+        let n = self.n();
+        if k > n {
+            return None;
+        }
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        let first = self.most_relevant()?;
+        let mut selected = vec![false; n];
+        selected[first] = true;
+        let mut chosen = vec![first];
+        let mut nearest: Vec<f64> = self.matrix.row(first).to_vec();
+        while chosen.len() < k {
+            let eval = |t: usize| {
+                if selected[t] {
+                    return None;
+                }
+                Some(self.one_minus * self.rel[t] + self.lam * nearest[t])
+            };
+            let ties = argmax_with_ties(n, self.threads, 1, &eval)?;
+            let t = resolve_ties_exact(&ties, |t| {
+                (Ratio::ONE - self.lambda) * self.rel_exact[t]
+                    + self.lambda * self.exact_nearest(&chosen, t)
+            });
+            selected[t] = true;
+            chosen.push(t);
+            let row = self.matrix.row(t);
+            for (slot, &d) in nearest.iter_mut().zip(row) {
+                if d < *slot {
+                    *slot = d;
+                }
+            }
+        }
+        chosen.sort_unstable();
+        Some(chosen)
+    }
+
+    /// `F_mono` top-`k` by per-item score (the Theorem 5.4 PTIME rule):
+    /// float row sums, exact re-ranking inside the float tie window.
+    /// Matches [`mono::max_mono`](crate::solvers::mono::max_mono) up to
+    /// equal-score ties. `None` when `k > n`.
+    pub fn mono_top_k(&self, k: usize) -> Option<Vec<usize>> {
+        let n = self.n();
+        if k > n {
+            return None;
+        }
+        let mut scored: Vec<(f64, usize)> = (0..n).map(|i| (self.mono_score_f64(i), i)).collect();
+        // Descending by score, ascending by index.
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        if k == 0 || k == n {
+            let mut all: Vec<usize> = scored[..k].iter().map(|&(_, i)| i).collect();
+            all.sort_unstable();
+            return Some(all);
+        }
+        // Items comfortably above the cut are in; the float-ambiguous
+        // band around the k-th score is re-ranked exactly.
+        let cut = scored[k - 1].0;
+        let window = F64_TIE_EPS.max(cut.abs() * F64_TIE_EPS);
+        let mut sure: Vec<usize> = Vec::with_capacity(k);
+        let mut band: Vec<usize> = Vec::new();
+        for &(s, i) in &scored {
+            if s > cut + window {
+                sure.push(i);
+            } else if s >= cut - window {
+                band.push(i);
+            }
+        }
+        let need = k - sure.len();
+        if need < band.len() {
+            let mut band_exact: Vec<(Ratio, usize)> = band
+                .into_iter()
+                .map(|i| (self.mono_score_exact(i), i))
+                .collect();
+            band_exact.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            band = band_exact.into_iter().map(|(_, i)| i).collect();
+        }
+        sure.extend(band.into_iter().take(need));
+        sure.sort_unstable();
+        Some(sure)
+    }
+
+    /// Float objective of a candidate set (used by local search rounds).
+    fn objective_f64(&self, kind: ObjectiveKind, subset: &[usize]) -> f64 {
+        match kind {
+            ObjectiveKind::MaxSum => {
+                let k = subset.len();
+                if k == 0 {
+                    return 0.0;
+                }
+                let rel_sum: f64 = subset.iter().map(|&i| self.rel[i]).sum();
+                let mut dis_sum = 0.0;
+                for (a, &i) in subset.iter().enumerate() {
+                    let row = self.matrix.row(i);
+                    for &j in &subset[a + 1..] {
+                        dis_sum += row[j];
+                    }
+                }
+                self.one_minus * (k as f64 - 1.0) * rel_sum + self.lam * 2.0 * dis_sum
+            }
+            ObjectiveKind::MaxMin => {
+                if subset.is_empty() {
+                    return 0.0;
+                }
+                let min_rel = subset.iter().map(|&i| self.rel[i]).fold(f64::INFINITY, f64::min);
+                let mut min_dis = f64::INFINITY;
+                for (a, &i) in subset.iter().enumerate() {
+                    let row = self.matrix.row(i);
+                    for &j in &subset[a + 1..] {
+                        min_dis = min_dis.min(row[j]);
+                    }
+                }
+                if min_dis == f64::INFINITY {
+                    min_dis = 0.0;
+                }
+                self.one_minus * min_rel + self.lam * min_dis
+            }
+            ObjectiveKind::Mono => subset.iter().map(|&i| self.mono_score_f64(i)).sum(),
+        }
+    }
+
+    /// Best-improving single-swap local search — same semantics as
+    /// [`crate::approx::local_search_swap`]: each round scans every
+    /// (selected, unselected) swap in parallel, applies the best strictly
+    /// improving one (verified exactly), and stops at a local optimum or
+    /// after `max_rounds`. Returns the exact value and the sorted set.
+    pub fn local_search_swap(
+        &self,
+        kind: ObjectiveKind,
+        init: Vec<usize>,
+        max_rounds: usize,
+    ) -> (Ratio, Vec<usize>) {
+        let n = self.n();
+        let mut current = init;
+        current.sort_unstable();
+        let mut value_exact = self.objective_exact(kind, &current);
+        let k = current.len();
+        if k == 0 || k >= n {
+            return (value_exact, current);
+        }
+        for _ in 0..max_rounds {
+            let value_f = self.objective_f64(kind, &current);
+            let current_ref = &current;
+            // Flattened swap space: slot = pos * n + cand.
+            let eval = |slot: usize| {
+                let (pos, cand) = (slot / n, slot % n);
+                if current_ref.binary_search(&cand).is_ok() {
+                    return None;
+                }
+                let mut trial = current_ref.clone();
+                trial[pos] = cand;
+                trial.sort_unstable();
+                let v = self.objective_f64(kind, &trial);
+                let window = F64_TIE_EPS.max(v.abs() * F64_TIE_EPS);
+                if v > value_f - window {
+                    Some(v)
+                } else {
+                    None
+                }
+            };
+            let Some(ties) = argmax_with_ties(k * n, self.threads, k * k, &eval) else {
+                break;
+            };
+            // Exact re-scoring of the near-tie swaps; sequential scan
+            // order (pos asc, cand asc) = ascending flattened slot.
+            let mut best_swap: Option<(Ratio, usize)> = None;
+            for t in &ties {
+                let (pos, cand) = (t.index / n, t.index % n);
+                let mut trial = current.clone();
+                trial[pos] = cand;
+                trial.sort_unstable();
+                let v = self.objective_exact(kind, &trial);
+                if v > value_exact && best_swap.as_ref().is_none_or(|(b, _)| v > *b) {
+                    best_swap = Some((v, t.index));
+                }
+            }
+            match best_swap {
+                Some((v, slot)) => {
+                    let (pos, cand) = (slot / n, slot % n);
+                    current[pos] = cand;
+                    current.sort_unstable();
+                    value_exact = v;
+                }
+                None => break,
+            }
+        }
+        (value_exact, current)
+    }
+
+    /// Serves one request: routes to the objective's solver
+    /// (`F_MS` → greedy, `F_MM` → GMM, `F_mono` → exact top-k) and
+    /// returns the **exact** objective value with the chosen indices.
+    pub fn serve(&self, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
+        let set = match request.kind {
+            ObjectiveKind::MaxSum => self.greedy_max_sum(request.k)?,
+            ObjectiveKind::MaxMin => self.gmm_max_min(request.k)?,
+            ObjectiveKind::Mono => self.mono_top_k(request.k)?,
+        };
+        let value = self.objective_exact(request.kind, &set);
+        Some((value, set))
+    }
+
+    /// Serves a whole batch against the shared matrix.
+    pub fn serve_batch(&self, requests: &[EngineRequest]) -> Vec<Option<(Ratio, Vec<usize>)>> {
+        requests.iter().map(|&r| self.serve(r)).collect()
+    }
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("n", &self.n())
+            .field("lambda", &self.lambda)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx;
+    use crate::distance::{NumericDistance, TableDistance};
+    use crate::problem::DiversityProblem;
+    use crate::relevance::{AttributeRelevance, TableRelevance};
+    use crate::solvers::mono;
+
+    const REL: AttributeRelevance = AttributeRelevance {
+        attr: 1,
+        default: Ratio::ZERO,
+    };
+    const DIS: NumericDistance = NumericDistance {
+        attr: 0,
+        fallback: Ratio::ZERO,
+    };
+
+    fn line_universe(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::ints([i * 3 % (2 * n), i % 5])).collect()
+    }
+
+    fn engine(n: i64, lambda: Ratio) -> Engine<'static> {
+        Engine::with_threads(line_universe(n), &REL, &DIS, lambda, 2)
+    }
+
+    #[test]
+    fn matrix_matches_oracle_exactly_on_integer_distances() {
+        let u = line_universe(12);
+        let m = DistanceMatrix::build(&u, &DIS, 2);
+        assert_eq!(m.verify_exact(&u, &DIS), 0.0);
+        assert_eq!(m.get(3, 3), 0.0);
+        assert_eq!(m.get(2, 5), m.get(5, 2));
+    }
+
+    #[test]
+    fn engine_matches_approx_greedy_value() {
+        for k in [1, 2, 3, 4, 5] {
+            for lam in [Ratio::ZERO, Ratio::new(1, 2), Ratio::ONE] {
+                let u = line_universe(14);
+                let p = DiversityProblem::new(u, &REL, &DIS, lam, k);
+                let e = engine(14, lam);
+                let seq = approx::greedy_max_sum(&p).unwrap();
+                let fast = e.greedy_max_sum(k).unwrap();
+                assert_eq!(
+                    p.f_ms(&seq),
+                    e.objective_exact(ObjectiveKind::MaxSum, &fast),
+                    "k={k} λ={lam}: {seq:?} vs {fast:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_approx_gmm_value() {
+        for k in [1, 2, 3, 4] {
+            for lam in [Ratio::ZERO, Ratio::new(1, 3), Ratio::ONE] {
+                let u = line_universe(12);
+                let p = DiversityProblem::new(u, &REL, &DIS, lam, k);
+                let e = engine(12, lam);
+                let seq = approx::gmm_max_min(&p).unwrap();
+                let fast = e.gmm_max_min(k).unwrap();
+                assert_eq!(
+                    p.f_mm(&seq),
+                    e.objective_exact(ObjectiveKind::MaxMin, &fast),
+                    "k={k} λ={lam}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_approx_mmr_set() {
+        for k in [1, 3, 5] {
+            for lam in [Ratio::ZERO, Ratio::new(1, 2), Ratio::ONE] {
+                let u = line_universe(11);
+                let p = DiversityProblem::new(u, &REL, &DIS, lam, k);
+                let e = engine(11, lam);
+                assert_eq!(approx::mmr(&p).unwrap(), e.mmr(k).unwrap(), "k={k} λ={lam}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_mono_matches_exact_solver() {
+        for k in [1, 2, 4] {
+            let lam = Ratio::new(1, 2);
+            let u = line_universe(10);
+            let p = DiversityProblem::new(u, &REL, &DIS, lam, k);
+            let e = engine(10, lam);
+            let (opt, _) = mono::max_mono(&p).unwrap();
+            let set = e.mono_top_k(k).unwrap();
+            assert_eq!(opt, e.objective_exact(ObjectiveKind::Mono, &set), "k={k}");
+        }
+    }
+
+    #[test]
+    fn engine_local_search_matches_sequential_value() {
+        let lam = Ratio::new(1, 2);
+        let u = line_universe(10);
+        let p = DiversityProblem::new(u, &REL, &DIS, lam, 3);
+        let e = engine(10, lam);
+        for kind in ObjectiveKind::ALL {
+            let init = vec![0, 1, 2];
+            let (sv, _) = approx::local_search_swap(&p, kind, init.clone(), 50);
+            let (ev, eset) = e.local_search_swap(kind, init, 50);
+            assert_eq!(sv, ev, "{kind}");
+            assert_eq!(e.objective_exact(kind, &eset), ev, "{kind}");
+        }
+    }
+
+    #[test]
+    fn serve_batch_shares_one_matrix() {
+        let e = engine(12, Ratio::new(1, 2));
+        let reqs: Vec<EngineRequest> = ObjectiveKind::ALL
+            .into_iter()
+            .flat_map(|kind| (1..=4).map(move |k| EngineRequest { kind, k }))
+            .collect();
+        let answers = e.serve_batch(&reqs);
+        assert_eq!(answers.len(), 12);
+        for (req, ans) in reqs.iter().zip(&answers) {
+            let (v, set) = ans.as_ref().expect("feasible");
+            assert_eq!(set.len(), req.k);
+            assert_eq!(e.objective_exact(req.kind, set), *v);
+        }
+    }
+
+    #[test]
+    fn infeasible_requests_return_none() {
+        let e = engine(3, Ratio::ONE);
+        assert!(e.greedy_max_sum(4).is_none());
+        assert!(e.gmm_max_min(4).is_none());
+        assert!(e.mmr(4).is_none());
+        assert!(e.mono_top_k(4).is_none());
+        assert!(e.serve(EngineRequest { kind: ObjectiveKind::MaxSum, k: 4 }).is_none());
+    }
+
+    #[test]
+    fn exact_tie_fallback_breaks_float_ties_like_the_sequential_path() {
+        // All-equal relevance and distance: everything ties, so the
+        // engine must reproduce the sequential lowest-index picks.
+        let rel = TableRelevance::with_default(Ratio::ONE);
+        let dis = TableDistance::with_default(Ratio::ONE);
+        let u: Vec<Tuple> = (0..8).map(|i| Tuple::ints([i])).collect();
+        let p = DiversityProblem::new(u.clone(), &rel, &dis, Ratio::new(1, 2), 3);
+        let e = Engine::with_threads(u, &rel, &dis, Ratio::new(1, 2), 2);
+        assert_eq!(approx::greedy_max_sum(&p).unwrap(), e.greedy_max_sum(3).unwrap());
+        assert_eq!(approx::gmm_max_min(&p).unwrap(), e.gmm_max_min(3).unwrap());
+        assert_eq!(approx::mmr(&p).unwrap(), e.mmr(3).unwrap());
+    }
+
+    #[test]
+    fn single_thread_and_multi_thread_agree() {
+        let u = line_universe(16);
+        let e1 = Engine::with_threads(u.clone(), &REL, &DIS, Ratio::new(2, 3), 1);
+        let e4 = Engine::with_threads(u, &REL, &DIS, Ratio::new(2, 3), 4);
+        for k in [2, 5] {
+            assert_eq!(e1.greedy_max_sum(k), e4.greedy_max_sum(k));
+            assert_eq!(e1.gmm_max_min(k), e4.gmm_max_min(k));
+            assert_eq!(e1.mmr(k), e4.mmr(k));
+            assert_eq!(e1.mono_top_k(k), e4.mono_top_k(k));
+        }
+    }
+}

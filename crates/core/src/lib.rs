@@ -57,6 +57,7 @@ pub mod combin;
 pub mod constraints;
 pub mod dispersion;
 pub mod distance;
+pub mod engine;
 pub mod gen;
 pub mod pipeline;
 pub mod problem;
@@ -70,7 +71,11 @@ pub use dispersion::{Dispersion, DispersionVariant};
 pub use distance::{
     ClosureDistance, ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
 };
-pub use pipeline::{PipelineError, PipelineResult, QueryDiversification};
+pub use engine::{DistanceMatrix, Engine, EngineRequest};
+pub use pipeline::{
+    PipelineError, PipelineResult, QueryDiversification, ServedAnswer, SharedDistance,
+    SharedRelevance,
+};
 pub use problem::{DiversityProblem, ObjectiveKind};
 pub use ratio::Ratio;
 pub use relevance::{
@@ -84,6 +89,7 @@ pub mod prelude {
     pub use crate::distance::{
         ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
     };
+    pub use crate::engine::{Engine, EngineRequest};
     pub use crate::pipeline::QueryDiversification;
     pub use crate::problem::{DiversityProblem, ObjectiveKind};
     pub use crate::ratio::Ratio;

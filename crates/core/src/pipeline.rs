@@ -10,12 +10,20 @@
 
 use crate::constraints::Constraint;
 use crate::distance::Distance;
+use crate::engine::{Engine, EngineRequest};
 use crate::problem::{DiversityProblem, ObjectiveKind};
 use crate::ratio::Ratio;
 use crate::relevance::Relevance;
 use crate::solvers::{constrained, counting, exact, mono};
 use divr_relquery::{Database, Query, Tuple};
 use std::fmt;
+
+/// A boxed relevance function usable from worker threads (the pipeline
+/// stores its functions like this so the batch engine can parallelize).
+pub type SharedRelevance = Box<dyn Relevance + Send + Sync>;
+
+/// A boxed distance function usable from worker threads.
+pub type SharedDistance = Box<dyn Distance + Send + Sync>;
 
 /// Errors from the end-to-end pipeline.
 #[derive(Debug)]
@@ -49,12 +57,16 @@ impl From<divr_relquery::Error> for PipelineError {
 /// Result alias for pipeline operations.
 pub type PipelineResult<T> = Result<T, PipelineError>;
 
+/// One served answer: the exact objective value with the chosen tuples,
+/// or `None` when the request was infeasible (`|Q(D)| < k`).
+pub type ServedAnswer = Option<(Ratio, Vec<Tuple>)>;
+
 /// A fully configured diversification task over a database and query.
 pub struct QueryDiversification {
     db: Database,
     query: Query,
-    rel: Box<dyn Relevance>,
-    dis: Box<dyn Distance>,
+    rel: SharedRelevance,
+    dis: SharedDistance,
     lambda: Ratio,
     k: usize,
 }
@@ -65,8 +77,8 @@ impl QueryDiversification {
     pub fn new(
         db: Database,
         query: Query,
-        rel: Box<dyn Relevance>,
-        dis: Box<dyn Distance>,
+        rel: SharedRelevance,
+        dis: SharedDistance,
         lambda: Ratio,
         k: usize,
     ) -> Self {
@@ -106,6 +118,75 @@ impl QueryDiversification {
             self.lambda,
             self.k,
         ))
+    }
+
+    /// Evaluates `Q(D)` once and prepares the batch [`Engine`] over the
+    /// materialized universe: the `O(n²)` distance matrix is built here
+    /// (in parallel), after which any number of `(objective, k)`
+    /// requests are served against it without touching the database,
+    /// the query evaluator, or the `Ratio` distance oracle again.
+    ///
+    /// This is the serving path; [`QueryDiversification::prepare`] is
+    /// the exact analysis path. The engine's heuristic answers match the
+    /// `Ratio`-path heuristics of [`crate::approx`] up to equal-score
+    /// ties (see [`crate::engine`] for the exactness contract).
+    pub fn prepare_engine(&self) -> PipelineResult<Engine<'_>> {
+        let result = self.query.eval(&self.db)?;
+        Ok(Engine::new(
+            result.tuples().to_vec(),
+            &self.rel,
+            &self.dis,
+            self.lambda,
+        ))
+    }
+
+    /// Serves a whole batch of `(objective, k)` requests against one
+    /// shared distance matrix: prepare once, answer many. Each answer is
+    /// the **exact** objective value with the chosen tuples, or `None`
+    /// when `|Q(D)| < k` for that request.
+    ///
+    /// For a long-lived engine (e.g. a query front-end serving traffic),
+    /// call [`QueryDiversification::prepare_engine`] once and keep the
+    /// engine instead.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use divr_core::engine::EngineRequest;
+    /// use divr_core::prelude::*;
+    /// use divr_relquery::{parser, Database, Value};
+    ///
+    /// let mut db = Database::new();
+    /// db.create_relation("items", &["id", "score"]).unwrap();
+    /// for (id, score) in [(1, 9), (2, 7), (3, 5), (4, 1)] {
+    ///     db.insert("items", vec![Value::int(id), Value::int(score)]).unwrap();
+    /// }
+    /// let q = parser::parse_query("Q(id, score) :- items(id, score)").unwrap();
+    /// let task = QueryDiversification::new(
+    ///     db,
+    ///     q,
+    ///     Box::new(AttributeRelevance { attr: 1, default: Ratio::ZERO }),
+    ///     Box::new(NumericDistance { attr: 0, fallback: Ratio::ONE }),
+    ///     Ratio::new(1, 2),
+    ///     2,
+    /// );
+    /// let answers = task.serve_batch(&[
+    ///     EngineRequest { kind: ObjectiveKind::MaxSum, k: 2 },
+    ///     EngineRequest { kind: ObjectiveKind::Mono, k: 3 },
+    /// ]).unwrap();
+    /// assert_eq!(answers[0].as_ref().unwrap().1.len(), 2);
+    /// assert_eq!(answers[1].as_ref().unwrap().1.len(), 3);
+    /// ```
+    pub fn serve_batch(
+        &self,
+        requests: &[EngineRequest],
+    ) -> PipelineResult<Vec<ServedAnswer>> {
+        let engine = self.prepare_engine()?;
+        Ok(engine
+            .serve_batch(requests)
+            .into_iter()
+            .map(|ans| ans.map(|(v, set)| (v, engine.tuples_of(&set))))
+            .collect())
     }
 
     /// **QRD**: is there a candidate set with `F(U) ≥ B`?

@@ -30,6 +30,53 @@ use crate::relevance::Relevance;
 use divr_relquery::Tuple;
 use std::fmt;
 
+/// `F_MS` over member oracles: `m` members, `rel(a)`/`dist(a, b)` read
+/// member positions `0..m`. The single definition shared by
+/// [`DiversityProblem::f_ms`], the engine's exact scorer, and the
+/// streaming diversifier's cached evaluation — so the formula cannot
+/// drift between the paths the property tests compare.
+pub(crate) fn f_ms_from(
+    m: usize,
+    lambda: Ratio,
+    rel: impl Fn(usize) -> Ratio,
+    dist: impl Fn(usize, usize) -> Ratio,
+) -> Ratio {
+    if m == 0 {
+        return Ratio::ZERO;
+    }
+    let one_minus = Ratio::ONE - lambda;
+    let rel_sum: Ratio = (0..m).map(&rel).sum();
+    let mut dis_sum = Ratio::ZERO;
+    for a in 0..m {
+        for b in (a + 1)..m {
+            dis_sum += dist(a, b);
+        }
+    }
+    // (k−1)(1−λ)·Σrel + λ·(ordered-pair sum) = … + λ·2·(unordered sum)
+    one_minus.scale(m as i64 - 1) * rel_sum + lambda * dis_sum.scale(2)
+}
+
+/// `F_MM` over member oracles (see [`f_ms_from`]).
+pub(crate) fn f_mm_from(
+    m: usize,
+    lambda: Ratio,
+    rel: impl Fn(usize) -> Ratio,
+    dist: impl Fn(usize, usize) -> Ratio,
+) -> Ratio {
+    if m == 0 {
+        return Ratio::ZERO;
+    }
+    let min_rel = (0..m).map(&rel).min().expect("non-empty");
+    let mut min_dis: Option<Ratio> = None;
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let d = dist(a, b);
+            min_dis = Some(min_dis.map_or(d, |x| x.min(d)));
+        }
+    }
+    (Ratio::ONE - lambda) * min_rel + lambda * min_dis.unwrap_or(Ratio::ZERO)
+}
+
 /// Which of the paper's three objective functions is in force.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ObjectiveKind {
@@ -152,44 +199,22 @@ impl<'a> DiversityProblem<'a> {
 
     /// `F_MS(U)`.
     pub fn f_ms(&self, subset: &[usize]) -> Ratio {
-        let k = subset.len();
-        if k == 0 {
-            return Ratio::ZERO;
-        }
-        let one_minus = Ratio::ONE - self.lambda;
-        let rel_sum: Ratio = subset.iter().map(|&i| self.rel_cache[i]).sum();
-        let mut dis_sum = Ratio::ZERO;
-        for (a, &i) in subset.iter().enumerate() {
-            for &j in &subset[a + 1..] {
-                dis_sum += self.dist_of(i, j);
-            }
-        }
-        // (k−1)(1−λ)·Σrel + λ·(ordered-pair sum) = … + λ·2·(unordered sum)
-        one_minus.scale(k as i64 - 1) * rel_sum + self.lambda * dis_sum.scale(2)
+        f_ms_from(
+            subset.len(),
+            self.lambda,
+            |a| self.rel_cache[subset[a]],
+            |a, b| self.dist_of(subset[a], subset[b]),
+        )
     }
 
     /// `F_MM(U)`.
     pub fn f_mm(&self, subset: &[usize]) -> Ratio {
-        if subset.is_empty() {
-            return Ratio::ZERO;
-        }
-        let min_rel = subset
-            .iter()
-            .map(|&i| self.rel_cache[i])
-            .min()
-            .expect("non-empty");
-        let mut min_dis: Option<Ratio> = None;
-        for (a, &i) in subset.iter().enumerate() {
-            for &j in &subset[a + 1..] {
-                let d = self.dist_of(i, j);
-                min_dis = Some(match min_dis {
-                    Some(m) => m.min(d),
-                    None => d,
-                });
-            }
-        }
-        let diversity = min_dis.unwrap_or(Ratio::ZERO);
-        (Ratio::ONE - self.lambda) * min_rel + self.lambda * diversity
+        f_mm_from(
+            subset.len(),
+            self.lambda,
+            |a| self.rel_cache[subset[a]],
+            |a, b| self.dist_of(subset[a], subset[b]),
+        )
     }
 
     /// `F_mono(U)`.

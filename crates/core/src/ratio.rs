@@ -116,8 +116,10 @@ impl Ratio {
         }
     }
 
-    /// Approximate `f64` value (for display/benchmark summaries only —
-    /// never used in decisions).
+    /// Approximate `f64` value. Used for display/benchmark summaries and
+    /// by the batch engine's float filter ([`crate::engine`]) — the
+    /// engine restores exactness through its `Ratio` tie fallback, so
+    /// threshold *decisions* still never rest on this conversion alone.
     pub fn to_f64(&self) -> f64 {
         self.num as f64 / self.den as f64
     }

@@ -114,6 +114,12 @@ impl Relevance for Box<dyn Relevance + '_> {
     }
 }
 
+impl Relevance for Box<dyn Relevance + Send + Sync + '_> {
+    fn rel(&self, t: &Tuple) -> Ratio {
+        (**self).rel(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,15 @@ use crate::relevance::Relevance;
 use divr_relquery::Tuple;
 
 /// One-pass greedy diversifier over a stream of result tuples.
+///
+/// Relevance values and pairwise distances of the *selected* set are
+/// cached (and maintained across swaps), so each [`offer`] costs `O(k)`
+/// calls into the relevance/distance oracles — one per selected tuple
+/// for the incoming candidate — rather than re-evaluating `O(k³)` oracle
+/// pairs per offered tuple. Objective values are still exact `Ratio`s;
+/// the cache changes *where* they are computed, never *what*.
+///
+/// [`offer`]: StreamingDiversifier::offer
 pub struct StreamingDiversifier<'a> {
     rel: &'a dyn Relevance,
     dis: &'a dyn Distance,
@@ -30,6 +39,11 @@ pub struct StreamingDiversifier<'a> {
     lambda: Ratio,
     k: usize,
     selected: Vec<Tuple>,
+    /// `sel_rel[i] = δ_rel(selected[i])`.
+    sel_rel: Vec<Ratio>,
+    /// Full symmetric distance cache among selected tuples:
+    /// `sel_dist[i][j] = δ_dis(selected[i], selected[j])`.
+    sel_dist: Vec<Vec<Ratio>>,
     offered: usize,
     swaps: usize,
 }
@@ -62,42 +76,50 @@ impl<'a> StreamingDiversifier<'a> {
             lambda,
             k,
             selected: Vec::with_capacity(k),
+            sel_rel: Vec::with_capacity(k),
+            sel_dist: Vec::with_capacity(k),
             offered: 0,
             swaps: 0,
         }
     }
 
-    /// The objective value of an explicit set of tuples.
-    fn value_of(&self, set: &[Tuple]) -> Ratio {
-        let one_minus = Ratio::ONE - self.lambda;
+    /// The objective value computed from cached relevances/distances,
+    /// with position `out` (if any) replaced by the candidate whose
+    /// relevance is `cand_rel` and whose cached distances to the
+    /// selected tuples are `cand_dist`.
+    fn value_with(
+        &self,
+        swap: Option<(usize, Ratio, &[Ratio])>,
+    ) -> Ratio {
+        let m = self.selected.len();
+        let rel_at = |i: usize| match swap {
+            Some((out, cand_rel, _)) if i == out => cand_rel,
+            _ => self.sel_rel[i],
+        };
+        let dist_at = |i: usize, j: usize| match swap {
+            Some((out, _, cand_dist)) if i == out => cand_dist[j],
+            Some((out, _, cand_dist)) if j == out => cand_dist[i],
+            _ => self.sel_dist[i][j],
+        };
         match self.kind {
-            ObjectiveKind::MaxSum => {
-                let rel_sum: Ratio = set.iter().map(|t| self.rel.rel(t)).sum();
-                let mut dis_sum = Ratio::ZERO;
-                for (i, a) in set.iter().enumerate() {
-                    for b in &set[i + 1..] {
-                        dis_sum += self.dis.dist(a, b);
-                    }
-                }
-                one_minus.scale(set.len() as i64 - 1) * rel_sum
-                    + self.lambda * dis_sum.scale(2)
-            }
-            ObjectiveKind::MaxMin => {
-                if set.is_empty() {
-                    return Ratio::ZERO;
-                }
-                let min_rel = set.iter().map(|t| self.rel.rel(t)).min().expect("non-empty");
-                let mut min_dis: Option<Ratio> = None;
-                for (i, a) in set.iter().enumerate() {
-                    for b in &set[i + 1..] {
-                        let d = self.dis.dist(a, b);
-                        min_dis = Some(min_dis.map_or(d, |m| m.min(d)));
-                    }
-                }
-                one_minus * min_rel + self.lambda * min_dis.unwrap_or(Ratio::ZERO)
-            }
+            ObjectiveKind::MaxSum => crate::problem::f_ms_from(m, self.lambda, rel_at, dist_at),
+            ObjectiveKind::MaxMin => crate::problem::f_mm_from(m, self.lambda, rel_at, dist_at),
             ObjectiveKind::Mono => unreachable!("rejected at construction"),
         }
+    }
+
+    /// Appends a tuple to the selected set, extending the caches.
+    fn push_selected(&mut self, t: Tuple, rel_t: Ratio, dist_t: Vec<Ratio>) {
+        let m = self.selected.len();
+        for (row, &d) in self.sel_dist.iter_mut().zip(&dist_t) {
+            row.push(d);
+        }
+        let mut new_row = dist_t;
+        new_row.push(Ratio::ZERO); // diagonal
+        debug_assert_eq!(new_row.len(), m + 1);
+        self.sel_dist.push(new_row);
+        self.sel_rel.push(rel_t);
+        self.selected.push(t);
     }
 
     /// Offers the next stream tuple. Returns `true` iff the maintained
@@ -108,17 +130,19 @@ impl<'a> StreamingDiversifier<'a> {
         if self.selected.contains(&t) {
             return false;
         }
+        // The only oracle calls of this offer: δ_rel(t) and δ_dis(t, s)
+        // for each currently selected s.
+        let rel_t = self.rel.rel(&t);
+        let dist_t: Vec<Ratio> = self.selected.iter().map(|s| self.dis.dist(s, &t)).collect();
         if self.selected.len() < self.k {
-            self.selected.push(t);
+            self.push_selected(t, rel_t, dist_t);
             return true;
         }
-        // Try the best single swap.
-        let current = self.value_of(&self.selected);
+        // Try the best single swap, from caches only.
+        let current = self.value_with(None);
         let mut best: Option<(Ratio, usize)> = None;
         for out in 0..self.selected.len() {
-            let saved = std::mem::replace(&mut self.selected[out], t.clone());
-            let v = self.value_of(&self.selected);
-            self.selected[out] = saved;
+            let v = self.value_with(Some((out, rel_t, &dist_t)));
             if v > current && best.is_none_or(|(b, _)| v > b) {
                 best = Some((v, out));
             }
@@ -126,6 +150,12 @@ impl<'a> StreamingDiversifier<'a> {
         match best {
             Some((_, out)) => {
                 self.selected[out] = t;
+                self.sel_rel[out] = rel_t;
+                for (j, &d) in dist_t.iter().enumerate() {
+                    self.sel_dist[out][j] = d;
+                    self.sel_dist[j][out] = d;
+                }
+                self.sel_dist[out][out] = Ratio::ZERO;
                 self.swaps += 1;
                 true
             }
@@ -153,7 +183,7 @@ impl<'a> StreamingDiversifier<'a> {
 
     /// The objective value of the current set.
     pub fn value(&self) -> Ratio {
-        self.value_of(&self.selected)
+        self.value_with(None)
     }
 
     /// Stream statistics: `(tuples offered, improving swaps)`.
