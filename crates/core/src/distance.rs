@@ -37,6 +37,15 @@ pub trait Distance {
     fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
         self.dist(a, b).to_f64()
     }
+
+    /// Approximate heap bytes retained by this function's configuration
+    /// — what a cache keeping the oracle alive should charge against
+    /// its byte budget. The default (`0`) fits the O(1)-state functions;
+    /// table-backed functions override it, since their pair tables can
+    /// dwarf even the `O(n²)` float matrix.
+    fn approx_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// `δ_dis(a, b) = c` for all `a ≠ b` (0 on the diagonal).
@@ -113,6 +122,18 @@ impl TableDistance {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The default off-diagonal distance for unlisted pairs.
+    pub fn default_value(&self) -> Ratio {
+        self.default
+    }
+
+    /// All explicit pair entries (keys canonically ordered within each
+    /// pair), in unspecified map order — the serving layer's content
+    /// fingerprint sorts them.
+    pub fn entries(&self) -> impl Iterator<Item = (&(Tuple, Tuple), Ratio)> {
+        self.entries.iter().map(|(k, &v)| (k, v))
+    }
 }
 
 impl Distance for TableDistance {
@@ -124,6 +145,19 @@ impl Distance for TableDistance {
             .get(&Self::key(a, b))
             .copied()
             .unwrap_or(self.default)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Per-entry estimate from one sampled key (pair tables are
+        // near-homogeneous in arity): inline pair + tuple payloads +
+        // value + map-slot overhead.
+        self.entries.iter().next().map_or(0, |((a, b), _)| {
+            let per_entry = 2 * std::mem::size_of::<Tuple>()
+                + (a.arity() + b.arity()) * std::mem::size_of::<divr_relquery::Value>()
+                + std::mem::size_of::<Ratio>()
+                + 16;
+            self.entries.len() * per_entry
+        })
     }
 }
 
@@ -224,6 +258,10 @@ impl Distance for Box<dyn Distance + '_> {
     fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
         (**self).dist_f64(a, b)
     }
+
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
+    }
 }
 
 impl Distance for Box<dyn Distance + Send + Sync + '_> {
@@ -233,6 +271,10 @@ impl Distance for Box<dyn Distance + Send + Sync + '_> {
 
     fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
         (**self).dist_f64(a, b)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
     }
 }
 

@@ -49,6 +49,7 @@ use crate::ratio::Ratio;
 use crate::relevance::Relevance;
 use divr_relquery::Tuple;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Relative/absolute half-width of the float tie window: candidates
 /// whose `f64` score is within `max(F64_TIE_EPS, |best|·F64_TIE_EPS)`
@@ -196,12 +197,30 @@ impl DistanceMatrix {
     /// `Ratio` oracle and returns the largest absolute deviation between
     /// the stored float and the exact value. `0.0` means the matrix is
     /// bit-exact (true whenever all distances are integers below 2⁵³).
+    ///
+    /// The deviation is measured **in exact arithmetic**: the stored
+    /// float is lifted back to its exact dyadic rational
+    /// ([`Ratio::from_f64_exact`]) and subtracted from the oracle's
+    /// `Ratio` before any rounding. Converting the exact value to `f64`
+    /// first (the naive approach) would round it to the *same* float the
+    /// matrix stores whenever the error is below one ulp — reporting
+    /// `0.0` for matrices that are demonstrably not bit-exact, e.g. on
+    /// large-denominator rational distances. Should a pair's exact
+    /// subtraction leave `i128` range (stored float outside the dyadic
+    /// range, or an oracle denominator so large the difference cannot
+    /// be represented), that pair falls back to the float-space
+    /// difference instead of panicking or understating the deviation.
+    /// Each exact deviation rounds to `f64` once, at the end — the
+    /// conversion is monotone, so the reported maximum is the true one.
     pub fn verify_exact(&self, universe: &[Tuple], dis: &dyn Distance) -> f64 {
         let mut worst = 0.0f64;
         for i in 0..self.n {
             for j in (i + 1)..self.n {
-                let exact = dis.dist(&universe[i], &universe[j]).to_f64();
-                let dev = (self.get(i, j) - exact).abs();
+                let exact = dis.dist(&universe[i], &universe[j]);
+                let stored = self.get(i, j);
+                let dev = Ratio::from_f64_exact(stored)
+                    .and_then(|s| s.checked_sub(exact))
+                    .map_or_else(|| (stored - exact.to_f64()).abs(), |d| d.abs().to_f64());
                 if dev > worst {
                     worst = dev;
                 }
@@ -344,37 +363,86 @@ pub struct EngineRequest {
 /// }
 /// ```
 pub struct Engine<'a> {
-    universe: Vec<Tuple>,
-    dis: &'a (dyn Distance + Sync),
-    rel_exact: Vec<Ratio>,
-    lambda: Ratio,
-    rel: Vec<f64>,
+    prepared: Arc<PreparedUniverse<'a>>,
     lam: f64,
     one_minus: f64,
-    matrix: DistanceMatrix,
     threads: usize,
 }
 
-impl<'a> Engine<'a> {
-    /// Prepares an engine over a materialized universe, using all
-    /// available cores for the matrix build.
+/// The exact distance oracle a prepared universe keeps for tie
+/// verification: either borrowed from the caller (the classic
+/// [`Engine::new`] path) or owned and shareable across threads and
+/// cache entries (the serving-registry path).
+pub enum DistOracle<'a> {
+    /// Borrowed for the lifetime of the engine.
+    Borrowed(&'a (dyn Distance + Sync)),
+    /// Owned, reference-counted, usable from any thread.
+    Shared(Arc<dyn Distance + Send + Sync>),
+}
+
+impl Distance for DistOracle<'_> {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        match self {
+            DistOracle::Borrowed(d) => d.dist(a, b),
+            DistOracle::Shared(d) => d.dist(a, b),
+        }
+    }
+
+    fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+        match self {
+            DistOracle::Borrowed(d) => d.dist_f64(a, b),
+            DistOracle::Shared(d) => d.dist_f64(a, b),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        match self {
+            DistOracle::Borrowed(d) => d.approx_bytes(),
+            DistOracle::Shared(d) => d.approx_bytes(),
+        }
+    }
+}
+
+/// The owned, shareable state behind an [`Engine`]: the materialized
+/// universe, the construction-time relevance caches (exact and float),
+/// the `O(n²)` [`DistanceMatrix`], λ, and the exact distance oracle for
+/// tie verification.
+///
+/// Building one pays the full preparation cost exactly once; any number
+/// of engines (and, through `Arc`, any number of threads) can then solve
+/// against it concurrently. `PreparedUniverse<'static>` — produced by
+/// [`PreparedUniverse::build_shared`] — is `Send + Sync` and is the unit
+/// the serving registry caches and evicts.
+pub struct PreparedUniverse<'a> {
+    universe: Vec<Tuple>,
+    dis: DistOracle<'a>,
+    rel_exact: Vec<Ratio>,
+    lambda: Ratio,
+    rel: Vec<f64>,
+    matrix: DistanceMatrix,
+    // Lazily memoized k-independent solver preambles: the first request
+    // that needs one pays for it, every later request against this
+    // prepared universe (across engines and threads) reuses it. Both
+    // are pure functions of the universe content, so memoization cannot
+    // change any answer.
+    mono_scores: std::sync::OnceLock<Vec<f64>>,
+    gmm_seed: std::sync::OnceLock<Option<(usize, usize)>>,
+}
+
+/// A prepared universe with no borrowed state, shareable across threads
+/// — the cacheable unit of the serving layer.
+pub type SharedPrepared = Arc<PreparedUniverse<'static>>;
+
+impl<'a> PreparedUniverse<'a> {
+    /// Prepares a universe: caches every relevance value and builds the
+    /// distance matrix over `threads` workers (1 = sequential).
     ///
     /// Panics if `λ ∉ [0, 1]` (same contract as
     /// [`DiversityProblem::new`](crate::problem::DiversityProblem::new)).
-    pub fn new(
+    pub fn build(
         universe: Vec<Tuple>,
         rel: &dyn Relevance,
-        dis: &'a (dyn Distance + Sync),
-        lambda: Ratio,
-    ) -> Self {
-        Self::with_threads(universe, rel, dis, lambda, default_threads())
-    }
-
-    /// [`Engine::new`] with an explicit worker count (1 = sequential).
-    pub fn with_threads(
-        universe: Vec<Tuple>,
-        rel: &dyn Relevance,
-        dis: &'a (dyn Distance + Sync),
+        dis: DistOracle<'a>,
         lambda: Ratio,
         threads: usize,
     ) -> Self {
@@ -382,21 +450,35 @@ impl<'a> Engine<'a> {
             lambda >= Ratio::ZERO && lambda <= Ratio::ONE,
             "λ must lie in [0, 1]"
         );
-        let threads = threads.max(1);
         let rel_exact: Vec<Ratio> = universe.iter().map(|t| rel.rel(t)).collect();
         let rel_f: Vec<f64> = rel_exact.iter().map(Ratio::to_f64).collect();
-        let matrix = DistanceMatrix::build(&universe, dis, threads);
-        Engine {
+        let matrix = match &dis {
+            DistOracle::Borrowed(d) => DistanceMatrix::build(&universe, *d, threads.max(1)),
+            DistOracle::Shared(d) => DistanceMatrix::build(&universe, &**d, threads.max(1)),
+        };
+        PreparedUniverse {
             universe,
             dis,
             rel_exact,
             lambda,
             rel: rel_f,
-            lam: lambda.to_f64(),
-            one_minus: (Ratio::ONE - lambda).to_f64(),
             matrix,
-            threads,
+            mono_scores: std::sync::OnceLock::new(),
+            gmm_seed: std::sync::OnceLock::new(),
         }
+    }
+
+    /// [`PreparedUniverse::build`] over an owned, shareable oracle: the
+    /// result borrows nothing, so it can be cached, sent across threads,
+    /// and outlive the caller (the serving-registry construction path).
+    pub fn build_shared(
+        universe: Vec<Tuple>,
+        rel: &dyn Relevance,
+        dis: Arc<dyn Distance + Send + Sync>,
+        lambda: Ratio,
+        threads: usize,
+    ) -> PreparedUniverse<'static> {
+        PreparedUniverse::build(universe, rel, DistOracle::Shared(dis), lambda, threads)
     }
 
     /// Number of universe items.
@@ -424,6 +506,130 @@ impl<'a> Engine<'a> {
         &self.matrix
     }
 
+    /// Exact relevance of item `i` (from the construction-time cache).
+    pub fn rel_of(&self, i: usize) -> Ratio {
+        self.rel_exact[i]
+    }
+
+    /// The construction-time exact relevance cache, indexed by item.
+    pub fn relevances(&self) -> &[Ratio] {
+        &self.rel_exact
+    }
+
+    /// The exact distance oracle (kept for tie verification).
+    pub fn distance(&self) -> &(dyn Distance + '_) {
+        &self.dis
+    }
+
+    /// Exact distance between items `i` and `j` (through the oracle).
+    pub fn dist_of(&self, i: usize, j: usize) -> Ratio {
+        self.dis.dist(&self.universe[i], &self.universe[j])
+    }
+
+    /// Approximate heap footprint in bytes — the quantity the serving
+    /// registry's byte budget meters: the `n²` matrix, the relevance
+    /// caches, tuple payloads (estimated at one word per attribute
+    /// value), **and** the retained distance oracle
+    /// ([`Distance::approx_bytes`]) — a table-backed oracle's pair map
+    /// can dwarf the float matrix, and it stays alive as long as this
+    /// prepared universe does.
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.universe.len();
+        let tuples: usize = self
+            .universe
+            .iter()
+            .map(|t| std::mem::size_of::<Tuple>() + t.arity() * std::mem::size_of::<usize>() * 2)
+            .sum();
+        n * n * std::mem::size_of::<f64>()
+            + n * (std::mem::size_of::<Ratio>() + std::mem::size_of::<f64>())
+            + tuples
+            + self.dis.approx_bytes()
+    }
+}
+
+impl std::fmt::Debug for PreparedUniverse<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedUniverse")
+            .field("n", &self.n())
+            .field("lambda", &self.lambda)
+            .field("approx_bytes", &self.approx_bytes())
+            .finish()
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Prepares an engine over a materialized universe, using all
+    /// available cores for the matrix build.
+    ///
+    /// Panics if `λ ∉ [0, 1]` (same contract as
+    /// [`DiversityProblem::new`](crate::problem::DiversityProblem::new)).
+    pub fn new(
+        universe: Vec<Tuple>,
+        rel: &dyn Relevance,
+        dis: &'a (dyn Distance + Sync),
+        lambda: Ratio,
+    ) -> Self {
+        Self::with_threads(universe, rel, dis, lambda, default_threads())
+    }
+
+    /// [`Engine::new`] with an explicit worker count (1 = sequential).
+    pub fn with_threads(
+        universe: Vec<Tuple>,
+        rel: &dyn Relevance,
+        dis: &'a (dyn Distance + Sync),
+        lambda: Ratio,
+        threads: usize,
+    ) -> Self {
+        let threads = threads.max(1);
+        let prepared =
+            PreparedUniverse::build(universe, rel, DistOracle::Borrowed(dis), lambda, threads);
+        Self::from_prepared(Arc::new(prepared), threads)
+    }
+
+    /// Wraps already-prepared (possibly cached and shared) state in an
+    /// engine. This costs nothing beyond an `Arc` clone: no relevance
+    /// evaluation, no matrix build — the skip-straight-to-solving path
+    /// the serving registry takes on a cache hit.
+    pub fn from_prepared(prepared: Arc<PreparedUniverse<'a>>, threads: usize) -> Self {
+        let lambda = prepared.lambda;
+        Engine {
+            prepared,
+            lam: lambda.to_f64(),
+            one_minus: (Ratio::ONE - lambda).to_f64(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The shared prepared state this engine solves against.
+    pub fn prepared(&self) -> &Arc<PreparedUniverse<'a>> {
+        &self.prepared
+    }
+
+    /// Number of universe items.
+    pub fn n(&self) -> usize {
+        self.prepared.n()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// The materialized universe `Q(D)`.
+    pub fn universe(&self) -> &[Tuple] {
+        self.prepared.universe()
+    }
+
+    /// The trade-off parameter λ.
+    pub fn lambda(&self) -> Ratio {
+        self.prepared.lambda
+    }
+
+    /// The precomputed distance matrix.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.prepared.matrix
+    }
+
     /// Worker threads used for per-round argmax scans.
     pub fn threads(&self) -> usize {
         self.threads
@@ -431,18 +637,21 @@ impl<'a> Engine<'a> {
 
     /// Exact relevance of item `i` (from the construction-time cache).
     pub fn rel_of(&self, i: usize) -> Ratio {
-        self.rel_exact[i]
+        self.prepared.rel_exact[i]
     }
 
     /// Exact distance between items `i` and `j` (through the oracle —
     /// used for tie verification, not in inner loops).
     pub fn dist_of(&self, i: usize, j: usize) -> Ratio {
-        self.dis.dist(&self.universe[i], &self.universe[j])
+        self.prepared.dist_of(i, j)
     }
 
     /// Materializes a candidate set's tuples.
     pub fn tuples_of(&self, subset: &[usize]) -> Vec<Tuple> {
-        subset.iter().map(|&i| self.universe[i].clone()).collect()
+        subset
+            .iter()
+            .map(|&i| self.prepared.universe[i].clone())
+            .collect()
     }
 
     /// Exact objective value `F(U)` of a candidate set, matching
@@ -452,14 +661,14 @@ impl<'a> Engine<'a> {
         match kind {
             ObjectiveKind::MaxSum => crate::problem::f_ms_from(
                 subset.len(),
-                self.lambda,
-                |a| self.rel_exact[subset[a]],
+                self.prepared.lambda,
+                |a| self.prepared.rel_exact[subset[a]],
                 |a, b| self.dist_of(subset[a], subset[b]),
             ),
             ObjectiveKind::MaxMin => crate::problem::f_mm_from(
                 subset.len(),
-                self.lambda,
-                |a| self.rel_exact[subset[a]],
+                self.prepared.lambda,
+                |a| self.prepared.rel_exact[subset[a]],
                 |a, b| self.dist_of(subset[a], subset[b]),
             ),
             ObjectiveKind::Mono => subset.iter().map(|&i| self.mono_score_exact(i)).sum(),
@@ -468,9 +677,9 @@ impl<'a> Engine<'a> {
 
     /// Exact per-item mono score `v(t)` (Theorem 5.4's sort key).
     fn mono_score_exact(&self, i: usize) -> Ratio {
-        let rel_part = (Ratio::ONE - self.lambda) * self.rel_exact[i];
+        let rel_part = (Ratio::ONE - self.prepared.lambda) * self.prepared.rel_exact[i];
         let n = self.n();
-        if n <= 1 || self.lambda.is_zero() {
+        if n <= 1 || self.prepared.lambda.is_zero() {
             return rel_part;
         }
         let mut dsum = Ratio::ZERO;
@@ -479,25 +688,35 @@ impl<'a> Engine<'a> {
                 dsum += self.dist_of(i, j);
             }
         }
-        rel_part + self.lambda * dsum / Ratio::int(n as i64 - 1)
+        rel_part + self.prepared.lambda * dsum / Ratio::int(n as i64 - 1)
+    }
+
+    /// Float mono scores of all items, one linear pass per matrix row —
+    /// `O(n²)` total, but k-independent, so computed once per prepared
+    /// universe and memoized (warm-cache mono requests skip straight to
+    /// the top-k sort).
+    fn mono_scores_f64(&self) -> &[f64] {
+        self.prepared.mono_scores.get_or_init(|| {
+            (0..self.n()).map(|i| self.compute_mono_score_f64(i)).collect()
+        })
     }
 
     /// Float mono score of item `i`: one linear pass over a matrix row.
-    fn mono_score_f64(&self, i: usize) -> f64 {
+    fn compute_mono_score_f64(&self, i: usize) -> f64 {
         let n = self.n();
-        let rel_part = self.one_minus * self.rel[i];
+        let rel_part = self.one_minus * self.prepared.rel[i];
         if n <= 1 || self.lam == 0.0 {
             return rel_part;
         }
-        let dsum: f64 = self.matrix.row(i).iter().sum();
+        let dsum: f64 = self.prepared.matrix.row(i).iter().sum();
         rel_part + self.lam * dsum / (n as f64 - 1.0)
     }
 
     /// Argmax of relevance with lowest-index tie-break (the `k = 1` and
     /// MMR-seed rule of [`crate::approx`]).
     fn most_relevant(&self) -> Option<usize> {
-        let ties = argmax_with_ties(self.n(), self.threads, 1, &|i| Some(self.rel[i]))?;
-        Some(resolve_ties_exact(&ties, |i| self.rel_exact[i]))
+        let ties = argmax_with_ties(self.n(), self.threads, 1, &|i| Some(self.prepared.rel[i]))?;
+        Some(resolve_ties_exact(&ties, |i| self.prepared.rel_exact[i]))
     }
 
     /// Greedy pair-picking for `F_MS`, float path with exact tie
@@ -527,16 +746,16 @@ impl<'a> Engine<'a> {
             let k_i = k as i64;
             let eval = |ai: usize| {
                 let t = available[ai];
-                let row = self.matrix.row(t);
+                let row = self.prepared.matrix.row(t);
                 let d2: f64 = chosen.iter().map(|&s| row[s]).sum::<f64>() * 2.0;
-                Some(self.one_minus * (k_i - 1) as f64 * self.rel[t] + self.lam * d2)
+                Some(self.one_minus * (k_i - 1) as f64 * self.prepared.rel[t] + self.lam * d2)
             };
             let ties = argmax_with_ties(available.len(), self.threads, k, &eval)?;
-            let one_minus = Ratio::ONE - self.lambda;
+            let one_minus = Ratio::ONE - self.prepared.lambda;
             let winner_pos = resolve_ties_exact(&ties, |ai| {
                 let t = available[ai];
-                one_minus.scale(k_i - 1) * self.rel_exact[t]
-                    + self.lambda
+                one_minus.scale(k_i - 1) * self.prepared.rel_exact[t]
+                    + self.prepared.lambda
                         * chosen
                             .iter()
                             .map(|&s| self.dist_of(s, t))
@@ -560,11 +779,11 @@ impl<'a> Engine<'a> {
         // Parallel unit = anchor position; each anchor scans its tail.
         let row_best = |ai: usize| {
             let i = available[ai];
-            let ri = self.rel[i];
-            let row = self.matrix.row(i);
+            let ri = self.prepared.rel[i];
+            let row = self.prepared.matrix.row(i);
             let mut best: Option<f64> = None;
             for &j in &available[ai + 1..] {
-                let w = self.one_minus * (ri + self.rel[j]) + self.lam * 2.0 * row[j];
+                let w = self.one_minus * (ri + self.prepared.rel[j]) + self.lam * 2.0 * row[j];
                 if best.is_none_or(|b| w > b) {
                     best = Some(w);
                 }
@@ -582,10 +801,10 @@ impl<'a> Engine<'a> {
         for t in &anchors {
             let ai = t.index;
             let i = available[ai];
-            let ri = self.rel[i];
-            let row = self.matrix.row(i);
+            let ri = self.prepared.rel[i];
+            let row = self.prepared.matrix.row(i);
             for &j in &available[ai + 1..] {
-                let w = self.one_minus * (ri + self.rel[j]) + self.lam * 2.0 * row[j];
+                let w = self.one_minus * (ri + self.prepared.rel[j]) + self.lam * 2.0 * row[j];
                 if w >= best - window {
                     pairs.push((i, j));
                 }
@@ -612,9 +831,9 @@ impl<'a> Engine<'a> {
 
     fn exact_ms_pair_weight(&self, i: usize, j: usize) -> Ratio {
         ms_pair_weight_parts(
-            self.lambda,
-            self.rel_exact[i],
-            self.rel_exact[j],
+            self.prepared.lambda,
+            self.prepared.rel_exact[i],
+            self.prepared.rel_exact[j],
             self.dist_of(i, j),
         )
     }
@@ -634,18 +853,23 @@ impl<'a> Engine<'a> {
         if k == 1 {
             return Some(vec![self.most_relevant()?]);
         }
-        let (i, j) = self.best_seed_pair()?;
+        // The seed pair is k-independent: memoized per prepared
+        // universe, so warm-cache GMM requests skip the O(n²) seed scan.
+        let (i, j) = (*self
+            .prepared
+            .gmm_seed
+            .get_or_init(|| self.best_seed_pair()))?;
         let mut selected = vec![false; n];
         let mut chosen = vec![i, j];
         selected[i] = true;
         selected[j] = true;
-        let mut min_rel = self.rel[i].min(self.rel[j]);
-        let mut min_rel_exact = self.rel_exact[i].min(self.rel_exact[j]);
-        let mut min_dis = self.matrix.get(i, j);
+        let mut min_rel = self.prepared.rel[i].min(self.prepared.rel[j]);
+        let mut min_rel_exact = self.prepared.rel_exact[i].min(self.prepared.rel_exact[j]);
+        let mut min_dis = self.prepared.matrix.get(i, j);
         let mut min_dis_exact = self.dist_of(i, j);
         // nearest[t] = min distance from t to the chosen set.
         let mut nearest: Vec<f64> = (0..n)
-            .map(|t| self.matrix.get(i, t).min(self.matrix.get(j, t)))
+            .map(|t| self.prepared.matrix.get(i, t).min(self.prepared.matrix.get(j, t)))
             .collect();
         while chosen.len() < k {
             let eval = |t: usize| {
@@ -653,22 +877,22 @@ impl<'a> Engine<'a> {
                     return None;
                 }
                 Some(
-                    self.one_minus * min_rel.min(self.rel[t])
+                    self.one_minus * min_rel.min(self.prepared.rel[t])
                         + self.lam * min_dis.min(nearest[t]),
                 )
             };
             let ties = argmax_with_ties(n, self.threads, 1, &eval)?;
             let t = resolve_ties_exact(&ties, |t| {
-                (Ratio::ONE - self.lambda) * min_rel_exact.min(self.rel_exact[t])
-                    + self.lambda * self.exact_nearest(&chosen, t).min(min_dis_exact)
+                (Ratio::ONE - self.prepared.lambda) * min_rel_exact.min(self.prepared.rel_exact[t])
+                    + self.prepared.lambda * self.exact_nearest(&chosen, t).min(min_dis_exact)
             });
-            min_rel = min_rel.min(self.rel[t]);
-            min_rel_exact = min_rel_exact.min(self.rel_exact[t]);
+            min_rel = min_rel.min(self.prepared.rel[t]);
+            min_rel_exact = min_rel_exact.min(self.prepared.rel_exact[t]);
             min_dis = min_dis.min(nearest[t]);
             min_dis_exact = min_dis_exact.min(self.exact_nearest(&chosen, t));
             selected[t] = true;
             chosen.push(t);
-            let row = self.matrix.row(t);
+            let row = self.prepared.matrix.row(t);
             for (slot, &d) in nearest.iter_mut().zip(row) {
                 if d < *slot {
                     *slot = d;
@@ -696,7 +920,7 @@ impl<'a> Engine<'a> {
             return None;
         }
         let seed_value = |i: usize, j: usize| {
-            self.one_minus * self.rel[i].min(self.rel[j]) + self.lam * self.matrix.get(i, j)
+            self.one_minus * self.prepared.rel[i].min(self.prepared.rel[j]) + self.lam * self.prepared.matrix.get(i, j)
         };
         let row_best = |i: usize| {
             let mut best: Option<f64> = None;
@@ -727,9 +951,9 @@ impl<'a> Engine<'a> {
             return pairs.pop();
         }
         pairs.sort_unstable();
-        let one_minus = Ratio::ONE - self.lambda;
+        let one_minus = Ratio::ONE - self.prepared.lambda;
         let exact = |&(i, j): &(usize, usize)| {
-            one_minus * self.rel_exact[i].min(self.rel_exact[j]) + self.lambda * self.dist_of(i, j)
+            one_minus * self.prepared.rel_exact[i].min(self.prepared.rel_exact[j]) + self.prepared.lambda * self.dist_of(i, j)
         };
         let mut winner = pairs[0];
         let mut winner_v = exact(&winner);
@@ -758,22 +982,22 @@ impl<'a> Engine<'a> {
         let mut selected = vec![false; n];
         selected[first] = true;
         let mut chosen = vec![first];
-        let mut nearest: Vec<f64> = self.matrix.row(first).to_vec();
+        let mut nearest: Vec<f64> = self.prepared.matrix.row(first).to_vec();
         while chosen.len() < k {
             let eval = |t: usize| {
                 if selected[t] {
                     return None;
                 }
-                Some(self.one_minus * self.rel[t] + self.lam * nearest[t])
+                Some(self.one_minus * self.prepared.rel[t] + self.lam * nearest[t])
             };
             let ties = argmax_with_ties(n, self.threads, 1, &eval)?;
             let t = resolve_ties_exact(&ties, |t| {
-                (Ratio::ONE - self.lambda) * self.rel_exact[t]
-                    + self.lambda * self.exact_nearest(&chosen, t)
+                (Ratio::ONE - self.prepared.lambda) * self.prepared.rel_exact[t]
+                    + self.prepared.lambda * self.exact_nearest(&chosen, t)
             });
             selected[t] = true;
             chosen.push(t);
-            let row = self.matrix.row(t);
+            let row = self.prepared.matrix.row(t);
             for (slot, &d) in nearest.iter_mut().zip(row) {
                 if d < *slot {
                     *slot = d;
@@ -793,7 +1017,8 @@ impl<'a> Engine<'a> {
         if k > n {
             return None;
         }
-        let mut scored: Vec<(f64, usize)> = (0..n).map(|i| (self.mono_score_f64(i), i)).collect();
+        let scores = self.mono_scores_f64();
+        let mut scored: Vec<(f64, usize)> = (0..n).map(|i| (scores[i], i)).collect();
         // Descending by score, ascending by index.
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
         if k == 0 || k == n {
@@ -836,10 +1061,10 @@ impl<'a> Engine<'a> {
                 if k == 0 {
                     return 0.0;
                 }
-                let rel_sum: f64 = subset.iter().map(|&i| self.rel[i]).sum();
+                let rel_sum: f64 = subset.iter().map(|&i| self.prepared.rel[i]).sum();
                 let mut dis_sum = 0.0;
                 for (a, &i) in subset.iter().enumerate() {
-                    let row = self.matrix.row(i);
+                    let row = self.prepared.matrix.row(i);
                     for &j in &subset[a + 1..] {
                         dis_sum += row[j];
                     }
@@ -850,10 +1075,10 @@ impl<'a> Engine<'a> {
                 if subset.is_empty() {
                     return 0.0;
                 }
-                let min_rel = subset.iter().map(|&i| self.rel[i]).fold(f64::INFINITY, f64::min);
+                let min_rel = subset.iter().map(|&i| self.prepared.rel[i]).fold(f64::INFINITY, f64::min);
                 let mut min_dis = f64::INFINITY;
                 for (a, &i) in subset.iter().enumerate() {
-                    let row = self.matrix.row(i);
+                    let row = self.prepared.matrix.row(i);
                     for &j in &subset[a + 1..] {
                         min_dis = min_dis.min(row[j]);
                     }
@@ -863,7 +1088,10 @@ impl<'a> Engine<'a> {
                 }
                 self.one_minus * min_rel + self.lam * min_dis
             }
-            ObjectiveKind::Mono => subset.iter().map(|&i| self.mono_score_f64(i)).sum(),
+            ObjectiveKind::Mono => {
+                let scores = self.mono_scores_f64();
+                subset.iter().map(|&i| scores[i]).sum()
+            }
         }
     }
 
@@ -958,7 +1186,7 @@ impl std::fmt::Debug for Engine<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("n", &self.n())
-            .field("lambda", &self.lambda)
+            .field("lambda", &self.prepared.lambda)
             .field("threads", &self.threads)
             .finish()
     }
@@ -997,6 +1225,56 @@ mod tests {
         assert_eq!(m.verify_exact(&u, &DIS), 0.0);
         assert_eq!(m.get(3, 3), 0.0);
         assert_eq!(m.get(2, 5), m.get(5, 2));
+    }
+
+    #[test]
+    fn verify_exact_reports_sub_ulp_deviation_on_large_denominators() {
+        // Adversarial distances whose denominators exceed f64 precision:
+        // `to_f64` rounds them, so the stored float differs from the
+        // exact rational by a sub-ulp amount. The old float-space check
+        // rounded the exact value to the *same* float before comparing
+        // and reported 0.0; the documented contract (maximum absolute
+        // deviation) requires a strictly positive answer here.
+        let u: Vec<Tuple> = (0..3).map(|i| Tuple::ints([i])).collect();
+        let adversarial = Ratio::new_i128(1_000_000_000_000_007, 3_000_000_000_000_001);
+        let mut dis = TableDistance::with_default(Ratio::ZERO);
+        dis.set(u[0].clone(), u[1].clone(), adversarial);
+        dis.set(u[0].clone(), u[2].clone(), Ratio::new(1, 3));
+        dis.set(u[1].clone(), u[2].clone(), Ratio::int(2));
+        let m = DistanceMatrix::build(&u, &dis, 1);
+        let worst = m.verify_exact(&u, &dis);
+        assert!(worst > 0.0, "sub-ulp rounding must be reported");
+        // Pin the value against the Ratio-exact deviation of each pair.
+        let expected = [
+            (0usize, 1usize, adversarial),
+            (0, 2, Ratio::new(1, 3)),
+            (1, 2, Ratio::int(2)),
+        ]
+        .iter()
+        .map(|&(i, j, exact)| {
+            (Ratio::from_f64_exact(m.get(i, j)).unwrap() - exact).abs()
+        })
+        .max()
+        .unwrap();
+        assert_eq!(worst, expected.to_f64());
+        // Sub-ulp for O(1)-magnitude values: exactly the regime the old
+        // implementation was blind to.
+        assert!(worst < 1e-15, "deviation {worst} unexpectedly large");
+    }
+
+    #[test]
+    fn verify_exact_survives_denominators_beyond_subtraction_range() {
+        // A coprime denominator near 2^80: subtracting the stored
+        // dyadic (denominator ~2^53) needs an lcm far beyond i128, so
+        // the exact path must fall back to the float-space difference
+        // for this pair instead of panicking.
+        let u: Vec<Tuple> = (0..2).map(|i| Tuple::ints([i])).collect();
+        let huge = Ratio::new_i128(1i128 << 79, (1i128 << 80) + 1); // ≈ 1/2
+        let mut dis = TableDistance::with_default(Ratio::ZERO);
+        dis.set(u[0].clone(), u[1].clone(), huge);
+        let m = DistanceMatrix::build(&u, &dis, 1);
+        let worst = m.verify_exact(&u, &dis);
+        assert!(worst.is_finite() && (0.0..=1e-15).contains(&worst));
     }
 
     #[test]

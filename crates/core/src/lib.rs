@@ -71,7 +71,7 @@ pub use dispersion::{Dispersion, DispersionVariant};
 pub use distance::{
     ClosureDistance, ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
 };
-pub use engine::{DistanceMatrix, Engine, EngineRequest};
+pub use engine::{DistOracle, DistanceMatrix, Engine, EngineRequest, PreparedUniverse, SharedPrepared};
 pub use pipeline::{
     PipelineError, PipelineResult, QueryDiversification, ServedAnswer, SharedDistance,
     SharedRelevance,
@@ -89,7 +89,7 @@ pub mod prelude {
     pub use crate::distance::{
         ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
     };
-    pub use crate::engine::{Engine, EngineRequest};
+    pub use crate::engine::{Engine, EngineRequest, PreparedUniverse, SharedPrepared};
     pub use crate::pipeline::QueryDiversification;
     pub use crate::problem::{DiversityProblem, ObjectiveKind};
     pub use crate::ratio::Ratio;

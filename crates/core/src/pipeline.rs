@@ -10,16 +10,18 @@
 
 use crate::constraints::Constraint;
 use crate::distance::Distance;
-use crate::engine::{Engine, EngineRequest};
+use crate::engine::{default_threads, Engine, EngineRequest, PreparedUniverse, SharedPrepared};
 use crate::problem::{DiversityProblem, ObjectiveKind};
 use crate::ratio::Ratio;
 use crate::relevance::Relevance;
 use crate::solvers::{constrained, counting, exact, mono};
 use divr_relquery::{Database, Query, Tuple};
 use std::fmt;
+use std::sync::Arc;
 
 /// A boxed relevance function usable from worker threads (the pipeline
-/// stores its functions like this so the batch engine can parallelize).
+/// stores its functions behind `Arc` so prepared universes can share
+/// them with the serving layer).
 pub type SharedRelevance = Box<dyn Relevance + Send + Sync>;
 
 /// A boxed distance function usable from worker threads.
@@ -65,8 +67,8 @@ pub type ServedAnswer = Option<(Ratio, Vec<Tuple>)>;
 pub struct QueryDiversification {
     db: Database,
     query: Query,
-    rel: SharedRelevance,
-    dis: SharedDistance,
+    rel: Arc<dyn Relevance + Send + Sync>,
+    dis: Arc<dyn Distance + Send + Sync>,
     lambda: Ratio,
     k: usize,
 }
@@ -90,8 +92,8 @@ impl QueryDiversification {
         QueryDiversification {
             db,
             query,
-            rel,
-            dis,
+            rel: Arc::from(rel),
+            dis: Arc::from(dis),
             lambda,
             k,
         }
@@ -113,11 +115,28 @@ impl QueryDiversification {
         let universe: Vec<Tuple> = result.tuples().to_vec();
         Ok(DiversityProblem::new(
             universe,
-            &self.rel,
-            &self.dis,
+            &*self.rel,
+            &*self.dis,
             self.lambda,
             self.k,
         ))
+    }
+
+    /// Evaluates `Q(D)` once and builds the owned, shareable
+    /// [`PreparedUniverse`] over it: relevance values cached, the
+    /// `O(n²)` distance matrix built (in parallel), and the exact
+    /// distance oracle captured by `Arc` — so the result borrows
+    /// nothing from this task and can be handed to the serving
+    /// registry, cached, or sent across threads.
+    pub fn prepare_universe(&self) -> PipelineResult<SharedPrepared> {
+        let result = self.query.eval(&self.db)?;
+        Ok(Arc::new(PreparedUniverse::build_shared(
+            result.tuples().to_vec(),
+            &*self.rel,
+            self.dis.clone(),
+            self.lambda,
+            default_threads(),
+        )))
     }
 
     /// Evaluates `Q(D)` once and prepares the batch [`Engine`] over the
@@ -129,14 +148,13 @@ impl QueryDiversification {
     /// This is the serving path; [`QueryDiversification::prepare`] is
     /// the exact analysis path. The engine's heuristic answers match the
     /// `Ratio`-path heuristics of [`crate::approx`] up to equal-score
-    /// ties (see [`crate::engine`] for the exactness contract).
-    pub fn prepare_engine(&self) -> PipelineResult<Engine<'_>> {
-        let result = self.query.eval(&self.db)?;
-        Ok(Engine::new(
-            result.tuples().to_vec(),
-            &self.rel,
-            &self.dis,
-            self.lambda,
+    /// ties (see [`crate::engine`] for the exactness contract). This is
+    /// now a thin wrapper: [`QueryDiversification::prepare_universe`]
+    /// does the heavy lifting and [`Engine::from_prepared`] is free.
+    pub fn prepare_engine(&self) -> PipelineResult<Engine<'static>> {
+        Ok(Engine::from_prepared(
+            self.prepare_universe()?,
+            default_threads(),
         ))
     }
 

@@ -141,6 +141,25 @@ impl<'a> DiversityProblem<'a> {
         }
     }
 
+    /// Builds an instance over an already-prepared universe
+    /// ([`crate::engine::PreparedUniverse`]), reusing its cached
+    /// relevance values and exact distance oracle instead of
+    /// re-evaluating either — the bridge the serving layer's
+    /// conformance oracle uses to cross-check registry answers against
+    /// the exact sequential path without paying preparation twice.
+    ///
+    /// Panics if `k = 0` (λ was validated when `prepared` was built).
+    pub fn from_prepared(prepared: &'a crate::engine::PreparedUniverse<'_>, k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        DiversityProblem {
+            universe: prepared.universe().to_vec(),
+            rel_cache: prepared.relevances().to_vec(),
+            dis: prepared.distance(),
+            lambda: prepared.lambda(),
+            k,
+        }
+    }
+
     /// The universe `Q(D)`.
     pub fn universe(&self) -> &[Tuple] {
         &self.universe

@@ -123,6 +123,60 @@ impl Ratio {
     pub fn to_f64(&self) -> f64 {
         self.num as f64 / self.den as f64
     }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// The **exact** rational value of a finite `f64` (every finite float
+    /// is a dyadic rational `m / 2^e`). Returns `None` for non-finite
+    /// inputs or when the dyadic form does not fit in `i128` (magnitude
+    /// or denominator beyond ~2¹²⁶, i.e. deep subnormals or huge
+    /// exponents — far outside the score ranges this crate works with).
+    ///
+    /// This is the boundary-audit direction of [`Ratio::to_f64`]: it lets
+    /// float artifacts be measured in exact arithmetic instead of being
+    /// rounded away by a second float conversion (see
+    /// [`crate::engine::DistanceMatrix::verify_exact`]).
+    pub fn from_f64_exact(x: f64) -> Option<Ratio> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(Ratio::ZERO);
+        }
+        let bits = x.to_bits();
+        let sign: i128 = if bits >> 63 == 1 { -1 } else { 1 };
+        let biased = ((bits >> 52) & 0x7FF) as i64;
+        let frac = (bits & ((1u64 << 52) - 1)) as i128;
+        // Normal numbers carry an implicit leading bit; subnormals don't.
+        let (mut mantissa, mut exp2) = if biased == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | (1i128 << 52), biased - 1075)
+        };
+        // Reduce the dyadic form first: 2^k | mantissa folds into exp2.
+        let tz = i64::from(mantissa.trailing_zeros());
+        mantissa >>= tz;
+        exp2 += tz;
+        if exp2 >= 0 {
+            if exp2 > 73 {
+                // mantissa < 2^53, so a shift past 73 bits risks i128
+                // overflow (53 + 74 > 127).
+                return None;
+            }
+            Some(Ratio::new_i128(sign * (mantissa << exp2), 1))
+        } else {
+            if exp2 < -126 {
+                return None;
+            }
+            Some(Ratio::new_i128(sign * mantissa, 1i128 << (-exp2)))
+        }
+    }
 }
 
 impl Default for Ratio {
@@ -143,15 +197,30 @@ impl From<i32> for Ratio {
     }
 }
 
+impl Ratio {
+    /// Non-panicking addition: `None` when an intermediate exceeds
+    /// `i128` range (where `+` would panic). Used where adversarial
+    /// denominators are expected — e.g. measuring float deviations
+    /// against large-denominator oracle values.
+    pub fn checked_add(self, rhs: Ratio) -> Option<Ratio> {
+        // a/b + c/d = (a·(l/b) + c·(l/d)) / l with l = lcm(b, d).
+        let g = gcd(self.den, rhs.den);
+        let l = (self.den / g).checked_mul(rhs.den)?;
+        let left = self.num.checked_mul(l / self.den)?;
+        let right = rhs.num.checked_mul(l / rhs.den)?;
+        Some(Ratio::new_i128(left.checked_add(right)?, l))
+    }
+
+    /// Non-panicking subtraction (see [`Ratio::checked_add`]).
+    pub fn checked_sub(self, rhs: Ratio) -> Option<Ratio> {
+        self.checked_add(-rhs)
+    }
+}
+
 impl Add for Ratio {
     type Output = Ratio;
     fn add(self, rhs: Ratio) -> Ratio {
-        // a/b + c/d = (a·(l/b) + c·(l/d)) / l with l = lcm(b, d).
-        let g = gcd(self.den, rhs.den);
-        let l = (self.den / g).checked_mul(rhs.den).expect(OVERFLOW_MSG);
-        let left = self.num.checked_mul(l / self.den).expect(OVERFLOW_MSG);
-        let right = rhs.num.checked_mul(l / rhs.den).expect(OVERFLOW_MSG);
-        Ratio::new_i128(left.checked_add(right).expect(OVERFLOW_MSG), l)
+        self.checked_add(rhs).expect(OVERFLOW_MSG)
     }
 }
 
@@ -356,5 +425,48 @@ mod tests {
     #[test]
     fn to_f64_close() {
         assert!((Ratio::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abs_flips_sign_only() {
+        assert_eq!(Ratio::new(-3, 4).abs(), Ratio::new(3, 4));
+        assert_eq!(Ratio::new(3, 4).abs(), Ratio::new(3, 4));
+        assert_eq!(Ratio::ZERO.abs(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn from_f64_exact_roundtrips_dyadics() {
+        for r in [
+            Ratio::ZERO,
+            Ratio::ONE,
+            Ratio::new(1, 4),
+            Ratio::new(-7, 8),
+            Ratio::int(12345),
+            Ratio::new(3, 1 << 20),
+        ] {
+            assert_eq!(Ratio::from_f64_exact(r.to_f64()), Some(r));
+        }
+    }
+
+    #[test]
+    fn from_f64_exact_captures_rounding_of_non_dyadics() {
+        // 1/3 is not a dyadic rational, so to_f64 rounds; the exact
+        // rational of that float differs from 1/3 by a tiny but
+        // strictly positive amount.
+        let third = Ratio::new(1, 3);
+        let back = Ratio::from_f64_exact(third.to_f64()).unwrap();
+        assert_ne!(back, third);
+        let dev = (back - third).abs();
+        assert!(dev > Ratio::ZERO);
+        assert!(dev < Ratio::new_i128(1, 1 << 50));
+    }
+
+    #[test]
+    fn from_f64_exact_rejects_non_finite_and_extremes() {
+        assert_eq!(Ratio::from_f64_exact(f64::NAN), None);
+        assert_eq!(Ratio::from_f64_exact(f64::INFINITY), None);
+        assert_eq!(Ratio::from_f64_exact(f64::NEG_INFINITY), None);
+        assert_eq!(Ratio::from_f64_exact(f64::MAX), None);
+        assert_eq!(Ratio::from_f64_exact(f64::MIN_POSITIVE / 4.0), None);
     }
 }

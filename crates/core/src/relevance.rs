@@ -72,6 +72,17 @@ impl TableRelevance {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The default relevance for unlisted tuples.
+    pub fn default_value(&self) -> Ratio {
+        self.default
+    }
+
+    /// All explicit `(tuple, value)` entries, in unspecified order (the
+    /// serving layer's content fingerprint sorts them canonically).
+    pub fn entries(&self) -> impl Iterator<Item = (&Tuple, Ratio)> {
+        self.entries.iter().map(|(t, &v)| (t, v))
+    }
 }
 
 impl Relevance for TableRelevance {

@@ -1,0 +1,275 @@
+//! The sharded, byte-budgeted LRU of prepared universes.
+//!
+//! Each shard is an independently locked map from [`UniverseKey`] to a
+//! [`SharedPrepared`]; a key's 128-bit digest picks its shard, so
+//! traffic on disjoint universes contends on disjoint locks. Universe
+//! preparation — the `O(n²)` part — always happens **outside** any
+//! lock: a miss releases the shard, builds, re-locks, and inserts. Two
+//! threads racing to prepare the same universe may both build; the
+//! first insert wins and the loser adopts it, so every caller for one
+//! key observes the same `Arc` once the entry exists (benign, bounded
+//! duplicate work instead of serializing all misses behind one lock).
+//!
+//! Eviction is LRU by a global monotone clock stamp, metered in bytes
+//! ([`PreparedUniverse::approx_bytes`](divr_core::engine::PreparedUniverse::approx_bytes)):
+//! after an insert pushes a shard over its budget slice, least-recently
+//! used entries are dropped until it fits. The newest entry is never
+//! evicted by its own insert — a universe larger than the budget is
+//! still served (and evicted by the next insert), it just can't stay
+//! warm. Evicted state is only ever dropped, never mutated: any engine
+//! still solving against an evicted `Arc` keeps it alive and correct,
+//! and a re-request rebuilds from the spec — so eviction can never
+//! serve stale or torn matrices.
+
+use crate::fingerprint::UniverseKey;
+use crate::spec::UniverseSpec;
+use divr_core::SharedPrepared;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct Entry {
+    prepared: SharedPrepared,
+    bytes: usize,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<UniverseKey, Entry>,
+    bytes: usize,
+}
+
+/// Counters describing cache behaviour since construction (or the last
+/// [`PreparedCache::clear`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a cached prepared universe.
+    pub hits: u64,
+    /// Requests that had to build (including both sides of a race).
+    pub misses: u64,
+    /// Entries dropped to satisfy the byte budget.
+    pub evictions: u64,
+    /// Prepared universes currently resident.
+    pub entries: usize,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+}
+
+/// The sharded LRU itself. See the module docs for the locking and
+/// eviction discipline.
+pub struct PreparedCache {
+    shards: Vec<Mutex<Shard>>,
+    budget_per_shard: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PreparedCache {
+    /// A cache holding at most ~`byte_budget` bytes of prepared state
+    /// across `shards` independently locked shards (each gets an equal
+    /// slice of the budget).
+    pub fn new(byte_budget: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        PreparedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            budget_per_shard: byte_budget / shards,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &UniverseKey) -> &Mutex<Shard> {
+        let i = (key.digest() % self.shards.len() as u128) as usize;
+        &self.shards[i]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The prepared universe for `key`, building from `spec` (with
+    /// `threads` matrix-build workers) on a miss.
+    pub fn get_or_prepare(
+        &self,
+        key: &UniverseKey,
+        spec: &UniverseSpec,
+        threads: usize,
+    ) -> SharedPrepared {
+        let shard = self.shard_of(key);
+        {
+            let mut guard = shard.lock().expect("cache shard poisoned");
+            if let Some(entry) = guard.entries.get_mut(key) {
+                entry.stamp = self.tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.prepared.clone();
+            }
+        }
+        // Miss: build outside the lock.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = spec.prepare(threads);
+        let bytes = prepared.approx_bytes();
+        let mut guard = shard.lock().expect("cache shard poisoned");
+        if let Some(entry) = guard.entries.get_mut(key) {
+            // Lost a build race; adopt the winner so all callers share.
+            entry.stamp = self.tick();
+            return entry.prepared.clone();
+        }
+        let stamp = self.tick();
+        guard.entries.insert(
+            key.clone(),
+            Entry {
+                prepared: prepared.clone(),
+                bytes,
+                stamp,
+            },
+        );
+        guard.bytes += bytes;
+        self.evict_over_budget(&mut guard, stamp);
+        prepared
+    }
+
+    /// Drops LRU entries (never the one stamped `keep_stamp`) until the
+    /// shard fits its budget slice.
+    fn evict_over_budget(&self, shard: &mut Shard, keep_stamp: u64) {
+        while shard.bytes > self.budget_per_shard && shard.entries.len() > 1 {
+            let victim = shard
+                .entries
+                .iter()
+                .filter(|(_, e)| e.stamp != keep_stamp)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(e) = shard.entries.remove(&victim) {
+                shard.bytes -= e.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Whether `key` is currently resident (no LRU bump).
+    pub fn contains(&self, key: &UniverseKey) -> bool {
+        self.shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .entries
+            .contains_key(key)
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("cache shard poisoned");
+            guard.entries.clear();
+            guard.bytes = 0;
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters (shards are read
+    /// one at a time; totals may straddle concurrent inserts).
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let guard = shard.lock().expect("cache shard poisoned");
+            entries += guard.entries.len();
+            bytes += guard.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divr_core::relevance::ConstantRelevance;
+    use divr_core::distance::NumericDistance;
+    use divr_core::Ratio;
+    use divr_relquery::Tuple;
+    use std::sync::Arc;
+
+    fn spec(n: i64, lambda: Ratio) -> UniverseSpec {
+        UniverseSpec::new(
+            (0..n).map(|i| Tuple::ints([i])).collect(),
+            Arc::new(ConstantRelevance(Ratio::ONE)),
+            Arc::new(NumericDistance {
+                attr: 0,
+                fallback: Ratio::ZERO,
+            }),
+            lambda,
+        )
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_arc() {
+        let cache = PreparedCache::new(usize::MAX, 4);
+        let s = spec(10, Ratio::new(1, 2));
+        let k = s.key();
+        let a = cache.get_or_prepare(&k, &s, 1);
+        let b = cache.get_or_prepare(&k, &s, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn tiny_budget_evicts_lru_first() {
+        let one = spec(16, Ratio::new(1, 2)).prepare(1).approx_bytes();
+        // Budget fits one entry per shard, not two.
+        let cache = PreparedCache::new(one + one / 2, 1);
+        let (s1, s2, s3) = (
+            spec(16, Ratio::new(1, 2)),
+            spec(16, Ratio::new(1, 3)),
+            spec(16, Ratio::new(1, 4)),
+        );
+        let (k1, k2, k3) = (s1.key(), s2.key(), s3.key());
+        cache.get_or_prepare(&k1, &s1, 1);
+        cache.get_or_prepare(&k2, &s2, 1); // evicts k1
+        assert!(!cache.contains(&k1));
+        assert!(cache.contains(&k2));
+        // Touch k2, insert k3: k2 is the most recent, so it survives
+        // only if budget allows one — it doesn't, so k2 (older than the
+        // fresh k3) goes.
+        cache.get_or_prepare(&k3, &s3, 1);
+        assert!(cache.contains(&k3));
+        assert!(!cache.contains(&k2));
+        assert!(cache.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn oversized_entry_is_still_served() {
+        let cache = PreparedCache::new(1, 1); // nothing fits
+        let s = spec(12, Ratio::ONE);
+        let k = s.key();
+        let a = cache.get_or_prepare(&k, &s, 1);
+        assert_eq!(a.n(), 12);
+        // It stays resident until the next insert displaces it.
+        assert!(cache.contains(&k));
+        let s2 = spec(13, Ratio::ONE);
+        cache.get_or_prepare(&s2.key(), &s2, 1);
+        assert!(!cache.contains(&k));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = PreparedCache::new(usize::MAX, 2);
+        let s = spec(8, Ratio::ZERO);
+        cache.get_or_prepare(&s.key(), &s, 1);
+        cache.clear();
+        let st = cache.stats();
+        assert_eq!(st, CacheStats::default());
+    }
+}

@@ -1,0 +1,299 @@
+//! Universe fingerprinting: canonical, **injective** byte encodings.
+//!
+//! The registry must decide in `O(content)` time whether two serving
+//! requests address the same universe `(Q(D), δ_rel, δ_dis, λ)`. A
+//! plain hash would make that decision probabilistic — and a hash
+//! collision between two *different* universes would silently serve one
+//! tenant another tenant's prepared matrix. The cache key is therefore
+//! the full canonical encoding of the universe content, not a digest of
+//! it: every encoder primitive is length- or tag-prefixed, so the
+//! encoding is injective by construction and **distinct content implies
+//! distinct keys** — not merely with high probability
+//! (`crates/server/tests/cache_coherence.rs` property-tests this). A
+//! 128-bit FNV-1a digest of the same bytes rides along for cheap
+//! hashing and shard selection; it is never trusted for equality.
+//!
+//! Relevance and distance functions participate through
+//! [`Fingerprintable`]: a function fingerprint encodes a type tag plus
+//! the full configuration (table entries in sorted order, attribute
+//! indices, defaults). The closure-based functions of `divr_core`
+//! cannot be content-addressed and so are deliberately not servable.
+
+use divr_core::distance::{ConstantDistance, HammingDistance, NumericDistance, TableDistance};
+use divr_core::relevance::{AttributeRelevance, ConstantRelevance, TableRelevance};
+use divr_core::Ratio;
+use divr_relquery::{Tuple, Value};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+const FNV128_OFFSET: u128 = 0x6C62_272E_07BB_0142_62B8_2175_6295_C58D;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// Accumulates a canonical byte encoding plus a running 128-bit FNV-1a
+/// digest of the same bytes.
+#[derive(Default)]
+pub struct FingerprintEncoder {
+    bytes: Vec<u8>,
+    digest: u128,
+}
+
+impl FingerprintEncoder {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        FingerprintEncoder {
+            bytes: Vec::new(),
+            digest: FNV128_OFFSET,
+        }
+    }
+
+    fn push(&mut self, chunk: &[u8]) {
+        for &b in chunk {
+            self.digest ^= u128::from(b);
+            self.digest = self.digest.wrapping_mul(FNV128_PRIME);
+        }
+        self.bytes.extend_from_slice(chunk);
+    }
+
+    /// A type/section tag (length-prefixed, so tags can never bleed
+    /// into adjacent fields).
+    pub fn write_tag(&mut self, tag: &str) {
+        self.write_usize(tag.len());
+        self.push(tag.as_bytes());
+    }
+
+    /// A length or index.
+    pub fn write_usize(&mut self, v: usize) {
+        self.push(&(v as u64).to_le_bytes());
+    }
+
+    /// A signed 64-bit integer.
+    pub fn write_i64(&mut self, v: i64) {
+        self.push(&v.to_le_bytes());
+    }
+
+    /// A signed 128-bit integer.
+    pub fn write_i128(&mut self, v: i128) {
+        self.push(&v.to_le_bytes());
+    }
+
+    /// An exact rational: reduced numerator then denominator — `Ratio`
+    /// stores a unique reduced form, so equal rationals encode
+    /// identically and unequal ones differ.
+    pub fn write_ratio(&mut self, r: Ratio) {
+        self.write_i128(r.numerator());
+        self.write_i128(r.denominator());
+    }
+
+    /// A string (length-prefixed).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.push(s.as_bytes());
+    }
+
+    /// An attribute value, tagged by sort.
+    pub fn write_value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.push(&[0]);
+                self.write_i64(*i);
+            }
+            Value::Str(s) => {
+                self.push(&[1]);
+                self.write_str(s);
+            }
+        }
+    }
+
+    /// A tuple (arity-prefixed).
+    pub fn write_tuple(&mut self, t: &Tuple) {
+        self.write_usize(t.arity());
+        for v in t.iter() {
+            self.write_value(v);
+        }
+    }
+
+    /// Finishes into a cache key.
+    pub fn into_key(self) -> UniverseKey {
+        UniverseKey {
+            digest: self.digest,
+            bytes: Arc::from(self.bytes.into_boxed_slice()),
+        }
+    }
+}
+
+/// A registry cache key: the canonical content encoding (authoritative
+/// for equality) plus its 128-bit digest (used for hashing and shard
+/// selection). Cloning is `O(1)`.
+#[derive(Clone, Debug)]
+pub struct UniverseKey {
+    digest: u128,
+    bytes: Arc<[u8]>,
+}
+
+impl UniverseKey {
+    /// The 128-bit content digest (shard selector, hash value).
+    pub fn digest(&self) -> u128 {
+        self.digest
+    }
+
+    /// The canonical content encoding.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl PartialEq for UniverseKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The digest comparison is a fast reject; bytes decide.
+        self.digest == other.digest && self.bytes == other.bytes
+    }
+}
+
+impl Eq for UniverseKey {}
+
+impl Hash for UniverseKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u128(self.digest);
+    }
+}
+
+/// Content-addressable: writes a canonical encoding of the full
+/// configuration into the encoder.
+pub trait Fingerprintable {
+    /// Encodes this function's identity and configuration.
+    fn fingerprint(&self, enc: &mut FingerprintEncoder);
+}
+
+impl Fingerprintable for ConstantRelevance {
+    fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+        enc.write_tag("rel:const");
+        enc.write_ratio(self.0);
+    }
+}
+
+impl Fingerprintable for AttributeRelevance {
+    fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+        enc.write_tag("rel:attr");
+        enc.write_usize(self.attr);
+        enc.write_ratio(self.default);
+    }
+}
+
+impl Fingerprintable for TableRelevance {
+    fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+        enc.write_tag("rel:table");
+        enc.write_ratio(self.default_value());
+        let mut entries: Vec<(&Tuple, Ratio)> = self.entries().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        enc.write_usize(entries.len());
+        for (t, v) in entries {
+            enc.write_tuple(t);
+            enc.write_ratio(v);
+        }
+    }
+}
+
+impl Fingerprintable for ConstantDistance {
+    fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+        enc.write_tag("dis:const");
+        enc.write_ratio(self.0);
+    }
+}
+
+impl Fingerprintable for NumericDistance {
+    fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+        enc.write_tag("dis:numeric");
+        enc.write_usize(self.attr);
+        enc.write_ratio(self.fallback);
+    }
+}
+
+impl Fingerprintable for HammingDistance {
+    fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+        enc.write_tag("dis:hamming");
+        enc.write_ratio(self.weight);
+    }
+}
+
+impl Fingerprintable for TableDistance {
+    fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+        enc.write_tag("dis:table");
+        enc.write_ratio(self.default_value());
+        let mut entries: Vec<(&(Tuple, Tuple), Ratio)> = self.entries().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        enc.write_usize(entries.len());
+        for ((a, b), v) in entries {
+            enc.write_tuple(a);
+            enc.write_tuple(b);
+            enc.write_ratio(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_of(f: impl Fn(&mut FingerprintEncoder)) -> UniverseKey {
+        let mut enc = FingerprintEncoder::new();
+        f(&mut enc);
+        enc.into_key()
+    }
+
+    #[test]
+    fn equal_content_equal_keys() {
+        let a = key_of(|e| {
+            e.write_tuple(&Tuple::ints([1, 2]));
+            e.write_ratio(Ratio::new(1, 2));
+        });
+        let b = key_of(|e| {
+            e.write_tuple(&Tuple::ints([1, 2]));
+            e.write_ratio(Ratio::new(2, 4)); // same reduced rational
+        });
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn length_prefixes_prevent_field_bleed() {
+        // Without prefixes, ["ab", "c"] and ["a", "bc"] would encode
+        // to the same bytes.
+        let a = key_of(|e| {
+            e.write_str("ab");
+            e.write_str("c");
+        });
+        let b = key_of(|e| {
+            e.write_str("a");
+            e.write_str("bc");
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn value_sorts_are_tagged() {
+        let a = key_of(|e| e.write_value(&Value::int(65)));
+        let b = key_of(|e| e.write_value(&Value::str("A")));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn table_fingerprints_ignore_insertion_order() {
+        let t = |i| Tuple::ints([i]);
+        let d1 = TableDistance::with_default(Ratio::ZERO)
+            .with(t(0), t(1), Ratio::ONE)
+            .with(t(1), t(2), Ratio::int(2));
+        let d2 = TableDistance::with_default(Ratio::ZERO)
+            .with(t(2), t(1), Ratio::int(2))
+            .with(t(1), t(0), Ratio::ONE);
+        let k1 = key_of(|e| d1.fingerprint(e));
+        let k2 = key_of(|e| d2.fingerprint(e));
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn different_function_types_never_collide() {
+        let c = ConstantDistance(Ratio::ONE);
+        let h = HammingDistance { weight: Ratio::ONE };
+        assert_ne!(key_of(|e| c.fingerprint(e)), key_of(|e| h.fingerprint(e)));
+    }
+}

@@ -1,0 +1,288 @@
+//! The serving registry: prepared-engine cache + mixed-batch scheduler.
+
+use crate::cache::{CacheStats, PreparedCache};
+use crate::spec::UniverseSpec;
+use divr_core::engine::{default_threads, Engine, EngineRequest};
+use divr_core::{Ratio, SharedPrepared};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Registry sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryConfig {
+    /// Total byte budget across all cached prepared universes.
+    pub byte_budget: usize,
+    /// Number of independently locked cache shards.
+    pub shards: usize,
+    /// Worker threads for mixed-batch scheduling (prepare + solve).
+    pub workers: usize,
+    /// Threads each single-universe solve may use for its argmax
+    /// rounds (mixed batches divide this among busy workers).
+    pub solve_threads: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        let cores = default_threads();
+        RegistryConfig {
+            byte_budget: 256 << 20,
+            shards: 8,
+            workers: cores,
+            solve_threads: cores,
+        }
+    }
+}
+
+/// One served answer: the exact objective value and the chosen universe
+/// indices, or `None` when the request was infeasible (`k > n`).
+pub type Answer = Option<(Ratio, Vec<usize>)>;
+
+/// One tenant's slice of a mixed batch: a universe plus the requests to
+/// run against it.
+#[derive(Clone, Debug)]
+pub struct TenantBatch {
+    /// The universe to serve against.
+    pub spec: UniverseSpec,
+    /// The `(objective, k)` requests for that universe.
+    pub requests: Vec<EngineRequest>,
+}
+
+/// A snapshot of registry behaviour (cache counters; see
+/// [`CacheStats`]).
+pub type RegistryStats = CacheStats;
+
+/// A sharded, thread-safe registry of prepared diversification engines.
+///
+/// The registry fingerprints each universe by content
+/// ([`UniverseSpec::key`]), keeps prepared state — relevance caches and
+/// the `O(n²)` distance matrix — in a byte-budgeted LRU, and schedules
+/// mixed batches across work-stealing workers. A cache hit skips
+/// preparation entirely and goes straight to the parallel solve
+/// rounds; results are bit-identical to a freshly prepared
+/// [`Engine`] because hit and miss paths execute the same solver over
+/// the same (shared or rebuilt) state.
+pub struct Registry {
+    cache: PreparedCache,
+    workers: usize,
+    solve_threads: usize,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(RegistryConfig::default())
+    }
+}
+
+impl Registry {
+    /// Builds a registry with the given sizing.
+    pub fn new(config: RegistryConfig) -> Self {
+        Registry {
+            cache: PreparedCache::new(config.byte_budget, config.shards),
+            workers: config.workers.max(1),
+            solve_threads: config.solve_threads.max(1),
+        }
+    }
+
+    /// The prepared universe for `spec` — cached, or built and cached.
+    pub fn prepare(&self, spec: &UniverseSpec) -> SharedPrepared {
+        self.cache.get_or_prepare(&spec.key(), spec, self.solve_threads)
+    }
+
+    /// Serves one request against one universe.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use divr_core::engine::EngineRequest;
+    /// use divr_core::prelude::*;
+    /// use divr_relquery::Tuple;
+    /// use divr_server::{Registry, UniverseSpec};
+    /// use std::sync::Arc;
+    ///
+    /// let registry = Registry::default();
+    /// let spec = UniverseSpec::new(
+    ///     (0..50).map(|i| Tuple::ints([i, i % 7])).collect(),
+    ///     Arc::new(AttributeRelevance { attr: 1, default: Ratio::ZERO }),
+    ///     Arc::new(NumericDistance { attr: 0, fallback: Ratio::ZERO }),
+    ///     Ratio::new(1, 2),
+    /// );
+    ///
+    /// // First call prepares (O(n²)) and caches; repeats are hits that
+    /// // skip matrix construction entirely.
+    /// for _ in 0..3 {
+    ///     let (value, set) = registry
+    ///         .serve(&spec, EngineRequest { kind: ObjectiveKind::MaxMin, k: 5 })
+    ///         .unwrap();
+    ///     assert_eq!(set.len(), 5);
+    ///     assert!(value > Ratio::ZERO);
+    /// }
+    /// let stats = registry.stats();
+    /// assert_eq!((stats.hits, stats.misses), (2, 1));
+    /// ```
+    pub fn serve(&self, spec: &UniverseSpec, request: EngineRequest) -> Answer {
+        Engine::from_prepared(self.prepare(spec), self.solve_threads).serve(request)
+    }
+
+    /// Serves a whole batch against one universe (one cache access, one
+    /// engine, many requests).
+    pub fn serve_universe_batch(
+        &self,
+        spec: &UniverseSpec,
+        requests: &[EngineRequest],
+    ) -> Vec<Answer> {
+        Engine::from_prepared(self.prepare(spec), self.solve_threads).serve_batch(requests)
+    }
+
+    /// Serves a mixed batch — many tenants, many universes, interleaved
+    /// requests — and returns per-tenant answers in input order.
+    ///
+    /// Scheduling has two phases, both over the registry's worker
+    /// threads. *Prepare*: tenants are deduplicated by content key, and
+    /// workers claim distinct universes from a shared counter, so a
+    /// universe appearing in ten tenant slots is prepared (or fetched)
+    /// once. *Solve*: every `(tenant, request)` unit goes into
+    /// per-worker deques dealt round-robin; a worker drains its own
+    /// deque from the front and, when empty, steals from the back of
+    /// the longest remaining deque — so a worker stuck behind one huge
+    /// solve never strands queued work while others idle.
+    pub fn serve_mixed(&self, batch: &[TenantBatch]) -> Vec<Vec<Answer>> {
+        // Deduplicate universes by content, keeping each distinct key
+        // (fingerprinting is O(content); never pay it twice per batch).
+        let mut distinct: Vec<&UniverseSpec> = Vec::new();
+        let mut distinct_keys: Vec<crate::fingerprint::UniverseKey> = Vec::new();
+        let mut slot_of_tenant: Vec<usize> = Vec::with_capacity(batch.len());
+        {
+            let mut slot_by_key: HashMap<crate::fingerprint::UniverseKey, usize> = HashMap::new();
+            for tenant in batch {
+                let key = tenant.spec.key();
+                let slot = match slot_by_key.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let slot = distinct.len();
+                        distinct.push(&tenant.spec);
+                        distinct_keys.push(v.key().clone()); // O(1): Arc'd bytes
+                        v.insert(slot);
+                        slot
+                    }
+                };
+                slot_of_tenant.push(slot);
+            }
+        }
+
+        // Phase 1: prepare each distinct universe once, workers
+        // claiming slots from a shared counter. The thread budget is
+        // divided among the workers that actually run in this phase —
+        // one distinct universe must not build its O(n²) matrix
+        // single-threaded just because the solve phase will fan wider.
+        let prepared: Vec<OnceLock<SharedPrepared>> =
+            (0..distinct.len()).map(|_| OnceLock::new()).collect();
+        let units: usize = batch.iter().map(|t| t.requests.len()).sum();
+        let workers = self.workers.min(units.max(distinct.len())).max(1);
+        let solve_threads = (self.solve_threads / workers).max(1);
+        {
+            let prepare_workers = workers.min(distinct.len()).max(1);
+            let prepare_threads = (self.solve_threads / prepare_workers).max(1);
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..prepare_workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= distinct.len() {
+                            break;
+                        }
+                        let p = self.cache.get_or_prepare(
+                            &distinct_keys[i],
+                            distinct[i],
+                            prepare_threads,
+                        );
+                        let _ = prepared[i].set(p);
+                    });
+                }
+            });
+        }
+
+        // Phase 2: flatten request units and solve with work stealing.
+        let mut flat: Vec<(usize, usize)> = Vec::with_capacity(units); // (tenant, request)
+        for (t, tenant) in batch.iter().enumerate() {
+            for r in 0..tenant.requests.len() {
+                flat.push((t, r));
+            }
+        }
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (u, queue) in (0..flat.len()).zip((0..workers).cycle()) {
+            queues[queue].lock().expect("queue poisoned").push_back(u);
+        }
+        let solve_unit = |u: usize| -> (usize, usize, Answer) {
+            let (t, r) = flat[u];
+            let prep = prepared[slot_of_tenant[t]]
+                .get()
+                .expect("prepare phase covered every distinct universe")
+                .clone();
+            let answer = Engine::from_prepared(prep, solve_threads).serve(batch[t].requests[r]);
+            (t, r, answer)
+        };
+        let solved: Vec<Vec<(usize, usize, Answer)>> = std::thread::scope(|scope| {
+            let queues = &queues;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            // Own queue first (front)…
+                            let mine = queues[w].lock().expect("queue poisoned").pop_front();
+                            if let Some(u) = mine {
+                                out.push(solve_unit(u));
+                                continue;
+                            }
+                            // …then steal from the longest victim (back).
+                            let victim = (0..queues.len())
+                                .filter(|&v| v != w)
+                                .max_by_key(|&v| {
+                                    queues[v].lock().expect("queue poisoned").len()
+                                });
+                            let stolen = victim.and_then(|v| {
+                                queues[v].lock().expect("queue poisoned").pop_back()
+                            });
+                            match stolen {
+                                Some(u) => out.push(solve_unit(u)),
+                                None => break,
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("registry worker panicked"))
+                .collect()
+        });
+
+        let mut answers: Vec<Vec<Answer>> = batch
+            .iter()
+            .map(|t| vec![None; t.requests.len()])
+            .collect();
+        for (t, r, answer) in solved.into_iter().flatten() {
+            answers[t][r] = answer;
+        }
+        answers
+    }
+
+    /// Whether a universe with this content is currently cached.
+    pub fn is_cached(&self, spec: &UniverseSpec) -> bool {
+        self.cache.contains(&spec.key())
+    }
+
+    /// Cache counters (hits, misses, evictions, residency).
+    pub fn stats(&self) -> RegistryStats {
+        self.cache.stats()
+    }
+
+    /// Drops all cached state and resets the counters.
+    pub fn clear(&self) {
+        self.cache.clear()
+    }
+}

@@ -1,0 +1,136 @@
+//! What a tenant hands the registry: a complete, content-addressable
+//! description of one QRD universe.
+
+use crate::fingerprint::{FingerprintEncoder, Fingerprintable, UniverseKey};
+use divr_core::distance::Distance;
+use divr_core::engine::PreparedUniverse;
+use divr_core::relevance::Relevance;
+use divr_core::{Ratio, SharedPrepared};
+use divr_relquery::Tuple;
+use std::sync::Arc;
+
+/// A relevance function the registry can serve: evaluable *and*
+/// content-addressable, usable from any worker thread.
+pub trait ServableRelevance: Relevance + Fingerprintable + Send + Sync {}
+impl<T: Relevance + Fingerprintable + Send + Sync> ServableRelevance for T {}
+
+/// A distance function the registry can serve (see
+/// [`ServableRelevance`]).
+pub trait ServableDistance: Distance + Fingerprintable + Send + Sync {}
+impl<T: Distance + Fingerprintable + Send + Sync> ServableDistance for T {}
+
+/// Adapts the servable oracle to the plain `Distance + Send + Sync`
+/// object the prepared universe stores.
+struct OracleAdapter(Arc<dyn ServableDistance>);
+
+impl Distance for OracleAdapter {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        self.0.dist(a, b)
+    }
+
+    fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+        self.0.dist_f64(a, b)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes()
+    }
+}
+
+/// One QRD universe as presented to the registry: the materialized
+/// result set `Q(D)`, the relevance and distance functions, and λ.
+///
+/// Two specs with the same *content* — same tuples in the same order,
+/// same function configurations, same λ — address the same cache entry
+/// regardless of which `Arc`s they hold; see [`UniverseSpec::key`].
+#[derive(Clone)]
+pub struct UniverseSpec {
+    universe: Vec<Tuple>,
+    rel: Arc<dyn ServableRelevance>,
+    dis: Arc<dyn ServableDistance>,
+    lambda: Ratio,
+}
+
+impl UniverseSpec {
+    /// Bundles a universe. Panics if `λ ∉ [0, 1]` (same contract as the
+    /// rest of the workspace).
+    pub fn new(
+        universe: Vec<Tuple>,
+        rel: Arc<dyn ServableRelevance>,
+        dis: Arc<dyn ServableDistance>,
+        lambda: Ratio,
+    ) -> Self {
+        assert!(
+            lambda >= Ratio::ZERO && lambda <= Ratio::ONE,
+            "λ must lie in [0, 1]"
+        );
+        UniverseSpec {
+            universe,
+            rel,
+            dis,
+            lambda,
+        }
+    }
+
+    /// The materialized universe `Q(D)`.
+    pub fn universe(&self) -> &[Tuple] {
+        &self.universe
+    }
+
+    /// The trade-off parameter λ.
+    pub fn lambda(&self) -> Ratio {
+        self.lambda
+    }
+
+    /// The relevance function.
+    pub fn relevance(&self) -> &Arc<dyn ServableRelevance> {
+        &self.rel
+    }
+
+    /// The distance function.
+    pub fn distance(&self) -> &Arc<dyn ServableDistance> {
+        &self.dis
+    }
+
+    /// The injective content fingerprint of this universe (see
+    /// [`crate::fingerprint`] for why distinct content is guaranteed —
+    /// not merely likely — to yield distinct keys).
+    pub fn key(&self) -> UniverseKey {
+        let mut enc = FingerprintEncoder::new();
+        enc.write_tag("universe");
+        enc.write_usize(self.universe.len());
+        for t in &self.universe {
+            enc.write_tuple(t);
+        }
+        enc.write_tag("rel");
+        self.rel.fingerprint(&mut enc);
+        enc.write_tag("dis");
+        self.dis.fingerprint(&mut enc);
+        enc.write_tag("lambda");
+        enc.write_ratio(self.lambda);
+        enc.into_key()
+    }
+
+    /// Pays the full preparation cost — relevance cache plus the
+    /// `O(n²)` distance matrix — and returns the shareable result. The
+    /// registry calls this exactly once per cached universe; everything
+    /// after is an `Arc` clone.
+    pub fn prepare(&self, threads: usize) -> SharedPrepared {
+        Arc::new(PreparedUniverse::build_shared(
+            self.universe.clone(),
+            &*self.rel,
+            Arc::new(OracleAdapter(self.dis.clone())),
+            self.lambda,
+            threads,
+        ))
+    }
+}
+
+impl std::fmt::Debug for UniverseSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UniverseSpec")
+            .field("n", &self.universe.len())
+            .field("lambda", &self.lambda)
+            .finish()
+    }
+}

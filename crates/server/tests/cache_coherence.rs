@@ -1,0 +1,182 @@
+//! Cache-coherence properties of the registry:
+//!
+//! 1. **Key injectivity** — on integer workloads, *any* difference in
+//!    universe content (a tuple, a relevance value, a distance value,
+//!    λ) produces a different [`UniverseKey`]; identical content built
+//!    through different `Arc`s and insertion orders produces the same
+//!    key. This is exact, not probabilistic: the key *is* the
+//!    canonical content encoding (the digest only routes shards).
+//! 2. **Eviction never serves stale state** — insert → evict →
+//!    re-prepare yields a prepared universe with identical matrices
+//!    and identical served answers.
+
+use divr_core::distance::TableDistance;
+use divr_core::engine::EngineRequest;
+use divr_core::prelude::*;
+use divr_core::relevance::TableRelevance;
+use divr_core::Ratio;
+use divr_relquery::Tuple;
+use divr_server::{Registry, RegistryConfig, UniverseSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct RawContent {
+    n: usize,
+    lambda_num: i64,
+    rels: Vec<i64>,
+    dists: Vec<i64>,
+}
+
+fn content_strategy() -> impl Strategy<Value = RawContent> {
+    (3usize..=8)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                0i64..=4,
+                proptest::collection::vec(0i64..=9, n),
+                proptest::collection::vec(0i64..=9, n * (n - 1) / 2),
+            )
+        })
+        .prop_map(|(n, lambda_num, rels, dists)| RawContent {
+            n,
+            lambda_num,
+            rels,
+            dists,
+        })
+}
+
+/// Builds a spec; `reverse_tables` feeds the (identical) table content
+/// in reverse insertion order, which must not change the key.
+fn spec_of(raw: &RawContent, reverse_tables: bool) -> UniverseSpec {
+    let universe: Vec<Tuple> = (0..raw.n as i64).map(|i| Tuple::ints([i])).collect();
+    let mut rel_pairs: Vec<(Tuple, Ratio)> = raw
+        .rels
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (universe[i].clone(), Ratio::int(r)))
+        .collect();
+    let mut dis_pairs: Vec<(Tuple, Tuple, Ratio)> = Vec::new();
+    let mut it = raw.dists.iter();
+    for i in 0..raw.n {
+        for j in (i + 1)..raw.n {
+            dis_pairs.push((
+                universe[i].clone(),
+                universe[j].clone(),
+                Ratio::int(*it.next().unwrap()),
+            ));
+        }
+    }
+    if reverse_tables {
+        rel_pairs.reverse();
+        dis_pairs.reverse();
+    }
+    let mut rel = TableRelevance::with_default(Ratio::ZERO);
+    for (t, v) in rel_pairs {
+        rel.set(t, v);
+    }
+    let mut dis = TableDistance::with_default(Ratio::ZERO);
+    for (a, b, v) in dis_pairs {
+        dis.set(a, b, v);
+    }
+    UniverseSpec::new(
+        universe,
+        Arc::new(rel),
+        Arc::new(dis),
+        Ratio::new(raw.lambda_num, 4),
+    )
+}
+
+/// Every single-coordinate mutation of the content.
+fn mutations(raw: &RawContent) -> Vec<RawContent> {
+    let mut out = Vec::new();
+    for i in 0..raw.rels.len() {
+        let mut m = raw.clone();
+        m.rels[i] += 1;
+        out.push(m);
+    }
+    for i in 0..raw.dists.len() {
+        let mut m = raw.clone();
+        m.dists[i] += 1;
+        out.push(m);
+    }
+    {
+        let mut m = raw.clone();
+        m.lambda_num = (m.lambda_num + 1) % 5;
+        out.push(m);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Distinct relevance/distance/λ content ⇒ distinct keys; equal
+    /// content (any insertion order, fresh `Arc`s) ⇒ equal keys.
+    #[test]
+    fn keys_are_injective_in_content(raw in content_strategy()) {
+        let base = spec_of(&raw, false).key();
+        prop_assert_eq!(&base, &spec_of(&raw, true).key(), "insertion order leaked into key");
+        for (i, mutated) in mutations(&raw).iter().enumerate() {
+            let other = spec_of(mutated, false).key();
+            prop_assert!(base != other, "mutation {} collided with the original", i);
+        }
+    }
+
+    /// A universe with one more (or one fewer) tuple never shares a key
+    /// with the original.
+    #[test]
+    fn keys_separate_different_universe_sizes(raw in content_strategy()) {
+        let spec = spec_of(&raw, false);
+        let mut grown = raw.clone();
+        grown.n += 1;
+        grown.rels.push(0);
+        for _ in 0..raw.n {
+            grown.dists.push(0);
+        }
+        prop_assert!(spec.key() != spec_of(&grown, false).key());
+    }
+
+    /// Insert → evict → re-prepare returns a rebuilt universe whose
+    /// distance matrix and served answers are identical to the first
+    /// build: eviction can drop state but never corrupt it.
+    #[test]
+    fn eviction_then_rebuild_is_stale_free(
+        a in content_strategy(),
+        b in content_strategy(),
+        k in 1usize..=3,
+    ) {
+        prop_assume!(spec_of(&a, false).key() != spec_of(&b, false).key());
+        let spec_a = spec_of(&a, false);
+        let spec_b = spec_of(&b, false);
+        let registry = Registry::new(RegistryConfig {
+            byte_budget: 1, // nothing fits beside a fresh insert
+            shards: 1,
+            workers: 1,
+            solve_threads: 1,
+        });
+        let requests: Vec<EngineRequest> = ObjectiveKind::ALL
+            .into_iter()
+            .map(|kind| EngineRequest { kind, k })
+            .collect();
+        // First lifetime of A.
+        let first_prepared = registry.prepare(&spec_a);
+        let first_matrix: Vec<f64> = (0..first_prepared.n())
+            .flat_map(|i| first_prepared.matrix().row(i).to_vec())
+            .collect();
+        let first_answers = registry.serve_universe_batch(&spec_a, &requests);
+        // Insert B: evicts A under the 1-byte budget.
+        registry.prepare(&spec_b);
+        prop_assert!(!registry.is_cached(&spec_a));
+        prop_assert!(registry.stats().evictions >= 1);
+        // Second lifetime of A: rebuilt, not resurrected.
+        let second_prepared = registry.prepare(&spec_a);
+        prop_assert!(!Arc::ptr_eq(&first_prepared, &second_prepared));
+        let second_matrix: Vec<f64> = (0..second_prepared.n())
+            .flat_map(|i| second_prepared.matrix().row(i).to_vec())
+            .collect();
+        prop_assert_eq!(first_matrix, second_matrix, "rebuild changed the matrix");
+        let second_answers = registry.serve_universe_batch(&spec_a, &requests);
+        prop_assert_eq!(first_answers, second_answers, "rebuild changed served answers");
+    }
+}

@@ -3,3 +3,4 @@ pub use divr_core as core;
 pub use divr_logic as logic;
 pub use divr_reductions as reductions;
 pub use divr_relquery as relquery;
+pub use divr_server as server;
