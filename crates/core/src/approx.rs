@@ -18,6 +18,14 @@
 //!
 //! `F_mono` needs no approximation: its exact optimum is polynomial
 //! (Theorem 5.4, [`crate::solvers::mono::max_mono`]).
+//!
+//! These sequential `Ratio`-path functions are the **reference
+//! semantics** for the production paths: [`crate::engine`] reproduces
+//! them against a precomputed matrix (identical up to equal-score
+//! ties), and [`crate::coreset`] runs them on an `m ≪ n` representative
+//! subset for universes whose matrix cannot be allocated. The
+//! guarantee each algorithm carries — and the test that pins it — is
+//! tabulated in `docs/PAPER_MAP.md` ("Approximation guarantees").
 
 use crate::problem::{DiversityProblem, ObjectiveKind};
 use crate::ratio::Ratio;

@@ -1,0 +1,946 @@
+//! Sub-quadratic large-universe serving via GMM/k-center coresets.
+//!
+//! Every other serving path in this workspace — [`crate::engine`], the
+//! registry in `divr-server`, even the exact solvers — materializes the
+//! full `n × n` [`DistanceMatrix`](crate::engine::DistanceMatrix).
+//! That is the right trade-off up to a few thousand tuples and a dead
+//! end beyond: at `n = 50 000` the matrix alone is `n²·8 B ≈ 20 GB`.
+//! The standard route around the wall (Zhang et al., *Diversification
+//! on Big Data in Query Processing*; Capannini et al., *Efficient
+//! Diversification of Web Search Results*) is **candidate-set
+//! reduction**: pick `m ≪ n` representatives first, run the quadratic
+//! heuristics on those, and re-score the answer against the full
+//! universe. This module implements that route with the same
+//! exactness discipline as the engine:
+//!
+//! * [`Coreset::select`] — a parallel farthest-point (Gonzalez
+//!   k-center / GMM-style) pass that picks `m` representatives in
+//!   `O(n·m)` distance evaluations and **zero** `n × n` allocations.
+//!   Half the budget goes to the top-relevance items (so the λ → 0
+//!   regime, where only relevance matters, stays exact for
+//!   `k ≤ ⌈m/2⌉`), half to farthest-point coverage (so the λ → 1
+//!   regime keeps the classical k-center guarantees). Scans are
+//!   thread-sharded and float-scored with the engine's exact-`Ratio`
+//!   tie fallback, so selection is deterministic down to equal-score
+//!   ties.
+//! * [`PreparedCoreset`] — the owned, shareable prepared state: `O(n)`
+//!   relevance caches, the coreset itself, and an `m × m`
+//!   [`PreparedUniverse`] over the representatives. Its [`approx_bytes`](PreparedCoreset::approx_bytes)
+//!   meters `m²`, not `n²` — the honest figure a byte-budgeted cache
+//!   must charge.
+//! * [`CoresetEngine`] — runs the existing max-sum / max-min / MMR /
+//!   mono heuristics of [`Engine`] on the coreset's matrix, maps the
+//!   chosen representatives back to full-universe indices, and
+//!   **re-scores the answer exactly against the full universe**: the
+//!   returned `Ratio` is the true objective value of the returned set
+//!   under full-universe semantics (for `F_mono` that means the
+//!   diversity term averages over all `n` items, not the coreset).
+//!   An optional refine step ([`CoresetConfig::refine_rounds`])
+//!   additionally hill-climbs the chosen set over the *full* universe
+//!   with `O(n·k)` distance evaluations per round.
+//!
+//! ## Exactness and quality contract
+//!
+//! With `budget ≥ n` the coreset is the whole universe in its original
+//! order, so [`CoresetEngine`] is **identical** to [`Engine`] — same
+//! `Ratio` values, same index sets (`tests/coreset_matches_engine.rs`
+//! property-tests this). Below that, answers are feasible sets of the
+//! full problem whose exact values the differential suite bounds
+//! against the full engine's within a measured factor on random
+//! integer universes (see `MEASURED_FACTOR` in the test).
+//!
+//! ```
+//! use divr_core::coreset::{CoresetConfig, CoresetEngine};
+//! use divr_core::engine::EngineRequest;
+//! use divr_core::prelude::*;
+//! use divr_relquery::Tuple;
+//! use std::sync::Arc;
+//!
+//! // 10 000 tuples: the full matrix would be 800 MB; the coreset
+//! // path touches O(n·m) distances and allocates m² = 64² floats.
+//! let universe: Vec<Tuple> = (0..10_000).map(|i| Tuple::ints([i, i % 97])).collect();
+//! let engine = CoresetEngine::new(
+//!     universe,
+//!     &AttributeRelevance { attr: 1, default: Ratio::ZERO },
+//!     Arc::new(NumericDistance { attr: 0, fallback: Ratio::ZERO }),
+//!     Ratio::new(1, 2),
+//!     &CoresetConfig::with_budget(64),
+//! );
+//! let (value, set) = engine
+//!     .serve(EngineRequest { kind: ObjectiveKind::MaxMin, k: 8 })
+//!     .unwrap();
+//! assert_eq!(set.len(), 8);
+//! assert!(value > Ratio::ZERO);
+//! assert!(set.iter().all(|&i| i < 10_000)); // full-universe indices
+//! ```
+
+use crate::distance::Distance;
+use crate::engine::{
+    argmax_with_ties, default_threads, resolve_ties_exact, Engine, EngineRequest,
+    PreparedUniverse,
+};
+use crate::problem::ObjectiveKind;
+use crate::ratio::Ratio;
+use crate::relevance::Relevance;
+use divr_relquery::Tuple;
+use std::sync::Arc;
+
+/// Universe size above which [`crate::pipeline::QueryDiversification`]
+/// auto-escalates from the full-matrix engine to the coreset path: at
+/// this `n` the flat `f64` matrix costs `n²·8 B = 128 MiB` and its
+/// build cost starts to dominate every request.
+pub const CORESET_AUTO_THRESHOLD: usize = 4096;
+
+/// Sizing and behaviour knobs for the coreset path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoresetConfig {
+    /// Number of representatives `m` to select (clamped to `n`). Also
+    /// the largest servable `k`: requests with `k > m` (but `k ≤ n`)
+    /// return `None` — size the budget for the largest `k` you serve,
+    /// e.g. via [`CoresetConfig::recommended`].
+    pub budget: usize,
+    /// Full-universe single-swap refinement rounds applied to each
+    /// `F_MS` / `F_MM` answer (0 = pure coreset answer, re-scored
+    /// exactly). Each round costs `O(n·k)` distance evaluations and can
+    /// only improve the exact objective value. `F_mono` ignores this
+    /// (its per-item score is already a full-universe quantity that a
+    /// swap scan cannot evaluate in o(n) per candidate).
+    pub refine_rounds: usize,
+    /// Worker threads for selection scans and the `m × m` matrix build.
+    pub threads: usize,
+}
+
+impl CoresetConfig {
+    /// A config with the given representative budget, no refinement,
+    /// and all available cores.
+    pub fn with_budget(budget: usize) -> Self {
+        CoresetConfig {
+            budget: budget.max(1),
+            refine_rounds: 0,
+            threads: default_threads(),
+        }
+    }
+
+    /// The default sizing for requests up to result size `k`:
+    /// `max(64, 16·k)` representatives — large enough that the
+    /// relevance half covers `8·k` top items and the coverage half
+    /// leaves GMM real room, small enough that the `m × m` matrix
+    /// stays a few megabytes even for generous `k`.
+    pub fn recommended(k: usize) -> Self {
+        Self::with_budget(64usize.max(16 * k.max(1)))
+    }
+
+    /// Builder-style refinement-round override.
+    pub fn refine(mut self, rounds: usize) -> Self {
+        self.refine_rounds = rounds;
+        self
+    }
+
+    /// Builder-style thread override (1 = fully sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+impl Default for CoresetConfig {
+    fn default() -> Self {
+        CoresetConfig::recommended(16)
+    }
+}
+
+/// The selected representatives of one universe, plus the coverage
+/// structure the selection pass produces for free.
+#[derive(Clone, Debug)]
+pub struct Coreset {
+    /// Selected full-universe indices, ascending. `indices.len() = m`.
+    indices: Vec<usize>,
+    /// For each universe item, the position in [`Coreset::indices`] of
+    /// its nearest representative (by the builder's float passes).
+    assignment: Vec<usize>,
+    /// `max_i δ_dis(i, rep(i))` in float — the k-center covering radius
+    /// of the selection, a direct quality diagnostic (0 when `m = n`).
+    covering_radius: f64,
+}
+
+/// Runs `body` over `0..n` split across `threads` workers, handing each
+/// worker disjoint `&mut` chunks of the two coverage arrays.
+fn par_update(
+    n: usize,
+    threads: usize,
+    nearest: &mut [f64],
+    assignment: &mut [usize],
+    body: impl Fn(usize, &mut f64, &mut usize) + Sync,
+) {
+    if threads <= 1 || n < 4096 {
+        for (i, (slot, asg)) in nearest.iter_mut().zip(assignment.iter_mut()).enumerate() {
+            body(i, slot, asg);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let body = &body;
+        for (ci, (near_c, asg_c)) in nearest
+            .chunks_mut(chunk)
+            .zip(assignment.chunks_mut(chunk))
+            .enumerate()
+        {
+            scope.spawn(move || {
+                let base = ci * chunk;
+                for (off, (slot, asg)) in near_c.iter_mut().zip(asg_c.iter_mut()).enumerate() {
+                    body(base + off, slot, asg);
+                }
+            });
+        }
+    });
+}
+
+impl Coreset {
+    /// Selects `min(budget, n)` representatives in `O(n·m)` distance
+    /// evaluations without materializing any `n × n` structure.
+    ///
+    /// Two phases, both deterministic:
+    ///
+    /// 1. **Relevance guard** — the top `⌈m/2⌉` items by exact
+    ///    relevance (ties to the lowest index), so relevance-dominated
+    ///    regimes keep their winners in the coreset.
+    /// 2. **Farthest-point coverage** — repeatedly add the item whose
+    ///    float distance to the selected set is largest (the Gonzalez
+    ///    k-center / GMM rule), scanning candidates across `threads`
+    ///    shards; near-ties within the engine's float window are
+    ///    re-scored through the exact `Ratio` oracle and broken toward
+    ///    the lowest index, exactly like [`crate::engine`]'s argmax.
+    ///
+    /// `rel_exact[i]` must equal `δ_rel(universe[i])`.
+    pub fn select(
+        universe: &[Tuple],
+        rel_exact: &[Ratio],
+        dis: &(dyn Distance + Sync),
+        budget: usize,
+        threads: usize,
+    ) -> Coreset {
+        let n = universe.len();
+        assert_eq!(rel_exact.len(), n, "one relevance score per item");
+        let threads = threads.max(1);
+        let m = budget.max(1).min(n);
+        if m == n {
+            // Identity coreset: every item represents itself.
+            return Coreset {
+                indices: (0..n).collect(),
+                assignment: (0..n).collect(),
+                covering_radius: 0.0,
+            };
+        }
+
+        // Phase 1: top-⌈m/2⌉ by exact relevance, lowest index on ties.
+        let rel_quota = m.div_ceil(2);
+        let mut by_rel: Vec<usize> = (0..n).collect();
+        by_rel.sort_by(|&a, &b| rel_exact[b].cmp(&rel_exact[a]).then(a.cmp(&b)));
+        let mut selected = vec![false; n];
+        let mut reps: Vec<usize> = Vec::with_capacity(m);
+        for &i in &by_rel[..rel_quota] {
+            selected[i] = true;
+            reps.push(i);
+        }
+
+        // Coverage state: nearest[i] = float distance from item i to the
+        // selected set, assignment[i] = position (into `reps`) of the
+        // representative achieving it.
+        let mut nearest = vec![f64::INFINITY; n];
+        let mut assignment = vec![0usize; n];
+        for (pos, &r) in reps.iter().enumerate() {
+            let rep_tuple = &universe[r];
+            par_update(n, threads, &mut nearest, &mut assignment, |i, slot, asg| {
+                let d = dis.dist_f64(&universe[i], rep_tuple);
+                if d < *slot {
+                    *slot = d;
+                    *asg = pos;
+                }
+            });
+        }
+
+        // Phase 2: farthest-point rounds.
+        while reps.len() < m {
+            let eval = |i: usize| {
+                if selected[i] {
+                    None
+                } else {
+                    Some(nearest[i])
+                }
+            };
+            let ties = argmax_with_ties(n, threads, 1, &eval)
+                .expect("m < n leaves at least one unselected candidate");
+            let exact_nearest = |i: usize| -> Ratio {
+                reps.iter()
+                    .map(|&r| dis.dist(&universe[i], &universe[r]))
+                    .min()
+                    .expect("reps is non-empty")
+            };
+            let winner = resolve_ties_exact(&ties, exact_nearest);
+            selected[winner] = true;
+            let pos = reps.len();
+            reps.push(winner);
+            let rep_tuple = &universe[winner];
+            par_update(n, threads, &mut nearest, &mut assignment, |i, slot, asg| {
+                let d = dis.dist_f64(&universe[i], rep_tuple);
+                if d < *slot {
+                    *slot = d;
+                    *asg = pos;
+                }
+            });
+        }
+
+        // Canonical order: ascending indices, so the coreset
+        // sub-universe preserves the original tuple order (and the
+        // engine's lowest-index tie-breaks map monotonically back).
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&p| reps[p]);
+        let mut new_pos = vec![0usize; m];
+        for (rank, &p) in order.iter().enumerate() {
+            new_pos[p] = rank;
+        }
+        let indices: Vec<usize> = order.iter().map(|&p| reps[p]).collect();
+        for asg in &mut assignment {
+            *asg = new_pos[*asg];
+        }
+        let covering_radius = nearest.iter().fold(0.0f64, |a, &b| a.max(b));
+        Coreset {
+            indices,
+            assignment,
+            covering_radius,
+        }
+    }
+
+    /// Number of representatives `m`.
+    pub fn m(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The selected full-universe indices, ascending.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Position in [`Coreset::indices`] of item `i`'s nearest
+    /// representative.
+    pub fn rep_of(&self, i: usize) -> usize {
+        self.assignment[i]
+    }
+
+    /// The float k-center covering radius of the selection.
+    pub fn covering_radius(&self) -> f64 {
+        self.covering_radius
+    }
+}
+
+/// The owned, shareable prepared state of the coreset serving path:
+/// full-universe tuples and `O(n)` relevance caches, the selected
+/// [`Coreset`], and an `m × m` [`PreparedUniverse`] over the
+/// representatives. This is the unit a byte-budgeted cache stores for
+/// large universes — [`PreparedCoreset::approx_bytes`] charges `m²`
+/// floats plus `O(n)` bookkeeping, never `n²`.
+pub struct PreparedCoreset {
+    universe: Vec<Tuple>,
+    dis: Arc<dyn Distance + Send + Sync>,
+    rel_exact: Vec<Ratio>,
+    rel_f: Vec<f64>,
+    lambda: Ratio,
+    config: CoresetConfig,
+    coreset: Coreset,
+    sub: Arc<PreparedUniverse<'static>>,
+}
+
+/// A prepared coreset shareable across threads and cache entries.
+pub type SharedCoreset = Arc<PreparedCoreset>;
+
+impl PreparedCoreset {
+    /// Prepares the coreset path over a materialized universe:
+    /// evaluates relevance once (`O(n)`), selects the coreset
+    /// (`O(n·m)` distances), and builds the `m × m` matrix over the
+    /// representatives. Never allocates `n × n`.
+    ///
+    /// Panics if `λ ∉ [0, 1]` (same contract as
+    /// [`PreparedUniverse::build`]).
+    pub fn build_shared(
+        universe: Vec<Tuple>,
+        rel: &dyn Relevance,
+        dis: Arc<dyn Distance + Send + Sync>,
+        lambda: Ratio,
+        config: &CoresetConfig,
+    ) -> PreparedCoreset {
+        assert!(
+            lambda >= Ratio::ZERO && lambda <= Ratio::ONE,
+            "λ must lie in [0, 1]"
+        );
+        let threads = config.threads.max(1);
+        let rel_exact: Vec<Ratio> = universe.iter().map(|t| rel.rel(t)).collect();
+        let rel_f: Vec<f64> = rel_exact.iter().map(Ratio::to_f64).collect();
+        let coreset = Coreset::select(&universe, &rel_exact, &*dis, config.budget, threads);
+        let sub_universe: Vec<Tuple> = coreset
+            .indices()
+            .iter()
+            .map(|&i| universe[i].clone())
+            .collect();
+        let sub_rels: Vec<Ratio> = coreset.indices().iter().map(|&i| rel_exact[i]).collect();
+        let sub = Arc::new(PreparedUniverse::build_shared_with_scores(
+            sub_universe,
+            sub_rels,
+            dis.clone(),
+            lambda,
+            threads,
+        ));
+        PreparedCoreset {
+            universe,
+            dis,
+            rel_exact,
+            rel_f,
+            lambda,
+            config: *config,
+            coreset,
+            sub,
+        }
+    }
+
+    /// Full-universe size `n`.
+    pub fn n(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Coreset size `m`.
+    pub fn m(&self) -> usize {
+        self.coreset.m()
+    }
+
+    /// The materialized full universe `Q(D)`.
+    pub fn universe(&self) -> &[Tuple] {
+        &self.universe
+    }
+
+    /// The trade-off parameter λ.
+    pub fn lambda(&self) -> Ratio {
+        self.lambda
+    }
+
+    /// The selected coreset.
+    pub fn coreset(&self) -> &Coreset {
+        &self.coreset
+    }
+
+    /// The configuration this coreset was prepared with.
+    pub fn config(&self) -> &CoresetConfig {
+        &self.config
+    }
+
+    /// The `m × m` prepared universe over the representatives.
+    pub fn sub(&self) -> &Arc<PreparedUniverse<'static>> {
+        &self.sub
+    }
+
+    /// Exact relevance of full-universe item `i`.
+    pub fn rel_of(&self, i: usize) -> Ratio {
+        self.rel_exact[i]
+    }
+
+    /// Exact distance between full-universe items `i` and `j`.
+    pub fn dist_of(&self, i: usize, j: usize) -> Ratio {
+        self.dis.dist(&self.universe[i], &self.universe[j])
+    }
+
+    /// Approximate heap footprint in bytes — what a byte-budgeted cache
+    /// charges for this entry: the `m²` sub-matrix and its coreset
+    /// tuples (via the sub-universe's own accounting, which also counts
+    /// the retained oracle once), plus the full universe's tuples,
+    /// `O(n)` relevance caches, and the coverage assignment.
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.universe.len();
+        let tuples: usize = self
+            .universe
+            .iter()
+            .map(crate::engine::tuple_approx_bytes)
+            .sum();
+        self.sub.approx_bytes()
+            + tuples
+            + n * (std::mem::size_of::<Ratio>()
+                + std::mem::size_of::<f64>()
+                + std::mem::size_of::<usize>())
+            + self.coreset.indices.len() * std::mem::size_of::<usize>()
+    }
+}
+
+impl std::fmt::Debug for PreparedCoreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedCoreset")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("lambda", &self.lambda)
+            .field("covering_radius", &self.coreset.covering_radius)
+            .field("approx_bytes", &self.approx_bytes())
+            .finish()
+    }
+}
+
+/// Serves diversification requests against a [`PreparedCoreset`]:
+/// heuristics run on the `m × m` matrix, answers come back as
+/// full-universe index sets with **exact full-universe objective
+/// values**. See the module docs for the quality contract.
+pub struct CoresetEngine {
+    prepared: Arc<PreparedCoreset>,
+    threads: usize,
+}
+
+impl CoresetEngine {
+    /// Prepares a coreset engine in one go (see
+    /// [`PreparedCoreset::build_shared`] for the cost breakdown).
+    pub fn new(
+        universe: Vec<Tuple>,
+        rel: &dyn Relevance,
+        dis: Arc<dyn Distance + Send + Sync>,
+        lambda: Ratio,
+        config: &CoresetConfig,
+    ) -> Self {
+        let threads = config.threads.max(1);
+        Self::from_prepared(
+            Arc::new(PreparedCoreset::build_shared(universe, rel, dis, lambda, config)),
+            threads,
+        )
+    }
+
+    /// Wraps already-prepared (possibly cached and shared) coreset
+    /// state. Costs one `Arc` clone — the cache-hit path.
+    pub fn from_prepared(prepared: Arc<PreparedCoreset>, threads: usize) -> Self {
+        CoresetEngine {
+            prepared,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The shared prepared state this engine serves from.
+    pub fn prepared(&self) -> &Arc<PreparedCoreset> {
+        &self.prepared
+    }
+
+    /// Full-universe size `n`.
+    pub fn n(&self) -> usize {
+        self.prepared.n()
+    }
+
+    /// Coreset size `m` — also the largest servable `k`.
+    pub fn m(&self) -> usize {
+        self.prepared.m()
+    }
+
+    /// Materializes a candidate set's tuples (full-universe indices).
+    pub fn tuples_of(&self, subset: &[usize]) -> Vec<Tuple> {
+        subset
+            .iter()
+            .map(|&i| self.prepared.universe[i].clone())
+            .collect()
+    }
+
+    /// Exact objective value of a full-universe index set under
+    /// **full-universe semantics**: `F_MS`/`F_MM` read the set's own
+    /// relevances and pairwise distances through the exact oracle;
+    /// `F_mono`'s diversity term averages each member's distance over
+    /// all `n` universe items (Section 3.2) — `O(n·k)` exact distance
+    /// evaluations, the price of an honest mono score without the
+    /// `n × n` matrix.
+    pub fn objective_exact_full(&self, kind: ObjectiveKind, subset: &[usize]) -> Ratio {
+        let p = &*self.prepared;
+        match kind {
+            ObjectiveKind::MaxSum => crate::problem::f_ms_from(
+                subset.len(),
+                p.lambda,
+                |a| p.rel_exact[subset[a]],
+                |a, b| p.dist_of(subset[a], subset[b]),
+            ),
+            ObjectiveKind::MaxMin => crate::problem::f_mm_from(
+                subset.len(),
+                p.lambda,
+                |a| p.rel_exact[subset[a]],
+                |a, b| p.dist_of(subset[a], subset[b]),
+            ),
+            ObjectiveKind::Mono => subset.iter().map(|&i| self.mono_score_exact_full(i)).sum(),
+        }
+    }
+
+    /// Exact full-universe mono score `v(t)` of item `i` (Theorem 5.4's
+    /// sort key, over all `n` items).
+    fn mono_score_exact_full(&self, i: usize) -> Ratio {
+        let p = &*self.prepared;
+        let rel_part = (Ratio::ONE - p.lambda) * p.rel_exact[i];
+        let n = p.universe.len();
+        if n <= 1 || p.lambda.is_zero() {
+            return rel_part;
+        }
+        let mut dsum = Ratio::ZERO;
+        for j in 0..n {
+            if j != i {
+                dsum += p.dist_of(i, j);
+            }
+        }
+        rel_part + p.lambda * dsum / Ratio::int(n as i64 - 1)
+    }
+
+    /// Serves one request: solve on the coreset matrix, map back to
+    /// full-universe indices, optionally refine, and return the exact
+    /// full-universe objective value with the set.
+    ///
+    /// Returns `None` when `k > n` (infeasible) **or** `k > m` (the
+    /// coreset budget cannot produce a set that large — size the budget
+    /// via [`CoresetConfig::recommended`]).
+    pub fn serve(&self, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
+        let p = &*self.prepared;
+        if request.k > p.m() {
+            return None;
+        }
+        let sub_engine = Engine::from_prepared(p.sub.clone(), self.threads);
+        let (_, local) = sub_engine.serve(request)?;
+        let mut chosen: Vec<usize> = local.iter().map(|&l| p.coreset.indices[l]).collect();
+        if request.kind != ObjectiveKind::Mono {
+            for _ in 0..p.config.refine_rounds {
+                if !self.refine_round(request.kind, &mut chosen) {
+                    break;
+                }
+            }
+        }
+        let value = self.objective_exact_full(request.kind, &chosen);
+        Some((value, chosen))
+    }
+
+    /// Serves a whole batch against the shared coreset state.
+    pub fn serve_batch(&self, requests: &[EngineRequest]) -> Vec<Option<(Ratio, Vec<usize>)>> {
+        requests.iter().map(|&r| self.serve(r)).collect()
+    }
+
+    /// One full-universe refinement round for `F_MS`/`F_MM`: scan every
+    /// (candidate, position) swap with float arithmetic (`O(n·k)`
+    /// oracle calls), verify the best near-ties exactly, and apply the
+    /// best strictly improving swap. Returns whether the set changed.
+    fn refine_round(&self, kind: ObjectiveKind, chosen: &mut [usize]) -> bool {
+        let p = &*self.prepared;
+        let n = p.universe.len();
+        let k = chosen.len();
+        if k == 0 || k >= n {
+            return false;
+        }
+        let lam = p.lambda.to_f64();
+        let one_minus = (Ratio::ONE - p.lambda).to_f64();
+        // Float caches over the current set.
+        let crel: Vec<f64> = chosen.iter().map(|&i| p.rel_f[i]).collect();
+        let cdist: Vec<Vec<f64>> = chosen
+            .iter()
+            .map(|&i| {
+                chosen
+                    .iter()
+                    .map(|&j| p.dis.dist_f64(&p.universe[i], &p.universe[j]))
+                    .collect()
+            })
+            .collect();
+        let rel_sum: f64 = crel.iter().sum();
+        let row_sums: Vec<f64> = cdist.iter().map(|row| row.iter().sum()).collect();
+        let pair_sum: f64 = row_sums.iter().sum::<f64>() / 2.0;
+        let current_f = match kind {
+            ObjectiveKind::MaxSum => one_minus * (k as f64 - 1.0) * rel_sum + lam * 2.0 * pair_sum,
+            ObjectiveKind::MaxMin => {
+                let min_rel = crel.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+                let mut min_dis = f64::INFINITY;
+                for (a, row) in cdist.iter().enumerate() {
+                    for &d in &row[a + 1..] {
+                        min_dis = min_dis.min(d);
+                    }
+                }
+                if min_dis == f64::INFINITY {
+                    min_dis = 0.0;
+                }
+                one_minus * min_rel + lam * min_dis
+            }
+            ObjectiveKind::Mono => return false,
+        };
+        let chosen_ref: &[usize] = chosen;
+        // Best trial value over all positions for candidate t (float).
+        let best_for = |t: usize| -> Option<f64> {
+            if chosen_ref.contains(&t) {
+                return None;
+            }
+            let dt: Vec<f64> = chosen_ref
+                .iter()
+                .map(|&s| p.dis.dist_f64(&p.universe[t], &p.universe[s]))
+                .collect();
+            let dt_sum: f64 = dt.iter().sum();
+            let mut best: Option<f64> = None;
+            for pos in 0..k {
+                let v = match kind {
+                    ObjectiveKind::MaxSum => {
+                        let rel_sum2 = rel_sum - crel[pos] + p.rel_f[t];
+                        let pair_sum2 =
+                            pair_sum - (row_sums[pos] - cdist[pos][pos]) + (dt_sum - dt[pos]);
+                        one_minus * (k as f64 - 1.0) * rel_sum2 + lam * 2.0 * pair_sum2
+                    }
+                    ObjectiveKind::MaxMin => {
+                        let mut min_rel = p.rel_f[t];
+                        let mut min_dis = f64::INFINITY;
+                        for a in 0..k {
+                            if a == pos {
+                                continue;
+                            }
+                            min_rel = min_rel.min(crel[a]);
+                            min_dis = min_dis.min(dt[a]);
+                            for (b, &d) in cdist[a].iter().enumerate().skip(a + 1) {
+                                if b != pos {
+                                    min_dis = min_dis.min(d);
+                                }
+                            }
+                        }
+                        if min_dis == f64::INFINITY {
+                            min_dis = 0.0;
+                        }
+                        one_minus * min_rel + lam * min_dis
+                    }
+                    ObjectiveKind::Mono => unreachable!("filtered above"),
+                };
+                if best.is_none_or(|b| v > b) {
+                    best = Some(v);
+                }
+            }
+            best.filter(|&v| v > current_f - 1e-9)
+        };
+        let Some(ties) = argmax_with_ties(n, self.threads, k * k, &best_for) else {
+            return false;
+        };
+        // Exact verification: score each near-tie candidate once by its
+        // best exact trial value, prefer the lowest candidate index on
+        // exact ties (the engine's rule; `ties` is already ascending),
+        // and apply only a strict improvement.
+        let current_exact = self.objective_exact_full(kind, chosen);
+        let exact_best_of = |t: usize| -> (Ratio, usize) {
+            let mut best = (Ratio::ZERO, usize::MAX);
+            for pos in 0..k {
+                let mut trial = chosen_ref.to_vec();
+                trial[pos] = t;
+                let v = self.objective_exact_full(kind, &trial);
+                if best.1 == usize::MAX || v > best.0 {
+                    best = (v, pos);
+                }
+            }
+            best
+        };
+        let mut winner: Option<(usize, Ratio, usize)> = None; // (t, value, pos)
+        for tie in &ties {
+            let (value, pos) = exact_best_of(tie.index);
+            if winner.as_ref().is_none_or(|(_, best, _)| value > *best) {
+                winner = Some((tie.index, value, pos));
+            }
+        }
+        let (t, value, pos) = winner.expect("ties is non-empty");
+        if value > current_exact {
+            chosen[pos] = t;
+            chosen.sort_unstable();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl std::fmt::Debug for CoresetEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoresetEngine")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{NumericDistance, TableDistance};
+    use crate::relevance::AttributeRelevance;
+
+    const REL: AttributeRelevance = AttributeRelevance {
+        attr: 1,
+        default: Ratio::ZERO,
+    };
+
+    fn dis() -> Arc<dyn Distance + Send + Sync> {
+        Arc::new(NumericDistance {
+            attr: 0,
+            fallback: Ratio::ZERO,
+        })
+    }
+
+    fn line_universe(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::ints([i * 3 % (2 * n), i % 5])).collect()
+    }
+
+    fn rels_of(u: &[Tuple]) -> Vec<Ratio> {
+        u.iter().map(|t| REL.rel(t)).collect()
+    }
+
+    #[test]
+    fn identity_coreset_when_budget_covers_universe() {
+        let u = line_universe(20);
+        let rels = rels_of(&u);
+        let d = NumericDistance { attr: 0, fallback: Ratio::ZERO };
+        for budget in [20, 50] {
+            let c = Coreset::select(&u, &rels, &d, budget, 2);
+            assert_eq!(c.indices(), (0..20).collect::<Vec<_>>().as_slice());
+            assert_eq!(c.covering_radius(), 0.0);
+            for i in 0..20 {
+                assert_eq!(c.rep_of(i), i);
+            }
+        }
+    }
+
+    #[test]
+    fn relevance_guard_keeps_top_items() {
+        // Relevance = attr 1 ∈ {0..4}; the top half of the budget must
+        // contain the most relevant items.
+        let u = line_universe(40);
+        let rels = rels_of(&u);
+        let d = NumericDistance { attr: 0, fallback: Ratio::ZERO };
+        let c = Coreset::select(&u, &rels, &d, 16, 2);
+        let max_rel = rels.iter().max().unwrap();
+        let top: Vec<usize> = (0..40).filter(|&i| rels[i] == *max_rel).collect();
+        let kept = top.iter().filter(|i| c.indices().contains(i)).count();
+        assert!(kept >= 16 / 2 / 2, "relevance guard dropped the top items");
+    }
+
+    #[test]
+    fn covering_radius_shrinks_with_budget() {
+        let u = line_universe(200);
+        let rels = rels_of(&u);
+        let d = NumericDistance { attr: 0, fallback: Ratio::ZERO };
+        let small = Coreset::select(&u, &rels, &d, 8, 2);
+        let large = Coreset::select(&u, &rels, &d, 64, 2);
+        assert!(large.covering_radius() <= small.covering_radius());
+        assert!(small.covering_radius() > 0.0);
+    }
+
+    #[test]
+    fn selection_is_thread_count_invariant() {
+        let u = line_universe(150);
+        let rels = rels_of(&u);
+        let d = NumericDistance { attr: 0, fallback: Ratio::ZERO };
+        let a = Coreset::select(&u, &rels, &d, 24, 1);
+        let b = Coreset::select(&u, &rels, &d, 24, 4);
+        assert_eq!(a.indices(), b.indices());
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn all_tied_universe_selects_lowest_indices() {
+        // Constant relevance and distance: every scan ties, so the
+        // exact fallback must fall back to lowest-index picks.
+        let u: Vec<Tuple> = (0..12).map(|i| Tuple::ints([i])).collect();
+        let rels = vec![Ratio::ONE; 12];
+        let d = TableDistance::with_default(Ratio::ONE);
+        let c = Coreset::select(&u, &rels, &d, 5, 3);
+        assert_eq!(c.indices(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn engine_equals_full_engine_when_budget_covers_universe() {
+        let u = line_universe(18);
+        let lambda = Ratio::new(1, 2);
+        let full = Engine::with_threads(
+            u.clone(),
+            &REL,
+            &NumericDistance { attr: 0, fallback: Ratio::ZERO },
+            lambda,
+            2,
+        );
+        let cs = CoresetEngine::new(
+            u,
+            &REL,
+            dis(),
+            lambda,
+            &CoresetConfig::with_budget(18).with_threads(2),
+        );
+        for kind in ObjectiveKind::ALL {
+            for k in [1, 3, 5] {
+                let req = EngineRequest { kind, k };
+                let (fv, fset) = full.serve(req).unwrap();
+                let (cv, cset) = cs.serve(req).unwrap();
+                assert_eq!(fset, cset, "{kind} k={k}");
+                assert_eq!(fv, cv, "{kind} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_reports_exact_full_value() {
+        let cs = CoresetEngine::new(
+            line_universe(60),
+            &REL,
+            dis(),
+            Ratio::new(1, 3),
+            &CoresetConfig::with_budget(16).with_threads(2),
+        );
+        for kind in ObjectiveKind::ALL {
+            let (v, set) = cs.serve(EngineRequest { kind, k: 4 }).unwrap();
+            assert_eq!(v, cs.objective_exact_full(kind, &set), "{kind}");
+            assert_eq!(set.len(), 4);
+        }
+    }
+
+    #[test]
+    fn requests_beyond_budget_or_universe_return_none() {
+        let cs = CoresetEngine::new(
+            line_universe(30),
+            &REL,
+            dis(),
+            Ratio::ONE,
+            &CoresetConfig::with_budget(8),
+        );
+        assert!(cs.serve(EngineRequest { kind: ObjectiveKind::MaxSum, k: 9 }).is_none());
+        assert!(cs.serve(EngineRequest { kind: ObjectiveKind::MaxMin, k: 31 }).is_none());
+        assert!(cs.serve(EngineRequest { kind: ObjectiveKind::MaxSum, k: 8 }).is_some());
+    }
+
+    #[test]
+    fn refinement_never_lowers_the_exact_value() {
+        let u = line_universe(80);
+        let lambda = Ratio::new(2, 3);
+        let plain = CoresetEngine::new(
+            u.clone(),
+            &REL,
+            dis(),
+            lambda,
+            &CoresetConfig::with_budget(12).with_threads(2),
+        );
+        let refined = CoresetEngine::new(
+            u,
+            &REL,
+            dis(),
+            lambda,
+            &CoresetConfig::with_budget(12).with_threads(2).refine(3),
+        );
+        for kind in [ObjectiveKind::MaxSum, ObjectiveKind::MaxMin] {
+            let req = EngineRequest { kind, k: 5 };
+            let (pv, _) = plain.serve(req).unwrap();
+            let (rv, rset) = refined.serve(req).unwrap();
+            assert!(rv >= pv, "{kind}: refinement regressed {rv} < {pv}");
+            assert_eq!(rv, refined.objective_exact_full(kind, &rset));
+        }
+    }
+
+    #[test]
+    fn bytes_scale_with_m_squared_not_n_squared() {
+        let n = 2000;
+        let cs = PreparedCoreset::build_shared(
+            line_universe(n),
+            &REL,
+            dis(),
+            Ratio::new(1, 2),
+            &CoresetConfig::with_budget(64),
+        );
+        // The full matrix alone would be n²·8 = 32 MB; the coreset
+        // entry must be well under a tenth of that.
+        assert!(cs.approx_bytes() < (n as usize * n as usize * 8) / 10);
+        assert_eq!(cs.m(), 64);
+        assert_eq!(cs.n(), n as usize);
+    }
+}

@@ -60,6 +60,14 @@ pub const F64_TIE_EPS: f64 = 1e-9;
 /// is scanned inline — spawning threads costs more than the scan.
 const PAR_MIN_WORK: usize = 2048;
 
+/// Per-tuple heap estimate (header plus one word per attribute value,
+/// doubled for allocator slack) — the single formula every
+/// byte-metering path uses, so full-matrix and coreset cache entries
+/// stay comparable.
+pub(crate) fn tuple_approx_bytes(t: &Tuple) -> usize {
+    std::mem::size_of::<Tuple>() + t.arity() * std::mem::size_of::<usize>() * 2
+}
+
 /// Number of worker threads the engine will use by default: the
 /// machine's available parallelism.
 pub fn default_threads() -> usize {
@@ -231,11 +239,11 @@ impl DistanceMatrix {
 }
 
 /// A candidate index whose float score survived the tie window, with its
-/// score.
+/// score. Shared with [`crate::coreset`]'s farthest-point scans.
 #[derive(Clone, Copy, Debug)]
-struct TieCandidate {
-    index: usize,
-    score: f64,
+pub(crate) struct TieCandidate {
+    pub(crate) index: usize,
+    pub(crate) score: f64,
 }
 
 /// The tie-window threshold below a running maximum: scores at or above
@@ -258,7 +266,7 @@ struct TieChunk {
 /// `eval(i) == None` marks `i` ineligible; `work_per_item` feeds the
 /// parallelism gate (see [`par_map_reduce`]). Returns candidates in
 /// ascending index order, all within the tie window of the maximum.
-fn argmax_with_ties(
+pub(crate) fn argmax_with_ties(
     n: usize,
     threads: usize,
     work_per_item: usize,
@@ -308,7 +316,7 @@ fn argmax_with_ties(
 /// exact score is maximal, preferring the **lowest index** among exact
 /// ties — the same rule as the sequential `Ratio`-path code
 /// (`max_by_key((score, Reverse(i)))`).
-fn resolve_ties_exact(ties: &[TieCandidate], exact: impl Fn(usize) -> Ratio) -> usize {
+pub(crate) fn resolve_ties_exact(ties: &[TieCandidate], exact: impl Fn(usize) -> Ratio) -> usize {
     debug_assert!(!ties.is_empty());
     if ties.len() == 1 {
         return ties[0].index;
@@ -446,11 +454,29 @@ impl<'a> PreparedUniverse<'a> {
         lambda: Ratio,
         threads: usize,
     ) -> Self {
+        let rel_exact: Vec<Ratio> = universe.iter().map(|t| rel.rel(t)).collect();
+        Self::from_scores(universe, rel_exact, dis, lambda, threads)
+    }
+
+    /// The single construction site: every `build*` entry point funnels
+    /// here, so the field set (including the memoized preambles) is
+    /// initialized in exactly one place.
+    fn from_scores(
+        universe: Vec<Tuple>,
+        rel_exact: Vec<Ratio>,
+        dis: DistOracle<'a>,
+        lambda: Ratio,
+        threads: usize,
+    ) -> Self {
         assert!(
             lambda >= Ratio::ZERO && lambda <= Ratio::ONE,
             "λ must lie in [0, 1]"
         );
-        let rel_exact: Vec<Ratio> = universe.iter().map(|t| rel.rel(t)).collect();
+        assert_eq!(
+            rel_exact.len(),
+            universe.len(),
+            "one relevance score per universe item"
+        );
         let rel_f: Vec<f64> = rel_exact.iter().map(Ratio::to_f64).collect();
         let matrix = match &dis {
             DistOracle::Borrowed(d) => DistanceMatrix::build(&universe, *d, threads.max(1)),
@@ -479,6 +505,27 @@ impl<'a> PreparedUniverse<'a> {
         threads: usize,
     ) -> PreparedUniverse<'static> {
         PreparedUniverse::build(universe, rel, DistOracle::Shared(dis), lambda, threads)
+    }
+
+    /// [`PreparedUniverse::build_shared`] with the relevance values
+    /// already evaluated: `rel_exact[i]` must equal `δ_rel(universe[i])`.
+    ///
+    /// This is the constructor the coreset layer uses — it has already
+    /// scored every universe item once, and a coreset sub-universe must
+    /// reuse exactly those scores rather than re-dispatching through the
+    /// relevance oracle (identical values, but also no second pass over
+    /// a possibly expensive function).
+    ///
+    /// Panics if `λ ∉ [0, 1]` or if the score vector length does not
+    /// match the universe.
+    pub fn build_shared_with_scores(
+        universe: Vec<Tuple>,
+        rel_exact: Vec<Ratio>,
+        dis: Arc<dyn Distance + Send + Sync>,
+        lambda: Ratio,
+        threads: usize,
+    ) -> PreparedUniverse<'static> {
+        PreparedUniverse::from_scores(universe, rel_exact, DistOracle::Shared(dis), lambda, threads)
     }
 
     /// Number of universe items.
@@ -535,11 +582,7 @@ impl<'a> PreparedUniverse<'a> {
     /// prepared universe does.
     pub fn approx_bytes(&self) -> usize {
         let n = self.universe.len();
-        let tuples: usize = self
-            .universe
-            .iter()
-            .map(|t| std::mem::size_of::<Tuple>() + t.arity() * std::mem::size_of::<usize>() * 2)
-            .sum();
+        let tuples: usize = self.universe.iter().map(tuple_approx_bytes).sum();
         n * n * std::mem::size_of::<f64>()
             + n * (std::mem::size_of::<Ratio>() + std::mem::size_of::<f64>())
             + tuples

@@ -23,6 +23,9 @@
 //! * one-pass greedy diversification over a result stream — the
 //!   "embed diversification in query evaluation" direction of Section 1
 //!   ([`streaming`]);
+//! * sub-quadratic large-universe serving via GMM/k-center coresets,
+//!   for universes where the `n × n` distance matrix cannot even be
+//!   allocated ([`coreset`]);
 //! * an end-to-end pipeline from `(D, Q, δ_rel, δ_dis, λ, k)` to answers
 //!   ([`pipeline`]).
 //!
@@ -55,6 +58,7 @@ pub mod approx;
 pub mod axioms;
 pub mod combin;
 pub mod constraints;
+pub mod coreset;
 pub mod dispersion;
 pub mod distance;
 pub mod engine;
@@ -67,14 +71,18 @@ pub mod solvers;
 pub mod streaming;
 
 pub use constraints::{CmOp, CmPred, Constraint};
+pub use coreset::{
+    Coreset, CoresetConfig, CoresetEngine, PreparedCoreset, SharedCoreset,
+    CORESET_AUTO_THRESHOLD,
+};
 pub use dispersion::{Dispersion, DispersionVariant};
 pub use distance::{
     ClosureDistance, ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
 };
 pub use engine::{DistOracle, DistanceMatrix, Engine, EngineRequest, PreparedUniverse, SharedPrepared};
 pub use pipeline::{
-    PipelineError, PipelineResult, QueryDiversification, ServedAnswer, SharedDistance,
-    SharedRelevance,
+    PipelineError, PipelineResult, QueryDiversification, ServedAnswer, ServingEngine,
+    SharedDistance, SharedRelevance,
 };
 pub use problem::{DiversityProblem, ObjectiveKind};
 pub use ratio::Ratio;
@@ -86,6 +94,7 @@ pub use streaming::StreamingDiversifier;
 /// Common imports for downstream users.
 pub mod prelude {
     pub use crate::constraints::{CmPred, Constraint};
+    pub use crate::coreset::{CoresetConfig, CoresetEngine, PreparedCoreset, SharedCoreset};
     pub use crate::distance::{
         ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
     };

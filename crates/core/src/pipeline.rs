@@ -9,6 +9,7 @@
 //! Section 9 searches).
 
 use crate::constraints::Constraint;
+use crate::coreset::{CoresetConfig, CoresetEngine, PreparedCoreset, CORESET_AUTO_THRESHOLD};
 use crate::distance::Distance;
 use crate::engine::{default_threads, Engine, EngineRequest, PreparedUniverse, SharedPrepared};
 use crate::problem::{DiversityProblem, ObjectiveKind};
@@ -62,6 +63,65 @@ pub type PipelineResult<T> = Result<T, PipelineError>;
 /// One served answer: the exact objective value with the chosen tuples,
 /// or `None` when the request was infeasible (`|Q(D)| < k`).
 pub type ServedAnswer = Option<(Ratio, Vec<Tuple>)>;
+
+/// The serving engine a pipeline prepares: either the full-matrix
+/// [`Engine`] (small universes, answers match the `Ratio`-path
+/// heuristics exactly) or the sub-quadratic [`CoresetEngine`] (large
+/// universes, answers re-scored exactly against the full universe; see
+/// [`crate::coreset`] for the quality contract).
+/// [`QueryDiversification::prepare_adaptive`] picks the variant by
+/// universe size ([`CORESET_AUTO_THRESHOLD`]).
+pub enum ServingEngine {
+    /// The exact-tie-fallback engine over the full `n × n` matrix.
+    Full(Engine<'static>),
+    /// The coreset path: `O(n·m)` preparation, `m × m` matrix.
+    Coreset(CoresetEngine),
+}
+
+impl ServingEngine {
+    /// Universe size `n`.
+    pub fn n(&self) -> usize {
+        match self {
+            ServingEngine::Full(e) => e.n(),
+            ServingEngine::Coreset(e) => e.n(),
+        }
+    }
+
+    /// Whether the coreset path was chosen.
+    pub fn is_coreset(&self) -> bool {
+        matches!(self, ServingEngine::Coreset(_))
+    }
+
+    /// Serves one request (exact value + full-universe indices).
+    pub fn serve(&self, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
+        match self {
+            ServingEngine::Full(e) => e.serve(request),
+            ServingEngine::Coreset(e) => e.serve(request),
+        }
+    }
+
+    /// Serves a whole batch against the shared prepared state.
+    pub fn serve_batch(&self, requests: &[EngineRequest]) -> Vec<Option<(Ratio, Vec<usize>)>> {
+        requests.iter().map(|&r| self.serve(r)).collect()
+    }
+
+    /// Materializes a candidate set's tuples.
+    pub fn tuples_of(&self, subset: &[usize]) -> Vec<Tuple> {
+        match self {
+            ServingEngine::Full(e) => e.tuples_of(subset),
+            ServingEngine::Coreset(e) => e.tuples_of(subset),
+        }
+    }
+}
+
+impl fmt::Debug for ServingEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingEngine::Full(e) => f.debug_tuple("ServingEngine::Full").field(e).finish(),
+            ServingEngine::Coreset(e) => f.debug_tuple("ServingEngine::Coreset").field(e).finish(),
+        }
+    }
+}
 
 /// A fully configured diversification task over a database and query.
 pub struct QueryDiversification {
@@ -158,13 +218,77 @@ impl QueryDiversification {
         ))
     }
 
-    /// Serves a whole batch of `(objective, k)` requests against one
-    /// shared distance matrix: prepare once, answer many. Each answer is
-    /// the **exact** objective value with the chosen tuples, or `None`
-    /// when `|Q(D)| < k` for that request.
+    /// Evaluates `Q(D)` once and prepares the **coreset** serving path
+    /// over it: `m = config.budget` representatives selected in
+    /// `O(n·m)` distance evaluations, an `m × m` matrix — and no
+    /// `n × n` allocation anywhere. This is the only preparation route
+    /// that works for universes whose full matrix cannot be allocated
+    /// (`n ≈ 50 000` needs ~20 GB); see [`crate::coreset`] for the
+    /// quality contract.
+    pub fn prepare_coreset(&self, config: &CoresetConfig) -> PipelineResult<CoresetEngine> {
+        let result = self.query.eval(&self.db)?;
+        let threads = config.threads.max(1);
+        Ok(CoresetEngine::from_prepared(
+            Arc::new(PreparedCoreset::build_shared(
+                result.tuples().to_vec(),
+                &*self.rel,
+                self.dis.clone(),
+                self.lambda,
+                config,
+            )),
+            threads,
+        ))
+    }
+
+    /// Prepares the right engine for the universe's size: the
+    /// full-matrix [`Engine`] when `|Q(D)| ≤` [`CORESET_AUTO_THRESHOLD`],
+    /// otherwise the coreset path sized for result sizes up to `max_k`
+    /// ([`CoresetConfig::recommended`]). This is the auto-escalation
+    /// rule behind [`QueryDiversification::serve_batch`].
+    pub fn prepare_adaptive(&self, max_k: usize) -> PipelineResult<ServingEngine> {
+        let result = self.query.eval(&self.db)?;
+        let universe: Vec<Tuple> = result.tuples().to_vec();
+        if universe.len() <= CORESET_AUTO_THRESHOLD {
+            let prepared = Arc::new(PreparedUniverse::build_shared(
+                universe,
+                &*self.rel,
+                self.dis.clone(),
+                self.lambda,
+                default_threads(),
+            ));
+            return Ok(ServingEngine::Full(Engine::from_prepared(
+                prepared,
+                default_threads(),
+            )));
+        }
+        let config = CoresetConfig::recommended(max_k.max(self.k));
+        Ok(ServingEngine::Coreset(CoresetEngine::from_prepared(
+            Arc::new(PreparedCoreset::build_shared(
+                universe,
+                &*self.rel,
+                self.dis.clone(),
+                self.lambda,
+                &config,
+            )),
+            config.threads,
+        )))
+    }
+
+    /// Serves a whole batch of `(objective, k)` requests: prepare once,
+    /// answer many. Each answer is the **exact** objective value with
+    /// the chosen tuples, or `None` when `|Q(D)| < k` for that request.
+    ///
+    /// Preparation auto-escalates by universe size
+    /// ([`QueryDiversification::prepare_adaptive`]): up to
+    /// [`CORESET_AUTO_THRESHOLD`] tuples the full `n × n` matrix is
+    /// built and answers match the `Ratio`-path heuristics exactly;
+    /// beyond it the coreset path takes over — `O(n·m)` preparation,
+    /// answers re-scored exactly against the full universe.
     ///
     /// For a long-lived engine (e.g. a query front-end serving traffic),
-    /// call [`QueryDiversification::prepare_engine`] once and keep the
+    /// call [`QueryDiversification::prepare_engine`],
+    /// [`QueryDiversification::prepare_coreset`], or
+    /// [`QueryDiversification::prepare_adaptive`] once and keep the
     /// engine instead.
     ///
     /// # Example
@@ -199,7 +323,8 @@ impl QueryDiversification {
         &self,
         requests: &[EngineRequest],
     ) -> PipelineResult<Vec<ServedAnswer>> {
-        let engine = self.prepare_engine()?;
+        let max_k = requests.iter().map(|r| r.k).max().unwrap_or(self.k);
+        let engine = self.prepare_adaptive(max_k)?;
         Ok(engine
             .serve_batch(requests)
             .into_iter()
@@ -436,6 +561,49 @@ mod tests {
             .rdc_constrained(ObjectiveKind::MaxSum, Ratio::ZERO, &cs)
             .unwrap();
         assert!(constrained_count < unconstrained_count);
+    }
+
+    #[test]
+    fn adaptive_preparation_escalates_by_universe_size() {
+        use crate::distance::NumericDistance;
+        // Small universe: full-matrix engine.
+        let small = setup();
+        let engine = small.prepare_adaptive(3).unwrap();
+        assert!(!engine.is_coreset());
+        // Above the threshold: coreset path, same serving surface.
+        let n = (super::CORESET_AUTO_THRESHOLD + 100) as i64;
+        let mut db = Database::new();
+        db.create_relation("items", &["id", "score"]).unwrap();
+        for i in 0..n {
+            db.insert("items", vec![Value::int(i), Value::int(i % 97)])
+                .unwrap();
+        }
+        let big = QueryDiversification::new(
+            db,
+            parse_query("Q(id, score) :- items(id, score)").unwrap(),
+            Box::new(AttributeRelevance {
+                attr: 1,
+                default: Ratio::ZERO,
+            }),
+            Box::new(NumericDistance {
+                attr: 0,
+                fallback: Ratio::ZERO,
+            }),
+            Ratio::new(1, 2),
+            5,
+        );
+        let engine = big.prepare_adaptive(5).unwrap();
+        assert!(engine.is_coreset());
+        assert_eq!(engine.n(), n as usize);
+        let answers = big
+            .serve_batch(&[EngineRequest {
+                kind: ObjectiveKind::MaxMin,
+                k: 5,
+            }])
+            .unwrap();
+        let (value, tuples) = answers[0].as_ref().expect("feasible");
+        assert_eq!(tuples.len(), 5);
+        assert!(*value > Ratio::ZERO);
     }
 
     #[test]

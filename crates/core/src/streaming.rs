@@ -125,6 +125,28 @@ impl<'a> StreamingDiversifier<'a> {
     /// Offers the next stream tuple. Returns `true` iff the maintained
     /// set changed. Duplicates of selected tuples are ignored (set
     /// semantics).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use divr_core::prelude::*;
+    /// use divr_core::StreamingDiversifier;
+    /// use divr_relquery::Tuple;
+    ///
+    /// // Points on a line, λ = 1: only pairwise distance matters.
+    /// let rel = ConstantRelevance(Ratio::ONE);
+    /// let dis = NumericDistance { attr: 0, fallback: Ratio::ZERO };
+    /// let mut s = StreamingDiversifier::new(
+    ///     ObjectiveKind::MaxMin, &rel, &dis, Ratio::ONE, 2,
+    /// );
+    /// assert!(s.offer(Tuple::ints([0])));   // fills slot 1
+    /// assert!(s.offer(Tuple::ints([1])));   // fills slot 2 → {0, 1}
+    /// assert!(!s.offer(Tuple::ints([1])));  // duplicate: ignored
+    /// assert!(s.offer(Tuple::ints([9])));   // improving swap → {0, 9}
+    /// assert!(!s.offer(Tuple::ints([5])));  // no swap improves {0, 9}
+    /// assert_eq!(s.value(), Ratio::int(9));
+    /// assert_eq!(s.stats(), (5, 1));        // 5 offered, 1 swap
+    /// ```
     pub fn offer(&mut self, t: Tuple) -> bool {
         self.offered += 1;
         if self.selected.contains(&t) {

@@ -1,9 +1,11 @@
 //! The sharded, byte-budgeted LRU of prepared universes.
 //!
 //! Each shard is an independently locked map from [`UniverseKey`] to a
-//! [`SharedPrepared`]; a key's 128-bit digest picks its shard, so
-//! traffic on disjoint universes contends on disjoint locks. Universe
-//! preparation — the `O(n²)` part — always happens **outside** any
+//! [`PreparedVariant`] — full-matrix state for ordinary specs, coreset
+//! state (`m² + O(n)` bytes, never `n²`) for specs in coreset mode; a
+//! key's 128-bit digest picks its shard, so traffic on disjoint
+//! universes contends on disjoint locks. Universe preparation — the
+//! `O(n²)` (or `O(n·m)`) part — always happens **outside** any
 //! lock: a miss releases the shard, builds, re-locks, and inserts. Two
 //! threads racing to prepare the same universe may both build; the
 //! first insert wins and the loser adopts it, so every caller for one
@@ -22,14 +24,13 @@
 //! serve stale or torn matrices.
 
 use crate::fingerprint::UniverseKey;
-use crate::spec::UniverseSpec;
-use divr_core::SharedPrepared;
+use crate::spec::{PreparedVariant, UniverseSpec};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 struct Entry {
-    prepared: SharedPrepared,
+    prepared: PreparedVariant,
     bytes: usize,
     stamp: u64,
 }
@@ -92,14 +93,15 @@ impl PreparedCache {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// The prepared universe for `key`, building from `spec` (with
-    /// `threads` matrix-build workers) on a miss.
+    /// The prepared state for `key` — full-matrix or coreset, by the
+    /// spec's serving mode — building from `spec` (with `threads`
+    /// preparation workers) on a miss.
     pub fn get_or_prepare(
         &self,
         key: &UniverseKey,
         spec: &UniverseSpec,
         threads: usize,
-    ) -> SharedPrepared {
+    ) -> PreparedVariant {
         let shard = self.shard_of(key);
         {
             let mut guard = shard.lock().expect("cache shard poisoned");
@@ -111,7 +113,7 @@ impl PreparedCache {
         }
         // Miss: build outside the lock.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = spec.prepare(threads);
+        let prepared = spec.prepare_variant(threads);
         let bytes = prepared.approx_bytes();
         let mut guard = shard.lock().expect("cache shard poisoned");
         if let Some(entry) = guard.entries.get_mut(key) {
@@ -220,9 +222,26 @@ mod tests {
         let k = s.key();
         let a = cache.get_or_prepare(&k, &s, 1);
         let b = cache.get_or_prepare(&k, &s, 1);
-        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(a.as_full().unwrap(), b.as_full().unwrap()));
         let st = cache.stats();
         assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn coreset_specs_cache_coreset_entries() {
+        use crate::spec::CoresetSpec;
+        let cache = PreparedCache::new(usize::MAX, 2);
+        let full = spec(64, Ratio::new(1, 2));
+        let core = full.clone().with_coreset(CoresetSpec::with_budget(8));
+        let a = cache.get_or_prepare(&full.key(), &full, 1);
+        let b = cache.get_or_prepare(&core.key(), &core, 1);
+        assert!(!a.is_coreset());
+        assert!(b.is_coreset());
+        assert_eq!(b.as_coreset().unwrap().m(), 8);
+        // Same content, different mode: two distinct entries, and the
+        // coreset one is metered well below the full n² entry.
+        assert_eq!(cache.stats().entries, 2);
+        assert!(b.approx_bytes() < a.approx_bytes());
     }
 
     #[test]

@@ -22,13 +22,23 @@
 //!   parallel solve rounds;
 //! * [`Registry::serve_mixed`] schedules interleaved batches from many
 //!   tenants over work-stealing worker threads, preparing each
-//!   distinct universe exactly once per batch.
+//!   distinct universe exactly once per batch;
+//! * universes too large for any `n × n` matrix opt into **coreset
+//!   mode** ([`UniverseSpec::with_coreset`]): preparation selects
+//!   `m ≪ n` representatives in `O(n·m)` ([`divr_core::coreset`]),
+//!   the cache meters the entry at its honest `m² + O(n)` size, and
+//!   full-matrix and coreset tenants mix freely in one batch.
 //!
-//! Answers are **exactly** those of a freshly built
-//! [`Engine`](divr_core::engine::Engine) — same `Ratio` value, same
-//! index set, through hits, misses, evictions and rebuilds
+//! For full-matrix specs, answers are **exactly** those of a freshly
+//! built [`Engine`](divr_core::engine::Engine) — same `Ratio` value,
+//! same index set, through hits, misses, evictions and rebuilds
 //! (`tests/server_matches_engine.rs` in the workspace root
-//! property-tests this differentially).
+//! property-tests this differentially). Coreset-mode specs instead
+//! answer exactly like a fresh
+//! [`CoresetEngine`](divr_core::coreset::CoresetEngine) over the same
+//! content: deterministic and exactly valued, but heuristic relative
+//! to the full engine within the measured factors of
+//! `tests/coreset_matches_engine.rs` (identical when `budget ≥ n`).
 //!
 //! ```
 //! use divr_core::engine::EngineRequest;
@@ -72,4 +82,6 @@ pub mod spec;
 pub use cache::{CacheStats, PreparedCache};
 pub use fingerprint::{FingerprintEncoder, Fingerprintable, UniverseKey};
 pub use registry::{Answer, Registry, RegistryConfig, RegistryStats, TenantBatch};
-pub use spec::{ServableDistance, ServableRelevance, UniverseSpec};
+pub use spec::{
+    CoresetSpec, PreparedVariant, ServableDistance, ServableRelevance, UniverseSpec,
+};

@@ -1,9 +1,9 @@
 //! The serving registry: prepared-engine cache + mixed-batch scheduler.
 
 use crate::cache::{CacheStats, PreparedCache};
-use crate::spec::UniverseSpec;
-use divr_core::engine::{default_threads, Engine, EngineRequest};
-use divr_core::{Ratio, SharedPrepared};
+use crate::spec::{PreparedVariant, UniverseSpec};
+use divr_core::engine::{default_threads, EngineRequest};
+use divr_core::Ratio;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -55,14 +55,17 @@ pub type RegistryStats = CacheStats;
 
 /// A sharded, thread-safe registry of prepared diversification engines.
 ///
-/// The registry fingerprints each universe by content
-/// ([`UniverseSpec::key`]), keeps prepared state — relevance caches and
-/// the `O(n²)` distance matrix — in a byte-budgeted LRU, and schedules
-/// mixed batches across work-stealing workers. A cache hit skips
-/// preparation entirely and goes straight to the parallel solve
-/// rounds; results are bit-identical to a freshly prepared
-/// [`Engine`] because hit and miss paths execute the same solver over
-/// the same (shared or rebuilt) state.
+/// The registry fingerprints each universe by content and serving mode
+/// ([`UniverseSpec::key`]), keeps prepared state — relevance caches
+/// plus the `O(n²)` distance matrix, or the `m × m` coreset state for
+/// [`UniverseSpec::with_coreset`] specs — in a byte-budgeted LRU, and
+/// schedules mixed batches across work-stealing workers. A cache hit
+/// skips preparation entirely and goes straight to the parallel solve
+/// rounds; results are bit-identical to a freshly prepared engine *of
+/// the spec's mode* ([`Engine`](divr_core::engine::Engine) for full
+/// specs, [`CoresetEngine`](divr_core::coreset::CoresetEngine) for
+/// coreset specs) because hit and miss paths execute the same solver
+/// over the same (shared or rebuilt) state.
 pub struct Registry {
     cache: PreparedCache,
     workers: usize,
@@ -85,8 +88,10 @@ impl Registry {
         }
     }
 
-    /// The prepared universe for `spec` — cached, or built and cached.
-    pub fn prepare(&self, spec: &UniverseSpec) -> SharedPrepared {
+    /// The prepared state for `spec` — cached, or built and cached.
+    /// Full-matrix for plain specs; coreset state (no `n × n`
+    /// allocation) for specs in [`UniverseSpec::with_coreset`] mode.
+    pub fn prepare(&self, spec: &UniverseSpec) -> PreparedVariant {
         self.cache.get_or_prepare(&spec.key(), spec, self.solve_threads)
     }
 
@@ -122,7 +127,7 @@ impl Registry {
     /// assert_eq!((stats.hits, stats.misses), (2, 1));
     /// ```
     pub fn serve(&self, spec: &UniverseSpec, request: EngineRequest) -> Answer {
-        Engine::from_prepared(self.prepare(spec), self.solve_threads).serve(request)
+        self.prepare(spec).serve(self.solve_threads, request)
     }
 
     /// Serves a whole batch against one universe (one cache access, one
@@ -132,7 +137,7 @@ impl Registry {
         spec: &UniverseSpec,
         requests: &[EngineRequest],
     ) -> Vec<Answer> {
-        Engine::from_prepared(self.prepare(spec), self.solve_threads).serve_batch(requests)
+        self.prepare(spec).serve_batch(self.solve_threads, requests)
     }
 
     /// Serves a mixed batch — many tenants, many universes, interleaved
@@ -147,6 +152,50 @@ impl Registry {
     /// deque from the front and, when empty, steals from the back of
     /// the longest remaining deque — so a worker stuck behind one huge
     /// solve never strands queued work while others idle.
+    ///
+    /// Tenants may freely mix serving modes: full-matrix specs and
+    /// coreset specs ([`UniverseSpec::with_coreset`]) ride the same
+    /// batch, each prepared and cached in its own mode.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use divr_core::engine::EngineRequest;
+    /// use divr_core::prelude::*;
+    /// use divr_relquery::Tuple;
+    /// use divr_server::{CoresetSpec, Registry, TenantBatch, UniverseSpec};
+    /// use std::sync::Arc;
+    ///
+    /// let registry = Registry::default();
+    /// let small = UniverseSpec::new(
+    ///     (0..60).map(|i| Tuple::ints([i, i % 7])).collect(),
+    ///     Arc::new(AttributeRelevance { attr: 1, default: Ratio::ZERO }),
+    ///     Arc::new(NumericDistance { attr: 0, fallback: Ratio::ZERO }),
+    ///     Ratio::new(1, 2),
+    /// );
+    /// // A large universe in coreset mode: prepared in O(n·m), no n×n.
+    /// let large = UniverseSpec::new(
+    ///     (0..5000).map(|i| Tuple::ints([i, i % 11])).collect(),
+    ///     Arc::new(AttributeRelevance { attr: 1, default: Ratio::ZERO }),
+    ///     Arc::new(NumericDistance { attr: 0, fallback: Ratio::ZERO }),
+    ///     Ratio::new(1, 2),
+    /// )
+    /// .with_coreset(CoresetSpec::with_budget(48));
+    ///
+    /// let answers = registry.serve_mixed(&[
+    ///     TenantBatch {
+    ///         spec: small,
+    ///         requests: vec![EngineRequest { kind: ObjectiveKind::MaxSum, k: 5 }],
+    ///     },
+    ///     TenantBatch {
+    ///         spec: large,
+    ///         requests: vec![EngineRequest { kind: ObjectiveKind::MaxMin, k: 10 }],
+    ///     },
+    /// ]);
+    /// assert_eq!(answers[0][0].as_ref().unwrap().1.len(), 5);
+    /// assert_eq!(answers[1][0].as_ref().unwrap().1.len(), 10);
+    /// assert_eq!(registry.stats().misses, 2); // one prepare per universe
+    /// ```
     pub fn serve_mixed(&self, batch: &[TenantBatch]) -> Vec<Vec<Answer>> {
         // Deduplicate universes by content, keeping each distinct key
         // (fingerprinting is O(content); never pay it twice per batch).
@@ -176,7 +225,7 @@ impl Registry {
         // divided among the workers that actually run in this phase —
         // one distinct universe must not build its O(n²) matrix
         // single-threaded just because the solve phase will fan wider.
-        let prepared: Vec<OnceLock<SharedPrepared>> =
+        let prepared: Vec<OnceLock<PreparedVariant>> =
             (0..distinct.len()).map(|_| OnceLock::new()).collect();
         let units: usize = batch.iter().map(|t| t.requests.len()).sum();
         let workers = self.workers.min(units.max(distinct.len())).max(1);
@@ -219,9 +268,8 @@ impl Registry {
             let (t, r) = flat[u];
             let prep = prepared[slot_of_tenant[t]]
                 .get()
-                .expect("prepare phase covered every distinct universe")
-                .clone();
-            let answer = Engine::from_prepared(prep, solve_threads).serve(batch[t].requests[r]);
+                .expect("prepare phase covered every distinct universe");
+            let answer = prep.serve(solve_threads, batch[t].requests[r]);
             (t, r, answer)
         };
         let solved: Vec<Vec<(usize, usize, Answer)>> = std::thread::scope(|scope| {

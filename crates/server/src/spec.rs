@@ -2,8 +2,9 @@
 //! description of one QRD universe.
 
 use crate::fingerprint::{FingerprintEncoder, Fingerprintable, UniverseKey};
+use divr_core::coreset::{CoresetConfig, CoresetEngine, PreparedCoreset, SharedCoreset};
 use divr_core::distance::Distance;
-use divr_core::engine::PreparedUniverse;
+use divr_core::engine::{Engine, EngineRequest, PreparedUniverse};
 use divr_core::relevance::Relevance;
 use divr_core::{Ratio, SharedPrepared};
 use divr_relquery::Tuple;
@@ -37,18 +38,140 @@ impl Distance for OracleAdapter {
     }
 }
 
+/// How a tenant asks the registry to prepare a large universe: select
+/// `budget` coreset representatives instead of building the `n × n`
+/// matrix (see [`divr_core::coreset`] for the algorithm and quality
+/// contract). Part of the cache key — the same universe content served
+/// full-matrix and coreset (or with two budgets) occupies distinct,
+/// honestly metered cache entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoresetSpec {
+    /// Representative budget `m` (also the largest servable `k`).
+    pub budget: usize,
+    /// Full-universe swap-refinement rounds per `F_MS`/`F_MM` answer.
+    pub refine_rounds: usize,
+}
+
+impl CoresetSpec {
+    /// A coreset mode with the given budget and no refinement.
+    pub fn with_budget(budget: usize) -> Self {
+        CoresetSpec {
+            budget,
+            refine_rounds: 0,
+        }
+    }
+}
+
+/// The prepared state the registry caches for one spec: the full
+/// `n × n` [`PreparedUniverse`] or the sub-quadratic
+/// [`PreparedCoreset`], by the spec's serving mode. Cloning is `O(1)`
+/// (both arms are `Arc`s).
+#[derive(Clone)]
+pub enum PreparedVariant {
+    /// Full-matrix prepared state (exact-tie-fallback engine).
+    Full(SharedPrepared),
+    /// Coreset prepared state (`m × m` matrix, `O(n)` bookkeeping).
+    Coreset(SharedCoreset),
+}
+
+impl PreparedVariant {
+    /// Universe size `n`.
+    pub fn n(&self) -> usize {
+        match self {
+            PreparedVariant::Full(p) => p.n(),
+            PreparedVariant::Coreset(p) => p.n(),
+        }
+    }
+
+    /// Whether this is the coreset variant.
+    pub fn is_coreset(&self) -> bool {
+        matches!(self, PreparedVariant::Coreset(_))
+    }
+
+    /// The full-matrix prepared state, if that is what was built.
+    pub fn as_full(&self) -> Option<&SharedPrepared> {
+        match self {
+            PreparedVariant::Full(p) => Some(p),
+            PreparedVariant::Coreset(_) => None,
+        }
+    }
+
+    /// The coreset prepared state, if that is what was built.
+    pub fn as_coreset(&self) -> Option<&SharedCoreset> {
+        match self {
+            PreparedVariant::Full(_) => None,
+            PreparedVariant::Coreset(p) => Some(p),
+        }
+    }
+
+    /// Approximate heap bytes this entry pins — `n²`-dominated for the
+    /// full variant, `m² + O(n)` for the coreset variant. The quantity
+    /// the cache's byte budget meters.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            PreparedVariant::Full(p) => p.approx_bytes(),
+            PreparedVariant::Coreset(p) => p.approx_bytes(),
+        }
+    }
+
+    /// Serves one request against this prepared state with `threads`
+    /// solver workers (exact value + full-universe indices; `None` when
+    /// infeasible — for the coreset variant also when `k` exceeds the
+    /// representative budget).
+    pub fn serve(&self, threads: usize, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
+        match self {
+            PreparedVariant::Full(p) => {
+                Engine::from_prepared(p.clone(), threads).serve(request)
+            }
+            PreparedVariant::Coreset(p) => {
+                CoresetEngine::from_prepared(p.clone(), threads).serve(request)
+            }
+        }
+    }
+
+    /// Serves a whole batch against this prepared state.
+    pub fn serve_batch(
+        &self,
+        threads: usize,
+        requests: &[EngineRequest],
+    ) -> Vec<Option<(Ratio, Vec<usize>)>> {
+        match self {
+            PreparedVariant::Full(p) => {
+                Engine::from_prepared(p.clone(), threads).serve_batch(requests)
+            }
+            PreparedVariant::Coreset(p) => {
+                CoresetEngine::from_prepared(p.clone(), threads).serve_batch(requests)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PreparedVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreparedVariant::Full(p) => f.debug_tuple("PreparedVariant::Full").field(p).finish(),
+            PreparedVariant::Coreset(p) => {
+                f.debug_tuple("PreparedVariant::Coreset").field(p).finish()
+            }
+        }
+    }
+}
+
 /// One QRD universe as presented to the registry: the materialized
-/// result set `Q(D)`, the relevance and distance functions, and λ.
+/// result set `Q(D)`, the relevance and distance functions, λ, and the
+/// serving mode (full matrix, or coreset for large universes).
 ///
 /// Two specs with the same *content* — same tuples in the same order,
-/// same function configurations, same λ — address the same cache entry
-/// regardless of which `Arc`s they hold; see [`UniverseSpec::key`].
+/// same function configurations, same λ, same serving mode — address
+/// the same cache entry regardless of which `Arc`s they hold; see
+/// [`UniverseSpec::key`].
 #[derive(Clone)]
 pub struct UniverseSpec {
     universe: Vec<Tuple>,
     rel: Arc<dyn ServableRelevance>,
     dis: Arc<dyn ServableDistance>,
     lambda: Ratio,
+    coreset: Option<CoresetSpec>,
 }
 
 impl UniverseSpec {
@@ -69,7 +192,24 @@ impl UniverseSpec {
             rel,
             dis,
             lambda,
+            coreset: None,
         }
+    }
+
+    /// Switches this spec to coreset serving: preparation selects
+    /// `mode.budget` representatives in `O(n·m)` distance evaluations
+    /// and never allocates the `n × n` matrix — the only viable mode
+    /// for universes whose full matrix exceeds memory. The mode is part
+    /// of the content key, so full and coreset preparations of the same
+    /// universe are distinct cache entries with honest byte accounting.
+    pub fn with_coreset(mut self, mode: CoresetSpec) -> Self {
+        self.coreset = Some(mode);
+        self
+    }
+
+    /// The coreset serving mode, if set.
+    pub fn coreset(&self) -> Option<CoresetSpec> {
+        self.coreset
     }
 
     /// The materialized universe `Q(D)`.
@@ -108,13 +248,23 @@ impl UniverseSpec {
         self.dis.fingerprint(&mut enc);
         enc.write_tag("lambda");
         enc.write_ratio(self.lambda);
+        match self.coreset {
+            None => enc.write_tag("mode:full"),
+            Some(cs) => {
+                enc.write_tag("mode:coreset");
+                enc.write_usize(cs.budget);
+                enc.write_usize(cs.refine_rounds);
+            }
+        }
         enc.into_key()
     }
 
-    /// Pays the full preparation cost — relevance cache plus the
-    /// `O(n²)` distance matrix — and returns the shareable result. The
-    /// registry calls this exactly once per cached universe; everything
-    /// after is an `Arc` clone.
+    /// Pays the **full-matrix** preparation cost — relevance cache plus
+    /// the `O(n²)` distance matrix — and returns the shareable result,
+    /// regardless of the spec's serving mode. This is the exact/oracle
+    /// path (the conformance suites build their reference engines from
+    /// it); the registry itself prepares through
+    /// [`UniverseSpec::prepare_variant`], which honors the mode.
     pub fn prepare(&self, threads: usize) -> SharedPrepared {
         Arc::new(PreparedUniverse::build_shared(
             self.universe.clone(),
@@ -124,6 +274,30 @@ impl UniverseSpec {
             threads,
         ))
     }
+
+    /// Prepares this spec the way the registry caches it: full-matrix
+    /// state for plain specs, coreset state (no `n × n` allocation)
+    /// when [`UniverseSpec::with_coreset`] was set. Called exactly once
+    /// per cached universe; everything after is an `Arc` clone.
+    pub fn prepare_variant(&self, threads: usize) -> PreparedVariant {
+        match self.coreset {
+            None => PreparedVariant::Full(self.prepare(threads)),
+            Some(mode) => {
+                let config = CoresetConfig {
+                    budget: mode.budget,
+                    refine_rounds: mode.refine_rounds,
+                    threads,
+                };
+                PreparedVariant::Coreset(Arc::new(PreparedCoreset::build_shared(
+                    self.universe.clone(),
+                    &*self.rel,
+                    Arc::new(OracleAdapter(self.dis.clone())),
+                    self.lambda,
+                    &config,
+                )))
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for UniverseSpec {
@@ -131,6 +305,7 @@ impl std::fmt::Debug for UniverseSpec {
         f.debug_struct("UniverseSpec")
             .field("n", &self.universe.len())
             .field("lambda", &self.lambda)
+            .field("coreset", &self.coreset)
             .finish()
     }
 }

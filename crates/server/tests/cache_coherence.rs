@@ -123,6 +123,32 @@ proptest! {
         }
     }
 
+    /// Serving mode is part of the content key: the same universe in
+    /// full-matrix mode, and in coreset mode at different budgets or
+    /// refinement settings, all address distinct cache entries — while
+    /// the same coreset mode reproduces the same key.
+    #[test]
+    fn keys_separate_serving_modes(raw in content_strategy(), budget in 2usize..=8) {
+        use divr_server::CoresetSpec;
+        let full = spec_of(&raw, false).key();
+        let mode = CoresetSpec::with_budget(budget);
+        let core = spec_of(&raw, false).with_coreset(mode).key();
+        prop_assert!(full != core, "coreset mode collided with full mode");
+        prop_assert_eq!(
+            &core,
+            &spec_of(&raw, true).with_coreset(mode).key(),
+            "same mode, same content must share a key"
+        );
+        let bigger = spec_of(&raw, false)
+            .with_coreset(CoresetSpec::with_budget(budget + 1))
+            .key();
+        prop_assert!(core != bigger, "budgets collided");
+        let refined = spec_of(&raw, false)
+            .with_coreset(CoresetSpec { budget, refine_rounds: 1 })
+            .key();
+        prop_assert!(core != refined, "refinement settings collided");
+    }
+
     /// A universe with one more (or one fewer) tuple never shares a key
     /// with the original.
     #[test]
@@ -160,7 +186,7 @@ proptest! {
             .map(|kind| EngineRequest { kind, k })
             .collect();
         // First lifetime of A.
-        let first_prepared = registry.prepare(&spec_a);
+        let first_prepared = registry.prepare(&spec_a).as_full().unwrap().clone();
         let first_matrix: Vec<f64> = (0..first_prepared.n())
             .flat_map(|i| first_prepared.matrix().row(i).to_vec())
             .collect();
@@ -170,7 +196,7 @@ proptest! {
         prop_assert!(!registry.is_cached(&spec_a));
         prop_assert!(registry.stats().evictions >= 1);
         // Second lifetime of A: rebuilt, not resurrected.
-        let second_prepared = registry.prepare(&spec_a);
+        let second_prepared = registry.prepare(&spec_a).as_full().unwrap().clone();
         prop_assert!(!Arc::ptr_eq(&first_prepared, &second_prepared));
         let second_matrix: Vec<f64> = (0..second_prepared.n())
             .flat_map(|i| second_prepared.matrix().row(i).to_vec())
