@@ -100,7 +100,11 @@ pub fn greedy_max_sum(p: &DiversityProblem<'_>) -> Option<Vec<usize>> {
         let (_, i, j) = best?;
         chosen.push(i);
         chosen.push(j);
-        available.retain(|&x| x != i && x != j);
+        // `available` stays ascending (the scan order *is* the
+        // tie-break), so removal must preserve order: binary search +
+        // shift instead of the old full-predicate `retain` pass.
+        crate::avail::remove_sorted(&mut available, i);
+        crate::avail::remove_sorted(&mut available, j);
     }
     if chosen.len() < k {
         // k odd: add the item with the best marginal contribution.
@@ -267,7 +271,7 @@ pub fn local_search_swap(
         }
         match best_swap {
             Some((v, out, inn)) => {
-                current.retain(|&x| x != out);
+                crate::avail::remove_sorted(&mut current, out);
                 current.push(inn);
                 current.sort_unstable();
                 value = v;
@@ -342,7 +346,7 @@ mod tests {
         let p = problem(line_universe(9), &REL, &DIS, Ratio::new(1, 2), 4);
         let s = mmr(&p).unwrap();
         assert_eq!(s.len(), 4);
-        let mut d = s.clone();
+        let mut d = s;
         d.dedup();
         assert_eq!(d.len(), 4);
     }

@@ -1,0 +1,206 @@
+//! Availability-tracking primitives for the solver hot paths.
+//!
+//! Every greedy heuristic in this workspace maintains "which candidates
+//! are still available" while it assembles a `k`-set. The seed code did
+//! that with `Vec::retain` (`O(n)` **per removal**) and `Vec<bool>`
+//! membership flags reallocated per request. This module provides the
+//! two structures the engine, GMM, and the coreset Gonzalez phase share
+//! instead:
+//!
+//! * [`IndexSet`] — a swap-remove index set: `O(1)` removal, `O(1)`
+//!   membership, and a dense slice of the survivors for scans. The
+//!   iteration order is *not* sorted (swap-remove scrambles it), so
+//!   callers whose tie-break rules depend on scan order must iterate
+//!   item ids and filter by [`IndexSet::contains`] instead — that is
+//!   exactly what [`crate::engine`] does for its odd-`k` marginal scan.
+//! * [`GenMarks`] — a generation-stamped membership bitmap: `reset` is
+//!   `O(1)` (a generation bump; storage grows monotonically and is
+//!   reused across requests), so steady-state serving re-zeroes nothing
+//!   and allocates nothing.
+//!
+//! For the sequential `Ratio`-path reference algorithms in
+//! [`crate::approx`] and [`crate::dispersion`] — whose scan order over
+//! the ascending `available` vector is part of their observable
+//! tie-break semantics — [`remove_sorted`] replaces the old
+//! `retain(|&x| x != i && x != j)` full-predicate pass with a binary
+//! search plus a single shift, preserving ascending order (and thereby
+//! bit-identical answers) while skipping the predicate scan.
+
+/// A set over `0..n` with `O(1)` swap-removal and membership, plus a
+/// dense slice of the remaining items for linear scans.
+///
+/// `items` holds the survivors in arbitrary order; `pos[i]` is `i`'s
+/// position in `items`, or `usize::MAX` once removed.
+#[derive(Clone, Debug, Default)]
+pub struct IndexSet {
+    items: Vec<usize>,
+    pos: Vec<usize>,
+}
+
+impl IndexSet {
+    /// An empty set (no storage until the first [`IndexSet::reset`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Refills the set with `0..n`, reusing existing storage.
+    pub fn reset(&mut self, n: usize) {
+        self.items.clear();
+        self.items.extend(0..n);
+        self.pos.clear();
+        self.pos.extend(0..n);
+    }
+
+    /// Whether `i` is still in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.pos[i] != usize::MAX
+    }
+
+    /// Removes `i` in `O(1)` by swapping the last survivor into its
+    /// slot. No-op if `i` was already removed.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        let p = self.pos[i];
+        if p == usize::MAX {
+            return;
+        }
+        self.items.swap_remove(p);
+        if let Some(&moved) = self.items.get(p) {
+            self.pos[moved] = p;
+        }
+        self.pos[i] = usize::MAX;
+    }
+
+    /// Number of remaining items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The survivors as a dense slice, in **arbitrary** order.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.items
+    }
+}
+
+/// A generation-stamped membership bitmap: `mark`/`is_marked` are
+/// `O(1)`, and so is `reset` — it bumps the generation instead of
+/// zeroing storage, so a scratch-held instance serves any number of
+/// requests without reallocating or touching `O(n)` memory up front.
+#[derive(Clone, Debug, Default)]
+pub struct GenMarks {
+    stamp: Vec<u64>,
+    gen: u64,
+}
+
+impl GenMarks {
+    /// An empty bitmap (no storage until the first [`GenMarks::reset`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all marks (O(1)) and guarantees capacity for ids `< n`.
+    pub fn reset(&mut self, n: usize) {
+        self.gen += 1;
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Marks `i`.
+    #[inline]
+    pub fn mark(&mut self, i: usize) {
+        self.stamp[i] = self.gen;
+    }
+
+    /// Whether `i` is marked in the current generation.
+    #[inline]
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.stamp[i] == self.gen
+    }
+}
+
+/// Removes `x` from an **ascending** vector by binary search + shift:
+/// one `O(log n)` probe and one memmove instead of a full predicate
+/// scan. Order (and therefore any order-dependent tie-break built on
+/// the vector) is preserved. No-op if `x` is absent.
+pub fn remove_sorted(v: &mut Vec<usize>, x: usize) {
+    if let Ok(p) = v.binary_search(&x) {
+        v.remove(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_set_swap_removal_and_membership() {
+        let mut s = IndexSet::new();
+        s.reset(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(3));
+        s.remove(1);
+        s.remove(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(1));
+        assert!(!s.contains(3));
+        let mut left: Vec<usize> = s.as_slice().to_vec();
+        left.sort_unstable();
+        assert_eq!(left, vec![0, 2, 4]);
+        // Double-removal is a no-op.
+        s.remove(3);
+        assert_eq!(s.len(), 3);
+        // Reset reuses storage and restores everything.
+        s.reset(4);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(1));
+    }
+
+    #[test]
+    fn index_set_remove_all_then_reset() {
+        let mut s = IndexSet::new();
+        s.reset(3);
+        for i in 0..3 {
+            s.remove(i);
+        }
+        assert!(s.is_empty());
+        s.reset(2);
+        assert_eq!(s.as_slice().len(), 2);
+    }
+
+    #[test]
+    fn gen_marks_reset_is_generational() {
+        let mut m = GenMarks::new();
+        m.reset(4);
+        m.mark(2);
+        assert!(m.is_marked(2));
+        assert!(!m.is_marked(0));
+        m.reset(4);
+        assert!(!m.is_marked(2), "reset must clear marks without zeroing");
+        // Growing reset extends storage.
+        m.reset(8);
+        m.mark(7);
+        assert!(m.is_marked(7));
+    }
+
+    #[test]
+    fn remove_sorted_preserves_order() {
+        let mut v = vec![1, 4, 6, 9];
+        remove_sorted(&mut v, 6);
+        assert_eq!(v, vec![1, 4, 9]);
+        remove_sorted(&mut v, 5); // absent: no-op
+        assert_eq!(v, vec![1, 4, 9]);
+        remove_sorted(&mut v, 1);
+        remove_sorted(&mut v, 9);
+        assert_eq!(v, vec![4]);
+    }
+}

@@ -357,7 +357,7 @@ mod tests {
         // a and b without c: violated.
         assert!(!c.satisfied_by(&[a.clone(), b.clone()]));
         // with c: satisfied.
-        assert!(c.satisfied_by(&[a.clone(), b.clone(), cc]));
+        assert!(c.satisfied_by(&[a.clone(), b, cc]));
         // only a: premise never fires.
         assert!(c.satisfied_by(&[a]));
         // empty set: vacuous.
@@ -407,7 +407,7 @@ mod tests {
         let p2 = item("p2", "center");
         let p3 = item("p3", "center");
         let g = item("g", "guard");
-        assert!(c.satisfied_by(&[p1.clone(), p2.clone(), g.clone()]));
+        assert!(c.satisfied_by(&[p1.clone(), p2.clone(), g]));
         assert!(!c.satisfied_by(&[p1, p2, p3]));
     }
 
@@ -457,7 +457,7 @@ mod tests {
         let a = item("a", "gift");
         let b = item("b", "gift");
         let c = item("c", "card");
-        assert!(satisfies_all(&[a.clone(), c.clone()], &cs));
+        assert!(satisfies_all(&[a.clone(), c], &cs));
         assert!(!satisfies_all(&[a, b], &cs));
     }
 

@@ -74,10 +74,11 @@
 //! assert!(set.iter().all(|&i| i < 10_000)); // full-universe indices
 //! ```
 
+use crate::avail::GenMarks;
 use crate::distance::Distance;
 use crate::engine::{
     argmax_with_ties, default_threads, resolve_ties_exact, Engine, EngineRequest,
-    PreparedUniverse,
+    PreparedUniverse, SolveScratch,
 };
 use crate::problem::ObjectiveKind;
 use crate::ratio::Ratio;
@@ -237,10 +238,11 @@ impl Coreset {
         let rel_quota = m.div_ceil(2);
         let mut by_rel: Vec<usize> = (0..n).collect();
         by_rel.sort_by(|&a, &b| rel_exact[b].cmp(&rel_exact[a]).then(a.cmp(&b)));
-        let mut selected = vec![false; n];
+        let mut selected = GenMarks::new();
+        selected.reset(n);
         let mut reps: Vec<usize> = Vec::with_capacity(m);
         for &i in &by_rel[..rel_quota] {
-            selected[i] = true;
+            selected.mark(i);
             reps.push(i);
         }
 
@@ -263,7 +265,7 @@ impl Coreset {
         // Phase 2: farthest-point rounds.
         while reps.len() < m {
             let eval = |i: usize| {
-                if selected[i] {
+                if selected.is_marked(i) {
                     None
                 } else {
                     Some(nearest[i])
@@ -278,7 +280,7 @@ impl Coreset {
                     .expect("reps is non-empty")
             };
             let winner = resolve_ties_exact(&ties, exact_nearest);
-            selected[winner] = true;
+            selected.mark(winner);
             let pos = reps.len();
             reps.push(winner);
             let rep_tuple = &universe[winner];
@@ -590,27 +592,68 @@ impl CoresetEngine {
     /// coreset budget cannot produce a set that large — size the budget
     /// via [`CoresetConfig::recommended`]).
     pub fn serve(&self, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
+        self.serve_with(request, &mut SolveScratch::new())
+    }
+
+    /// [`CoresetEngine::serve`] against a reusable [`SolveScratch`]
+    /// (shared with the full engine's solvers, which run on the `m × m`
+    /// sub-universe here).
+    pub fn serve_with(
+        &self,
+        request: EngineRequest,
+        scratch: &mut SolveScratch,
+    ) -> Option<(Ratio, Vec<usize>)> {
+        let mut out = Vec::new();
+        let value = self.serve_into(request, scratch, &mut out)?;
+        Some((value, out))
+    }
+
+    /// The allocation-free serving form: the coreset-local solve runs
+    /// in the scratch, representatives are mapped back to full-universe
+    /// indices **in place** in `out`, and only then is the exact
+    /// full-universe value computed. Refinement rounds (if configured)
+    /// still allocate their own float caches — they are an explicitly
+    /// opted-in `O(n·k)`-per-round polish, not the steady-state path.
+    pub fn serve_into(
+        &self,
+        request: EngineRequest,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<usize>,
+    ) -> Option<Ratio> {
         let p = &*self.prepared;
         if request.k > p.m() {
             return None;
         }
         let sub_engine = Engine::from_prepared(p.sub.clone(), self.threads);
-        let (_, local) = sub_engine.serve(request)?;
-        let mut chosen: Vec<usize> = local.iter().map(|&l| p.coreset.indices[l]).collect();
+        if !sub_engine.solve_into(request.kind, request.k, scratch, out) {
+            return None;
+        }
+        for local in out.iter_mut() {
+            *local = p.coreset.indices[*local];
+        }
         if request.kind != ObjectiveKind::Mono {
             for _ in 0..p.config.refine_rounds {
-                if !self.refine_round(request.kind, &mut chosen) {
+                if !self.refine_round(request.kind, out) {
                     break;
                 }
             }
         }
-        let value = self.objective_exact_full(request.kind, &chosen);
-        Some((value, chosen))
+        Some(self.objective_exact_full(request.kind, out))
     }
 
-    /// Serves a whole batch against the shared coreset state.
+    /// Serves a whole batch against the shared coreset state, reusing
+    /// one scratch across all requests.
     pub fn serve_batch(&self, requests: &[EngineRequest]) -> Vec<Option<(Ratio, Vec<usize>)>> {
-        requests.iter().map(|&r| self.serve(r)).collect()
+        self.serve_batch_with(requests, &mut SolveScratch::new())
+    }
+
+    /// [`CoresetEngine::serve_batch`] against a caller-owned scratch.
+    pub fn serve_batch_with(
+        &self,
+        requests: &[EngineRequest],
+        scratch: &mut SolveScratch,
+    ) -> Vec<Option<(Ratio, Vec<usize>)>> {
+        requests.iter().map(|&r| self.serve_with(r, scratch)).collect()
     }
 
     /// One full-universe refinement round for `F_MS`/`F_MM`: scan every

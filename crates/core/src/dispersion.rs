@@ -278,7 +278,11 @@ impl Dispersion {
             let (_, i, j) = best?;
             chosen.push(i);
             chosen.push(j);
-            available.retain(|&x| x != i && x != j);
+            // Order-preserving O(log n + shift) removal: the ascending
+            // scan order is the tie-break, so swap-remove is off-limits
+            // here — see `crate::avail::remove_sorted`.
+            crate::avail::remove_sorted(&mut available, i);
+            crate::avail::remove_sorted(&mut available, j);
         }
         if chosen.len() < m {
             let best = available.iter().copied().max_by_key(|&t| {

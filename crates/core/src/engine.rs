@@ -27,6 +27,29 @@
 //!   [`QueryDiversification::prepare_engine`](crate::pipeline::QueryDiversification::prepare_engine)
 //!   to answer many `(objective, k)` requests against one matrix.
 //!
+//! ## Incremental-gain hot paths
+//!
+//! The Gollapudi–Sharma pair weight `w(i,j) = (1−λ)(r_i+r_j) + 2λ·d(i,j)`
+//! never changes between greedy rounds — only item *availability* does.
+//! [`Engine::greedy_max_sum`] exploits that with a **lazy pair-weight
+//! heap** (CELF-style): a memoized per-anchor "best remaining partner"
+//! preamble — computed once per [`PreparedUniverse`], fused into the
+//! thread-sharded matrix build so each row is scanned while cache-hot
+//! from being written — is heapified in `O(n)` per request; each round
+//! pops anchors, trusting a
+//! cached score whenever its partner is still available (weights are
+//! static, so the cache is then exact) and rescanning only that
+//! anchor's row otherwise. `F_MS` drops from `O(k·n²)` per request to
+//! `O(n²)` once per universe plus `O(k·n)` amortized per request — and
+//! warm registry hits skip the quadratic part entirely. Availability is
+//! tracked with the `O(1)` swap-remove/generation-mark primitives of
+//! [`crate::avail`] instead of `Vec::retain`, and every internal buffer
+//! lives in a reusable [`SolveScratch`], so steady-state serving
+//! allocates nothing per request ([`Engine::serve_into`]). The retired
+//! eager scan survives as [`Engine::greedy_max_sum_eager`]; the
+//! differential suite (`tests/lazy_matches_eager.rs`) pins the two
+//! paths **bit-identical**, not merely tie-equivalent.
+//!
 //! ## Exactness contract
 //!
 //! Float arithmetic alone would silently break the paper-reproduction
@@ -43,12 +66,15 @@
 //! exactly that.
 
 use crate::approx::ms_pair_weight_parts;
+use crate::avail::{GenMarks, IndexSet};
 use crate::distance::Distance;
 use crate::problem::ObjectiveKind;
 use crate::ratio::Ratio;
 use crate::relevance::Relevance;
 use divr_relquery::Tuple;
+use std::collections::BinaryHeap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Relative/absolute half-width of the float tie window: candidates
@@ -103,22 +129,27 @@ where
     let chunk = n.div_ceil(threads);
     std::thread::scope(|scope| {
         let map = &map;
-        let handles: Vec<_> = (0..threads)
-            .filter_map(|t| {
-                let lo = t * chunk;
-                if lo >= n {
-                    return None;
-                }
-                let hi = (lo + chunk).min(n);
-                Some(scope.spawn(move || map(lo..hi)))
-            })
-            .collect();
+        // Spawn every worker before joining any (a lazy iterator chain
+        // would interleave spawn with join and serialize the scan).
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            if lo >= n {
+                break;
+            }
+            let hi = (lo + chunk).min(n);
+            handles.push(scope.spawn(move || map(lo..hi)));
+        }
         handles
             .into_iter()
             .filter_map(|h| h.join().expect("engine worker panicked"))
             .reduce(reduce)
     })
 }
+
+/// One unit of the parallel matrix build: a row index, its `&mut` row
+/// slice, and (in fused-seed mode) the anchor's seed slot.
+type RowTask<'a> = (usize, &'a mut [f64], Option<&'a mut PairSeed>);
 
 /// A precomputed, row-major `n × n` pairwise distance matrix in `f64`.
 ///
@@ -138,19 +169,70 @@ impl DistanceMatrix {
     /// unordered pair once and mirroring. Row construction is spread
     /// over `threads` workers (pass 1 to force a sequential build).
     pub fn build(universe: &[Tuple], dis: &(dyn Distance + Sync), threads: usize) -> Self {
+        Self::build_with_seed(universe, dis, threads, None).0
+    }
+
+    /// [`DistanceMatrix::build`], optionally **fusing** the max-sum
+    /// best-partner seed scan into the row fill: right after a worker
+    /// finishes row `i`'s upper-triangle entries — while those 8·(n−i)
+    /// bytes are still cache-hot from being written — it scans the tail
+    /// for anchor `i`'s heaviest partner under [`ms_weight_f64`] with
+    /// `weights = (one_minus_lambda·rel, 2λ)`. A standalone seed pass
+    /// would re-stream the whole `O(n²)` triangle from memory (measured
+    /// at roughly the cost of one full eager greedy round); fused, it
+    /// rides the build's own sweep for a few percent of extra compute.
+    pub(crate) fn build_with_seed(
+        universe: &[Tuple],
+        dis: &(dyn Distance + Sync),
+        threads: usize,
+        seed_weights: Option<(&[f64], f64, f64)>, // (rel_f, one_minus, lam)
+    ) -> (Self, Option<Vec<PairSeed>>) {
         let n = universe.len();
         let mut data = vec![0.0f64; n * n];
+        let mut seed = seed_weights.map(|_| {
+            vec![
+                PairSeed {
+                    score: f64::NEG_INFINITY,
+                    partner: usize::MAX,
+                };
+                n
+            ]
+        });
         if n == 0 {
-            return DistanceMatrix { n, data };
+            return (DistanceMatrix { n, data }, seed);
         }
-        // Upper-triangle fill. Parallel variant: workers claim row
-        // ranges; row i writes only the i-th row slice, so rows can be
-        // handed out as disjoint &mut chunks.
-        if threads <= 1 || n * n < 4096 {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    data[i * n + j] = dis.dist_f64(&universe[i], &universe[j]);
+        // Fills row i's strict upper triangle, then (fused mode) scans
+        // the still-hot tail for the anchor's best partner.
+        let fill_row = |i: usize, row: &mut [f64], slot: Option<&mut PairSeed>| {
+            for (j, cell) in row.iter_mut().enumerate().skip(i + 1) {
+                *cell = dis.dist_f64(&universe[i], &universe[j]);
+            }
+            if let (Some(slot), Some((rel, one_minus, lam))) = (slot, seed_weights) {
+                let ri = rel[i];
+                let mut best = f64::NEG_INFINITY;
+                let mut partner = usize::MAX;
+                for (off, (rj, dij)) in rel[i + 1..].iter().zip(&row[i + 1..]).enumerate() {
+                    let w = ms_weight_f64(one_minus, lam, ri, *rj, *dij);
+                    if w > best {
+                        best = w;
+                        partner = i + 1 + off;
+                    }
                 }
+                *slot = PairSeed {
+                    score: best,
+                    partner,
+                };
+            }
+        };
+        // Hand each bucket `RowTask` triples; `None` slots when the
+        // seed is not requested.
+        let mut seed_slots: Vec<Option<&mut PairSeed>> = match &mut seed {
+            Some(s) => s.iter_mut().map(Some).collect(),
+            None => (0..n).map(|_| None).collect(),
+        };
+        if threads <= 1 || n * n < 4096 {
+            for ((i, row), slot) in data.chunks_mut(n).enumerate().zip(seed_slots.drain(..)) {
+                fill_row(i, row, slot);
             }
         } else {
             // Row i holds n−1−i entries of the strict upper triangle, so
@@ -158,18 +240,16 @@ impl DistanceMatrix {
             // thread would own almost half the work). Deal rows to the
             // workers round-robin instead: each worker's share of the
             // triangle is then within one row of even.
-            let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
-                (0..threads).map(|_| Vec::new()).collect();
-            for (i, row) in data.chunks_mut(n).enumerate() {
-                buckets[i % threads].push((i, row));
+            let mut buckets: Vec<Vec<RowTask<'_>>> = (0..threads).map(|_| Vec::new()).collect();
+            for ((i, row), slot) in data.chunks_mut(n).enumerate().zip(seed_slots.drain(..)) {
+                buckets[i % threads].push((i, row, slot));
             }
             std::thread::scope(|scope| {
+                let fill_row = &fill_row;
                 for bucket in buckets {
                     scope.spawn(move || {
-                        for (i, row) in bucket {
-                            for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
-                                *slot = dis.dist_f64(&universe[i], &universe[j]);
-                            }
+                        for (i, row, slot) in bucket {
+                            fill_row(i, row, slot);
                         }
                     });
                 }
@@ -181,7 +261,7 @@ impl DistanceMatrix {
                 data[j * n + i] = data[i * n + j];
             }
         }
-        DistanceMatrix { n, data }
+        (DistanceMatrix { n, data }, seed)
     }
 
     /// Number of universe items.
@@ -260,47 +340,73 @@ struct TieChunk {
     ties: Vec<TieCandidate>,
 }
 
-/// Collects the argmax (and near-ties) of `eval` over `0..n` in a
-/// **single pass** — `eval` can be expensive (an O(k²) trial objective
-/// in local search), so each candidate is evaluated exactly once.
-/// `eval(i) == None` marks `i` ineligible; `work_per_item` feeds the
-/// parallelism gate (see [`par_map_reduce`]). Returns candidates in
-/// ascending index order, all within the tie window of the maximum.
-pub(crate) fn argmax_with_ties(
+/// One sequential tie-collecting scan over `range`, appending into
+/// `ties` (which the caller has cleared). Returns the running maximum.
+///
+/// The threshold is monotone in `best`, so an entry admitted under an
+/// earlier (lower) threshold and still within the final window is
+/// never lost; entries that fall below are pruned lazily (when the
+/// buffer doubles) and once more at the end.
+fn scan_ties(
+    range: Range<usize>,
+    eval: &impl Fn(usize) -> Option<f64>,
+    ties: &mut Vec<TieCandidate>,
+) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    let mut prune_at = 64;
+    for i in range {
+        if let Some(v) = eval(i) {
+            if v > best {
+                best = v;
+            }
+            if v >= tie_threshold(best) {
+                ties.push(TieCandidate { index: i, score: v });
+                if ties.len() >= prune_at {
+                    let thr = tie_threshold(best);
+                    ties.retain(|t| t.score >= thr);
+                    prune_at = (ties.len() * 2).max(64);
+                }
+            }
+        }
+    }
+    let thr = tie_threshold(best);
+    ties.retain(|t| t.score >= thr);
+    best
+}
+
+/// Collects the argmax (and near-ties) of `eval` over `0..n` into the
+/// caller's buffer in a **single pass** — `eval` can be expensive (an
+/// O(k²) trial objective in local search), so each candidate is
+/// evaluated exactly once. `eval(i) == None` marks `i` ineligible;
+/// `work_per_item` feeds the parallelism gate (see [`par_map_reduce`]).
+/// Returns `false` when no candidate was eligible. On the sequential
+/// path (one thread, or too little work to fan out) this performs no
+/// heap allocation beyond the reused `out` buffer — the property the
+/// scratch-based serving paths rely on. Candidates end up in ascending
+/// index order, all within the tie window of the maximum.
+pub(crate) fn argmax_with_ties_into(
     n: usize,
     threads: usize,
     work_per_item: usize,
     eval: &(impl Fn(usize) -> Option<f64> + Sync),
-) -> Option<Vec<TieCandidate>> {
-    // The threshold is monotone in `best`, so an entry admitted under an
-    // earlier (lower) threshold and still within the final window is
-    // never lost; entries that fall below are pruned lazily (when the
-    // buffer doubles) and once more at the end.
+    out: &mut Vec<TieCandidate>,
+) -> bool {
+    out.clear();
+    if n == 0 {
+        return false;
+    }
+    if threads <= 1 || n.saturating_mul(work_per_item.max(1)) < PAR_MIN_WORK {
+        scan_ties(0..n, eval, out);
+        return !out.is_empty();
+    }
     let scan = |range: Range<usize>| {
-        let mut best = f64::NEG_INFINITY;
         let mut ties: Vec<TieCandidate> = Vec::new();
-        let mut prune_at = 64;
-        for i in range {
-            if let Some(v) = eval(i) {
-                if v > best {
-                    best = v;
-                }
-                if v >= tie_threshold(best) {
-                    ties.push(TieCandidate { index: i, score: v });
-                    if ties.len() >= prune_at {
-                        let thr = tie_threshold(best);
-                        ties.retain(|t| t.score >= thr);
-                        prune_at = (ties.len() * 2).max(64);
-                    }
-                }
-            }
-        }
+        let best = scan_ties(range, eval, &mut ties);
         if ties.is_empty() {
-            return None;
+            None
+        } else {
+            Some(TieChunk { best, ties })
         }
-        let thr = tie_threshold(best);
-        ties.retain(|t| t.score >= thr);
-        Some(TieChunk { best, ties })
     };
     let merged = par_map_reduce(n, threads, work_per_item, scan, |mut a, b| {
         let best = a.best.max(b.best);
@@ -308,8 +414,26 @@ pub(crate) fn argmax_with_ties(
         a.ties.retain(|t| t.score >= thr);
         a.ties.extend(b.ties.into_iter().filter(|t| t.score >= thr));
         TieChunk { best, ties: a.ties }
-    })?;
-    Some(merged.ties)
+    });
+    match merged {
+        Some(chunk) => {
+            out.extend(chunk.ties);
+            true
+        }
+        None => false,
+    }
+}
+
+/// [`argmax_with_ties_into`] with an owned result buffer (the
+/// convenience form the one-shot preamble builders use).
+pub(crate) fn argmax_with_ties(
+    n: usize,
+    threads: usize,
+    work_per_item: usize,
+    eval: &(impl Fn(usize) -> Option<f64> + Sync),
+) -> Option<Vec<TieCandidate>> {
+    let mut out = Vec::new();
+    argmax_with_ties_into(n, threads, work_per_item, eval, &mut out).then_some(out)
 }
 
 /// Resolves a tie set with an exact scorer: returns the index whose
@@ -331,6 +455,104 @@ pub(crate) fn resolve_ties_exact(ties: &[TieCandidate], exact: impl Fn(usize) ->
         }
     }
     best_idx
+}
+
+/// The float Gollapudi–Sharma pair weight
+/// `w(i,j) = (1−λ)(r_i + r_j) + 2λ·d(i,j)`.
+///
+/// Every float evaluation of the max-sum weight — the memoized seed
+/// build, the lazy heap's row rescans, the near-tie pair collection,
+/// and the eager reference scan — funnels through this one expression,
+/// so all of them produce **bit-identical** floats for the same pair.
+/// That identity is what makes the lazy heap's upper-bound invariant
+/// exact (a cached score is the max of the same expression over a
+/// superset of partners) and the lazy/eager answers bit-identical, not
+/// merely tie-equivalent.
+#[inline(always)]
+fn ms_weight_f64(one_minus: f64, lam: f64, ri: f64, rj: f64, dij: f64) -> f64 {
+    one_minus * (ri + rj) + lam * 2.0 * dij
+}
+
+/// One anchor's entry in the memoized max-sum preamble: its heaviest
+/// partner `j > anchor` over the **full** universe, under
+/// [`ms_weight_f64`]. `partner == usize::MAX` means the anchor has no
+/// partner (the last item).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PairSeed {
+    score: f64,
+    partner: usize,
+}
+
+/// A live lazy-heap entry: `score = w(anchor, partner)`, where
+/// `partner` was the anchor's best available partner when the entry was
+/// (re)computed. Availability only shrinks within a solve, so `score`
+/// is an exact upper bound on the anchor's current row best — and is
+/// *equal* to it whenever `partner` is still available (CELF-style
+/// freshness).
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    score: f64,
+    anchor: usize,
+    partner: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on score; lowest anchor pops first among exact float
+        // ties (deterministic, though any order would do — every
+        // near-tie pair is collected and resolved exactly anyway).
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.anchor.cmp(&self.anchor))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable per-worker solver scratch: every internal buffer the
+/// engine's hot paths need — availability index set, generation-stamped
+/// membership marks, lazy-heap storage, tie/pair buffers, the
+/// nearest-selected cache, and the mono sort buffers.
+///
+/// Thread one instance through [`Engine::serve_with`] /
+/// [`Engine::serve_into`] (or let [`Engine::serve_batch`] do it) and
+/// steady-state serving performs **zero heap allocation per request**
+/// beyond the returned answer set itself — and none at all through
+/// [`Engine::serve_into`] once the caller reuses the output vector.
+/// The buffers grow to the largest universe served and are then reused;
+/// a scratch is cheap to create (all buffers start empty) and is not
+/// tied to any particular engine or universe.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    avail: IndexSet,
+    marks: GenMarks,
+    heap: Vec<HeapEntry>,
+    fresh: Vec<HeapEntry>,
+    ties: Vec<TieCandidate>,
+    pairs: Vec<(usize, usize)>,
+    nearest: Vec<f64>,
+    scored: Vec<(f64, usize)>,
+    band: Vec<usize>,
+    band_exact: Vec<(Ratio, usize)>,
+}
+
+impl SolveScratch {
+    /// An empty scratch (buffers allocate lazily, on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// One request against a prepared engine: which objective, what `k`.
@@ -430,11 +652,19 @@ pub struct PreparedUniverse<'a> {
     matrix: DistanceMatrix,
     // Lazily memoized k-independent solver preambles: the first request
     // that needs one pays for it, every later request against this
-    // prepared universe (across engines and threads) reuses it. Both
+    // prepared universe (across engines and threads) reuses it. All
     // are pure functions of the universe content, so memoization cannot
     // change any answer.
     mono_scores: std::sync::OnceLock<Vec<f64>>,
     gmm_seed: std::sync::OnceLock<Option<(usize, usize)>>,
+    // Per-anchor best-partner seed for the max-sum lazy heap: anchor i's
+    // heaviest partner j > i over the full universe. O(n²) to build
+    // (thread-sharded), O(n) to heapify per request — so warm-registry
+    // F_MS requests skip the quadratic scan entirely.
+    ms_seed: std::sync::OnceLock<Vec<PairSeed>>,
+    // How many times `ms_seed` has been built (observable proof that
+    // the OnceLock makes the preamble at-most-once under concurrency).
+    preamble_builds: AtomicUsize,
 }
 
 /// A prepared universe with no borrowed state, shareable across threads
@@ -478,10 +708,28 @@ impl<'a> PreparedUniverse<'a> {
             "one relevance score per universe item"
         );
         let rel_f: Vec<f64> = rel_exact.iter().map(Ratio::to_f64).collect();
-        let matrix = match &dis {
-            DistOracle::Borrowed(d) => DistanceMatrix::build(&universe, *d, threads.max(1)),
-            DistOracle::Shared(d) => DistanceMatrix::build(&universe, &**d, threads.max(1)),
+        // The max-sum heap seed is fused into the matrix build: the
+        // same float weights the solvers use ([`ms_weight_f64`] with
+        // exactly the λ floats [`Engine::from_prepared`] derives), each
+        // row scanned while cache-hot from being written — a standalone
+        // seed pass would cost a second full sweep of the triangle.
+        let lam = lambda.to_f64();
+        let one_minus = (Ratio::ONE - lambda).to_f64();
+        let weights = Some((rel_f.as_slice(), one_minus, lam));
+        let (matrix, seed) = match &dis {
+            DistOracle::Borrowed(d) => {
+                DistanceMatrix::build_with_seed(&universe, *d, threads.max(1), weights)
+            }
+            DistOracle::Shared(d) => {
+                DistanceMatrix::build_with_seed(&universe, &**d, threads.max(1), weights)
+            }
         };
+        let ms_seed = std::sync::OnceLock::new();
+        let preamble_builds = AtomicUsize::new(0);
+        if let Some(seed) = seed {
+            let _ = ms_seed.set(seed);
+            preamble_builds.store(1, Ordering::Relaxed);
+        }
         PreparedUniverse {
             universe,
             dis,
@@ -491,6 +739,8 @@ impl<'a> PreparedUniverse<'a> {
             matrix,
             mono_scores: std::sync::OnceLock::new(),
             gmm_seed: std::sync::OnceLock::new(),
+            ms_seed,
+            preamble_builds,
         }
     }
 
@@ -576,17 +826,31 @@ impl<'a> PreparedUniverse<'a> {
     /// Approximate heap footprint in bytes — the quantity the serving
     /// registry's byte budget meters: the `n²` matrix, the relevance
     /// caches, tuple payloads (estimated at one word per attribute
-    /// value), **and** the retained distance oracle
-    /// ([`Distance::approx_bytes`]) — a table-backed oracle's pair map
-    /// can dwarf the float matrix, and it stays alive as long as this
-    /// prepared universe does.
+    /// value), the `O(n)` memoized solver preambles (the max-sum heap
+    /// seed, materialized during the matrix build, and the mono scores,
+    /// populated by the first `F_mono` request — both charged up front
+    /// because they stay resident for the cache entry's lifetime),
+    /// **and** the retained
+    /// distance oracle ([`Distance::approx_bytes`]) — a table-backed
+    /// oracle's pair map can dwarf the float matrix, and it stays alive
+    /// as long as this prepared universe does.
     pub fn approx_bytes(&self) -> usize {
         let n = self.universe.len();
         let tuples: usize = self.universe.iter().map(tuple_approx_bytes).sum();
         n * n * std::mem::size_of::<f64>()
             + n * (std::mem::size_of::<Ratio>() + std::mem::size_of::<f64>())
+            + n * (std::mem::size_of::<f64>() + std::mem::size_of::<PairSeed>())
             + tuples
             + self.dis.approx_bytes()
+    }
+
+    /// How many times the max-sum heap preamble has been computed for
+    /// this prepared universe: `1` from construction on (the seed scan
+    /// is fused into the matrix build, riding its cache-hot rows), and
+    /// never more — the `OnceLock` guarantees at-most-once even when
+    /// many threads race `F_MS` requests against shared state.
+    pub fn ms_preamble_builds(&self) -> usize {
+        self.preamble_builds.load(Ordering::Relaxed)
     }
 }
 
@@ -756,16 +1020,292 @@ impl<'a> Engine<'a> {
     }
 
     /// Argmax of relevance with lowest-index tie-break (the `k = 1` and
-    /// MMR-seed rule of [`crate::approx`]).
-    fn most_relevant(&self) -> Option<usize> {
-        let ties = argmax_with_ties(self.n(), self.threads, 1, &|i| Some(self.prepared.rel[i]))?;
-        Some(resolve_ties_exact(&ties, |i| self.prepared.rel_exact[i]))
+    /// MMR-seed rule of [`crate::approx`]), into a scratch tie buffer.
+    fn most_relevant_with(&self, ties: &mut Vec<TieCandidate>) -> Option<usize> {
+        if !argmax_with_ties_into(self.n(), self.threads, 1, &|i| Some(self.prepared.rel[i]), ties)
+        {
+            return None;
+        }
+        Some(resolve_ties_exact(ties, |i| self.prepared.rel_exact[i]))
+    }
+
+    /// The memoized max-sum preamble: every anchor's best full-universe
+    /// partner. Normally populated at construction (fused into the
+    /// matrix build, where every row is scanned cache-hot); the
+    /// `get_or_init` fallback rebuilds it from the finished matrix with
+    /// the identical [`ms_weight_f64`] expression, so any future
+    /// construction path that skips the fusion stays correct. Every
+    /// `F_MS` request heapifies the seed in `O(n)`.
+    fn ms_seed(&self) -> &[PairSeed] {
+        self.prepared.ms_seed.get_or_init(|| {
+            self.prepared.preamble_builds.fetch_add(1, Ordering::Relaxed);
+            let n = self.n();
+            let mut seed = vec![
+                PairSeed {
+                    score: f64::NEG_INFINITY,
+                    partner: usize::MAX,
+                };
+                n
+            ];
+            for (i, slot) in seed.iter_mut().enumerate() {
+                *slot = self.rescan_anchor_full(i);
+            }
+            seed
+        })
+    }
+
+    /// Anchor `i`'s best partner `j > i` over the *entire* universe
+    /// (the fallback seed computation; the fused build produces the
+    /// same values from hot rows).
+    fn rescan_anchor_full(&self, anchor: usize) -> PairSeed {
+        let ri = self.prepared.rel[anchor];
+        let row = self.prepared.matrix.row(anchor);
+        let mut best = f64::NEG_INFINITY;
+        let mut partner = usize::MAX;
+        for (off, (rj, dij)) in self.prepared.rel[anchor + 1..]
+            .iter()
+            .zip(&row[anchor + 1..])
+            .enumerate()
+        {
+            let w = ms_weight_f64(self.one_minus, self.lam, ri, *rj, *dij);
+            if w > best {
+                best = w;
+                partner = anchor + 1 + off;
+            }
+        }
+        PairSeed {
+            score: best,
+            partner,
+        }
     }
 
     /// Greedy pair-picking for `F_MS`, float path with exact tie
     /// fallback — same semantics as [`crate::approx::greedy_max_sum`].
     /// `None` when `k > n`.
+    ///
+    /// This is the lazy-heap path: each round pops anchors off a
+    /// max-heap of cached best-partner weights instead of rescanning
+    /// all `O(m²)` remaining pairs ([`Engine::greedy_max_sum_eager`] is
+    /// the retired scan, kept as the differential reference). Answers
+    /// are **bit-identical** to the eager scan — see
+    /// `tests/lazy_matches_eager.rs`.
     pub fn greedy_max_sum(&self, k: usize) -> Option<Vec<usize>> {
+        let mut scratch = SolveScratch::new();
+        let mut out = Vec::new();
+        self.greedy_max_sum_into(k, &mut scratch, &mut out)
+            .then_some(out)
+    }
+
+    /// [`Engine::greedy_max_sum`] into caller-owned scratch and output
+    /// buffers (the allocation-free serving form). Returns `false` when
+    /// `k > n`; `out` holds the sorted answer set on `true`.
+    pub fn greedy_max_sum_into(
+        &self,
+        k: usize,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<usize>,
+    ) -> bool {
+        out.clear();
+        let n = self.n();
+        if k > n {
+            return false;
+        }
+        if k == 0 {
+            return true;
+        }
+        if k == 1 {
+            match self.most_relevant_with(&mut scratch.ties) {
+                Some(i) => {
+                    out.push(i);
+                    return true;
+                }
+                None => return false,
+            }
+        }
+        // Heapify the memoized seed (O(n)) into the scratch-owned
+        // storage; `BinaryHeap::from` is linear and allocation-free on
+        // a warmed buffer.
+        let seed = self.ms_seed();
+        let mut storage = std::mem::take(&mut scratch.heap);
+        storage.clear();
+        storage.extend(seed.iter().enumerate().filter_map(|(i, s)| {
+            (s.partner != usize::MAX).then_some(HeapEntry {
+                score: s.score,
+                anchor: i,
+                partner: s.partner,
+            })
+        }));
+        let mut heap = BinaryHeap::from(storage);
+        scratch.avail.reset(n);
+        let ok = self.greedy_rounds(k, &mut heap, scratch, out);
+        scratch.heap = heap.into_vec();
+        ok
+    }
+
+    /// The pair-picking rounds of the lazy greedy, plus the odd-`k`
+    /// marginal finish. `heap` holds one entry per live anchor; `avail`
+    /// has been reset to the full universe.
+    fn greedy_rounds(
+        &self,
+        k: usize,
+        heap: &mut BinaryHeap<HeapEntry>,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<usize>,
+    ) -> bool {
+        let SolveScratch {
+            avail,
+            fresh,
+            pairs,
+            ties,
+            ..
+        } = scratch;
+        while out.len() + 1 < k {
+            // Pop phase (CELF-style): a popped entry whose cached
+            // partner is still available carries its anchor's *exact*
+            // current row best (weights are static; availability only
+            // shrinks, and the cached score was the max over a superset
+            // — achievable now ⇒ still the max). A stale entry triggers
+            // one rescan of that anchor's remaining row and goes back
+            // in. Stop once the heap top — an upper bound on every
+            // unexplored anchor — falls below the tie window of the
+            // best fresh score: nothing left can be the max or tie it.
+            fresh.clear();
+            let mut best = f64::NEG_INFINITY;
+            while let Some(&top) = heap.peek() {
+                if !fresh.is_empty() && top.score < tie_threshold(best) {
+                    break;
+                }
+                let top = heap.pop().expect("peeked entry exists");
+                if !avail.contains(top.anchor) {
+                    continue;
+                }
+                if avail.contains(top.partner) {
+                    if top.score > best {
+                        best = top.score;
+                    }
+                    fresh.push(top);
+                } else if let Some(entry) = self.rescan_anchor(top.anchor, avail) {
+                    heap.push(entry);
+                }
+                // An anchor with no remaining partner j > anchor is
+                // dropped for good: availability never grows back.
+            }
+            if fresh.is_empty() {
+                return false; // fewer than two available items
+            }
+            // Collect every concrete near-tie pair from the anchors
+            // whose (exact) row best lands in the window — the same
+            // candidate set the eager full scan produces.
+            let window = F64_TIE_EPS.max(best.abs() * F64_TIE_EPS);
+            pairs.clear();
+            for e in fresh.iter() {
+                if e.score >= best - window {
+                    let i = e.anchor;
+                    let ri = self.prepared.rel[i];
+                    let row = self.prepared.matrix.row(i);
+                    for &j in avail.as_slice() {
+                        if j > i
+                            && ms_weight_f64(self.one_minus, self.lam, ri, self.prepared.rel[j], row[j])
+                                >= best - window
+                        {
+                            pairs.push((i, j));
+                        }
+                    }
+                }
+            }
+            // Fresh entries stay valid upper bounds for later rounds.
+            for &e in fresh.iter() {
+                heap.push(e);
+            }
+            debug_assert!(!pairs.is_empty());
+            let (i, j) = if pairs.len() == 1 {
+                pairs[0]
+            } else {
+                // Exact re-score; lexicographically smallest pair wins
+                // ties, matching the sequential double loop.
+                pairs.sort_unstable();
+                let mut winner = pairs[0];
+                let mut winner_w = self.exact_ms_pair_weight(winner.0, winner.1);
+                for &(a, b) in &pairs[1..] {
+                    let w = self.exact_ms_pair_weight(a, b);
+                    if w > winner_w {
+                        winner = (a, b);
+                        winner_w = w;
+                    }
+                }
+                winner
+            };
+            out.push(i);
+            out.push(j);
+            avail.remove(i);
+            avail.remove(j);
+        }
+        if out.len() < k {
+            // k odd: best marginal F_MS gain, lowest index on ties.
+            // Scanning item ids 0..n (filtered by availability) keeps
+            // the lowest-*index* tie rule of the eager path, which the
+            // swap-scrambled `avail` slice order would not.
+            let k_i = k as i64;
+            let n = self.n();
+            let chosen: &[usize] = out;
+            let eval = |t: usize| {
+                if !avail.contains(t) {
+                    return None;
+                }
+                let row = self.prepared.matrix.row(t);
+                let d2: f64 = chosen.iter().map(|&s| row[s]).sum::<f64>() * 2.0;
+                Some(self.one_minus * (k_i - 1) as f64 * self.prepared.rel[t] + self.lam * d2)
+            };
+            if !argmax_with_ties_into(n, self.threads, k, &eval, ties) {
+                return false;
+            }
+            let one_minus = Ratio::ONE - self.prepared.lambda;
+            let winner = resolve_ties_exact(ties, |t| {
+                one_minus.scale(k_i - 1) * self.prepared.rel_exact[t]
+                    + self.prepared.lambda
+                        * chosen
+                            .iter()
+                            .map(|&s| self.dist_of(s, t))
+                            .sum::<Ratio>()
+                            .scale(2)
+            });
+            out.push(winner);
+        }
+        out.sort_unstable();
+        true
+    }
+
+    /// Recomputes `anchor`'s best remaining partner over the available
+    /// set (`O(m)`), for re-insertion into the lazy heap. `None` once no
+    /// partner `j > anchor` remains.
+    fn rescan_anchor(&self, anchor: usize, avail: &IndexSet) -> Option<HeapEntry> {
+        let ri = self.prepared.rel[anchor];
+        let row = self.prepared.matrix.row(anchor);
+        let mut best = f64::NEG_INFINITY;
+        let mut partner = usize::MAX;
+        for &j in avail.as_slice() {
+            if j > anchor {
+                let w = ms_weight_f64(self.one_minus, self.lam, ri, self.prepared.rel[j], row[j]);
+                if w > best || (w == best && j < partner) {
+                    best = w;
+                    partner = j;
+                }
+            }
+        }
+        (partner != usize::MAX).then_some(HeapEntry {
+            score: best,
+            anchor,
+            partner,
+        })
+    }
+
+    /// The retired pre-heap `F_MS` implementation: rescans all `O(m²)`
+    /// remaining pairs every round. Kept (unused by serving) as the
+    /// differential reference for `tests/lazy_matches_eager.rs` and the
+    /// hot-path bench baseline — [`Engine::greedy_max_sum`] must return
+    /// bit-identical sets.
+    #[doc(hidden)]
+    pub fn greedy_max_sum_eager(&self, k: usize) -> Option<Vec<usize>> {
         let n = self.n();
         if k > n {
             return None;
@@ -774,15 +1314,16 @@ impl<'a> Engine<'a> {
             return Some(Vec::new());
         }
         if k == 1 {
-            return Some(vec![self.most_relevant()?]);
+            return Some(vec![self.most_relevant_with(&mut Vec::new())?]);
         }
         let mut available: Vec<usize> = (0..n).collect();
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
         while chosen.len() + 1 < k {
-            let (i, j) = self.best_available_pair(&available)?;
+            let (i, j) = self.best_available_pair_eager(&available)?;
             chosen.push(i);
             chosen.push(j);
-            available.retain(|&x| x != i && x != j);
+            crate::avail::remove_sorted(&mut available, i);
+            crate::avail::remove_sorted(&mut available, j);
         }
         if chosen.len() < k {
             // k odd: best marginal F_MS gain, lowest index on ties.
@@ -813,8 +1354,8 @@ impl<'a> Engine<'a> {
 
     /// The heaviest remaining pair under the Gollapudi–Sharma pair
     /// weight, lexicographically first on ties (matching the sequential
-    /// scan order of `approx::greedy_max_sum`).
-    fn best_available_pair(&self, available: &[usize]) -> Option<(usize, usize)> {
+    /// scan order of `approx::greedy_max_sum`). Eager-reference only.
+    fn best_available_pair_eager(&self, available: &[usize]) -> Option<(usize, usize)> {
         let m = available.len();
         if m < 2 {
             return None;
@@ -826,7 +1367,7 @@ impl<'a> Engine<'a> {
             let row = self.prepared.matrix.row(i);
             let mut best: Option<f64> = None;
             for &j in &available[ai + 1..] {
-                let w = self.one_minus * (ri + self.prepared.rel[j]) + self.lam * 2.0 * row[j];
+                let w = ms_weight_f64(self.one_minus, self.lam, ri, self.prepared.rel[j], row[j]);
                 if best.is_none_or(|b| w > b) {
                     best = Some(w);
                 }
@@ -847,7 +1388,7 @@ impl<'a> Engine<'a> {
             let ri = self.prepared.rel[i];
             let row = self.prepared.matrix.row(i);
             for &j in &available[ai + 1..] {
-                let w = self.one_minus * (ri + self.prepared.rel[j]) + self.lam * 2.0 * row[j];
+                let w = ms_weight_f64(self.one_minus, self.lam, ri, self.prepared.rel[j], row[j]);
                 if w >= best - window {
                     pairs.push((i, j));
                 }
@@ -886,37 +1427,64 @@ impl<'a> Engine<'a> {
     /// parallelized and the nearest-selected distance maintained
     /// incrementally (`O(n)` per round instead of `O(n·|chosen|)`).
     pub fn gmm_max_min(&self, k: usize) -> Option<Vec<usize>> {
+        let mut scratch = SolveScratch::new();
+        let mut out = Vec::new();
+        self.gmm_max_min_into(k, &mut scratch, &mut out).then_some(out)
+    }
+
+    /// [`Engine::gmm_max_min`] into caller-owned scratch and output
+    /// buffers (the allocation-free serving form).
+    pub fn gmm_max_min_into(
+        &self,
+        k: usize,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<usize>,
+    ) -> bool {
+        out.clear();
         let n = self.n();
         if k > n {
-            return None;
+            return false;
         }
         if k == 0 {
-            return Some(Vec::new());
+            return true;
         }
         if k == 1 {
-            return Some(vec![self.most_relevant()?]);
+            match self.most_relevant_with(&mut scratch.ties) {
+                Some(i) => {
+                    out.push(i);
+                    return true;
+                }
+                None => return false,
+            }
         }
         // The seed pair is k-independent: memoized per prepared
         // universe, so warm-cache GMM requests skip the O(n²) seed scan.
-        let (i, j) = (*self
-            .prepared
-            .gmm_seed
-            .get_or_init(|| self.best_seed_pair()))?;
-        let mut selected = vec![false; n];
-        let mut chosen = vec![i, j];
-        selected[i] = true;
-        selected[j] = true;
+        let Some((i, j)) = *self.prepared.gmm_seed.get_or_init(|| self.best_seed_pair()) else {
+            return false;
+        };
+        let SolveScratch {
+            marks,
+            nearest,
+            ties,
+            ..
+        } = scratch;
+        marks.reset(n);
+        out.push(i);
+        out.push(j);
+        marks.mark(i);
+        marks.mark(j);
         let mut min_rel = self.prepared.rel[i].min(self.prepared.rel[j]);
         let mut min_rel_exact = self.prepared.rel_exact[i].min(self.prepared.rel_exact[j]);
         let mut min_dis = self.prepared.matrix.get(i, j);
         let mut min_dis_exact = self.dist_of(i, j);
         // nearest[t] = min distance from t to the chosen set.
-        let mut nearest: Vec<f64> = (0..n)
-            .map(|t| self.prepared.matrix.get(i, t).min(self.prepared.matrix.get(j, t)))
-            .collect();
-        while chosen.len() < k {
+        nearest.clear();
+        nearest.extend(
+            (0..n).map(|t| self.prepared.matrix.get(i, t).min(self.prepared.matrix.get(j, t))),
+        );
+        while out.len() < k {
             let eval = |t: usize| {
-                if selected[t] {
+                if marks.is_marked(t) {
                     return None;
                 }
                 Some(
@@ -924,17 +1492,20 @@ impl<'a> Engine<'a> {
                         + self.lam * min_dis.min(nearest[t]),
                 )
             };
-            let ties = argmax_with_ties(n, self.threads, 1, &eval)?;
-            let t = resolve_ties_exact(&ties, |t| {
+            if !argmax_with_ties_into(n, self.threads, 1, &eval, ties) {
+                return false;
+            }
+            let chosen: &[usize] = out;
+            let t = resolve_ties_exact(ties, |t| {
                 (Ratio::ONE - self.prepared.lambda) * min_rel_exact.min(self.prepared.rel_exact[t])
-                    + self.prepared.lambda * self.exact_nearest(&chosen, t).min(min_dis_exact)
+                    + self.prepared.lambda * self.exact_nearest(chosen, t).min(min_dis_exact)
             });
             min_rel = min_rel.min(self.prepared.rel[t]);
             min_rel_exact = min_rel_exact.min(self.prepared.rel_exact[t]);
             min_dis = min_dis.min(nearest[t]);
-            min_dis_exact = min_dis_exact.min(self.exact_nearest(&chosen, t));
-            selected[t] = true;
-            chosen.push(t);
+            min_dis_exact = min_dis_exact.min(self.exact_nearest(out, t));
+            marks.mark(t);
+            out.push(t);
             let row = self.prepared.matrix.row(t);
             for (slot, &d) in nearest.iter_mut().zip(row) {
                 if d < *slot {
@@ -942,8 +1513,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        chosen.sort_unstable();
-        Some(chosen)
+        out.sort_unstable();
+        true
     }
 
     /// Exact minimum distance from `t` to the chosen set.
@@ -1014,32 +1585,53 @@ impl<'a> Engine<'a> {
     /// [`crate::approx::mmr`], the nearest-selected distance maintained
     /// incrementally.
     pub fn mmr(&self, k: usize) -> Option<Vec<usize>> {
+        let mut scratch = SolveScratch::new();
+        let mut out = Vec::new();
+        self.mmr_into(k, &mut scratch, &mut out).then_some(out)
+    }
+
+    /// [`Engine::mmr`] into caller-owned scratch and output buffers
+    /// (the allocation-free serving form).
+    pub fn mmr_into(&self, k: usize, scratch: &mut SolveScratch, out: &mut Vec<usize>) -> bool {
+        out.clear();
         let n = self.n();
         if k > n {
-            return None;
+            return false;
         }
         if k == 0 {
-            return Some(Vec::new());
+            return true;
         }
-        let first = self.most_relevant()?;
-        let mut selected = vec![false; n];
-        selected[first] = true;
-        let mut chosen = vec![first];
-        let mut nearest: Vec<f64> = self.prepared.matrix.row(first).to_vec();
-        while chosen.len() < k {
+        let Some(first) = self.most_relevant_with(&mut scratch.ties) else {
+            return false;
+        };
+        let SolveScratch {
+            marks,
+            nearest,
+            ties,
+            ..
+        } = scratch;
+        marks.reset(n);
+        marks.mark(first);
+        out.push(first);
+        nearest.clear();
+        nearest.extend_from_slice(self.prepared.matrix.row(first));
+        while out.len() < k {
             let eval = |t: usize| {
-                if selected[t] {
+                if marks.is_marked(t) {
                     return None;
                 }
                 Some(self.one_minus * self.prepared.rel[t] + self.lam * nearest[t])
             };
-            let ties = argmax_with_ties(n, self.threads, 1, &eval)?;
-            let t = resolve_ties_exact(&ties, |t| {
+            if !argmax_with_ties_into(n, self.threads, 1, &eval, ties) {
+                return false;
+            }
+            let chosen: &[usize] = out;
+            let t = resolve_ties_exact(ties, |t| {
                 (Ratio::ONE - self.prepared.lambda) * self.prepared.rel_exact[t]
-                    + self.prepared.lambda * self.exact_nearest(&chosen, t)
+                    + self.prepared.lambda * self.exact_nearest(chosen, t)
             });
-            selected[t] = true;
-            chosen.push(t);
+            marks.mark(t);
+            out.push(t);
             let row = self.prepared.matrix.row(t);
             for (slot, &d) in nearest.iter_mut().zip(row) {
                 if d < *slot {
@@ -1047,8 +1639,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        chosen.sort_unstable();
-        Some(chosen)
+        out.sort_unstable();
+        true
     }
 
     /// `F_mono` top-`k` by per-item score (the Theorem 5.4 PTIME rule):
@@ -1056,44 +1648,65 @@ impl<'a> Engine<'a> {
     /// Matches [`mono::max_mono`](crate::solvers::mono::max_mono) up to
     /// equal-score ties. `None` when `k > n`.
     pub fn mono_top_k(&self, k: usize) -> Option<Vec<usize>> {
+        let mut scratch = SolveScratch::new();
+        let mut out = Vec::new();
+        self.mono_top_k_into(k, &mut scratch, &mut out).then_some(out)
+    }
+
+    /// [`Engine::mono_top_k`] into caller-owned scratch and output
+    /// buffers (the allocation-free serving form).
+    pub fn mono_top_k_into(
+        &self,
+        k: usize,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<usize>,
+    ) -> bool {
+        out.clear();
         let n = self.n();
         if k > n {
-            return None;
+            return false;
         }
         let scores = self.mono_scores_f64();
-        let mut scored: Vec<(f64, usize)> = (0..n).map(|i| (scores[i], i)).collect();
-        // Descending by score, ascending by index.
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let SolveScratch {
+            scored,
+            band,
+            band_exact,
+            ..
+        } = scratch;
+        scored.clear();
+        scored.extend((0..n).map(|i| (scores[i], i)));
+        // Descending by score, ascending by index. The index tiebreak
+        // makes the order total and strict, so the unstable sort (which
+        // allocates nothing, unlike the stable one) is deterministic.
+        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
         if k == 0 || k == n {
-            let mut all: Vec<usize> = scored[..k].iter().map(|&(_, i)| i).collect();
-            all.sort_unstable();
-            return Some(all);
+            out.extend(scored[..k].iter().map(|&(_, i)| i));
+            out.sort_unstable();
+            return true;
         }
         // Items comfortably above the cut are in; the float-ambiguous
         // band around the k-th score is re-ranked exactly.
         let cut = scored[k - 1].0;
         let window = F64_TIE_EPS.max(cut.abs() * F64_TIE_EPS);
-        let mut sure: Vec<usize> = Vec::with_capacity(k);
-        let mut band: Vec<usize> = Vec::new();
-        for &(s, i) in &scored {
+        band.clear();
+        for &(s, i) in scored.iter() {
             if s > cut + window {
-                sure.push(i);
+                out.push(i);
             } else if s >= cut - window {
                 band.push(i);
             }
         }
-        let need = k - sure.len();
+        let need = k - out.len();
         if need < band.len() {
-            let mut band_exact: Vec<(Ratio, usize)> = band
-                .into_iter()
-                .map(|i| (self.mono_score_exact(i), i))
-                .collect();
-            band_exact.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-            band = band_exact.into_iter().map(|(_, i)| i).collect();
+            band_exact.clear();
+            band_exact.extend(band.iter().map(|&i| (self.mono_score_exact(i), i)));
+            band_exact.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            band.clear();
+            band.extend(band_exact.iter().map(|&(_, i)| i));
         }
-        sure.extend(band.into_iter().take(need));
-        sure.sort_unstable();
-        Some(sure)
+        out.extend(band.iter().take(need));
+        out.sort_unstable();
+        true
     }
 
     /// Float objective of a candidate set (used by local search rounds).
@@ -1210,18 +1823,72 @@ impl<'a> Engine<'a> {
     /// (`F_MS` → greedy, `F_MM` → GMM, `F_mono` → exact top-k) and
     /// returns the **exact** objective value with the chosen indices.
     pub fn serve(&self, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
-        let set = match request.kind {
-            ObjectiveKind::MaxSum => self.greedy_max_sum(request.k)?,
-            ObjectiveKind::MaxMin => self.gmm_max_min(request.k)?,
-            ObjectiveKind::Mono => self.mono_top_k(request.k)?,
-        };
-        let value = self.objective_exact(request.kind, &set);
-        Some((value, set))
+        self.serve_with(request, &mut SolveScratch::new())
     }
 
-    /// Serves a whole batch against the shared matrix.
+    /// [`Engine::serve`] against a reusable [`SolveScratch`]: after the
+    /// scratch's buffers have warmed up, the only allocation left per
+    /// request is the returned answer vector.
+    pub fn serve_with(
+        &self,
+        request: EngineRequest,
+        scratch: &mut SolveScratch,
+    ) -> Option<(Ratio, Vec<usize>)> {
+        let mut out = Vec::new();
+        let value = self.serve_into(request, scratch, &mut out)?;
+        Some((value, out))
+    }
+
+    /// The fully allocation-free serving form: solves into the caller's
+    /// output buffer and returns the exact objective value. In steady
+    /// state (warm scratch, reused `out`, memoized preambles, and a
+    /// thread budget that keeps the argmax scans inline) a request
+    /// performs **zero** heap allocations — the property
+    /// `BENCH_hotpath.json` pins with a counting allocator.
+    pub fn serve_into(
+        &self,
+        request: EngineRequest,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<usize>,
+    ) -> Option<Ratio> {
+        self.solve_into(request.kind, request.k, scratch, out)
+            .then(|| self.objective_exact(request.kind, out))
+    }
+
+    /// Routes an objective to its solver, writing the answer set into
+    /// `out` — the single dispatch site shared by [`Engine::serve_into`]
+    /// and the coreset engine (which solves on its `m × m` sub-universe
+    /// and re-scores under full-universe semantics itself). Returns
+    /// `false` when `k > n`.
+    pub(crate) fn solve_into(
+        &self,
+        kind: ObjectiveKind,
+        k: usize,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<usize>,
+    ) -> bool {
+        match kind {
+            ObjectiveKind::MaxSum => self.greedy_max_sum_into(k, scratch, out),
+            ObjectiveKind::MaxMin => self.gmm_max_min_into(k, scratch, out),
+            ObjectiveKind::Mono => self.mono_top_k_into(k, scratch, out),
+        }
+    }
+
+    /// Serves a whole batch against the shared matrix, reusing one
+    /// scratch across all requests.
     pub fn serve_batch(&self, requests: &[EngineRequest]) -> Vec<Option<(Ratio, Vec<usize>)>> {
-        requests.iter().map(|&r| self.serve(r)).collect()
+        self.serve_batch_with(requests, &mut SolveScratch::new())
+    }
+
+    /// [`Engine::serve_batch`] against a caller-owned scratch: in
+    /// steady state the only allocations left are the returned answer
+    /// vectors themselves.
+    pub fn serve_batch_with(
+        &self,
+        requests: &[EngineRequest],
+        scratch: &mut SolveScratch,
+    ) -> Vec<Option<(Ratio, Vec<usize>)>> {
+        requests.iter().map(|&r| self.serve_with(r, scratch)).collect()
     }
 }
 

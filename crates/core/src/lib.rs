@@ -55,6 +55,7 @@
 //! ```
 
 pub mod approx;
+pub mod avail;
 pub mod axioms;
 pub mod combin;
 pub mod constraints;
@@ -79,7 +80,10 @@ pub use dispersion::{Dispersion, DispersionVariant};
 pub use distance::{
     ClosureDistance, ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
 };
-pub use engine::{DistOracle, DistanceMatrix, Engine, EngineRequest, PreparedUniverse, SharedPrepared};
+pub use engine::{
+    DistOracle, DistanceMatrix, Engine, EngineRequest, PreparedUniverse, SharedPrepared,
+    SolveScratch,
+};
 pub use pipeline::{
     PipelineError, PipelineResult, QueryDiversification, ServedAnswer, ServingEngine,
     SharedDistance, SharedRelevance,
@@ -98,7 +102,7 @@ pub mod prelude {
     pub use crate::distance::{
         ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
     };
-    pub use crate::engine::{Engine, EngineRequest, PreparedUniverse, SharedPrepared};
+    pub use crate::engine::{Engine, EngineRequest, PreparedUniverse, SharedPrepared, SolveScratch};
     pub use crate::pipeline::QueryDiversification;
     pub use crate::problem::{DiversityProblem, ObjectiveKind};
     pub use crate::ratio::Ratio;

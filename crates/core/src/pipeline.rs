@@ -11,7 +11,9 @@
 use crate::constraints::Constraint;
 use crate::coreset::{CoresetConfig, CoresetEngine, PreparedCoreset, CORESET_AUTO_THRESHOLD};
 use crate::distance::Distance;
-use crate::engine::{default_threads, Engine, EngineRequest, PreparedUniverse, SharedPrepared};
+use crate::engine::{
+    default_threads, Engine, EngineRequest, PreparedUniverse, SharedPrepared, SolveScratch,
+};
 use crate::problem::{DiversityProblem, ObjectiveKind};
 use crate::ratio::Ratio;
 use crate::relevance::Relevance;
@@ -94,15 +96,31 @@ impl ServingEngine {
 
     /// Serves one request (exact value + full-universe indices).
     pub fn serve(&self, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
+        self.serve_with(request, &mut SolveScratch::new())
+    }
+
+    /// [`ServingEngine::serve`] against a reusable [`SolveScratch`] —
+    /// the same scratch works for both variants (the coreset engine
+    /// runs the identical solvers on its `m × m` sub-universe).
+    pub fn serve_with(
+        &self,
+        request: EngineRequest,
+        scratch: &mut SolveScratch,
+    ) -> Option<(Ratio, Vec<usize>)> {
         match self {
-            ServingEngine::Full(e) => e.serve(request),
-            ServingEngine::Coreset(e) => e.serve(request),
+            ServingEngine::Full(e) => e.serve_with(request, scratch),
+            ServingEngine::Coreset(e) => e.serve_with(request, scratch),
         }
     }
 
-    /// Serves a whole batch against the shared prepared state.
+    /// Serves a whole batch against the shared prepared state, reusing
+    /// one scratch across all requests.
     pub fn serve_batch(&self, requests: &[EngineRequest]) -> Vec<Option<(Ratio, Vec<usize>)>> {
-        requests.iter().map(|&r| self.serve(r)).collect()
+        let mut scratch = SolveScratch::new();
+        requests
+            .iter()
+            .map(|&r| self.serve_with(r, &mut scratch))
+            .collect()
     }
 
     /// Materializes a candidate set's tuples.

@@ -44,6 +44,11 @@ pub struct StreamingDiversifier<'a> {
     /// Full symmetric distance cache among selected tuples:
     /// `sel_dist[i][j] = δ_dis(selected[i], selected[j])`.
     sel_dist: Vec<Vec<Ratio>>,
+    /// Reusable candidate-distance buffer: once the selected set is
+    /// full, every [`StreamingDiversifier::offer`] reuses this storage
+    /// for the incoming tuple's `O(k)` distances instead of allocating
+    /// a fresh vector per stream element.
+    cand_dist: Vec<Ratio>,
     offered: usize,
     swaps: usize,
 }
@@ -78,6 +83,7 @@ impl<'a> StreamingDiversifier<'a> {
             selected: Vec::with_capacity(k),
             sel_rel: Vec::with_capacity(k),
             sel_dist: Vec::with_capacity(k),
+            cand_dist: Vec::with_capacity(k),
             offered: 0,
             swaps: 0,
         }
@@ -153,10 +159,16 @@ impl<'a> StreamingDiversifier<'a> {
             return false;
         }
         // The only oracle calls of this offer: δ_rel(t) and δ_dis(t, s)
-        // for each currently selected s.
+        // for each currently selected s. The distance buffer is taken
+        // from (and returned to) the diversifier's scratch storage, so
+        // steady-state offers allocate nothing.
         let rel_t = self.rel.rel(&t);
-        let dist_t: Vec<Ratio> = self.selected.iter().map(|s| self.dis.dist(s, &t)).collect();
+        let mut dist_t = std::mem::take(&mut self.cand_dist);
+        dist_t.clear();
+        dist_t.extend(self.selected.iter().map(|s| self.dis.dist(s, &t)));
         if self.selected.len() < self.k {
+            // The buffer becomes the new cache row (fill phase only —
+            // at most k stolen buffers over the whole stream).
             self.push_selected(t, rel_t, dist_t);
             return true;
         }
@@ -169,7 +181,7 @@ impl<'a> StreamingDiversifier<'a> {
                 best = Some((v, out));
             }
         }
-        match best {
+        let changed = match best {
             Some((_, out)) => {
                 self.selected[out] = t;
                 self.sel_rel[out] = rel_t;
@@ -182,7 +194,9 @@ impl<'a> StreamingDiversifier<'a> {
                 true
             }
             None => false,
-        }
+        };
+        self.cand_dist = dist_t;
+        changed
     }
 
     /// Offers every tuple from an iterator.
@@ -296,7 +310,7 @@ mod tests {
             StreamingDiversifier::new(ObjectiveKind::MaxMin, &REL, &DIS, Ratio::ONE, 2);
         let t = Tuple::ints([1, 1]);
         assert!(s.offer(t.clone()));
-        assert!(!s.offer(t.clone()));
+        assert!(!s.offer(t));
         assert_eq!(s.current().len(), 1);
     }
 

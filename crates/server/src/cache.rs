@@ -13,7 +13,16 @@
 //! duplicate work instead of serializing all misses behind one lock).
 //!
 //! Eviction is LRU by a global monotone clock stamp, metered in bytes
-//! ([`PreparedUniverse::approx_bytes`](divr_core::engine::PreparedUniverse::approx_bytes)):
+//! ([`PreparedUniverse::approx_bytes`](divr_core::engine::PreparedUniverse::approx_bytes)).
+//! That figure **reserves** the `O(n)` memoized solver preambles up
+//! front: the max-sum lazy-heap seed is materialized during the matrix
+//! build itself, and the mono scores are populated lazily by the first
+//! `F_mono` request — an entry's metered size is computed once at
+//! insert, so charging all preambles eagerly keeps the budget honest
+//! after the entry warms up — serving
+//! against a cached universe never grows its true footprint past what
+//! the shard already accounted for (pinned by
+//! `preamble_bytes_are_reserved_at_insert` below). Mechanically:
 //! after an insert pushes a shard over its budget slice, least-recently
 //! used entries are dropped until it fits. The newest entry is never
 //! evicted by its own insert — a universe larger than the budget is
@@ -280,6 +289,28 @@ mod tests {
         let s2 = spec(13, Ratio::ONE);
         cache.get_or_prepare(&s2.key(), &s2, 1);
         assert!(!cache.contains(&k));
+    }
+
+    #[test]
+    fn preamble_bytes_are_reserved_at_insert() {
+        use divr_core::engine::EngineRequest;
+        use divr_core::problem::ObjectiveKind;
+        let cache = PreparedCache::new(usize::MAX, 1);
+        let s = spec(32, Ratio::new(1, 2));
+        let v = cache.get_or_prepare(&s.key(), &s, 1);
+        let before = cache.stats().bytes;
+        // Solving populates the lazily memoized preambles (max-sum heap
+        // seed, mono scores, GMM seed pair)…
+        for kind in ObjectiveKind::ALL {
+            assert!(v.serve(1, EngineRequest { kind, k: 4 }).is_some());
+        }
+        assert_eq!(v.as_full().unwrap().ms_preamble_builds(), 1);
+        // …but the metered bytes were reserved at insert: warming an
+        // entry must not outgrow what the shard charged for it.
+        assert_eq!(cache.stats().bytes, before);
+        // The reservation covers the matrix plus the O(n) preambles.
+        let n = 32usize;
+        assert!(before >= n * n * 8 + n * (8 + 16));
     }
 
     #[test]

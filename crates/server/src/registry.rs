@@ -2,7 +2,7 @@
 
 use crate::cache::{CacheStats, PreparedCache};
 use crate::spec::{PreparedVariant, UniverseSpec};
-use divr_core::engine::{default_threads, EngineRequest};
+use divr_core::engine::{default_threads, EngineRequest, SolveScratch};
 use divr_core::Ratio;
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -264,12 +264,12 @@ impl Registry {
         for (u, queue) in (0..flat.len()).zip((0..workers).cycle()) {
             queues[queue].lock().expect("queue poisoned").push_back(u);
         }
-        let solve_unit = |u: usize| -> (usize, usize, Answer) {
+        let solve_unit = |u: usize, scratch: &mut SolveScratch| -> (usize, usize, Answer) {
             let (t, r) = flat[u];
             let prep = prepared[slot_of_tenant[t]]
                 .get()
                 .expect("prepare phase covered every distinct universe");
-            let answer = prep.serve(solve_threads, batch[t].requests[r]);
+            let answer = prep.serve_with(solve_threads, batch[t].requests[r], scratch);
             (t, r, answer)
         };
         let solved: Vec<Vec<(usize, usize, Answer)>> = std::thread::scope(|scope| {
@@ -278,11 +278,16 @@ impl Registry {
                 .map(|w| {
                     scope.spawn(move || {
                         let mut out = Vec::new();
+                        // One scratch per worker: every solve unit this
+                        // worker drains (or steals) reuses the same
+                        // buffers, so the steady-state solve phase does
+                        // no per-request heap allocation.
+                        let mut scratch = SolveScratch::new();
                         loop {
                             // Own queue first (front)…
                             let mine = queues[w].lock().expect("queue poisoned").pop_front();
                             if let Some(u) = mine {
-                                out.push(solve_unit(u));
+                                out.push(solve_unit(u, &mut scratch));
                                 continue;
                             }
                             // …then steal from the longest victim (back).
@@ -295,7 +300,7 @@ impl Registry {
                                 queues[v].lock().expect("queue poisoned").pop_back()
                             });
                             match stolen {
-                                Some(u) => out.push(solve_unit(u)),
+                                Some(u) => out.push(solve_unit(u, &mut scratch)),
                                 None => break,
                             }
                         }

@@ -4,7 +4,7 @@
 use crate::fingerprint::{FingerprintEncoder, Fingerprintable, UniverseKey};
 use divr_core::coreset::{CoresetConfig, CoresetEngine, PreparedCoreset, SharedCoreset};
 use divr_core::distance::Distance;
-use divr_core::engine::{Engine, EngineRequest, PreparedUniverse};
+use divr_core::engine::{Engine, EngineRequest, PreparedUniverse, SolveScratch};
 use divr_core::relevance::Relevance;
 use divr_core::{Ratio, SharedPrepared};
 use divr_relquery::Tuple;
@@ -119,17 +119,33 @@ impl PreparedVariant {
     /// infeasible — for the coreset variant also when `k` exceeds the
     /// representative budget).
     pub fn serve(&self, threads: usize, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
+        self.serve_with(threads, request, &mut SolveScratch::new())
+    }
+
+    /// [`PreparedVariant::serve`] against a caller-owned
+    /// [`SolveScratch`] — the form the registry's workers use, one
+    /// scratch per worker thread, so steady-state mixed-batch serving
+    /// allocates nothing per request beyond the answer sets. A single
+    /// scratch serves full and coreset variants (and any mix of
+    /// universes) interchangeably.
+    pub fn serve_with(
+        &self,
+        threads: usize,
+        request: EngineRequest,
+        scratch: &mut SolveScratch,
+    ) -> Option<(Ratio, Vec<usize>)> {
         match self {
             PreparedVariant::Full(p) => {
-                Engine::from_prepared(p.clone(), threads).serve(request)
+                Engine::from_prepared(p.clone(), threads).serve_with(request, scratch)
             }
             PreparedVariant::Coreset(p) => {
-                CoresetEngine::from_prepared(p.clone(), threads).serve(request)
+                CoresetEngine::from_prepared(p.clone(), threads).serve_with(request, scratch)
             }
         }
     }
 
-    /// Serves a whole batch against this prepared state.
+    /// Serves a whole batch against this prepared state (one scratch
+    /// reused across the batch).
     pub fn serve_batch(
         &self,
         threads: usize,
