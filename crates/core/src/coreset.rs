@@ -78,7 +78,7 @@ use crate::avail::GenMarks;
 use crate::distance::Distance;
 use crate::engine::{
     argmax_with_ties, default_threads, resolve_ties_exact, Engine, EngineRequest,
-    PreparedUniverse, SolveScratch,
+    PreparedUniverse, ServeError, SolveScratch,
 };
 use crate::problem::ObjectiveKind;
 use crate::ratio::Ratio;
@@ -159,6 +159,11 @@ pub struct Coreset {
     /// For each universe item, the position in [`Coreset::indices`] of
     /// its nearest representative (by the builder's float passes).
     assignment: Vec<usize>,
+    /// For each universe item, the float distance to its assigned
+    /// representative — retained (not just its max) because the
+    /// streaming maintenance path ([`PreparedCoreset::insert_tuple`])
+    /// needs per-item coverage to decide absorb-vs-displace in `O(n)`.
+    nearest: Vec<f64>,
     /// `max_i δ_dis(i, rep(i))` in float — the k-center covering radius
     /// of the selection, a direct quality diagnostic (0 when `m = n`).
     covering_radius: f64,
@@ -230,6 +235,7 @@ impl Coreset {
             return Coreset {
                 indices: (0..n).collect(),
                 assignment: (0..n).collect(),
+                nearest: vec![0.0; n],
                 covering_radius: 0.0,
             };
         }
@@ -310,6 +316,7 @@ impl Coreset {
         Coreset {
             indices,
             assignment,
+            nearest,
             covering_radius,
         }
     }
@@ -449,11 +456,164 @@ impl PreparedCoreset {
         self.dis.dist(&self.universe[i], &self.universe[j])
     }
 
+    /// Appends `tuple` (with its already-evaluated exact relevance) and
+    /// maintains the coreset **incrementally**, reusing the Gonzalez
+    /// k-center structure — a new point either fits the current coverage
+    /// or earns a representative slot:
+    ///
+    /// * **budget open** (`m < budget`): the new item becomes a
+    ///   representative outright — the `m × m` sub-universe grows by one
+    ///   row via [`PreparedUniverse::insert_tuple`] (`O(m)` oracle
+    ///   calls), and one `O(n)` coverage pass re-homes any item now
+    ///   closer to it.
+    /// * **inside coverage** (`min_p δ(x, rep_p) ≤ covering_radius`):
+    ///   the item is absorbed — assigned to its nearest representative,
+    ///   `O(m)` oracle calls, sub-universe untouched.
+    /// * **outside coverage**: the item *displaces* the representative
+    ///   nearest to it (swap-remove on the sub-universe, then an `O(n)`
+    ///   re-homing pass) — the classical "far point becomes a center"
+    ///   rule, keeping the representative set spread out.
+    ///
+    /// Unlike the full-matrix engine's deltas this is **not**
+    /// bit-identical to a fresh [`Coreset::select`] over the grown
+    /// universe (selection order is history-dependent, and the
+    /// ascending-indices invariant is relaxed once a displacement
+    /// occurs); the contract is the measured quality-factor bound that
+    /// `tests/coreset_matches_engine.rs` pins for insertion streams.
+    pub fn insert_tuple(&mut self, tuple: Tuple, rel: Ratio) {
+        let x = self.universe.len();
+        let m = self.coreset.m();
+        if m < self.config.budget.max(1) || m == 0 {
+            // Budget open: x becomes representative m.
+            self.sub_mut().insert_tuple(tuple.clone(), rel);
+            self.coreset.indices.push(x);
+            self.coreset.assignment.push(m);
+            self.coreset.nearest.push(0.0);
+            for i in 0..x {
+                let d = self.dis.dist_f64(&self.universe[i], &tuple);
+                if d < self.coreset.nearest[i] {
+                    self.coreset.nearest[i] = d;
+                    self.coreset.assignment[i] = m;
+                }
+            }
+        } else {
+            // Distances from the new item to every representative.
+            let (p_near, d_min) = self
+                .coreset
+                .indices
+                .iter()
+                .map(|&r| self.dis.dist_f64(&self.universe[r], &tuple))
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("m ≥ 1 representatives");
+            if d_min <= self.coreset.covering_radius {
+                // Inside coverage: absorb under the nearest rep.
+                self.coreset.assignment.push(p_near);
+                self.coreset.nearest.push(d_min);
+            } else {
+                // Outside coverage: x displaces its nearest rep. The
+                // sub-universe swap-removes position p_near (the last
+                // rep moves there) and appends x at position m − 1.
+                let sub = self.sub_mut();
+                sub.remove_tuple(p_near).expect("p_near < m");
+                sub.insert_tuple(tuple.clone(), rel);
+                self.coreset.indices.swap_remove(p_near);
+                self.coreset.indices.push(x);
+                let last = m - 1;
+                for i in 0..x {
+                    // Mirror the position swap, re-home the orphans of
+                    // the displaced rep to x, and let anyone closer to
+                    // x move over.
+                    let d = self.dis.dist_f64(&self.universe[i], &tuple);
+                    let asg = self.coreset.assignment[i];
+                    if asg == last && p_near != last {
+                        self.coreset.assignment[i] = p_near;
+                    } else if asg == p_near {
+                        self.coreset.assignment[i] = last;
+                        self.coreset.nearest[i] = d;
+                    }
+                    if d < self.coreset.nearest[i] {
+                        self.coreset.nearest[i] = d;
+                        self.coreset.assignment[i] = last;
+                    }
+                }
+                self.coreset.assignment.push(last);
+                self.coreset.nearest.push(0.0);
+            }
+        }
+        self.coreset.covering_radius = self
+            .coreset
+            .nearest
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b));
+        self.universe.push(tuple);
+        self.rel_exact.push(rel);
+        self.rel_f.push(rel.to_f64());
+    }
+
+    /// Swap-removes the tuple at `index` (matching
+    /// [`PreparedUniverse::remove_tuple`]'s index semantics) and
+    /// **re-selects** the coreset from scratch over the shrunk
+    /// universe: a removal can delete a representative or strand a
+    /// covered cluster, and there is no `o(n·m)` repair that preserves
+    /// the selection's quality diagnostics — re-selection costs the
+    /// same `O(n·m)` as the original prepare while the `O(n)` relevance
+    /// caches carry over. Returns the removed tuple.
+    pub fn remove_tuple(&mut self, index: usize) -> Result<Tuple, crate::engine::DeltaError> {
+        let n = self.universe.len();
+        if index >= n {
+            return Err(crate::engine::DeltaError::IndexOutOfRange { index, n });
+        }
+        let removed = self.universe.swap_remove(index);
+        self.rel_exact.swap_remove(index);
+        self.rel_f.swap_remove(index);
+        let threads = self.config.threads.max(1);
+        self.coreset = Coreset::select(
+            &self.universe,
+            &self.rel_exact,
+            &*self.dis,
+            self.config.budget,
+            threads,
+        );
+        let sub_universe: Vec<Tuple> = self
+            .coreset
+            .indices()
+            .iter()
+            .map(|&i| self.universe[i].clone())
+            .collect();
+        let sub_rels: Vec<Ratio> = self
+            .coreset
+            .indices()
+            .iter()
+            .map(|&i| self.rel_exact[i])
+            .collect();
+        self.sub = Arc::new(PreparedUniverse::build_shared_with_scores(
+            sub_universe,
+            sub_rels,
+            self.dis.clone(),
+            self.lambda,
+            threads,
+        ));
+        Ok(removed)
+    }
+
+    /// Mutable access to the sub-universe, copy-on-write: if the `Arc`
+    /// is shared (an engine or cache still holds the pre-delta state),
+    /// the prepared sub-universe is forked — preambles included — so
+    /// existing readers keep serving the old version untouched.
+    fn sub_mut(&mut self) -> &mut PreparedUniverse<'static> {
+        if Arc::get_mut(&mut self.sub).is_none() {
+            self.sub = Arc::new(self.sub.fork());
+        }
+        Arc::get_mut(&mut self.sub).expect("sole owner after fork")
+    }
+
     /// Approximate heap footprint in bytes — what a byte-budgeted cache
     /// charges for this entry: the `m²` sub-matrix and its coreset
     /// tuples (via the sub-universe's own accounting, which also counts
     /// the retained oracle once), plus the full universe's tuples,
-    /// `O(n)` relevance caches, and the coverage assignment.
+    /// `O(n)` relevance caches, and the coverage assignment with its
+    /// per-item distances.
     pub fn approx_bytes(&self) -> usize {
         let n = self.universe.len();
         let tuples: usize = self
@@ -464,7 +624,7 @@ impl PreparedCoreset {
         self.sub.approx_bytes()
             + tuples
             + n * (std::mem::size_of::<Ratio>()
-                + std::mem::size_of::<f64>()
+                + 2 * std::mem::size_of::<f64>()
                 + std::mem::size_of::<usize>())
             + self.coreset.indices.len() * std::mem::size_of::<usize>()
     }
@@ -593,6 +753,23 @@ impl CoresetEngine {
     /// via [`CoresetConfig::recommended`]).
     pub fn serve(&self, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
         self.serve_with(request, &mut SolveScratch::new())
+    }
+
+    /// [`CoresetEngine::serve`] with a typed error instead of `None`,
+    /// distinguishing the two failure modes the `Option` form folds
+    /// together: `k` beyond the universe (infeasible anywhere) vs. `k`
+    /// beyond the coreset budget (servable after re-preparing with a
+    /// larger budget).
+    pub fn try_serve(&self, request: EngineRequest) -> Result<(Ratio, Vec<usize>), ServeError> {
+        let (n, m) = (self.n(), self.m());
+        if request.k > n {
+            return Err(ServeError::InfeasibleK { k: request.k, n });
+        }
+        if request.k > m {
+            return Err(ServeError::ExceedsCoresetBudget { k: request.k, m, n });
+        }
+        self.serve(request)
+            .ok_or(ServeError::InfeasibleK { k: request.k, n })
     }
 
     /// [`CoresetEngine::serve`] against a reusable [`SolveScratch`]
@@ -968,6 +1145,105 @@ mod tests {
             assert!(rv >= pv, "{kind}: refinement regressed {rv} < {pv}");
             assert_eq!(rv, refined.objective_exact_full(kind, &rset));
         }
+    }
+
+    #[test]
+    fn streamed_inserts_keep_coverage_invariants() {
+        let mut u = line_universe(40);
+        let mut pc = PreparedCoreset::build_shared(
+            u.clone(),
+            &REL,
+            dis(),
+            Ratio::new(1, 2),
+            &CoresetConfig::with_budget(10).with_threads(1),
+        );
+        for i in 0..25i64 {
+            let t = Tuple::ints([200 + 17 * i, i % 5]);
+            pc.insert_tuple(t.clone(), REL.rel(&t));
+            u.push(t);
+            // Structural invariants after every insert.
+            assert_eq!(pc.n(), u.len());
+            assert_eq!(pc.m(), 10);
+            let c = pc.coreset();
+            assert_eq!(c.assignment.len(), pc.n());
+            let mut reps = c.indices().to_vec();
+            reps.sort_unstable();
+            reps.dedup();
+            assert_eq!(reps.len(), 10, "duplicate representative");
+            assert!(reps.iter().all(|&r| r < pc.n()));
+            for i in 0..pc.n() {
+                assert!(c.rep_of(i) < 10);
+                assert!(c.nearest[i] <= c.covering_radius() + 1e-12);
+            }
+            // Every representative represents itself at distance 0.
+            for (pos, &r) in c.indices().iter().enumerate() {
+                assert_eq!(c.rep_of(r), pos, "rep {r} not self-assigned");
+                assert_eq!(c.nearest[r], 0.0);
+            }
+        }
+        // The streamed engine still serves well-formed answers.
+        let e = CoresetEngine::from_prepared(Arc::new(pc), 1);
+        for kind in ObjectiveKind::ALL {
+            let (v, set) = e.serve(EngineRequest { kind, k: 5 }).unwrap();
+            assert_eq!(set.len(), 5);
+            assert_eq!(v, e.objective_exact_full(kind, &set), "{kind}");
+            assert!(set.iter().all(|&i| i < u.len()));
+        }
+    }
+
+    #[test]
+    fn remove_tuple_reselects_like_scratch() {
+        let mut u = line_universe(50);
+        let mut pc = PreparedCoreset::build_shared(
+            u.clone(),
+            &REL,
+            dis(),
+            Ratio::new(1, 3),
+            &CoresetConfig::with_budget(12).with_threads(1),
+        );
+        for r in [7usize, 0, 20] {
+            pc.remove_tuple(r).unwrap();
+            u.swap_remove(r);
+        }
+        assert!(matches!(
+            pc.remove_tuple(47),
+            Err(crate::engine::DeltaError::IndexOutOfRange { index: 47, n: 47 })
+        ));
+        // Re-selection makes removal answer exactly like a fresh prepare.
+        let fresh = PreparedCoreset::build_shared(
+            u,
+            &REL,
+            dis(),
+            Ratio::new(1, 3),
+            &CoresetConfig::with_budget(12).with_threads(1),
+        );
+        assert_eq!(pc.coreset().indices(), fresh.coreset().indices());
+        let a = CoresetEngine::from_prepared(Arc::new(pc), 1);
+        let b = CoresetEngine::from_prepared(Arc::new(fresh), 1);
+        for kind in ObjectiveKind::ALL {
+            let req = EngineRequest { kind, k: 4 };
+            assert_eq!(a.serve(req), b.serve(req), "{kind}");
+        }
+    }
+
+    #[test]
+    fn try_serve_distinguishes_budget_from_universe() {
+        let cs = CoresetEngine::new(
+            line_universe(30),
+            &REL,
+            dis(),
+            Ratio::ONE,
+            &CoresetConfig::with_budget(8),
+        );
+        assert_eq!(
+            cs.try_serve(EngineRequest { kind: ObjectiveKind::MaxSum, k: 9 }),
+            Err(ServeError::ExceedsCoresetBudget { k: 9, m: 8, n: 30 })
+        );
+        assert_eq!(
+            cs.try_serve(EngineRequest { kind: ObjectiveKind::MaxMin, k: 31 }),
+            Err(ServeError::InfeasibleK { k: 31, n: 30 })
+        );
+        assert!(cs.try_serve(EngineRequest { kind: ObjectiveKind::MaxSum, k: 8 }).is_ok());
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub trait Distance {
         self.dist(a, b).to_f64()
     }
 
+    /// One float matrix column: `out[i] = dist_f64(items[i], target)`,
+    /// appended to `out`. This is the oracle traffic of a single-tuple
+    /// delta ([`crate::engine::PreparedUniverse::insert_tuple`] extends
+    /// the matrix by exactly one column), split out so table-backed
+    /// oracles can batch their lookups in one pass. Must produce the
+    /// same bits as calling [`Distance::dist_f64`] per item.
+    fn dist_col_f64(&self, items: &[Tuple], target: &Tuple, out: &mut Vec<f64>) {
+        out.reserve(items.len());
+        out.extend(items.iter().map(|t| self.dist_f64(t, target)));
+    }
+
     /// Approximate heap bytes retained by this function's configuration
     /// — what a cache keeping the oracle alive should charge against
     /// its byte budget. The default (`0`) fits the O(1)-state functions;
@@ -259,6 +270,10 @@ impl Distance for Box<dyn Distance + '_> {
         (**self).dist_f64(a, b)
     }
 
+    fn dist_col_f64(&self, items: &[Tuple], target: &Tuple, out: &mut Vec<f64>) {
+        (**self).dist_col_f64(items, target, out)
+    }
+
     fn approx_bytes(&self) -> usize {
         (**self).approx_bytes()
     }
@@ -271,6 +286,10 @@ impl Distance for Box<dyn Distance + Send + Sync + '_> {
 
     fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
         (**self).dist_f64(a, b)
+    }
+
+    fn dist_col_f64(&self, items: &[Tuple], target: &Tuple, out: &mut Vec<f64>) {
+        (**self).dist_col_f64(items, target, out)
     }
 
     fn approx_bytes(&self) -> usize {
@@ -345,6 +364,28 @@ mod tests {
         let s2 = Tuple::new(vec![divr_relquery::Value::str("b")]);
         assert_eq!(d.dist(&s1, &s2), Ratio::ONE);
         assert_eq!(d.dist(&s1, &s1), Ratio::ZERO);
+    }
+
+    #[test]
+    fn dist_col_matches_per_pair_calls_bit_for_bit() {
+        let items: Vec<Tuple> = (0..6).map(|i| Tuple::ints([i * 4, i])).collect();
+        let target = Tuple::ints([7, 3]);
+        let oracles: Vec<Box<dyn Distance>> = vec![
+            Box::new(NumericDistance { attr: 0, fallback: Ratio::ONE }),
+            Box::new(HammingDistance::default()),
+            Box::new(
+                TableDistance::with_default(Ratio::new(1, 3))
+                    .with(items[2].clone(), target.clone(), Ratio::new(5, 7)),
+            ),
+        ];
+        for d in &oracles {
+            let mut col = Vec::new();
+            d.dist_col_f64(&items, &target, &mut col);
+            assert_eq!(col.len(), items.len());
+            for (t, &c) in items.iter().zip(&col) {
+                assert_eq!(c.to_bits(), d.dist_f64(t, &target).to_bits());
+            }
+        }
     }
 
     #[test]

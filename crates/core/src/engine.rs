@@ -75,7 +75,7 @@ use divr_relquery::Tuple;
 use std::collections::BinaryHeap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Relative/absolute half-width of the float tie window: candidates
 /// whose `f64` score is within `max(F64_TIE_EPS, |best|·F64_TIE_EPS)`
@@ -158,10 +158,26 @@ type RowTask<'a> = (usize, &'a mut [f64], Option<&'a mut PairSeed>);
 /// trait object (and re-reducing `Ratio` fractions) `O(n·k)` times per
 /// query. The matrix stores the *approximate* values; exactness is
 /// restored by the engine's tie fallback (see the module docs).
+///
+/// Rows are laid out at a fixed `stride ≥ n`, with a few rows of
+/// headroom past `n`: appending one item (`DistanceMatrix::push_item`)
+/// then writes one column and one row in place — `O(n)`, no
+/// reallocation — until the headroom is exhausted, at which point the
+/// matrix re-strides once (amortized `O(n)` per insert). The headroom
+/// is real allocated memory and is counted by
+/// [`DistanceMatrix::approx_bytes`].
 #[derive(Clone, Debug)]
 pub struct DistanceMatrix {
     n: usize,
+    stride: usize,
     data: Vec<f64>,
+}
+
+/// Headroom rows allocated past `n`: enough that a growing universe
+/// re-strides every `≈ n/16` inserts (amortized `O(n)` per insert),
+/// small enough that the byte overhead stays near 13%.
+fn matrix_pad(n: usize) -> usize {
+    (n / 16).max(4)
 }
 
 impl DistanceMatrix {
@@ -188,7 +204,8 @@ impl DistanceMatrix {
         seed_weights: Option<(&[f64], f64, f64)>, // (rel_f, one_minus, lam)
     ) -> (Self, Option<Vec<PairSeed>>) {
         let n = universe.len();
-        let mut data = vec![0.0f64; n * n];
+        let stride = n + matrix_pad(n);
+        let mut data = vec![0.0f64; stride * stride];
         let mut seed = seed_weights.map(|_| {
             vec![
                 PairSeed {
@@ -199,19 +216,21 @@ impl DistanceMatrix {
             ]
         });
         if n == 0 {
-            return (DistanceMatrix { n, data }, seed);
+            return (DistanceMatrix { n, stride, data }, seed);
         }
         // Fills row i's strict upper triangle, then (fused mode) scans
-        // the still-hot tail for the anchor's best partner.
+        // the still-hot tail for the anchor's best partner. Rows arrive
+        // stride-wide; everything past column `n` is headroom and stays
+        // zero.
         let fill_row = |i: usize, row: &mut [f64], slot: Option<&mut PairSeed>| {
-            for (j, cell) in row.iter_mut().enumerate().skip(i + 1) {
+            for (j, cell) in row[..n].iter_mut().enumerate().skip(i + 1) {
                 *cell = dis.dist_f64(&universe[i], &universe[j]);
             }
             if let (Some(slot), Some((rel, one_minus, lam))) = (slot, seed_weights) {
                 let ri = rel[i];
                 let mut best = f64::NEG_INFINITY;
                 let mut partner = usize::MAX;
-                for (off, (rj, dij)) in rel[i + 1..].iter().zip(&row[i + 1..]).enumerate() {
+                for (off, (rj, dij)) in rel[i + 1..].iter().zip(&row[i + 1..n]).enumerate() {
                     let w = ms_weight_f64(one_minus, lam, ri, *rj, *dij);
                     if w > best {
                         best = w;
@@ -231,7 +250,12 @@ impl DistanceMatrix {
             None => (0..n).map(|_| None).collect(),
         };
         if threads <= 1 || n * n < 4096 {
-            for ((i, row), slot) in data.chunks_mut(n).enumerate().zip(seed_slots.drain(..)) {
+            for ((i, row), slot) in data
+                .chunks_mut(stride)
+                .take(n)
+                .enumerate()
+                .zip(seed_slots.drain(..))
+            {
                 fill_row(i, row, slot);
             }
         } else {
@@ -241,7 +265,12 @@ impl DistanceMatrix {
             // workers round-robin instead: each worker's share of the
             // triangle is then within one row of even.
             let mut buckets: Vec<Vec<RowTask<'_>>> = (0..threads).map(|_| Vec::new()).collect();
-            for ((i, row), slot) in data.chunks_mut(n).enumerate().zip(seed_slots.drain(..)) {
+            for ((i, row), slot) in data
+                .chunks_mut(stride)
+                .take(n)
+                .enumerate()
+                .zip(seed_slots.drain(..))
+            {
                 buckets[i % threads].push((i, row, slot));
             }
             std::thread::scope(|scope| {
@@ -258,10 +287,10 @@ impl DistanceMatrix {
         // Mirror the strict upper triangle onto the lower one.
         for i in 0..n {
             for j in (i + 1)..n {
-                data[j * n + i] = data[i * n + j];
+                data[j * stride + i] = data[i * stride + j];
             }
         }
-        (DistanceMatrix { n, data }, seed)
+        (DistanceMatrix { n, stride, data }, seed)
     }
 
     /// Number of universe items.
@@ -272,13 +301,81 @@ impl DistanceMatrix {
     /// The approximate distance `δ_dis(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.data[i * self.n + j]
+        self.data[i * self.stride + j]
     }
 
-    /// The contiguous `i`-th row.
+    /// The contiguous `i`-th row (length `n`; the stride headroom past
+    /// it is not exposed).
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.n..(i + 1) * self.n]
+        &self.data[i * self.stride..i * self.stride + self.n]
+    }
+
+    /// Allocated footprint in bytes, headroom included — the honest
+    /// quantity for cache byte budgets.
+    pub fn approx_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Appends one item in `O(n)`: writes the new column
+    /// (`col[i] = δ_dis(i, new)`) into every existing row and the new
+    /// row `n` (diagonal zero included), in place. Re-strides first —
+    /// one `O(n²)` copy, amortized over the `≈ n/16` inserts the
+    /// headroom admits — only when the headroom is exhausted.
+    pub(crate) fn push_item(&mut self, col: &[f64]) {
+        debug_assert_eq!(col.len(), self.n);
+        let n = self.n;
+        if n + 1 > self.stride {
+            self.restride(n + 1);
+        }
+        let s = self.stride;
+        for (i, &d) in col.iter().enumerate() {
+            self.data[i * s + n] = d;
+        }
+        let base = n * s;
+        self.data[base..base + n].copy_from_slice(col);
+        self.data[base + n] = 0.0;
+        self.n = n + 1;
+    }
+
+    /// Swap-removes item `r` in `O(n)`: the last item's row and column
+    /// move into slot `r` (mirroring `Vec::swap_remove` on the
+    /// universe), everything else stays in place. The stride never
+    /// shrinks, so removals only ever *grow* the headroom.
+    pub(crate) fn swap_remove_item(&mut self, r: usize) {
+        let n = self.n;
+        debug_assert!(r < n);
+        let last = n - 1;
+        let s = self.stride;
+        if r != last {
+            // Column r takes the last column (never reads row `last`,
+            // which the row fix below still needs intact)…
+            for i in 0..last {
+                if i != r {
+                    self.data[i * s + r] = self.data[i * s + last];
+                }
+            }
+            // …then row r takes the last row, with the diagonal zeroed
+            // at the relabelled position.
+            for j in 0..last {
+                self.data[r * s + j] = if j == r { 0.0 } else { self.data[last * s + j] };
+            }
+        }
+        self.n = last;
+    }
+
+    /// Reallocates at a larger stride (preserving all `n × n` content)
+    /// with fresh headroom past `need` rows.
+    fn restride(&mut self, need: usize) {
+        let stride = need + matrix_pad(need);
+        let mut data = vec![0.0f64; stride * stride];
+        for i in 0..self.n {
+            let src = i * self.stride;
+            let dst = i * stride;
+            data[dst..dst + self.n].copy_from_slice(&self.data[src..src + self.n]);
+        }
+        self.data = data;
+        self.stride = stride;
     }
 
     /// Exact-verification fallback: recomputes every pair through the
@@ -564,6 +661,103 @@ pub struct EngineRequest {
     pub k: usize,
 }
 
+/// Typed serving failure: why a request has no answer. The
+/// `Option`-returning solvers map every variant to `None`
+/// (infeasibility is not an application error for them); callers that
+/// need to distinguish — a registry returning an HTTP status, a test
+/// asserting the non-panic contract — use the `try_serve` forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// `k` exceeds the universe size: no candidate set of size `k`
+    /// exists (|Q(D)| < k). Also the variant removals produce once they
+    /// shrink the universe below a standing `k`.
+    InfeasibleK {
+        /// Requested result size.
+        k: usize,
+        /// Current universe size.
+        n: usize,
+    },
+    /// `k` fits the universe but exceeds the coreset budget `m`: the
+    /// sub-universe cannot seat `k` representatives. Re-prepare with
+    /// `budget ≥ k` (see `CoresetConfig::recommended`).
+    ExceedsCoresetBudget {
+        /// Requested result size.
+        k: usize,
+        /// Coreset size (`min(budget, n)`).
+        m: usize,
+        /// Full universe size.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InfeasibleK { k, n } => {
+                write!(f, "infeasible request: k = {k} exceeds universe size n = {n}")
+            }
+            ServeError::ExceedsCoresetBudget { k, m, n } => write!(
+                f,
+                "k = {k} exceeds the coreset budget (m = {m} representatives of n = {n})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Typed delta failure: why a mutation could not be applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A removal addressed an index outside the current universe.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Current universe size.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::IndexOutOfRange { index, n } => {
+                write!(f, "delta removal index {index} out of range (universe size {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// One universe mutation, as logged by the registry's version chains.
+///
+/// `Remove` uses **swap-remove** semantics throughout the stack (the
+/// last item moves into the vacated slot), which is what makes the
+/// matrix patch `O(n)`; a delta-derived universe is therefore always
+/// byte-identical to the flat universe obtained by replaying the same
+/// ops on a plain `Vec<Tuple>` with `push` / `swap_remove`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Append a tuple at index `n`.
+    Insert(Tuple),
+    /// Swap-remove the tuple at this index.
+    Remove(usize),
+}
+
+impl DeltaOp {
+    /// Heap estimate for delta-log byte metering (same tuple formula as
+    /// every other metering path, so logged inserts and cached tuples
+    /// are charged comparably).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<DeltaOp>()
+            + match self {
+                DeltaOp::Insert(t) => tuple_approx_bytes(t),
+                DeltaOp::Remove(_) => 0,
+            }
+    }
+}
+
 /// A prepared diversification instance that serves many requests.
 ///
 /// Construction pays the `O(n²)` distance precomputation once; every
@@ -610,6 +804,18 @@ pub enum DistOracle<'a> {
     Shared(Arc<dyn Distance + Send + Sync>),
 }
 
+impl<'a> DistOracle<'a> {
+    /// A second handle to the same oracle: copies the borrow, or bumps
+    /// the `Arc` — never clones the oracle itself. Used by
+    /// [`PreparedUniverse::fork`].
+    fn clone_ref(&self) -> DistOracle<'a> {
+        match self {
+            DistOracle::Borrowed(d) => DistOracle::Borrowed(*d),
+            DistOracle::Shared(d) => DistOracle::Shared(Arc::clone(d)),
+        }
+    }
+}
+
 impl Distance for DistOracle<'_> {
     fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
         match self {
@@ -622,6 +828,13 @@ impl Distance for DistOracle<'_> {
         match self {
             DistOracle::Borrowed(d) => d.dist_f64(a, b),
             DistOracle::Shared(d) => d.dist_f64(a, b),
+        }
+    }
+
+    fn dist_col_f64(&self, items: &[Tuple], target: &Tuple, out: &mut Vec<f64>) {
+        match self {
+            DistOracle::Borrowed(d) => d.dist_col_f64(items, target, out),
+            DistOracle::Shared(d) => d.dist_col_f64(items, target, out),
         }
     }
 
@@ -654,17 +867,37 @@ pub struct PreparedUniverse<'a> {
     // that needs one pays for it, every later request against this
     // prepared universe (across engines and threads) reuses it. All
     // are pure functions of the universe content, so memoization cannot
-    // change any answer.
-    mono_scores: std::sync::OnceLock<Vec<f64>>,
-    gmm_seed: std::sync::OnceLock<Option<(usize, usize)>>,
+    // change any answer. Under deltas, inserts repair each populated
+    // preamble in O(n); removals invalidate them (swap-remove relabels
+    // indices, breaking the lex/partner structure an O(n) repair would
+    // need) and the next request rebuilds lazily from the patched
+    // matrix.
+    mono_scores: OnceLock<Vec<f64>>,
+    // Per-item matrix row sums, memoized alongside the mono scores so
+    // an insert can repair them in O(n) (`dsum += col[i]`) instead of
+    // re-streaming the whole matrix.
+    mono_dsums: OnceLock<Vec<f64>>,
+    gmm_seed: OnceLock<Option<(usize, usize)>>,
     // Per-anchor best-partner seed for the max-sum lazy heap: anchor i's
     // heaviest partner j > i over the full universe. O(n²) to build
     // (thread-sharded), O(n) to heapify per request — so warm-registry
     // F_MS requests skip the quadratic scan entirely.
-    ms_seed: std::sync::OnceLock<Vec<PairSeed>>,
+    ms_seed: OnceLock<Vec<PairSeed>>,
     // How many times `ms_seed` has been built (observable proof that
     // the OnceLock makes the preamble at-most-once under concurrency).
     preamble_builds: AtomicUsize,
+}
+
+/// The float mono score from its memoized parts: the **single**
+/// expression both the fresh preamble pass and the insert repair
+/// evaluate, so repaired scores are bit-identical to from-scratch ones.
+#[inline(always)]
+fn mono_score_from_dsum(one_minus: f64, lam: f64, rel: f64, dsum: f64, n: usize) -> f64 {
+    let rel_part = one_minus * rel;
+    if n <= 1 || lam == 0.0 {
+        return rel_part;
+    }
+    rel_part + lam * dsum / (n as f64 - 1.0)
 }
 
 /// A prepared universe with no borrowed state, shareable across threads
@@ -724,7 +957,7 @@ impl<'a> PreparedUniverse<'a> {
                 DistanceMatrix::build_with_seed(&universe, &**d, threads.max(1), weights)
             }
         };
-        let ms_seed = std::sync::OnceLock::new();
+        let ms_seed = OnceLock::new();
         let preamble_builds = AtomicUsize::new(0);
         if let Some(seed) = seed {
             let _ = ms_seed.set(seed);
@@ -737,8 +970,9 @@ impl<'a> PreparedUniverse<'a> {
             lambda,
             rel: rel_f,
             matrix,
-            mono_scores: std::sync::OnceLock::new(),
-            gmm_seed: std::sync::OnceLock::new(),
+            mono_scores: OnceLock::new(),
+            mono_dsums: OnceLock::new(),
+            gmm_seed: OnceLock::new(),
             ms_seed,
             preamble_builds,
         }
@@ -824,22 +1058,22 @@ impl<'a> PreparedUniverse<'a> {
     }
 
     /// Approximate heap footprint in bytes — the quantity the serving
-    /// registry's byte budget meters: the `n²` matrix, the relevance
-    /// caches, tuple payloads (estimated at one word per attribute
-    /// value), the `O(n)` memoized solver preambles (the max-sum heap
-    /// seed, materialized during the matrix build, and the mono scores,
-    /// populated by the first `F_mono` request — both charged up front
-    /// because they stay resident for the cache entry's lifetime),
-    /// **and** the retained
-    /// distance oracle ([`Distance::approx_bytes`]) — a table-backed
-    /// oracle's pair map can dwarf the float matrix, and it stays alive
-    /// as long as this prepared universe does.
+    /// registry's byte budget meters: the matrix **as allocated**
+    /// (stride headroom included), the relevance caches, tuple payloads
+    /// (estimated at one word per attribute value), the `O(n)` memoized
+    /// solver preambles (the max-sum heap seed, materialized during the
+    /// matrix build, plus the mono scores and row sums, populated by
+    /// the first `F_mono` request — all charged up front because they
+    /// stay resident for the cache entry's lifetime), **and** the
+    /// retained distance oracle ([`Distance::approx_bytes`]) — a
+    /// table-backed oracle's pair map can dwarf the float matrix, and
+    /// it stays alive as long as this prepared universe does.
     pub fn approx_bytes(&self) -> usize {
         let n = self.universe.len();
         let tuples: usize = self.universe.iter().map(tuple_approx_bytes).sum();
-        n * n * std::mem::size_of::<f64>()
+        self.matrix.approx_bytes()
             + n * (std::mem::size_of::<Ratio>() + std::mem::size_of::<f64>())
-            + n * (std::mem::size_of::<f64>() + std::mem::size_of::<PairSeed>())
+            + n * (2 * std::mem::size_of::<f64>() + std::mem::size_of::<PairSeed>())
             + tuples
             + self.dis.approx_bytes()
     }
@@ -847,10 +1081,240 @@ impl<'a> PreparedUniverse<'a> {
     /// How many times the max-sum heap preamble has been computed for
     /// this prepared universe: `1` from construction on (the seed scan
     /// is fused into the matrix build, riding its cache-hot rows), and
-    /// never more — the `OnceLock` guarantees at-most-once even when
-    /// many threads race `F_MS` requests against shared state.
+    /// at most once more after each [`PreparedUniverse::remove_tuple`]
+    /// (removal invalidates the seed; the next `F_MS` request rebuilds
+    /// it). Between rebuilds the `OnceLock` guarantees at-most-once
+    /// even when many threads race `F_MS` requests against shared
+    /// state. Inserts *repair* the seed in place and do not count.
     pub fn ms_preamble_builds(&self) -> usize {
         self.preamble_builds.load(Ordering::Relaxed)
+    }
+
+    /// Appends `tuple` (with its already-evaluated exact relevance) at
+    /// index `n`, in `O(n)`: one oracle distance evaluation per
+    /// existing item for the new matrix column, one in-place matrix
+    /// row/column write, and an `O(n)` repair of every *populated*
+    /// memoized preamble. The repaired state is **bit-identical** to a
+    /// from-scratch prepare of the grown universe
+    /// (`tests/delta_matches_scratch.rs` pins this under churn):
+    ///
+    /// * max-sum seed — appending index `n` at the end of each
+    ///   anchor's left-to-right strict-`>` scan is exactly one more
+    ///   loop iteration of the fused build scan;
+    /// * mono row sums — each old row's sum gains exactly its new
+    ///   column entry, appended at the end of the same left-to-right
+    ///   fold; scores are recomputed from the repaired sums through the
+    ///   shared `mono_score_from_dsum` expression;
+    /// * GMM seed — the new pairs `(i, n)` are scanned with the same
+    ///   float filter + exact-`Ratio` resolution as the from-scratch
+    ///   seed, and the partition winner is compared exactly against the
+    ///   memoized winner (lexicographically smaller pair on exact
+    ///   ties — old pairs always precede new ones at equal anchors).
+    pub fn insert_tuple(&mut self, tuple: Tuple, rel: Ratio) {
+        let rel_new = rel.to_f64();
+        // The only oracle work of the whole operation: the new column
+        // col[i] = δ_dis(universe[i], tuple).
+        let mut col = Vec::new();
+        self.dis.dist_col_f64(&self.universe, &tuple, &mut col);
+        self.matrix.push_item(&col);
+        self.repair_ms_seed_insert(&col, rel_new);
+        self.repair_mono_insert(&col, rel_new);
+        self.repair_gmm_seed_insert(&col, &tuple, rel, rel_new);
+        self.universe.push(tuple);
+        self.rel_exact.push(rel);
+        self.rel.push(rel_new);
+    }
+
+    /// Swap-removes the tuple at `index` in `O(n)` (the last item moves
+    /// into its slot, matching `Vec::swap_remove`): the matrix is
+    /// patched in place and every memoized preamble is invalidated —
+    /// the relabelling breaks the `j > anchor` / lexicographic
+    /// structure the preambles encode, so an `O(n)` repair could not
+    /// stay bit-identical; the next request rebuilds lazily from the
+    /// patched matrix, with no further oracle distance evaluations.
+    /// Returns the removed tuple.
+    pub fn remove_tuple(&mut self, index: usize) -> Result<Tuple, DeltaError> {
+        let n = self.universe.len();
+        if index >= n {
+            return Err(DeltaError::IndexOutOfRange { index, n });
+        }
+        self.matrix.swap_remove_item(index);
+        let removed = self.universe.swap_remove(index);
+        self.rel_exact.swap_remove(index);
+        self.rel.swap_remove(index);
+        self.mono_scores = OnceLock::new();
+        self.mono_dsums = OnceLock::new();
+        self.gmm_seed = OnceLock::new();
+        self.ms_seed = OnceLock::new();
+        Ok(removed)
+    }
+
+    /// Insert repair of the max-sum seed (when populated): index `n`
+    /// becomes one more candidate partner for every anchor — a strict
+    /// `>` update, identical to the fused build scan reaching `j = n`
+    /// as its final iteration (float ties keep the earlier partner).
+    /// The new anchor `n` has no partner `j > n` yet.
+    fn repair_ms_seed_insert(&mut self, col: &[f64], rel_new: f64) {
+        let n = self.universe.len();
+        let lam = self.lambda.to_f64();
+        let one_minus = (Ratio::ONE - self.lambda).to_f64();
+        let rel = &self.rel;
+        let Some(seed) = self.ms_seed.get_mut() else {
+            return;
+        };
+        for ((slot, &ri), &din) in seed.iter_mut().zip(rel).zip(col) {
+            let w = ms_weight_f64(one_minus, lam, ri, rel_new, din);
+            if w > slot.score {
+                slot.score = w;
+                slot.partner = n;
+            }
+        }
+        seed.push(PairSeed {
+            score: f64::NEG_INFINITY,
+            partner: usize::MAX,
+        });
+    }
+
+    /// Insert repair of the mono preamble (when populated): each old
+    /// row sum gains its new column entry (`dsum += col[i]` — exactly
+    /// the extra term the from-scratch left-to-right fold would add
+    /// last), the new row's sum is folded fresh from the patched
+    /// matrix, and all `n + 1` scores are recomputed from the repaired
+    /// sums — every score changes, because the mean divides by `n − 1`.
+    fn repair_mono_insert(&mut self, col: &[f64], rel_new: f64) {
+        let n_old = self.universe.len();
+        let Some(dsums) = self.mono_dsums.get_mut() else {
+            return;
+        };
+        for (s, &d) in dsums.iter_mut().zip(col) {
+            *s += d;
+        }
+        dsums.push(self.matrix.row(n_old).iter().sum());
+        let n_new = n_old + 1;
+        let lam = self.lambda.to_f64();
+        let one_minus = (Ratio::ONE - self.lambda).to_f64();
+        let rel = &self.rel;
+        let dsums = self.mono_dsums.get().expect("repaired above");
+        if let Some(scores) = self.mono_scores.get_mut() {
+            scores.clear();
+            scores.extend(
+                rel.iter()
+                    .chain(std::iter::once(&rel_new))
+                    .zip(dsums)
+                    .map(|(&r, &d)| mono_score_from_dsum(one_minus, lam, r, d, n_new)),
+            );
+        }
+    }
+
+    /// Insert repair of the GMM seed pair (when populated): only the
+    /// pairs `(i, n)` are new, so their partition champion — float
+    /// filter, exact-`Ratio` resolution, lowest anchor on exact ties,
+    /// same as the from-scratch scan — is compared **exactly** against
+    /// the memoized champion of the old pairs. On an exact tie the
+    /// lexicographically smaller pair wins; an old pair `(a, b)` with
+    /// `b < n` precedes `(a, n)`, so the old champion survives equal
+    /// anchors, matching the from-scratch lex rule.
+    fn repair_gmm_seed_insert(&mut self, col: &[f64], tuple: &Tuple, rel_exact_new: Ratio, rel_new: f64) {
+        let n = self.universe.len();
+        let lam = self.lambda.to_f64();
+        let one_minus = (Ratio::ONE - self.lambda).to_f64();
+        let one_minus_exact = Ratio::ONE - self.lambda;
+        // Split borrows up front: the closure below reads universe /
+        // rel_exact / dis while `seed` mutably borrows only `gmm_seed`.
+        let universe = &self.universe;
+        let rel_exact = &self.rel_exact;
+        let rel_f = &self.rel;
+        let dis = &self.dis;
+        let lambda = self.lambda;
+        let Some(seed) = self.gmm_seed.get_mut() else {
+            return;
+        };
+        if n == 0 {
+            return; // still a single-item universe: seed stays `None`.
+        }
+        // Float scan of the new-pair partition, with the standard tie
+        // window; same per-pair expression as `best_seed_pair`.
+        let mut best = f64::NEG_INFINITY;
+        for (&ri, &d) in rel_f.iter().zip(col) {
+            let v = one_minus * ri.min(rel_new) + lam * d;
+            if v > best {
+                best = v;
+            }
+        }
+        let thr = tie_threshold(best);
+        let exact_of = |i: usize| {
+            one_minus_exact * rel_exact[i].min(rel_exact_new)
+                + lambda * dis.dist(&universe[i], tuple)
+        };
+        let mut winner: Option<(usize, Ratio)> = None;
+        for (i, (&ri, &d)) in rel_f.iter().zip(col).enumerate() {
+            if one_minus * ri.min(rel_new) + lam * d >= thr {
+                let v = exact_of(i);
+                if winner.as_ref().is_none_or(|(_, w)| v > *w) {
+                    winner = Some((i, v));
+                }
+            }
+        }
+        let (i_new, v_new) = winner.expect("n ≥ 1 new pairs scanned");
+        match seed {
+            Some((a, b)) => {
+                let v_old = one_minus_exact * rel_exact[*a].min(rel_exact[*b])
+                    + lambda * dis.dist(&universe[*a], &universe[*b]);
+                if v_new > v_old || (v_new == v_old && i_new < *a) {
+                    *seed = Some((i_new, n));
+                }
+            }
+            None => {
+                // Old universe had < 2 items; the new pairs are ALL the
+                // pairs of the grown universe.
+                *seed = Some((i_new, n));
+            }
+        }
+    }
+
+    /// A private deep copy — matrix, caches, and every memoized
+    /// preamble in whatever population state they are in. This is how
+    /// the serving registry turns a *shared* warm entry into a mutable
+    /// one when `Arc::try_unwrap` loses a race: fork, apply the delta
+    /// to the copy, publish. The fork serves bit-identically to the
+    /// original.
+    pub fn fork(&self) -> PreparedUniverse<'a> {
+        PreparedUniverse {
+            universe: self.universe.clone(),
+            rel_exact: self.rel_exact.clone(),
+            rel: self.rel.clone(),
+            dis: self.dis.clone_ref(),
+            lambda: self.lambda,
+            matrix: self.matrix.clone(),
+            mono_scores: self.mono_scores.clone(),
+            mono_dsums: self.mono_dsums.clone(),
+            gmm_seed: self.gmm_seed.clone(),
+            ms_seed: self.ms_seed.clone(),
+            preamble_builds: AtomicUsize::new(self.preamble_builds.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// The memoized mono scores, if populated — `None` means the next
+    /// `F_mono` request will compute them fresh. Exposed so the
+    /// differential churn harness can pin repaired preambles
+    /// bit-identical to from-scratch ones.
+    pub fn mono_preamble(&self) -> Option<&[f64]> {
+        self.mono_scores.get().map(Vec::as_slice)
+    }
+
+    /// The memoized GMM seed pair, if populated (`Some(None)` = a
+    /// sub-2-item universe with no pair to seed from).
+    pub fn gmm_preamble(&self) -> Option<Option<(usize, usize)>> {
+        self.gmm_seed.get().copied()
+    }
+
+    /// The memoized max-sum seed as `(score, partner)` pairs, if
+    /// populated; `partner == usize::MAX` marks an anchor with no
+    /// partner `j > anchor`.
+    pub fn ms_preamble(&self) -> Option<Vec<(f64, usize)>> {
+        self.ms_seed
+            .get()
+            .map(|seed| seed.iter().map(|s| (s.score, s.partner)).collect())
     }
 }
 
@@ -1001,22 +1465,26 @@ impl<'a> Engine<'a> {
     /// Float mono scores of all items, one linear pass per matrix row —
     /// `O(n²)` total, but k-independent, so computed once per prepared
     /// universe and memoized (warm-cache mono requests skip straight to
-    /// the top-k sort).
+    /// the top-k sort). The per-row distance sums are memoized
+    /// separately (`mono_dsums`) because they are what
+    /// [`PreparedUniverse::insert_tuple`] repairs in `O(n)`; both the
+    /// fresh path here and the repair path derive the score through the
+    /// same [`mono_score_from_dsum`] expression, keeping them
+    /// bit-identical.
     fn mono_scores_f64(&self) -> &[f64] {
         self.prepared.mono_scores.get_or_init(|| {
-            (0..self.n()).map(|i| self.compute_mono_score_f64(i)).collect()
+            let n = self.n();
+            let dsums = self
+                .prepared
+                .mono_dsums
+                .get_or_init(|| (0..n).map(|i| self.prepared.matrix.row(i).iter().sum()).collect());
+            self.prepared
+                .rel
+                .iter()
+                .zip(dsums)
+                .map(|(&r, &d)| mono_score_from_dsum(self.one_minus, self.lam, r, d, n))
+                .collect()
         })
-    }
-
-    /// Float mono score of item `i`: one linear pass over a matrix row.
-    fn compute_mono_score_f64(&self, i: usize) -> f64 {
-        let n = self.n();
-        let rel_part = self.one_minus * self.prepared.rel[i];
-        if n <= 1 || self.lam == 0.0 {
-            return rel_part;
-        }
-        let dsum: f64 = self.prepared.matrix.row(i).iter().sum();
-        rel_part + self.lam * dsum / (n as f64 - 1.0)
     }
 
     /// Argmax of relevance with lowest-index tie-break (the `k = 1` and
@@ -1826,6 +2294,20 @@ impl<'a> Engine<'a> {
         self.serve_with(request, &mut SolveScratch::new())
     }
 
+    /// [`Engine::serve`] with a typed error instead of `None`: the only
+    /// way a request over a full matrix can fail is asking for more
+    /// items than the universe holds — a live concern once
+    /// [`PreparedUniverse::remove_tuple`] can shrink a warm universe
+    /// below a tenant's `k`.
+    pub fn try_serve(&self, request: EngineRequest) -> Result<(Ratio, Vec<usize>), ServeError> {
+        let n = self.n();
+        if request.k > n {
+            return Err(ServeError::InfeasibleK { k: request.k, n });
+        }
+        self.serve(request)
+            .ok_or(ServeError::InfeasibleK { k: request.k, n })
+    }
+
     /// [`Engine::serve`] against a reusable [`SolveScratch`]: after the
     /// scratch's buffers have warmed up, the only allocation left per
     /// request is the returned answer vector.
@@ -2113,6 +2595,167 @@ mod tests {
             assert_eq!(e1.gmm_max_min(k), e4.gmm_max_min(k));
             assert_eq!(e1.mmr(k), e4.mmr(k));
             assert_eq!(e1.mono_top_k(k), e4.mono_top_k(k));
+        }
+    }
+
+    /// The matrix after `push_item`/`swap_remove_item` must hold the
+    /// exact same bits, entry for entry, as a matrix built fresh over
+    /// the equivalent post-delta universe (swap-remove order).
+    fn assert_matrix_bits_equal(a: &DistanceMatrix, b: &DistanceMatrix) {
+        assert_eq!(a.n(), b.n());
+        for i in 0..a.n() {
+            for j in 0..a.n() {
+                assert_eq!(
+                    a.get(i, j).to_bits(),
+                    b.get(i, j).to_bits(),
+                    "matrix bits diverged at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_item_matches_fresh_build_through_restride() {
+        let mut u = line_universe(3);
+        let (mut m, _) = DistanceMatrix::build_with_seed(&u, &DIS, 1, None);
+        // Push enough items to exhaust the headroom (pad(3) = 4) and
+        // force at least one restride.
+        for i in 0..9i64 {
+            let t = Tuple::ints([40 + 7 * i, i % 5]);
+            let col: Vec<f64> = u.iter().map(|x| DIS.dist_f64(x, &t)).collect();
+            m.push_item(&col);
+            u.push(t);
+            assert_matrix_bits_equal(&m, &DistanceMatrix::build(&u, &DIS, 1));
+        }
+    }
+
+    #[test]
+    fn swap_remove_item_matches_fresh_build() {
+        let mut u = line_universe(9);
+        let (mut m, _) = DistanceMatrix::build_with_seed(&u, &DIS, 1, None);
+        for r in [4usize, 0, 6, 0] {
+            m.swap_remove_item(r);
+            u.swap_remove(r);
+            assert_matrix_bits_equal(&m, &DistanceMatrix::build(&u, &DIS, 1));
+        }
+    }
+
+    /// Drives all three objectives through a prepared universe so that
+    /// every memoized preamble is populated.
+    fn warm_all_preambles(p: &Arc<PreparedUniverse<'static>>) {
+        let e = Engine::from_prepared(Arc::clone(p), 1);
+        let k = 2.min(p.n());
+        for kind in ObjectiveKind::ALL {
+            let _ = e.serve(EngineRequest { kind, k });
+        }
+    }
+
+    #[test]
+    fn insert_tuple_repairs_warm_preambles_bit_identically() {
+        for lam in [Ratio::ZERO, Ratio::new(1, 2), Ratio::ONE] {
+            let mut u = line_universe(10);
+            let mut prepared =
+                PreparedUniverse::build_shared(u.clone(), &REL, Arc::new(DIS), lam, 1);
+            for step in 0..4i64 {
+                // Warm every preamble, then insert through the warm state.
+                let arc = Arc::new(prepared);
+                warm_all_preambles(&arc);
+                prepared = Arc::try_unwrap(arc).expect("sole owner");
+                let t = Tuple::ints([50 + 11 * step, step % 5]);
+                prepared.insert_tuple(t.clone(), REL.rel(&t));
+                u.push(t);
+
+                // From-scratch prepare of the grown universe, preambles
+                // warmed the same way.
+                let scratch = Arc::new(PreparedUniverse::build_shared(
+                    u.clone(),
+                    &REL,
+                    Arc::new(DIS),
+                    lam,
+                    1,
+                ));
+                warm_all_preambles(&scratch);
+
+                assert_matrix_bits_equal(prepared.matrix(), scratch.matrix());
+                assert_eq!(prepared.ms_preamble(), scratch.ms_preamble(), "λ={lam}");
+                assert_eq!(prepared.gmm_preamble(), scratch.gmm_preamble(), "λ={lam}");
+                let (a, b) = (prepared.mono_preamble(), scratch.mono_preamble());
+                let (a, b) = (a.expect("warmed"), b.expect("warmed"));
+                assert_eq!(a.len(), b.len());
+                for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "λ={lam}: mono score {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_tuple_invalidates_then_serves_like_scratch() {
+        let lam = Ratio::new(1, 2);
+        let mut u = line_universe(12);
+        let mut prepared = PreparedUniverse::build_shared(u.clone(), &REL, Arc::new(DIS), lam, 1);
+        {
+            let arc = Arc::new(prepared);
+            warm_all_preambles(&arc);
+            prepared = Arc::try_unwrap(arc).expect("sole owner");
+        }
+        prepared.remove_tuple(5).unwrap();
+        u.swap_remove(5);
+        // Removal drops the memoized preambles entirely…
+        assert!(prepared.mono_preamble().is_none());
+        assert!(prepared.gmm_preamble().is_none());
+        assert!(prepared.ms_preamble().is_none());
+        assert!(matches!(
+            prepared.remove_tuple(11),
+            Err(DeltaError::IndexOutOfRange { index: 11, n: 11 })
+        ));
+        // …and the lazily rebuilt state answers exactly like scratch.
+        let delta = Engine::from_prepared(Arc::new(prepared), 1);
+        let fresh = Engine::with_threads(u, &REL, &DIS, lam, 1);
+        for kind in ObjectiveKind::ALL {
+            for k in [1usize, 3, 6] {
+                let req = EngineRequest { kind, k };
+                assert_eq!(delta.serve(req), fresh.serve(req), "{kind} k={k}");
+            }
+        }
+        assert_eq!(delta.prepared().ms_preamble_builds(), 2);
+    }
+
+    #[test]
+    fn try_serve_reports_infeasible_k_after_shrink() {
+        let lam = Ratio::new(1, 2);
+        let mut prepared =
+            PreparedUniverse::build_shared(line_universe(4), &REL, Arc::new(DIS), lam, 1);
+        prepared.remove_tuple(0).unwrap();
+        let e = Engine::from_prepared(Arc::new(prepared), 1);
+        let req = EngineRequest { kind: ObjectiveKind::MaxSum, k: 4 };
+        assert_eq!(
+            e.try_serve(req),
+            Err(ServeError::InfeasibleK { k: 4, n: 3 })
+        );
+        assert!(e.try_serve(EngineRequest { kind: ObjectiveKind::MaxSum, k: 3 }).is_ok());
+    }
+
+    #[test]
+    fn fork_preserves_preambles_and_serves_identically() {
+        let lam = Ratio::new(1, 3);
+        let prepared = Arc::new(PreparedUniverse::build_shared(
+            line_universe(9),
+            &REL,
+            Arc::new(DIS),
+            lam,
+            1,
+        ));
+        warm_all_preambles(&prepared);
+        let fork = Arc::new(prepared.fork());
+        assert_eq!(fork.ms_preamble(), prepared.ms_preamble());
+        assert_eq!(fork.gmm_preamble(), prepared.gmm_preamble());
+        assert_eq!(fork.ms_preamble_builds(), prepared.ms_preamble_builds());
+        let a = Engine::from_prepared(prepared, 1);
+        let b = Engine::from_prepared(fork, 1);
+        for kind in ObjectiveKind::ALL {
+            let req = EngineRequest { kind, k: 4 };
+            assert_eq!(a.serve(req), b.serve(req), "{kind}");
         }
     }
 }

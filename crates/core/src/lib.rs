@@ -81,8 +81,8 @@ pub use distance::{
     ClosureDistance, ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
 };
 pub use engine::{
-    DistOracle, DistanceMatrix, Engine, EngineRequest, PreparedUniverse, SharedPrepared,
-    SolveScratch,
+    DeltaError, DeltaOp, DistOracle, DistanceMatrix, Engine, EngineRequest, PreparedUniverse,
+    ServeError, SharedPrepared, SolveScratch,
 };
 pub use pipeline::{
     PipelineError, PipelineResult, QueryDiversification, ServedAnswer, ServingEngine,
@@ -102,7 +102,10 @@ pub mod prelude {
     pub use crate::distance::{
         ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
     };
-    pub use crate::engine::{Engine, EngineRequest, PreparedUniverse, SharedPrepared, SolveScratch};
+    pub use crate::engine::{
+        DeltaError, DeltaOp, Engine, EngineRequest, PreparedUniverse, ServeError, SharedPrepared,
+        SolveScratch,
+    };
     pub use crate::pipeline::QueryDiversification;
     pub use crate::problem::{DiversityProblem, ObjectiveKind};
     pub use crate::ratio::Ratio;

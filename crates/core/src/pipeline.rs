@@ -12,7 +12,8 @@ use crate::constraints::Constraint;
 use crate::coreset::{CoresetConfig, CoresetEngine, PreparedCoreset, CORESET_AUTO_THRESHOLD};
 use crate::distance::Distance;
 use crate::engine::{
-    default_threads, Engine, EngineRequest, PreparedUniverse, SharedPrepared, SolveScratch,
+    default_threads, Engine, EngineRequest, PreparedUniverse, ServeError, SharedPrepared,
+    SolveScratch,
 };
 use crate::problem::{DiversityProblem, ObjectiveKind};
 use crate::ratio::Ratio;
@@ -97,6 +98,18 @@ impl ServingEngine {
     /// Serves one request (exact value + full-universe indices).
     pub fn serve(&self, request: EngineRequest) -> Option<(Ratio, Vec<usize>)> {
         self.serve_with(request, &mut SolveScratch::new())
+    }
+
+    /// [`ServingEngine::serve`] with a typed error instead of `None` —
+    /// both variants report *why* a request is unservable
+    /// ([`ServeError::InfeasibleK`] everywhere; the coreset path adds
+    /// [`ServeError::ExceedsCoresetBudget`] when `k` fits the universe
+    /// but not the representative budget).
+    pub fn try_serve(&self, request: EngineRequest) -> Result<(Ratio, Vec<usize>), ServeError> {
+        match self {
+            ServingEngine::Full(e) => e.try_serve(request),
+            ServingEngine::Coreset(e) => e.try_serve(request),
+        }
     }
 
     /// [`ServingEngine::serve`] against a reusable [`SolveScratch`] —

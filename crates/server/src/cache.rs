@@ -34,6 +34,7 @@
 
 use crate::fingerprint::UniverseKey;
 use crate::spec::{PreparedVariant, UniverseSpec};
+use divr_core::engine::DeltaOp;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -42,6 +43,15 @@ struct Entry {
     prepared: PreparedVariant,
     bytes: usize,
     stamp: u64,
+    /// How many delta operations separate this entry from a cold
+    /// prepare: `0` for entries built by [`PreparedCache::get_or_prepare`],
+    /// incremented each time the registry migrates the entry through
+    /// [`PreparedCache::insert_versioned`].
+    version: u64,
+    /// The operations applied since version `0`, in order. Metered as
+    /// part of [`Entry::bytes`] so a long-lived mutable tenant cannot
+    /// hide an unbounded log from the byte budget.
+    delta_log: Vec<DeltaOp>,
 }
 
 #[derive(Default)]
@@ -137,11 +147,71 @@ impl PreparedCache {
                 prepared: prepared.clone(),
                 bytes,
                 stamp,
+                version: 0,
+                delta_log: Vec::new(),
             },
         );
         guard.bytes += bytes;
         self.evict_over_budget(&mut guard, stamp);
         prepared
+    }
+
+    /// Removes and returns the entry for `key` (prepared state, version,
+    /// delta log), releasing its metered bytes. The registry's delta
+    /// path uses this to migrate a warm entry to the mutated universe's
+    /// key: taking first means the stale pre-mutation state is never
+    /// resident alongside the new one, and any in-flight `Arc` clones
+    /// simply finish their solves on the old immutable state.
+    pub fn take(&self, key: &UniverseKey) -> Option<(PreparedVariant, u64, Vec<DeltaOp>)> {
+        let mut guard = self.shard_of(key).lock().expect("cache shard poisoned");
+        let entry = guard.entries.remove(key)?;
+        guard.bytes -= entry.bytes;
+        Some((entry.prepared, entry.version, entry.delta_log))
+    }
+
+    /// Inserts delta-migrated prepared state under the mutated
+    /// universe's key, carrying its version and delta log. The entry is
+    /// metered as prepared bytes **plus** the log's bytes, then the
+    /// shard evicts LRU entries past budget exactly as after a cold
+    /// insert — the fresh entry itself is never its own victim.
+    pub fn insert_versioned(
+        &self,
+        key: &UniverseKey,
+        prepared: PreparedVariant,
+        version: u64,
+        delta_log: Vec<DeltaOp>,
+    ) {
+        let bytes =
+            prepared.approx_bytes() + delta_log.iter().map(DeltaOp::approx_bytes).sum::<usize>();
+        let shard = self.shard_of(key);
+        let mut guard = shard.lock().expect("cache shard poisoned");
+        let stamp = self.tick();
+        if let Some(old) = guard.entries.insert(
+            key.clone(),
+            Entry {
+                prepared,
+                bytes,
+                stamp,
+                version,
+                delta_log,
+            },
+        ) {
+            guard.bytes -= old.bytes;
+        }
+        guard.bytes += bytes;
+        self.evict_over_budget(&mut guard, stamp);
+    }
+
+    /// The delta version of the resident entry for `key` (`0` = cold
+    /// prepare, `v` = `v` operations since), or `None` if not resident.
+    /// No LRU bump.
+    pub fn version_of(&self, key: &UniverseKey) -> Option<u64> {
+        self.shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .entries
+            .get(key)
+            .map(|e| e.version)
     }
 
     /// Drops LRU entries (never the one stamped `keep_stamp`) until the

@@ -27,7 +27,14 @@
 //!   mode** ([`UniverseSpec::with_coreset`]): preparation selects
 //!   `m ≪ n` representatives in `O(n·m)` ([`divr_core::coreset`]),
 //!   the cache meters the entry at its honest `m² + O(n)` size, and
-//!   full-matrix and coreset tenants mix freely in one batch.
+//!   full-matrix and coreset tenants mix freely in one batch;
+//! * mutable universes stay warm across edits
+//!   ([`Registry::apply_delta`]): a single-tuple insert or removal
+//!   migrates the cached entry in `O(n)` — matrix row/column patch plus
+//!   preamble repair, never a cold `O(n²)` re-prepare — re-keyed under
+//!   the mutated content with a versioned, byte-metered delta log
+//!   (`crates/server/tests/version_chain.rs` pins the migrated entry
+//!   bit-identical to a cold prepare of the mutated universe).
 //!
 //! For full-matrix specs, answers are **exactly** those of a freshly
 //! built [`Engine`](divr_core::engine::Engine) — same `Ratio` value,
@@ -85,3 +92,7 @@ pub use registry::{Answer, Registry, RegistryConfig, RegistryStats, TenantBatch}
 pub use spec::{
     CoresetSpec, PreparedVariant, ServableDistance, ServableRelevance, UniverseSpec,
 };
+
+// The delta vocabulary is divr_core's; re-exported so registry callers
+// need not depend on divr_core directly to mutate universes.
+pub use divr_core::engine::{DeltaError, DeltaOp, ServeError};

@@ -2,12 +2,14 @@
 
 use crate::cache::{CacheStats, PreparedCache};
 use crate::spec::{PreparedVariant, UniverseSpec};
-use divr_core::engine::{default_threads, EngineRequest, SolveScratch};
+use divr_core::engine::{
+    default_threads, DeltaError, DeltaOp, EngineRequest, ServeError, SolveScratch,
+};
 use divr_core::Ratio;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Registry sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -322,6 +324,87 @@ impl Registry {
             answers[t][r] = answer;
         }
         answers
+    }
+
+    /// Like [`Registry::serve`], but with a typed diagnosis instead of
+    /// `None` when no answer exists: [`ServeError::InfeasibleK`] when
+    /// `k` exceeds the universe (e.g. after removals shrank it below
+    /// `k`), or [`ServeError::ExceedsCoresetBudget`] when the universe
+    /// could answer but the spec's coreset budget cannot.
+    pub fn try_serve(
+        &self,
+        spec: &UniverseSpec,
+        request: EngineRequest,
+    ) -> Result<(Ratio, Vec<usize>), ServeError> {
+        self.prepare(spec).try_serve(self.solve_threads, request)
+    }
+
+    /// Applies one delta operation to a universe and returns the spec of
+    /// the mutated universe (the handle for all subsequent serves).
+    ///
+    /// If `spec` is warm in the cache, its prepared state is **migrated**
+    /// instead of discarded: the entry is taken, patched in place —
+    /// `O(n)` row/column extension plus preamble repair for a
+    /// full-matrix insert, `O(n)` swap-remove for a removal — and
+    /// re-inserted under the mutated universe's content key with its
+    /// version advanced and the operation appended to the entry's delta
+    /// log (metered with the entry's bytes). A warm tenant therefore
+    /// never pays the `O(n²)` cold prepare again for a small edit, and
+    /// the migrated entry serves **bit-identically** to a cold prepare
+    /// of the mutated universe (coreset-mode entries are re-prepared in
+    /// `O(n·m)` to keep that same invariant). If `spec` is cold, only
+    /// the spec is mutated; the next serve prepares from scratch at
+    /// version `0`.
+    ///
+    /// Because entries are keyed by mutated *content*, a delta chain and
+    /// a flat spec of the same tuples address the same entry — there is
+    /// no alias under which the two could disagree.
+    ///
+    /// Fails with [`DeltaError::IndexOutOfRange`] (leaving cache state
+    /// untouched) if a `Remove` index is not below the universe size.
+    pub fn apply_delta(
+        &self,
+        spec: &UniverseSpec,
+        op: &DeltaOp,
+    ) -> Result<UniverseSpec, DeltaError> {
+        let mutated = spec.apply(op)?;
+        if let Some((prepared, version, mut log)) = self.cache.take(&spec.key()) {
+            let migrated = match prepared {
+                PreparedVariant::Full(arc) => {
+                    // Sole owner: patch in place. Shared (a solve is
+                    // still in flight on the old state): fork first —
+                    // the in-flight engine keeps the old immutable
+                    // state, we mutate the copy.
+                    let mut p = Arc::try_unwrap(arc).unwrap_or_else(|a| a.fork());
+                    match op {
+                        DeltaOp::Insert(t) => {
+                            let rel = spec.relevance().rel(t);
+                            p.insert_tuple(t.clone(), rel);
+                        }
+                        DeltaOp::Remove(i) => {
+                            p.remove_tuple(*i).expect("index validated by spec.apply");
+                        }
+                    }
+                    PreparedVariant::Full(Arc::new(p))
+                }
+                // Streaming coreset maintenance trades bit-identity for
+                // speed (see divr_core::coreset); the registry's
+                // contract is exact equivalence with a cold prepare, so
+                // coreset entries re-select in O(n·m).
+                PreparedVariant::Coreset(_) => mutated.prepare_variant(self.solve_threads),
+            };
+            log.push(op.clone());
+            self.cache
+                .insert_versioned(&mutated.key(), migrated, version + 1, log);
+        }
+        Ok(mutated)
+    }
+
+    /// The delta version of the cached entry for this universe — `0`
+    /// for a cold prepare, `v` after `v` migrations through
+    /// [`Registry::apply_delta`] — or `None` if not resident.
+    pub fn version_of(&self, spec: &UniverseSpec) -> Option<u64> {
+        self.cache.version_of(&spec.key())
     }
 
     /// Whether a universe with this content is currently cached.

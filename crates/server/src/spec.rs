@@ -4,7 +4,9 @@
 use crate::fingerprint::{FingerprintEncoder, Fingerprintable, UniverseKey};
 use divr_core::coreset::{CoresetConfig, CoresetEngine, PreparedCoreset, SharedCoreset};
 use divr_core::distance::Distance;
-use divr_core::engine::{Engine, EngineRequest, PreparedUniverse, SolveScratch};
+use divr_core::engine::{
+    DeltaError, DeltaOp, Engine, EngineRequest, PreparedUniverse, ServeError, SolveScratch,
+};
 use divr_core::relevance::Relevance;
 use divr_core::{Ratio, SharedPrepared};
 use divr_relquery::Tuple;
@@ -31,6 +33,10 @@ impl Distance for OracleAdapter {
 
     fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
         self.0.dist_f64(a, b)
+    }
+
+    fn dist_col_f64(&self, items: &[Tuple], target: &Tuple, out: &mut Vec<f64>) {
+        self.0.dist_col_f64(items, target, out)
     }
 
     fn approx_bytes(&self) -> usize {
@@ -144,6 +150,24 @@ impl PreparedVariant {
         }
     }
 
+    /// Like [`PreparedVariant::serve`] but with a typed diagnosis when
+    /// no answer exists: [`ServeError::InfeasibleK`] when `k` exceeds
+    /// the universe (e.g. after removals shrank it), or
+    /// [`ServeError::ExceedsCoresetBudget`] when the universe could
+    /// answer but this coreset preparation cannot.
+    pub fn try_serve(
+        &self,
+        threads: usize,
+        request: EngineRequest,
+    ) -> Result<(Ratio, Vec<usize>), ServeError> {
+        match self {
+            PreparedVariant::Full(p) => Engine::from_prepared(p.clone(), threads).try_serve(request),
+            PreparedVariant::Coreset(p) => {
+                CoresetEngine::from_prepared(p.clone(), threads).try_serve(request)
+            }
+        }
+    }
+
     /// Serves a whole batch against this prepared state (one scratch
     /// reused across the batch).
     pub fn serve_batch(
@@ -246,6 +270,34 @@ impl UniverseSpec {
     /// The distance function.
     pub fn distance(&self) -> &Arc<dyn ServableDistance> {
         &self.dis
+    }
+
+    /// The spec describing this universe after one delta operation:
+    /// same functions, λ, and serving mode, with the tuple appended
+    /// (`Insert`) or swap-removed (`Remove`). The result's
+    /// [`UniverseSpec::key`] is the *content* fingerprint of the mutated
+    /// universe — identical to the key of a spec built flat from the
+    /// same tuples — so a delta chain and its from-scratch equivalent
+    /// can never occupy different cache entries (and two different
+    /// contents can never share one; see [`crate::fingerprint`]).
+    ///
+    /// Fails with [`DeltaError::IndexOutOfRange`] if a `Remove` index is
+    /// not below the current universe size.
+    pub fn apply(&self, op: &DeltaOp) -> Result<UniverseSpec, DeltaError> {
+        let mut next = self.clone();
+        match op {
+            DeltaOp::Insert(tuple) => next.universe.push(tuple.clone()),
+            DeltaOp::Remove(index) => {
+                if *index >= next.universe.len() {
+                    return Err(DeltaError::IndexOutOfRange {
+                        index: *index,
+                        n: next.universe.len(),
+                    });
+                }
+                next.universe.swap_remove(*index);
+            }
+        }
+        Ok(next)
     }
 
     /// The injective content fingerprint of this universe (see

@@ -11,7 +11,10 @@
 //! reports its case number and message, not a minimized input), and the
 //! random stream is a deterministic SplitMix64 seeded from the test name,
 //! so every run explores the same cases — good for reproducibility, which
-//! is what this repository's paper-reproduction suites want.
+//! is what this repository's paper-reproduction suites want. Like
+//! upstream, the `PROPTEST_CASES` environment variable overrides every
+//! block's configured case count (CI uses this to deepen the
+//! differential conformance suites without touching sources).
 
 pub mod test_runner {
     //! Test execution support: configuration, RNG, case outcome.
@@ -34,6 +37,18 @@ pub mod test_runner {
         fn default() -> Self {
             ProptestConfig { cases: 256 }
         }
+    }
+
+    /// The effective case count for a test block: the `PROPTEST_CASES`
+    /// environment variable when set to a positive integer (CI cranks
+    /// conformance depth without editing sources), otherwise the
+    /// configured count. Upstream proptest honors the same variable.
+    pub fn resolved_cases(configured: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(configured)
     }
 
     /// Why a single generated case did not succeed.
@@ -304,13 +319,14 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::resolved_cases(config.cases);
             let mut rng = $crate::test_runner::TestRng::from_name(concat!(
                 module_path!(), "::", stringify!($name)
             ));
             let mut passed: u32 = 0;
             let mut attempts: u32 = 0;
-            let max_attempts = config.cases.saturating_mul(20).max(100);
-            while passed < config.cases && attempts < max_attempts {
+            let max_attempts = cases.saturating_mul(20).max(100);
+            while passed < cases && attempts < max_attempts {
                 attempts += 1;
                 $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
                 let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =

@@ -42,3 +42,7 @@ pub use divr_core::coreset::{
 pub use divr_server::{
     CoresetSpec, PreparedVariant, Registry, RegistryConfig, TenantBatch, UniverseSpec,
 };
+// The mutable-universe (delta) vocabulary, lifted from
+// `divr::core::engine`: apply single-tuple edits to warm prepared
+// state in O(n) instead of re-preparing in O(n²).
+pub use divr_core::engine::{DeltaError, DeltaOp, ServeError};

@@ -186,6 +186,53 @@ proptest! {
         }
     }
 
+    /// Insertion streams: a coreset maintained incrementally by
+    /// [`PreparedCoreset::insert_tuple`] over a stream of arrivals —
+    /// absorbing points inside the coverage radius, displacing the
+    /// nearest representative otherwise — must stay within the same
+    /// pinned quality factors on the final universe as a coreset
+    /// selected fresh on it.
+    #[test]
+    fn streamed_coreset_stays_within_factors(
+        raw in universe_strategy(24..=60),
+        k in 2usize..=5,
+        base in 12usize..=20,
+    ) {
+        use divr::core::coreset::PreparedCoreset;
+        use divr::core::relevance::Relevance as _;
+        let inst = instance_of(&raw);
+        let budget = (4 * k).max(16);
+        let base = base.min(raw.n);
+        let mut prepared = PreparedCoreset::build_shared(
+            inst.universe[..base].to_vec(),
+            &inst.rel,
+            Arc::new(inst.dis.clone()),
+            inst.lambda,
+            &CoresetConfig::with_budget(budget).with_threads(2),
+        );
+        for t in &inst.universe[base..] {
+            prepared.insert_tuple(t.clone(), inst.rel.rel(t));
+        }
+        let streamed = CoresetEngine::from_prepared(Arc::new(prepared), 2);
+        let full = full_engine(&inst);
+        for kind in ObjectiveKind::ALL {
+            let req = EngineRequest { kind, k };
+            let (ev, _) = full.serve(req).expect("k ≤ n");
+            let (sv, sset) = streamed.serve(req).expect("k ≤ budget");
+            prop_assert_eq!(sset.len(), k);
+            let mut dedup = sset.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), k, "{}: duplicate indices", kind);
+            prop_assert!(sset.iter().all(|&i| i < raw.n), "{}: out of range", kind);
+            prop_assert!(
+                sv.scale(factor_of(kind)) >= ev,
+                "{} k={}: streamed {} vs engine {} exceeds factor {}",
+                kind, k, sv, ev, factor_of(kind)
+            );
+        }
+    }
+
     /// Registry serving in coreset mode: cold and warm answers are
     /// identical to a fresh coreset engine over the same content, and
     /// full-matrix tenants in the same mixed batch still match the full

@@ -115,6 +115,57 @@ fn k_larger_than_result_means_no_valid_sets_not_an_error() {
 }
 
 #[test]
+fn k_above_n_after_removals_is_a_typed_error_not_a_panic() {
+    use divr::core::engine::{Engine, EngineRequest, PreparedUniverse, ServeError};
+    use divr::server::{Registry, UniverseSpec};
+    use divr::DeltaOp;
+    use std::sync::Arc;
+
+    // Engine path: a feasible k becomes infeasible once removals shrink
+    // the universe below it.
+    let universe: Vec<Tuple> = (0..5).map(|i| Tuple::ints([i, i * 10])).collect();
+    let rel = AttributeRelevance {
+        attr: 1,
+        default: Ratio::ZERO,
+    };
+    let dis = NumericDistance {
+        attr: 0,
+        fallback: Ratio::ZERO,
+    };
+    let mut prepared = PreparedUniverse::build_shared(
+        universe.clone(),
+        &rel,
+        Arc::new(dis.clone()),
+        Ratio::new(1, 2),
+        1,
+    );
+    prepared.remove_tuple(0).unwrap();
+    prepared.remove_tuple(0).unwrap();
+    let engine = Engine::from_prepared(Arc::new(prepared), 1);
+    let req = EngineRequest {
+        kind: ObjectiveKind::MaxMin,
+        k: 4,
+    };
+    assert!(engine.serve(req).is_none());
+    assert_eq!(
+        engine.try_serve(req),
+        Err(ServeError::InfeasibleK { k: 4, n: 3 })
+    );
+
+    // Registry path: the same shrink through the delta API yields the
+    // same typed error, never a panic.
+    let registry = Registry::default();
+    let mut spec = UniverseSpec::new(universe, Arc::new(rel), Arc::new(dis), Ratio::new(1, 2));
+    registry.prepare(&spec);
+    spec = registry.apply_delta(&spec, &DeltaOp::Remove(0)).unwrap();
+    spec = registry.apply_delta(&spec, &DeltaOp::Remove(0)).unwrap();
+    assert_eq!(
+        registry.try_serve(&spec, req),
+        Err(ServeError::InfeasibleK { k: 4, n: 3 })
+    );
+}
+
+#[test]
 fn empty_result_set_behaves() {
     let q = parser::parse_query("Q(x, p) :- items(x, p), p > 1000").unwrap();
     let t = task(q, 1);
