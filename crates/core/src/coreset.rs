@@ -628,6 +628,25 @@ impl PreparedCoreset {
                 + std::mem::size_of::<usize>())
             + self.coreset.indices.len() * std::mem::size_of::<usize>()
     }
+
+    /// Validates every cached float the coreset serving path consumes:
+    /// the `O(n)` relevance cache and the `m × m` representative matrix
+    /// (via [`PreparedUniverse::check_finite`]). Serving layers call
+    /// this at prepare time and refuse the universe with the typed
+    /// [`ServeError::NonFiniteScore`] diagnosis instead of letting
+    /// `NaN`/`±∞` scores silently mis-select in the argmax rounds.
+    /// Relevance indices in the diagnosis are full-universe indices;
+    /// distance indices refer to the representative sub-universe.
+    pub fn check_finite(&self) -> Result<(), crate::engine::ServeError> {
+        if let Some(i) = self.rel_f.iter().position(|r| !r.is_finite()) {
+            return Err(crate::engine::ServeError::NonFiniteScore {
+                source: crate::engine::ScoreSource::Relevance,
+                i,
+                j: i,
+            });
+        }
+        self.sub.check_finite()
+    }
 }
 
 impl std::fmt::Debug for PreparedCoreset {

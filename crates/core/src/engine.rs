@@ -688,6 +688,36 @@ pub enum ServeError {
         /// Full universe size.
         n: usize,
     },
+    /// A user-supplied oracle produced a non-finite (`NaN`/`±∞`) float
+    /// score. Non-finite values would flow into the float argmax rounds
+    /// where `NaN` comparisons silently mis-select, so preparation
+    /// validates every cached float ([`PreparedUniverse::check_finite`])
+    /// and serving layers refuse the universe with this diagnosis
+    /// instead of returning a silently wrong answer set.
+    NonFiniteScore {
+        /// Which oracle produced the value.
+        source: ScoreSource,
+        /// Item index (relevance) or pair row (distance).
+        i: usize,
+        /// Pair column for distances; equals `i` for relevance scores.
+        j: usize,
+    },
+    /// A worker thread panicked mid-solve (typically a panicking
+    /// user-supplied oracle). The batch scheduler catches the unwind at
+    /// the per-tenant boundary: the affected request gets this error,
+    /// every other tenant's answer is unaffected, and the process (and
+    /// the shared cache) keeps serving.
+    WorkerPanicked,
+}
+
+/// Which oracle produced an offending score (see
+/// [`ServeError::NonFiniteScore`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScoreSource {
+    /// The relevance function `δ_rel`.
+    Relevance,
+    /// The distance function `δ_dis`.
+    Distance,
 }
 
 impl std::fmt::Display for ServeError {
@@ -700,6 +730,24 @@ impl std::fmt::Display for ServeError {
                 f,
                 "k = {k} exceeds the coreset budget (m = {m} representatives of n = {n})"
             ),
+            ServeError::NonFiniteScore {
+                source: ScoreSource::Relevance,
+                i,
+                ..
+            } => {
+                write!(f, "relevance oracle produced a non-finite score for item {i}")
+            }
+            ServeError::NonFiniteScore {
+                source: ScoreSource::Distance,
+                i,
+                j,
+            } => write!(
+                f,
+                "distance oracle produced a non-finite value for pair ({i}, {j})"
+            ),
+            ServeError::WorkerPanicked => {
+                write!(f, "a worker thread panicked while solving this request")
+            }
         }
     }
 }
@@ -1076,6 +1124,36 @@ impl<'a> PreparedUniverse<'a> {
             + n * (2 * std::mem::size_of::<f64>() + std::mem::size_of::<PairSeed>())
             + tuples
             + self.dis.approx_bytes()
+    }
+
+    /// Validates every cached float this universe will feed into the
+    /// argmax rounds: all `n` relevance scores and all `n²` matrix
+    /// entries must be finite. A user-supplied oracle that emits `NaN`
+    /// or `±∞` would otherwise silently mis-select (every `NaN`
+    /// comparison is `false`, so a poisoned candidate can masquerade as
+    /// the maximum or hide from it); serving layers call this once at
+    /// prepare time and refuse the universe with the typed diagnosis
+    /// instead. `O(n²)` float compares — a few percent of the build
+    /// cost, and only ever paid when the universe is (re)prepared.
+    pub fn check_finite(&self) -> Result<(), ServeError> {
+        if let Some(i) = self.rel.iter().position(|r| !r.is_finite()) {
+            return Err(ServeError::NonFiniteScore {
+                source: ScoreSource::Relevance,
+                i,
+                j: i,
+            });
+        }
+        for i in 0..self.n() {
+            let row = self.matrix.row(i);
+            if let Some(j) = row.iter().position(|d| !d.is_finite()) {
+                return Err(ServeError::NonFiniteScore {
+                    source: ScoreSource::Distance,
+                    i,
+                    j,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// How many times the max-sum heap preamble has been computed for

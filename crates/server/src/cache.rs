@@ -34,10 +34,10 @@
 
 use crate::fingerprint::UniverseKey;
 use crate::spec::{PreparedVariant, UniverseSpec};
-use divr_core::engine::DeltaOp;
+use divr_core::engine::{DeltaOp, ServeError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 struct Entry {
     prepared: PreparedVariant,
@@ -108,6 +108,33 @@ impl PreparedCache {
         &self.shards[i]
     }
 
+    /// Locks a shard, recovering from poison instead of propagating it.
+    ///
+    /// A panic while a shard was locked (a panicking user oracle, an
+    /// allocation failure mid-insert) may have left its bookkeeping
+    /// torn — an entry inserted but its bytes not charged, or the
+    /// reverse. Poisoning every later request on the shard would turn
+    /// one tenant's panic into a permanent denial of service for every
+    /// universe hashing there. Cached state is only ever a rebuildable
+    /// copy, so the recovery is to evict the whole shard (counted as
+    /// evictions), clear the poison flag, and keep serving: in-flight
+    /// `Arc` clones finish on the old immutable state, and the next
+    /// request per key simply re-prepares.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                self.evictions
+                    .fetch_add(guard.entries.len() as u64, Ordering::Relaxed);
+                guard.entries.clear();
+                guard.bytes = 0;
+                shard.clear_poison();
+                guard
+            }
+        }
+    }
+
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
@@ -123,7 +150,7 @@ impl PreparedCache {
     ) -> PreparedVariant {
         let shard = self.shard_of(key);
         {
-            let mut guard = shard.lock().expect("cache shard poisoned");
+            let mut guard = self.lock_shard(shard);
             if let Some(entry) = guard.entries.get_mut(key) {
                 entry.stamp = self.tick();
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -133,8 +160,46 @@ impl PreparedCache {
         // Miss: build outside the lock.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let prepared = spec.prepare_variant(threads);
+        self.adopt_or_insert(shard, key, prepared)
+    }
+
+    /// [`PreparedCache::get_or_prepare`] with validation on the miss
+    /// path: a freshly built universe whose oracles produced non-finite
+    /// floats is refused with [`ServeError::NonFiniteScore`] and **never
+    /// cached** — a bad tenant cannot park a poisoned entry for later
+    /// hits to trip over. Entries already resident are returned as-is
+    /// (everything inserted through this path was validated at build).
+    pub fn get_or_try_prepare(
+        &self,
+        key: &UniverseKey,
+        spec: &UniverseSpec,
+        threads: usize,
+    ) -> Result<PreparedVariant, ServeError> {
+        let shard = self.shard_of(key);
+        {
+            let mut guard = self.lock_shard(shard);
+            if let Some(entry) = guard.entries.get_mut(key) {
+                entry.stamp = self.tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.prepared.clone());
+            }
+        }
+        // Miss: build and validate outside the lock.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = spec.try_prepare_variant(threads)?;
+        Ok(self.adopt_or_insert(shard, key, prepared))
+    }
+
+    /// The common tail of a miss: re-lock, adopt a race winner if one
+    /// appeared while we built, otherwise insert and evict past budget.
+    fn adopt_or_insert(
+        &self,
+        shard: &Mutex<Shard>,
+        key: &UniverseKey,
+        prepared: PreparedVariant,
+    ) -> PreparedVariant {
         let bytes = prepared.approx_bytes();
-        let mut guard = shard.lock().expect("cache shard poisoned");
+        let mut guard = self.lock_shard(shard);
         if let Some(entry) = guard.entries.get_mut(key) {
             // Lost a build race; adopt the winner so all callers share.
             entry.stamp = self.tick();
@@ -163,7 +228,7 @@ impl PreparedCache {
     /// resident alongside the new one, and any in-flight `Arc` clones
     /// simply finish their solves on the old immutable state.
     pub fn take(&self, key: &UniverseKey) -> Option<(PreparedVariant, u64, Vec<DeltaOp>)> {
-        let mut guard = self.shard_of(key).lock().expect("cache shard poisoned");
+        let mut guard = self.lock_shard(self.shard_of(key));
         let entry = guard.entries.remove(key)?;
         guard.bytes -= entry.bytes;
         Some((entry.prepared, entry.version, entry.delta_log))
@@ -184,7 +249,7 @@ impl PreparedCache {
         let bytes =
             prepared.approx_bytes() + delta_log.iter().map(DeltaOp::approx_bytes).sum::<usize>();
         let shard = self.shard_of(key);
-        let mut guard = shard.lock().expect("cache shard poisoned");
+        let mut guard = self.lock_shard(shard);
         let stamp = self.tick();
         if let Some(old) = guard.entries.insert(
             key.clone(),
@@ -206,9 +271,7 @@ impl PreparedCache {
     /// prepare, `v` = `v` operations since), or `None` if not resident.
     /// No LRU bump.
     pub fn version_of(&self, key: &UniverseKey) -> Option<u64> {
-        self.shard_of(key)
-            .lock()
-            .expect("cache shard poisoned")
+        self.lock_shard(self.shard_of(key))
             .entries
             .get(key)
             .map(|e| e.version)
@@ -234,9 +297,7 @@ impl PreparedCache {
 
     /// Whether `key` is currently resident (no LRU bump).
     pub fn contains(&self, key: &UniverseKey) -> bool {
-        self.shard_of(key)
-            .lock()
-            .expect("cache shard poisoned")
+        self.lock_shard(self.shard_of(key))
             .entries
             .contains_key(key)
     }
@@ -244,7 +305,7 @@ impl PreparedCache {
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut guard = shard.lock().expect("cache shard poisoned");
+            let mut guard = self.lock_shard(shard);
             guard.entries.clear();
             guard.bytes = 0;
         }
@@ -259,7 +320,7 @@ impl PreparedCache {
         let mut entries = 0;
         let mut bytes = 0;
         for shard in &self.shards {
-            let guard = shard.lock().expect("cache shard poisoned");
+            let guard = self.lock_shard(shard);
             entries += guard.entries.len();
             bytes += guard.bytes;
         }
@@ -391,5 +452,95 @@ mod tests {
         cache.clear();
         let st = cache.stats();
         assert_eq!(st, CacheStats::default());
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_keeps_serving() {
+        let cache = Arc::new(PreparedCache::new(usize::MAX, 1));
+        let s = spec(8, Ratio::new(1, 2));
+        let k = s.key();
+        cache.get_or_prepare(&k, &s, 1);
+        // Poison the only shard: a thread panics while holding its lock
+        // (the shape of a panicking oracle unwinding through a locked
+        // region).
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].lock().unwrap();
+            panic!("injected panic while holding the shard lock");
+        })
+        .join();
+        assert!(cache.shards[0].is_poisoned());
+        // Every access used to panic here forever ("cache shard
+        // poisoned") — a permanent denial of service from one bad
+        // request. Recovery evicts the possibly-torn shard and serves.
+        let again = cache.get_or_prepare(&k, &s, 1);
+        assert_eq!(again.n(), 8);
+        assert!(!cache.shards[0].is_poisoned());
+        assert!(cache.stats().evictions >= 1);
+        // The re-prepared entry is resident and hittable again.
+        assert!(cache.contains(&k));
+        let hit = cache.get_or_prepare(&k, &s, 1);
+        assert!(Arc::ptr_eq(again.as_full().unwrap(), hit.as_full().unwrap()));
+    }
+
+    #[test]
+    fn non_finite_universe_is_refused_and_never_cached() {
+        use crate::fingerprint::{FingerprintEncoder, Fingerprintable};
+        use divr_core::distance::Distance;
+        use divr_core::engine::{ScoreSource, ServeError};
+
+        /// Exact oracle is fine; the float fast path emits NaN for one
+        /// pair — exactly the silent-misselection shape the validator
+        /// must catch.
+        struct NanDistance;
+        impl Distance for NanDistance {
+            fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+                if a == b {
+                    Ratio::ZERO
+                } else {
+                    Ratio::ONE
+                }
+            }
+            fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+                if a.get(0) == Some(&divr_relquery::Value::Int(2))
+                    || b.get(0) == Some(&divr_relquery::Value::Int(2))
+                {
+                    f64::NAN
+                } else {
+                    self.dist(a, b).to_f64()
+                }
+            }
+        }
+        impl Fingerprintable for NanDistance {
+            fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+                enc.write_tag("test:nan-distance");
+            }
+        }
+
+        let cache = PreparedCache::new(usize::MAX, 2);
+        let s = UniverseSpec::new(
+            (0..6).map(|i| Tuple::ints([i])).collect(),
+            Arc::new(ConstantRelevance(Ratio::ONE)),
+            Arc::new(NanDistance),
+            Ratio::new(1, 2),
+        );
+        let k = s.key();
+        let err = cache.get_or_try_prepare(&k, &s, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::NonFiniteScore {
+                source: ScoreSource::Distance,
+                ..
+            }
+        ));
+        // Refused universes are never cached: no resident entry, and a
+        // retry re-validates (and re-fails) instead of hitting.
+        assert!(!cache.contains(&k));
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get_or_try_prepare(&k, &s, 1).is_err());
+        // A healthy universe passes through the checked path and caches.
+        let ok = spec(5, Ratio::new(1, 2));
+        assert!(cache.get_or_try_prepare(&ok.key(), &ok, 1).is_ok());
+        assert!(cache.contains(&ok.key()));
     }
 }

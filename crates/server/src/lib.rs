@@ -88,11 +88,12 @@ pub mod spec;
 
 pub use cache::{CacheStats, PreparedCache};
 pub use fingerprint::{FingerprintEncoder, Fingerprintable, UniverseKey};
-pub use registry::{Answer, Registry, RegistryConfig, RegistryStats, TenantBatch};
+pub use registry::{Answer, CheckedAnswer, Registry, RegistryConfig, RegistryStats, TenantBatch};
 pub use spec::{
     CoresetSpec, PreparedVariant, ServableDistance, ServableRelevance, UniverseSpec,
 };
 
 // The delta vocabulary is divr_core's; re-exported so registry callers
-// need not depend on divr_core directly to mutate universes.
-pub use divr_core::engine::{DeltaError, DeltaOp, ServeError};
+// need not depend on divr_core directly to mutate universes. ScoreSource
+// rides along for matching on ServeError::NonFiniteScore diagnoses.
+pub use divr_core::engine::{DeltaError, DeltaOp, ScoreSource, ServeError};

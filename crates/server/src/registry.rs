@@ -8,6 +8,7 @@ use divr_core::engine::{
 use divr_core::Ratio;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -40,6 +41,14 @@ impl Default for RegistryConfig {
 /// One served answer: the exact objective value and the chosen universe
 /// indices, or `None` when the request was infeasible (`k > n`).
 pub type Answer = Option<(Ratio, Vec<usize>)>;
+
+/// One served answer with a typed diagnosis instead of `None`: why the
+/// request has no answer ([`ServeError::InfeasibleK`],
+/// [`ServeError::ExceedsCoresetBudget`]), why the universe was refused
+/// ([`ServeError::NonFiniteScore`]), or that its worker died mid-solve
+/// ([`ServeError::WorkerPanicked`]) — the form a network front-end maps
+/// to wire status codes.
+pub type CheckedAnswer = Result<(Ratio, Vec<usize>), ServeError>;
 
 /// One tenant's slice of a mixed batch: a universe plus the requests to
 /// run against it.
@@ -133,12 +142,18 @@ impl Registry {
     }
 
     /// Serves a whole batch against one universe (one cache access, one
-    /// engine, many requests).
+    /// engine, many requests). An empty request slice returns
+    /// immediately **without touching the cache**: a probe with nothing
+    /// to ask must not pay an `O(n²)` prepare, and must not let that
+    /// prepare evict another tenant's warm entry.
     pub fn serve_universe_batch(
         &self,
         spec: &UniverseSpec,
         requests: &[EngineRequest],
     ) -> Vec<Answer> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
         self.prepare(spec).serve_batch(self.solve_threads, requests)
     }
 
@@ -199,14 +214,52 @@ impl Registry {
     /// assert_eq!(registry.stats().misses, 2); // one prepare per universe
     /// ```
     pub fn serve_mixed(&self, batch: &[TenantBatch]) -> Vec<Vec<Answer>> {
+        self.serve_mixed_checked(batch)
+            .into_iter()
+            .map(|tenant| tenant.into_iter().map(Result::ok).collect())
+            .collect()
+    }
+
+    /// [`Registry::serve_mixed`] with typed per-request diagnoses and
+    /// **fault isolation**: one tenant's failure never costs another
+    /// tenant its answer, and never costs the process its life.
+    ///
+    /// Every failure mode is caught at the narrowest boundary that
+    /// contains it:
+    ///
+    /// - A universe whose oracles emit non-finite floats is refused at
+    ///   prepare with [`ServeError::NonFiniteScore`] (and never cached);
+    ///   only requests against *that* universe see the error.
+    /// - An oracle that panics during preparation poisons nothing: the
+    ///   unwind is caught per distinct universe, its tenants get
+    ///   [`ServeError::WorkerPanicked`], and the shared cache keeps
+    ///   serving (a shard lock poisoned by a panic elsewhere recovers by
+    ///   evicting that shard — see `cache.rs`).
+    /// - A panic mid-solve is caught per `(tenant, request)` unit: the
+    ///   worker discards its scratch (possibly torn mid-unwind), takes a
+    ///   fresh one, and continues draining the queue, so answers behind
+    ///   the panicking unit are still served — bit-identical to a batch
+    ///   that never contained the bad tenant.
+    ///
+    /// Infeasible requests get the same typed diagnoses as
+    /// [`Registry::try_serve`], computed from the prepared dimensions
+    /// without re-solving. Tenants with zero requests are skipped before
+    /// the cache is touched (no prepare, no eviction pressure).
+    pub fn serve_mixed_checked(&self, batch: &[TenantBatch]) -> Vec<Vec<CheckedAnswer>> {
         // Deduplicate universes by content, keeping each distinct key
         // (fingerprinting is O(content); never pay it twice per batch).
+        // Zero-request tenants are excluded: they contribute no solve
+        // units, so they must not force a prepare either.
         let mut distinct: Vec<&UniverseSpec> = Vec::new();
         let mut distinct_keys: Vec<crate::fingerprint::UniverseKey> = Vec::new();
-        let mut slot_of_tenant: Vec<usize> = Vec::with_capacity(batch.len());
+        let mut slot_of_tenant: Vec<Option<usize>> = Vec::with_capacity(batch.len());
         {
             let mut slot_by_key: HashMap<crate::fingerprint::UniverseKey, usize> = HashMap::new();
             for tenant in batch {
+                if tenant.requests.is_empty() {
+                    slot_of_tenant.push(None);
+                    continue;
+                }
                 let key = tenant.spec.key();
                 let slot = match slot_by_key.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => *e.get(),
@@ -218,8 +271,12 @@ impl Registry {
                         slot
                     }
                 };
-                slot_of_tenant.push(slot);
+                slot_of_tenant.push(Some(slot));
             }
+        }
+        let units: usize = batch.iter().map(|t| t.requests.len()).sum();
+        if units == 0 {
+            return batch.iter().map(|_| Vec::new()).collect();
         }
 
         // Phase 1: prepare each distinct universe once, workers
@@ -227,9 +284,10 @@ impl Registry {
         // divided among the workers that actually run in this phase —
         // one distinct universe must not build its O(n²) matrix
         // single-threaded just because the solve phase will fan wider.
-        let prepared: Vec<OnceLock<PreparedVariant>> =
+        // Preparation runs under catch_unwind: a panicking oracle marks
+        // its own slot failed and the claiming loop moves on.
+        let prepared: Vec<OnceLock<Result<PreparedVariant, ServeError>>> =
             (0..distinct.len()).map(|_| OnceLock::new()).collect();
-        let units: usize = batch.iter().map(|t| t.requests.len()).sum();
         let workers = self.workers.min(units.max(distinct.len())).max(1);
         let solve_threads = (self.solve_threads / workers).max(1);
         {
@@ -243,11 +301,14 @@ impl Registry {
                         if i >= distinct.len() {
                             break;
                         }
-                        let p = self.cache.get_or_prepare(
-                            &distinct_keys[i],
-                            distinct[i],
-                            prepare_threads,
-                        );
+                        let p = catch_unwind(AssertUnwindSafe(|| {
+                            self.cache.get_or_try_prepare(
+                                &distinct_keys[i],
+                                distinct[i],
+                                prepare_threads,
+                            )
+                        }))
+                        .unwrap_or(Err(ServeError::WorkerPanicked));
                         let _ = prepared[i].set(p);
                     });
                 }
@@ -263,19 +324,52 @@ impl Registry {
         }
         let queues: Vec<Mutex<VecDeque<usize>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (u, queue) in (0..flat.len()).zip((0..workers).cycle()) {
-            queues[queue].lock().expect("queue poisoned").push_back(u);
+        // A panic can only poison a queue lock if the panic happens
+        // while it is held; pushes and pops are tiny and panic-free, so
+        // a poisoned queue's contents are still consistent — recover the
+        // guard and keep scheduling.
+        fn lock_queue(
+            q: &Mutex<VecDeque<usize>>,
+        ) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+            q.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
         }
-        let solve_unit = |u: usize, scratch: &mut SolveScratch| -> (usize, usize, Answer) {
+        for (u, queue) in (0..flat.len()).zip((0..workers).cycle()) {
+            lock_queue(&queues[queue]).push_back(u);
+        }
+        let solve_unit = |u: usize, scratch: &mut SolveScratch| -> (usize, usize, CheckedAnswer) {
             let (t, r) = flat[u];
-            let prep = prepared[slot_of_tenant[t]]
+            let slot = slot_of_tenant[t].expect("flat units only reference prepared tenants");
+            let request = batch[t].requests[r];
+            let answer = match prepared[slot]
                 .get()
-                .expect("prepare phase covered every distinct universe");
-            let answer = prep.serve_with(solve_threads, batch[t].requests[r], scratch);
+                .expect("prepare phase covered every distinct universe")
+            {
+                Err(e) => Err(*e),
+                Ok(prep) => {
+                    let attempt = {
+                        let s = &mut *scratch;
+                        catch_unwind(AssertUnwindSafe(|| {
+                            prep.serve_with(solve_threads, request, s)
+                        }))
+                    };
+                    match attempt {
+                        Ok(Some(answer)) => Ok(answer),
+                        Ok(None) => Err(prep.classify_infeasible(request.k)),
+                        Err(_) => {
+                            // The unwind may have torn the scratch
+                            // buffers mid-solve; a fresh scratch keeps
+                            // every later unit on this worker exact.
+                            *scratch = SolveScratch::new();
+                            Err(ServeError::WorkerPanicked)
+                        }
+                    }
+                }
+            };
             (t, r, answer)
         };
-        let solved: Vec<Vec<(usize, usize, Answer)>> = std::thread::scope(|scope| {
+        let solved: Vec<Vec<(usize, usize, CheckedAnswer)>> = std::thread::scope(|scope| {
             let queues = &queues;
+            let solve_unit = &solve_unit;
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
@@ -287,7 +381,7 @@ impl Registry {
                         let mut scratch = SolveScratch::new();
                         loop {
                             // Own queue first (front)…
-                            let mine = queues[w].lock().expect("queue poisoned").pop_front();
+                            let mine = lock_queue(&queues[w]).pop_front();
                             if let Some(u) = mine {
                                 out.push(solve_unit(u, &mut scratch));
                                 continue;
@@ -295,12 +389,8 @@ impl Registry {
                             // …then steal from the longest victim (back).
                             let victim = (0..queues.len())
                                 .filter(|&v| v != w)
-                                .max_by_key(|&v| {
-                                    queues[v].lock().expect("queue poisoned").len()
-                                });
-                            let stolen = victim.and_then(|v| {
-                                queues[v].lock().expect("queue poisoned").pop_back()
-                            });
+                                .max_by_key(|&v| lock_queue(&queues[v]).len());
+                            let stolen = victim.and_then(|v| lock_queue(&queues[v]).pop_back());
                             match stolen {
                                 Some(u) => out.push(solve_unit(u, &mut scratch)),
                                 None => break,
@@ -310,15 +400,19 @@ impl Registry {
                     })
                 })
                 .collect();
+            // Per-unit catch_unwind means a worker thread cannot die of
+            // a solver panic; if one dies anyway (e.g. its stack
+            // overflowed), its claimed-but-unreported units keep the
+            // WorkerPanicked default below — the batch still returns.
             handles
                 .into_iter()
-                .map(|h| h.join().expect("registry worker panicked"))
+                .map(|h| h.join().unwrap_or_default())
                 .collect()
         });
 
-        let mut answers: Vec<Vec<Answer>> = batch
+        let mut answers: Vec<Vec<CheckedAnswer>> = batch
             .iter()
-            .map(|t| vec![None; t.requests.len()])
+            .map(|t| vec![Err(ServeError::WorkerPanicked); t.requests.len()])
             .collect();
         for (t, r, answer) in solved.into_iter().flatten() {
             answers[t][r] = answer;
@@ -326,17 +420,28 @@ impl Registry {
         answers
     }
 
+    /// [`Registry::prepare`] with validation: a freshly built universe
+    /// whose oracles emitted non-finite floats is refused with
+    /// [`ServeError::NonFiniteScore`] and never cached; already-resident
+    /// entries are returned as-is.
+    pub fn try_prepare(&self, spec: &UniverseSpec) -> Result<PreparedVariant, ServeError> {
+        self.cache
+            .get_or_try_prepare(&spec.key(), spec, self.solve_threads)
+    }
+
     /// Like [`Registry::serve`], but with a typed diagnosis instead of
     /// `None` when no answer exists: [`ServeError::InfeasibleK`] when
     /// `k` exceeds the universe (e.g. after removals shrank it below
-    /// `k`), or [`ServeError::ExceedsCoresetBudget`] when the universe
-    /// could answer but the spec's coreset budget cannot.
+    /// `k`), [`ServeError::ExceedsCoresetBudget`] when the universe
+    /// could answer but the spec's coreset budget cannot, or
+    /// [`ServeError::NonFiniteScore`] when the universe itself is
+    /// refused at prepare (validated before anything is cached).
     pub fn try_serve(
         &self,
         spec: &UniverseSpec,
         request: EngineRequest,
     ) -> Result<(Ratio, Vec<usize>), ServeError> {
-        self.prepare(spec).try_serve(self.solve_threads, request)
+        self.try_prepare(spec)?.try_serve(self.solve_threads, request)
     }
 
     /// Applies one delta operation to a universe and returns the spec of

@@ -168,6 +168,35 @@ impl PreparedVariant {
         }
     }
 
+    /// Validates every cached float in this prepared state (relevance
+    /// caches and the distance matrix — full `n × n` or coreset
+    /// `m × m`): `Ok` iff none is `NaN`/`±∞`. The checked prepare
+    /// paths run this once per build so non-finite oracle output is a
+    /// typed refusal ([`ServeError::NonFiniteScore`]) instead of a
+    /// silently mis-selected answer set.
+    pub fn check_finite(&self) -> Result<(), ServeError> {
+        match self {
+            PreparedVariant::Full(p) => p.check_finite(),
+            PreparedVariant::Coreset(p) => p.check_finite(),
+        }
+    }
+
+    /// The typed diagnosis for a `None` answer from
+    /// [`PreparedVariant::serve`] at result size `k`, computed from the
+    /// prepared state's dimensions alone (no re-solve):
+    /// [`ServeError::InfeasibleK`] when `k` exceeds the universe,
+    /// [`ServeError::ExceedsCoresetBudget`] when the universe could
+    /// answer but this coreset preparation cannot.
+    pub fn classify_infeasible(&self, k: usize) -> ServeError {
+        let n = self.n();
+        match self {
+            PreparedVariant::Coreset(p) if k <= n && k > p.m() => {
+                ServeError::ExceedsCoresetBudget { k, m: p.m(), n }
+            }
+            _ => ServeError::InfeasibleK { k, n },
+        }
+    }
+
     /// Serves a whole batch against this prepared state (one scratch
     /// reused across the batch).
     pub fn serve_batch(
@@ -365,6 +394,18 @@ impl UniverseSpec {
                 )))
             }
         }
+    }
+
+    /// [`UniverseSpec::prepare_variant`] plus validation: refuses a
+    /// universe whose oracles emitted a non-finite float
+    /// ([`ServeError::NonFiniteScore`]) before it can reach the argmax
+    /// rounds, where `NaN` comparisons would silently mis-select. The
+    /// registry's checked serving paths prepare through this and never
+    /// cache a refused universe.
+    pub fn try_prepare_variant(&self, threads: usize) -> Result<PreparedVariant, ServeError> {
+        let prepared = self.prepare_variant(threads);
+        prepared.check_finite()?;
+        Ok(prepared)
     }
 }
 

@@ -1,0 +1,292 @@
+//! Per-tenant admission control: token-bucket QPS quotas and
+//! cache-byte ledgers.
+//!
+//! Admission answers one question before any expensive work happens:
+//! *may this tenant make the process do this right now?* Two quotas:
+//!
+//! * **Rate** — a token bucket per tenant (capacity `burst`, refill
+//!   `qps` tokens/second), charged one token per requested answer, so
+//!   a frame carrying ten requests costs ten tokens. Buckets start
+//!   full; a drained bucket yields a retryable `429 qps_exceeded`.
+//! * **Cache bytes** — a ledger of the prepared-state bytes each
+//!   tenant's *distinct* universes would pin, charged once per
+//!   universe key from the closed-form size estimate (`n²` floats
+//!   full-matrix, `m²` coreset) **before** preparation runs. A tenant
+//!   over quota gets `429 cache_quota` and, crucially, never triggers
+//!   the `O(n²)` build — the quota protects the cache *and* the CPU.
+//!   The ledger is an admission-side upper bound, deliberately not
+//!   refunded on LRU eviction: a tenant cycling through endless
+//!   distinct universes is exactly the abuse the quota exists to stop.
+//!
+//! Both checks are a few map operations under one mutex — micro-
+//! seconds — and the lock recovers from poisoning the same way the
+//! registry's cache shards do (quota state is always consistent at
+//! rest; see `divr_server::cache`).
+
+use divr_server::UniverseKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Quota sizing for one service instance (applied per tenant).
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Sustained requests/second each tenant may issue.
+    pub qps: f64,
+    /// Burst capacity (token-bucket size), in requests.
+    pub burst: f64,
+    /// Prepared-state bytes each tenant may ask the cache to pin,
+    /// summed over its distinct universes.
+    pub cache_quota_bytes: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            qps: 500.0,
+            burst: 100.0,
+            cache_quota_bytes: 64 << 20,
+        }
+    }
+}
+
+/// A typed admission refusal — every variant maps to a retryable `429`
+/// on the wire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Rejection {
+    /// The tenant's token bucket is drained.
+    QpsExceeded {
+        /// Milliseconds until the bucket holds one token again.
+        retry_after_ms: u64,
+    },
+    /// Admitting this universe would push the tenant's cache ledger
+    /// past its quota.
+    CacheQuota {
+        /// Bytes the ledger already carries.
+        charged: u64,
+        /// Bytes this universe would add.
+        requested: u64,
+        /// The quota.
+        quota: u64,
+    },
+    /// The accept queue is full (produced by the front-end, not by
+    /// [`Admission`] itself; carried here so the wire layer has one
+    /// rejection vocabulary).
+    QueueFull,
+}
+
+impl Rejection {
+    /// The machine-matchable `kind` string for the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Rejection::QpsExceeded { .. } => "qps_exceeded",
+            Rejection::CacheQuota { .. } => "cache_quota",
+            Rejection::QueueFull => "queue_full",
+        }
+    }
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QpsExceeded { retry_after_ms } => {
+                write!(f, "rate quota exhausted; retry in ~{retry_after_ms} ms")
+            }
+            Rejection::CacheQuota {
+                charged,
+                requested,
+                quota,
+            } => write!(
+                f,
+                "cache quota exceeded: {charged} bytes charged + {requested} requested > {quota}"
+            ),
+            Rejection::QueueFull => write!(f, "accept queue is full; retry with backoff"),
+        }
+    }
+}
+
+struct Tenant {
+    tokens: f64,
+    refilled_at: Instant,
+    charged: HashMap<UniverseKey, u64>,
+    charged_bytes: u64,
+}
+
+/// The admission controller: per-tenant token buckets and cache
+/// ledgers behind one poison-recovering mutex, plus lock-free decision
+/// counters for `/stats`.
+pub struct Admission {
+    config: AdmissionConfig,
+    tenants: Mutex<HashMap<String, Tenant>>,
+    admitted: AtomicU64,
+    rejected_qps: AtomicU64,
+    rejected_cache: AtomicU64,
+}
+
+impl Admission {
+    /// A controller enforcing `config` for every tenant independently.
+    pub fn new(config: AdmissionConfig) -> Self {
+        Admission {
+            config,
+            tenants: Mutex::new(HashMap::new()),
+            admitted: AtomicU64::new(0),
+            rejected_qps: AtomicU64::new(0),
+            rejected_cache: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_tenants(&self) -> std::sync::MutexGuard<'_, HashMap<String, Tenant>> {
+        // Quota state is consistent between operations; recover rather
+        // than letting one panic deny admission forever.
+        self.tenants.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn tenant_entry<'a>(
+        &self,
+        tenants: &'a mut HashMap<String, Tenant>,
+        tenant: &str,
+        now: Instant,
+    ) -> &'a mut Tenant {
+        tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Tenant {
+                tokens: self.config.burst,
+                refilled_at: now,
+                charged: HashMap::new(),
+                charged_bytes: 0,
+            })
+    }
+
+    /// Charges `cost` request tokens against the tenant's bucket.
+    pub fn admit_requests(&self, tenant: &str, cost: f64) -> Result<(), Rejection> {
+        let now = Instant::now();
+        let mut tenants = self.lock_tenants();
+        let state = self.tenant_entry(&mut tenants, tenant, now);
+        let elapsed = now.duration_since(state.refilled_at).as_secs_f64();
+        state.tokens = (state.tokens + elapsed * self.config.qps).min(self.config.burst);
+        state.refilled_at = now;
+        if state.tokens >= cost {
+            state.tokens -= cost;
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            let deficit = cost.max(1.0) - state.tokens;
+            let retry_after_ms = if self.config.qps > 0.0 {
+                (deficit / self.config.qps * 1000.0).ceil() as u64
+            } else {
+                u64::MAX
+            };
+            self.rejected_qps.fetch_add(1, Ordering::Relaxed);
+            Err(Rejection::QpsExceeded { retry_after_ms })
+        }
+    }
+
+    /// Charges a universe's estimated prepared bytes to the tenant's
+    /// ledger (idempotent per key: re-serving a universe the tenant
+    /// already paid for is free).
+    pub fn charge_universe(
+        &self,
+        tenant: &str,
+        key: &UniverseKey,
+        bytes: u64,
+    ) -> Result<(), Rejection> {
+        let now = Instant::now();
+        let mut tenants = self.lock_tenants();
+        let state = self.tenant_entry(&mut tenants, tenant, now);
+        if state.charged.contains_key(key) {
+            return Ok(());
+        }
+        if state.charged_bytes.saturating_add(bytes) > self.config.cache_quota_bytes {
+            self.rejected_cache.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::CacheQuota {
+                charged: state.charged_bytes,
+                requested: bytes,
+                quota: self.config.cache_quota_bytes,
+            });
+        }
+        state.charged.insert(key.clone(), bytes);
+        state.charged_bytes += bytes;
+        Ok(())
+    }
+
+    /// `(admitted, rejected_qps, rejected_cache)` decision counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.admitted.load(Ordering::Relaxed),
+            self.rejected_qps.load(Ordering::Relaxed),
+            self.rejected_cache.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The closed-form prepared-state size estimate admission charges
+/// before preparation runs: the `8`-byte float matrix (`n × n` full,
+/// `m × m` coreset) plus `O(n)` per-item bookkeeping. Mirrors the
+/// dominant terms of the cache's exact post-build metering.
+pub fn estimate_prepared_bytes(n: usize, coreset_budget: Option<usize>) -> u64 {
+    let n = n as u64;
+    let side = coreset_budget.map_or(n, |m| (m as u64).min(n));
+    side * side * 8 + n * 48
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divr_server::FingerprintEncoder;
+
+    fn key(tag: &str) -> UniverseKey {
+        let mut enc = FingerprintEncoder::new();
+        enc.write_tag(tag);
+        enc.into_key()
+    }
+
+    #[test]
+    fn bucket_drains_and_refills() {
+        let adm = Admission::new(AdmissionConfig {
+            qps: 1000.0,
+            burst: 2.0,
+            cache_quota_bytes: u64::MAX,
+        });
+        assert!(adm.admit_requests("alice", 2.0).is_ok());
+        let rejected = adm.admit_requests("alice", 1.0).unwrap_err();
+        assert!(matches!(rejected, Rejection::QpsExceeded { .. }));
+        // Tenants are independent.
+        assert!(adm.admit_requests("bob", 2.0).is_ok());
+        // Refill at 1000 tokens/s: a few ms restores a token.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(adm.admit_requests("alice", 1.0).is_ok());
+        let (admitted, rejected_qps, _) = adm.counters();
+        assert_eq!((admitted, rejected_qps), (3, 1));
+    }
+
+    #[test]
+    fn cache_ledger_charges_each_universe_once() {
+        let adm = Admission::new(AdmissionConfig {
+            qps: 1000.0,
+            burst: 1000.0,
+            cache_quota_bytes: 1000,
+        });
+        assert!(adm.charge_universe("alice", &key("u1"), 600).is_ok());
+        // Same key again: already paid, no double charge.
+        assert!(adm.charge_universe("alice", &key("u1"), 600).is_ok());
+        // A second universe that would overflow the quota is refused…
+        let e = adm.charge_universe("alice", &key("u2"), 600).unwrap_err();
+        assert_eq!(e.kind(), "cache_quota");
+        // …but a small one still fits, and other tenants are untouched.
+        assert!(adm.charge_universe("alice", &key("u3"), 300).is_ok());
+        assert!(adm.charge_universe("bob", &key("u2"), 600).is_ok());
+    }
+
+    #[test]
+    fn size_estimate_tracks_mode() {
+        // Full matrix dominates; coreset mode is m²-driven.
+        assert!(estimate_prepared_bytes(1000, None) > 8_000_000);
+        assert!(estimate_prepared_bytes(1000, Some(32)) < 100_000);
+        // Budget above n clamps to n.
+        assert_eq!(
+            estimate_prepared_bytes(10, Some(99)),
+            estimate_prepared_bytes(10, None)
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! `divrd` — the diversification daemon.
+//!
+//! ```text
+//! divrd [ADDR] [WORKERS]
+//! ```
+//!
+//! Binds `ADDR` (default `127.0.0.1:7411`; use port `0` for an
+//! ephemeral port), spawns `WORKERS` connection workers (default 4),
+//! prints the bound address to stderr, and serves until killed. See
+//! `divr_service` for the protocol.
+
+use divr_service::{Service, ServiceConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7411".to_string());
+    let workers = args
+        .next()
+        .map(|w| w.parse::<usize>().expect("WORKERS must be an integer"))
+        .unwrap_or(4);
+    let config = ServiceConfig {
+        addr,
+        workers,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(config).expect("failed to bind");
+    eprintln!("divrd listening on {}", service.local_addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

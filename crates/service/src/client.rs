@@ -1,0 +1,83 @@
+//! A minimal blocking client for the daemon's frame protocol — what
+//! the conformance tests and the load bench drive the wire with (and a
+//! reference for writing one in any language: ~frame, JSON, done).
+
+use crate::json::{self, object, Value};
+use crate::proto::{read_frame, write_frame};
+use crate::wire::objective_to_str;
+use divr_core::engine::EngineRequest;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running [`Service`](crate::server::Service).
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects (no handshake; the protocol is stateless per frame).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame_bytes: 64 << 20,
+        })
+    }
+
+    /// Sends one request document and blocks for the response.
+    pub fn request(&mut self, doc: &Value) -> io::Result<Value> {
+        write_frame(&mut self.stream, doc.to_json().as_bytes())?;
+        self.read_response()
+    }
+
+    /// Reads one response frame without sending anything first — how a
+    /// client observes the acceptor's unsolicited `429 queue_full`.
+    pub fn read_response(&mut self) -> io::Result<Value> {
+        let payload = read_frame(&mut self.stream, self.max_frame_bytes)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"))?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+        json::parse(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// `{"op": "ping"}` → whether the daemon answered `pong`.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let response = self.request(&object([("op", Value::Str("ping".into()))]))?;
+        Ok(response.get("op").and_then(Value::as_str) == Some("pong"))
+    }
+
+    /// `{"op": "stats"}` → the daemon's stats object.
+    pub fn stats(&mut self) -> io::Result<Value> {
+        self.request(&object([("op", Value::Str("stats".into()))]))
+    }
+}
+
+/// Builds a `serve` frame document from a universe JSON object and
+/// typed requests.
+pub fn serve_doc(tenant: &str, universe: Value, requests: &[EngineRequest]) -> Value {
+    object([
+        ("op", Value::Str("serve".into())),
+        ("tenant", Value::Str(tenant.into())),
+        ("universe", universe),
+        (
+            "requests",
+            Value::Array(
+                requests
+                    .iter()
+                    .map(|r| {
+                        object([
+                            (
+                                "objective",
+                                Value::Str(objective_to_str(r.kind).into()),
+                            ),
+                            ("k", Value::Int(r.k as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}

@@ -1,0 +1,46 @@
+//! # divr-service — the diversification daemon
+//!
+//! The paper frames QRD as a serving problem; `divr_server::Registry`
+//! made it a library. This crate puts it on the wire as a process you
+//! can point tenants at — std-only, no external dependencies:
+//!
+//! * **Protocol** ([`proto`], [`json`], [`wire`]): length-prefixed
+//!   JSON frames over TCP. Universes travel as content (tuples,
+//!   oracle configs, λ as exact `[num, den]` pairs); answers come back
+//!   with exact values and full-universe indices, or a typed
+//!   `{code, kind}` failure.
+//! * **Admission control** ([`admission`]): per-tenant token-bucket
+//!   QPS quotas and prepared-byte cache quotas, charged *before* the
+//!   `O(n²)` work they would unleash; saturation answers retryable
+//!   `429`s instead of queueing without bound.
+//! * **Degradation** ([`server`]): when frames in flight cross the
+//!   watermark, large full-matrix universes are transparently served
+//!   in coreset mode — precision degrades (bounded, measured; see
+//!   `divr_core::coreset`), availability doesn't.
+//! * **Fault isolation**: a panicking or `NaN`-emitting oracle costs
+//!   exactly the requests that touched it (`500 worker_panicked` /
+//!   `422 non_finite_score`) — the registry's catch-unwind boundaries
+//!   and poison-recovering cache keep every other tenant's answers
+//!   bit-identical and the process alive. The [`wire`] module's
+//!   `chaos_panic` / `chaos_nan` distance kinds exist to prove exactly
+//!   that, end-to-end, through the real protocol.
+//! * **Observability** ([`histogram`]): lock-free log-bucketed latency
+//!   histograms per objective, exported by `{"op": "stats"}` — the
+//!   numbers `BENCH_service.json` gates regressions on.
+//!
+//! Start one with [`Service::start`]; talk to it with [`Client`] or
+//! any socket that can write a 4-byte length and some JSON. The
+//! `divrd` binary wraps the same entry point for the command line.
+
+pub mod admission;
+pub mod client;
+pub mod histogram;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use admission::{Admission, AdmissionConfig, Rejection};
+pub use client::{serve_doc, Client};
+pub use histogram::{Histogram, LatencyStats};
+pub use server::{Service, ServiceConfig};

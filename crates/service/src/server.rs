@@ -1,0 +1,518 @@
+//! The daemon: acceptor, bounded queue, worker pool, and the
+//! per-frame admission → degradation → serve state machine.
+//!
+//! ```text
+//!            accept()        bounded sync_channel        worker pool
+//!   client ──────────▶ acceptor ──try_send──▶ [queue] ──recv──▶ worker ──▶ Registry
+//!                         │ Full                                  │
+//!                         └──▶ 429 queue_full + close             └──▶ frames until EOF
+//! ```
+//!
+//! Every admitted frame walks one state machine:
+//!
+//! 1. **Parse** — malformed JSON or an oversized frame is a `400`;
+//!    nothing downstream sees it.
+//! 2. **Rate** — the tenant's token bucket is charged one token per
+//!    requested answer; a drained bucket is a retryable `429
+//!    qps_exceeded` costing microseconds, not an `O(n²)` prepare.
+//! 3. **Degrade** — if the frames in flight exceed the watermark, a
+//!    full-matrix universe large enough to matter is transparently
+//!    re-addressed in coreset mode (budget never below the frame's
+//!    largest `k`): under pressure the daemon sheds *precision*
+//!    (bounded, measured — see `divr_core::coreset`) instead of
+//!    availability. The response carries `"degraded": true`.
+//! 4. **Cache quota** — the universe's estimated prepared bytes are
+//!    charged to the tenant's ledger; over-quota tenants get `429
+//!    cache_quota` *before* preparation, so one tenant cannot evict
+//!    the whole cache behind everyone else's back.
+//! 5. **Serve** — `Registry::serve_mixed_checked` does the work under
+//!    its per-universe / per-request fault isolation; a panicking
+//!    oracle costs exactly the requests that touched it (`500
+//!    worker_panicked`) and the daemon keeps serving.
+//! 6. **Record** — the frame's latency lands in the per-objective
+//!    log-bucketed histograms exported by `{"op": "stats"}`.
+
+use crate::admission::{estimate_prepared_bytes, Admission, AdmissionConfig, Rejection};
+use crate::histogram::LatencyStats;
+use crate::json::{self, object, Value};
+use crate::proto::{serve_error_status, write_frame, FrameTooLarge};
+use crate::wire::{objective_to_str, ratio_to_json, requests_from_json, universe_from_json};
+use divr_core::problem::ObjectiveKind;
+use divr_server::{Registry, RegistryConfig, TenantBatch};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything that sizes one service instance.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address (`"127.0.0.1:0"` picks a free port — the form
+    /// tests and benches use).
+    pub addr: String,
+    /// Connection workers: how many tenants' frames are decoded and
+    /// served concurrently.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before the
+    /// acceptor starts answering `429 queue_full`.
+    pub accept_backlog: usize,
+    /// Largest request frame the reader will buffer.
+    pub max_frame_bytes: usize,
+    /// Frames in flight above which new full-matrix universes are
+    /// served in coreset mode instead.
+    pub degrade_watermark: usize,
+    /// Coreset budget used when degrading (raised to the frame's
+    /// largest `k` so degradation never makes a request infeasible).
+    pub degrade_budget: usize,
+    /// Universes smaller than this are never degraded (their full
+    /// prepare is already cheap).
+    pub degrade_min_n: usize,
+    /// Per-tenant rate and cache quotas.
+    pub admission: AdmissionConfig,
+    /// Sizing for the underlying registry.
+    pub registry: RegistryConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            accept_backlog: 64,
+            max_frame_bytes: 8 << 20,
+            degrade_watermark: 8,
+            degrade_budget: 64,
+            degrade_min_n: 512,
+            admission: AdmissionConfig::default(),
+            registry: RegistryConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    registry: Registry,
+    admission: Admission,
+    latency: LatencyStats,
+    stop: AtomicBool,
+    /// Serve frames currently between admission and response.
+    depth: AtomicUsize,
+    frames: AtomicU64,
+    rejected_queue: AtomicU64,
+    degraded: AtomicU64,
+    max_frame_bytes: usize,
+    degrade_watermark: usize,
+    degrade_budget: usize,
+    degrade_min_n: usize,
+}
+
+/// A running daemon: acceptor thread + worker pool over one shared
+/// [`Registry`]. Dropping (or [`Service::shutdown`]) stops accepting,
+/// drains the threads and joins them.
+pub struct Service {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Binds, spawns the pool, and returns once the socket is
+    /// listening (a client may connect immediately).
+    pub fn start(config: ServiceConfig) -> io::Result<Service> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: Registry::new(config.registry),
+            admission: Admission::new(config.admission),
+            latency: LatencyStats::new(),
+            stop: AtomicBool::new(false),
+            depth: AtomicUsize::new(0),
+            frames: AtomicU64::new(0),
+            rejected_queue: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            max_frame_bytes: config.max_frame_bytes,
+            degrade_watermark: config.degrade_watermark,
+            degrade_budget: config.degrade_budget.max(1),
+            degrade_min_n: config.degrade_min_n,
+        });
+
+        let (tx, rx) = sync_channel::<TcpStream>(config.accept_backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream)) => {
+                            // Backpressure: a typed, retryable
+                            // rejection instead of an unbounded queue
+                            // or a silently dropped connection.
+                            shared.rejected_queue.fetch_add(1, Ordering::Relaxed);
+                            let frame = rejection_frame(&Rejection::QueueFull);
+                            let _ = write_frame(&mut stream, frame.to_json().as_bytes());
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+            })
+        };
+
+        Ok(Service {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (the ephemeral port when `addr` ended in
+    /// `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains and joins every thread. Also runs on
+    /// drop; the explicit form exists so callers can sequence it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's accept() with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // The acceptor owned the sender; workers drain Disconnected
+        // (or hit their poll timeout and see the stop flag).
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Take the receiver lock only for the dequeue, never while
+        // serving, so one long connection doesn't starve the pool of
+        // its queue.
+        let conn = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        match conn {
+            Ok(stream) => handle_connection(shared, stream),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Accumulates stream bytes and yields whole frames, surviving read
+/// timeouts mid-frame (partial bytes stay buffered) so the worker can
+/// poll the stop flag without ever losing frame sync.
+struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    fn next(
+        &mut self,
+        stream: &mut TcpStream,
+        max_bytes: usize,
+        stop: &AtomicBool,
+    ) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            if self.buf.len() >= 4 {
+                let mut len_bytes = [0u8; 4];
+                len_bytes.copy_from_slice(&self.buf[..4]);
+                let len = u32::from_be_bytes(len_bytes) as usize;
+                if len > max_bytes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        FrameTooLarge {
+                            len,
+                            max_bytes,
+                        },
+                    ));
+                }
+                if self.buf.len() >= 4 + len {
+                    let payload = self.buf[4..4 + len].to_vec();
+                    self.buf.drain(..4 + len);
+                    return Ok(Some(payload));
+                }
+            }
+            if stop.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut reader = FrameReader { buf: Vec::new() };
+    loop {
+        let payload = match reader.next(&mut stream, shared.max_frame_bytes, &shared.stop) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(e) => {
+                if e.get_ref().is_some_and(|inner| inner.is::<FrameTooLarge>()) {
+                    let frame = error_frame(400, "frame_too_large", &e.to_string());
+                    let _ = write_frame(&mut stream, frame.to_json().as_bytes());
+                }
+                return;
+            }
+        };
+        let response = handle_frame(shared, &payload);
+        if write_frame(&mut stream, response.to_json().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+fn error_frame(code: u16, kind: &str, detail: &str) -> Value {
+    object([
+        ("ok", Value::Bool(false)),
+        ("code", Value::Int(i64::from(code))),
+        ("kind", Value::Str(kind.to_string())),
+        ("detail", Value::Str(detail.to_string())),
+    ])
+}
+
+fn rejection_frame(rejection: &Rejection) -> Value {
+    error_frame(429, rejection.kind(), &rejection.to_string())
+}
+
+fn handle_frame(shared: &Shared, payload: &[u8]) -> Value {
+    shared.frames.fetch_add(1, Ordering::Relaxed);
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return error_frame(400, "bad_request", "frame payload is not UTF-8");
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return error_frame(400, "bad_request", &format!("invalid JSON: {e}")),
+    };
+    match doc.get("op").and_then(Value::as_str) {
+        Some("ping") => object([("ok", Value::Bool(true)), ("op", Value::Str("pong".into()))]),
+        Some("stats") => stats_frame(shared),
+        Some("serve") => handle_serve(shared, &doc),
+        Some(other) => error_frame(400, "bad_request", &format!("unknown op {other:?}")),
+        None => error_frame(400, "bad_request", "frame needs a string \"op\""),
+    }
+}
+
+fn handle_serve(shared: &Shared, doc: &Value) -> Value {
+    let Some(tenant) = doc.get("tenant").and_then(Value::as_str) else {
+        return error_frame(400, "bad_request", "serve needs a string \"tenant\"");
+    };
+    let requests = match doc.get("requests").ok_or("serve needs requests") {
+        Ok(v) => match requests_from_json(v) {
+            Ok(requests) => requests,
+            Err(e) => return error_frame(400, "bad_request", &e),
+        },
+        Err(e) => return error_frame(400, "bad_request", e),
+    };
+    let mut spec = match doc.get("universe").ok_or("serve needs a universe") {
+        Ok(v) => match universe_from_json(v) {
+            Ok(spec) => spec,
+            Err(e) => return error_frame(400, "bad_request", &e),
+        },
+        Err(e) => return error_frame(400, "bad_request", e),
+    };
+
+    // Rate gate: microseconds spent here guard O(n²) work behind it.
+    if let Err(rejection) = shared
+        .admission
+        .admit_requests(tenant, requests.len() as f64)
+    {
+        return rejection_frame(&rejection);
+    }
+
+    // In-flight gauge (this frame included) drives degradation.
+    let depth = DepthGuard::enter(&shared.depth);
+    let mut degraded = false;
+    if depth.in_flight > shared.degrade_watermark
+        && spec.coreset().is_none()
+        && spec.universe().len() >= shared.degrade_min_n
+    {
+        let max_k = requests.iter().map(|r| r.k).max().unwrap_or(0);
+        let budget = shared.degrade_budget.max(max_k);
+        spec = spec.with_coreset(divr_server::CoresetSpec::with_budget(budget));
+        shared.degraded.fetch_add(1, Ordering::Relaxed);
+        degraded = true;
+    }
+
+    // Cache-byte gate, after degradation so a degraded universe is
+    // charged its (far smaller) coreset footprint.
+    let estimate = estimate_prepared_bytes(
+        spec.universe().len(),
+        spec.coreset().map(|mode| mode.budget),
+    );
+    if let Err(rejection) = shared
+        .admission
+        .charge_universe(tenant, &spec.key(), estimate)
+    {
+        return rejection_frame(&rejection);
+    }
+
+    let started = Instant::now();
+    let mut results = shared.registry.serve_mixed_checked(&[TenantBatch {
+        spec,
+        requests: requests.clone(),
+    }]);
+    let elapsed = started.elapsed();
+    let answers = results.pop().unwrap_or_default();
+    for request in &requests {
+        shared.latency.record(request.kind, elapsed);
+    }
+    drop(depth);
+
+    let answers_json: Vec<Value> = answers
+        .into_iter()
+        .map(|answer| match answer {
+            Ok((value, indices)) => object([
+                ("ok", Value::Bool(true)),
+                ("value", ratio_to_json(value)),
+                (
+                    "indices",
+                    Value::Array(
+                        indices
+                            .into_iter()
+                            .map(|i| Value::Int(i as i64))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Err(e) => {
+                let (kind, code) = serve_error_status(&e);
+                error_frame(code, kind, &e.to_string())
+            }
+        })
+        .collect();
+    object([
+        ("ok", Value::Bool(true)),
+        ("degraded", Value::Bool(degraded)),
+        ("answers", Value::Array(answers_json)),
+    ])
+}
+
+struct DepthGuard<'a> {
+    depth: &'a AtomicUsize,
+    in_flight: usize,
+}
+
+impl<'a> DepthGuard<'a> {
+    fn enter(depth: &'a AtomicUsize) -> Self {
+        let in_flight = depth.fetch_add(1, Ordering::SeqCst) + 1;
+        DepthGuard { depth, in_flight }
+    }
+}
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn counter(value: u64) -> Value {
+    Value::Int(i64::try_from(value).unwrap_or(i64::MAX))
+}
+
+fn stats_frame(shared: &Shared) -> Value {
+    let latency = Value::Object(
+        ObjectiveKind::ALL
+            .iter()
+            .map(|&kind| {
+                let h = shared.latency.of(kind);
+                (
+                    objective_to_str(kind).to_string(),
+                    object([
+                        ("count", counter(h.count())),
+                        ("mean_us", counter(h.mean_us())),
+                        ("p50_us", counter(h.quantile_us(0.50))),
+                        ("p99_us", counter(h.quantile_us(0.99))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let (admitted, rejected_qps, rejected_cache) = shared.admission.counters();
+    let cache = shared.registry.stats();
+    object([
+        ("ok", Value::Bool(true)),
+        (
+            "stats",
+            object([
+                ("latency", latency),
+                (
+                    "admission",
+                    object([
+                        ("admitted", counter(admitted)),
+                        ("rejected_qps", counter(rejected_qps)),
+                        ("rejected_cache", counter(rejected_cache)),
+                        (
+                            "rejected_queue",
+                            counter(shared.rejected_queue.load(Ordering::Relaxed)),
+                        ),
+                        ("degraded", counter(shared.degraded.load(Ordering::Relaxed))),
+                    ]),
+                ),
+                (
+                    "cache",
+                    object([
+                        ("hits", counter(cache.hits)),
+                        ("misses", counter(cache.misses)),
+                        ("evictions", counter(cache.evictions)),
+                        ("entries", counter(cache.entries as u64)),
+                        ("bytes", counter(cache.bytes as u64)),
+                    ]),
+                ),
+                (
+                    "depth",
+                    counter(shared.depth.load(Ordering::SeqCst) as u64),
+                ),
+                ("frames", counter(shared.frames.load(Ordering::Relaxed))),
+            ]),
+        ),
+    ])
+}

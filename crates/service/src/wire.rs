@@ -1,0 +1,320 @@
+//! JSON ⇄ domain translation for the wire protocol.
+//!
+//! A `serve` frame carries a complete universe description — tuples,
+//! relevance/distance configuration, λ, optional coreset mode — which
+//! this module decodes into the registry's [`UniverseSpec`]. Exact
+//! quantities travel as `[numerator, denominator]` integer pairs, never
+//! floats, so the wire cannot introduce rounding the engines would
+//! amplify.
+//!
+//! The module also ships two **chaos oracles**, addressable from the
+//! wire as distance kinds `chaos_panic` and `chaos_nan`. They exist so
+//! fault-injection tests (and operators validating a deployment) can
+//! drive the daemon's failure paths end-to-end — a panicking worker, a
+//! non-finite score — through the same protocol real tenants use, and
+//! observe the typed `500`/`422` isolation instead of a dead process.
+
+use crate::json::Value;
+use divr_core::distance::{ConstantDistance, Distance, HammingDistance, NumericDistance};
+use divr_core::engine::EngineRequest;
+use divr_core::problem::ObjectiveKind;
+use divr_core::relevance::{AttributeRelevance, ConstantRelevance};
+use divr_core::Ratio;
+use divr_relquery::Tuple;
+use divr_server::{
+    CoresetSpec, FingerprintEncoder, Fingerprintable, ServableDistance, ServableRelevance,
+    UniverseSpec,
+};
+use std::sync::Arc;
+
+/// A distance oracle that panics on the first off-diagonal pair — the
+/// wire's way to inject a mid-prepare worker death (`chaos_panic`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosPanicDistance;
+
+impl Distance for ChaosPanicDistance {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        if a == b {
+            Ratio::ZERO
+        } else {
+            panic!("chaos oracle: injected panic while computing a distance");
+        }
+    }
+}
+
+impl Fingerprintable for ChaosPanicDistance {
+    fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+        enc.write_tag("dis:chaos_panic");
+    }
+}
+
+/// A distance oracle whose float fast path emits `NaN` for every
+/// distinct pair while the exact path stays finite — the wire's way to
+/// exercise the non-finite validation (`chaos_nan`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosNanDistance;
+
+impl Distance for ChaosNanDistance {
+    fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {
+        if a == b {
+            Ratio::ZERO
+        } else {
+            Ratio::ONE
+        }
+    }
+
+    fn dist_f64(&self, a: &Tuple, b: &Tuple) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+impl Fingerprintable for ChaosNanDistance {
+    fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+        enc.write_tag("dis:chaos_nan");
+    }
+}
+
+/// Decodes `[num, den]` into an exact [`Ratio`].
+pub fn ratio_from_json(v: &Value) -> Result<Ratio, String> {
+    let pair = v.as_array().ok_or("ratio must be a [num, den] array")?;
+    match pair {
+        [num, den] => {
+            let num = num.as_i64().ok_or("ratio numerator must be an integer")?;
+            let den = den.as_i64().ok_or("ratio denominator must be an integer")?;
+            if den == 0 {
+                return Err("ratio denominator must be nonzero".to_string());
+            }
+            Ok(Ratio::new(num, den))
+        }
+        _ => Err("ratio must have exactly two elements".to_string()),
+    }
+}
+
+/// Encodes a [`Ratio`] as `[num, den]`. Components exceeding `i64`
+/// (possible after long exact-arithmetic chains) are carried as decimal
+/// strings so nothing is ever rounded on the wire.
+pub fn ratio_to_json(r: Ratio) -> Value {
+    let component = |x: i128| {
+        i64::try_from(x)
+            .map(Value::Int)
+            .unwrap_or_else(|_| Value::Str(x.to_string()))
+    };
+    Value::Array(vec![component(r.numerator()), component(r.denominator())])
+}
+
+fn tuple_from_json(v: &Value) -> Result<Tuple, String> {
+    let items = v.as_array().ok_or("tuple must be an array")?;
+    let mut values = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Value::Int(i) => values.push(divr_relquery::Value::Int(*i)),
+            Value::Str(s) => values.push(divr_relquery::Value::Str(s.as_str().into())),
+            _ => return Err("tuple values must be integers or strings".to_string()),
+        }
+    }
+    Ok(Tuple::new(values))
+}
+
+fn relevance_from_json(v: &Value) -> Result<Arc<dyn ServableRelevance>, String> {
+    match v.get("kind").and_then(Value::as_str) {
+        Some("constant") => {
+            let value = ratio_from_json(v.get("value").ok_or("constant relevance needs value")?)?;
+            Ok(Arc::new(ConstantRelevance(value)))
+        }
+        Some("attribute") => {
+            let attr = v
+                .get("attr")
+                .and_then(Value::as_i64)
+                .and_then(|a| usize::try_from(a).ok())
+                .ok_or("attribute relevance needs a non-negative attr")?;
+            let default = match v.get("default") {
+                Some(d) => ratio_from_json(d)?,
+                None => Ratio::ZERO,
+            };
+            Ok(Arc::new(AttributeRelevance { attr, default }))
+        }
+        Some(other) => Err(format!("unknown relevance kind {other:?}")),
+        None => Err("relevance needs a string kind".to_string()),
+    }
+}
+
+fn distance_from_json(v: &Value) -> Result<Arc<dyn ServableDistance>, String> {
+    match v.get("kind").and_then(Value::as_str) {
+        Some("constant") => {
+            let value = ratio_from_json(v.get("value").ok_or("constant distance needs value")?)?;
+            Ok(Arc::new(ConstantDistance(value)))
+        }
+        Some("numeric") => {
+            let attr = v
+                .get("attr")
+                .and_then(Value::as_i64)
+                .and_then(|a| usize::try_from(a).ok())
+                .ok_or("numeric distance needs a non-negative attr")?;
+            let fallback = match v.get("fallback") {
+                Some(d) => ratio_from_json(d)?,
+                None => Ratio::ZERO,
+            };
+            Ok(Arc::new(NumericDistance { attr, fallback }))
+        }
+        Some("hamming") => {
+            let weight = match v.get("weight") {
+                Some(w) => ratio_from_json(w)?,
+                None => Ratio::ONE,
+            };
+            Ok(Arc::new(HammingDistance { weight }))
+        }
+        Some("chaos_panic") => Ok(Arc::new(ChaosPanicDistance)),
+        Some("chaos_nan") => Ok(Arc::new(ChaosNanDistance)),
+        Some(other) => Err(format!("unknown distance kind {other:?}")),
+        None => Err("distance needs a string kind".to_string()),
+    }
+}
+
+/// Decodes one `universe` object into a registry [`UniverseSpec`].
+pub fn universe_from_json(v: &Value) -> Result<UniverseSpec, String> {
+    let tuples_json = v
+        .get("tuples")
+        .and_then(Value::as_array)
+        .ok_or("universe needs a tuples array")?;
+    let mut tuples = Vec::with_capacity(tuples_json.len());
+    for t in tuples_json {
+        tuples.push(tuple_from_json(t)?);
+    }
+    let rel = relevance_from_json(v.get("relevance").ok_or("universe needs relevance")?)?;
+    let dis = distance_from_json(v.get("distance").ok_or("universe needs distance")?)?;
+    let lambda = ratio_from_json(v.get("lambda").ok_or("universe needs lambda")?)?;
+    if lambda < Ratio::ZERO || lambda > Ratio::ONE {
+        return Err("lambda must lie in [0, 1]".to_string());
+    }
+    let mut spec = UniverseSpec::new(tuples, rel, dis, lambda);
+    if let Some(mode) = v.get("coreset") {
+        let budget = mode
+            .get("budget")
+            .and_then(Value::as_i64)
+            .and_then(|b| usize::try_from(b).ok())
+            .filter(|&b| b > 0)
+            .ok_or("coreset mode needs a positive budget")?;
+        let refine_rounds = match mode.get("refine_rounds") {
+            Some(r) => r
+                .as_i64()
+                .and_then(|x| usize::try_from(x).ok())
+                .ok_or("refine_rounds must be a non-negative integer")?,
+            None => 0,
+        };
+        spec = spec.with_coreset(CoresetSpec {
+            budget,
+            refine_rounds,
+        });
+    }
+    Ok(spec)
+}
+
+/// Decodes the `requests` array of `{"objective", "k"}` objects.
+pub fn requests_from_json(v: &Value) -> Result<Vec<EngineRequest>, String> {
+    let items = v.as_array().ok_or("requests must be an array")?;
+    let mut requests = Vec::with_capacity(items.len());
+    for item in items {
+        let kind = match item.get("objective").and_then(Value::as_str) {
+            Some(name) => objective_from_str(name)
+                .ok_or_else(|| format!("unknown objective {name:?}"))?,
+            None => return Err("request needs a string objective".to_string()),
+        };
+        let k = item
+            .get("k")
+            .and_then(Value::as_i64)
+            .and_then(|k| usize::try_from(k).ok())
+            .ok_or("request needs a non-negative integer k")?;
+        requests.push(EngineRequest { kind, k });
+    }
+    Ok(requests)
+}
+
+/// The wire spelling of each objective.
+pub fn objective_to_str(kind: ObjectiveKind) -> &'static str {
+    match kind {
+        ObjectiveKind::MaxSum => "max_sum",
+        ObjectiveKind::MaxMin => "max_min",
+        ObjectiveKind::Mono => "mono",
+    }
+}
+
+/// Parses a wire objective name.
+pub fn objective_from_str(name: &str) -> Option<ObjectiveKind> {
+    match name {
+        "max_sum" => Some(ObjectiveKind::MaxSum),
+        "max_min" => Some(ObjectiveKind::MaxMin),
+        "mono" => Some(ObjectiveKind::Mono),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn decodes_a_full_universe() {
+        let doc = json::parse(
+            r#"{
+                "tuples": [[0, 3], [1, 5], [2, "x"]],
+                "relevance": {"kind": "attribute", "attr": 1, "default": [0, 1]},
+                "distance": {"kind": "numeric", "attr": 0},
+                "lambda": [1, 2],
+                "coreset": {"budget": 2}
+            }"#,
+        )
+        .unwrap();
+        let spec = universe_from_json(&doc).unwrap();
+        assert_eq!(spec.universe().len(), 3);
+        assert_eq!(spec.lambda(), Ratio::new(1, 2));
+        assert_eq!(spec.coreset().map(|c| c.budget), Some(2));
+    }
+
+    #[test]
+    fn rejects_bad_shapes_with_reasons() {
+        for (doc, needle) in [
+            (r#"{"tuples": 3}"#, "tuples"),
+            (r#"{"tuples": [], "relevance": {"kind": "nope"}}"#, "kind"),
+            (
+                r#"{"tuples": [[1]], "relevance": {"kind": "constant", "value": [1, 1]},
+                    "distance": {"kind": "constant", "value": [1, 1]}, "lambda": [3, 2]}"#,
+                "lambda",
+            ),
+            (
+                r#"{"tuples": [[1]], "relevance": {"kind": "constant", "value": [1, 0]}}"#,
+                "denominator",
+            ),
+        ] {
+            let v = json::parse(doc).unwrap();
+            let err = universe_from_json(&v).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn requests_and_objectives_roundtrip() {
+        let v = json::parse(
+            r#"[{"objective": "max_sum", "k": 3}, {"objective": "mono", "k": 1}]"#,
+        )
+        .unwrap();
+        let reqs = requests_from_json(&v).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].kind, ObjectiveKind::MaxSum);
+        assert_eq!(reqs[1].k, 1);
+        for kind in ObjectiveKind::ALL {
+            assert_eq!(objective_from_str(objective_to_str(kind)), Some(kind));
+        }
+    }
+
+    #[test]
+    fn ratio_components_past_i64_travel_as_strings() {
+        let big = Ratio::new_i128(i128::from(i64::MAX) * 2, 1);
+        let v = ratio_to_json(big);
+        assert!(matches!(&v.as_array().unwrap()[0], Value::Str(_)));
+    }
+}

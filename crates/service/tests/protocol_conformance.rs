@@ -1,0 +1,397 @@
+//! Wire-level conformance: a real daemon on a real socket, driven
+//! through the public protocol, checked against the engine oracle.
+
+use divr_core::engine::EngineRequest;
+use divr_core::problem::ObjectiveKind;
+use divr_core::relevance::AttributeRelevance;
+use divr_core::distance::NumericDistance;
+use divr_core::Ratio;
+use divr_relquery::Tuple;
+use divr_server::{Registry, UniverseSpec};
+use divr_service::json::{self, Value};
+use divr_service::{serve_doc, AdmissionConfig, Client, Service, ServiceConfig};
+use std::sync::Arc;
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+/// The JSON form of the standard test universe.
+fn universe_json(n: i64, distance_kind: &str) -> Value {
+    let tuples: Vec<String> = (0..n).map(|i| format!("[{}, {}]", i, (i * 3) % 7)).collect();
+    let distance = match distance_kind {
+        "numeric" => r#"{"kind": "numeric", "attr": 0}"#.to_string(),
+        other => format!(r#"{{"kind": "{other}"}}"#),
+    };
+    json::parse(&format!(
+        r#"{{
+            "tuples": [{}],
+            "relevance": {{"kind": "attribute", "attr": 1, "default": [0, 1]}},
+            "distance": {},
+            "lambda": [1, 2]
+        }}"#,
+        tuples.join(", "),
+        distance
+    ))
+    .unwrap()
+}
+
+/// The spec-form twin of [`universe_json`], for oracle comparison.
+fn universe_spec(n: i64) -> UniverseSpec {
+    UniverseSpec::new(
+        (0..n).map(|i| Tuple::ints([i, (i * 3) % 7])).collect(),
+        Arc::new(AttributeRelevance {
+            attr: 1,
+            default: Ratio::ZERO,
+        }),
+        Arc::new(NumericDistance {
+            attr: 0,
+            fallback: Ratio::ZERO,
+        }),
+        Ratio::new(1, 2),
+    )
+}
+
+fn all_objectives(k: usize) -> Vec<EngineRequest> {
+    ObjectiveKind::ALL
+        .iter()
+        .map(|&kind| EngineRequest { kind, k })
+        .collect()
+}
+
+fn ratio_of(v: &Value) -> (i64, i64) {
+    let pair = v.as_array().unwrap();
+    (pair[0].as_i64().unwrap(), pair[1].as_i64().unwrap())
+}
+
+fn indices_of(v: &Value) -> Vec<usize> {
+    v.as_array()
+        .unwrap()
+        .iter()
+        .map(|i| usize::try_from(i.as_i64().unwrap()).unwrap())
+        .collect()
+}
+
+#[test]
+fn serve_answers_match_the_engine_oracle() {
+    let service = Service::start(test_config()).unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+    assert!(client.ping().unwrap());
+
+    let requests = all_objectives(4);
+    let response = client
+        .request(&serve_doc("alice", universe_json(40, "numeric"), &requests))
+        .unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(response.get("degraded").and_then(Value::as_bool), Some(false));
+    let answers = response.get("answers").and_then(Value::as_array).unwrap();
+    assert_eq!(answers.len(), 3);
+
+    // Oracle: the same universe through the library registry.
+    let oracle = Registry::default();
+    let spec = universe_spec(40);
+    for (answer, request) in answers.iter().zip(&requests) {
+        assert_eq!(answer.get("ok").and_then(Value::as_bool), Some(true));
+        let (value, indices) = oracle.try_serve(&spec, *request).unwrap();
+        assert_eq!(
+            ratio_of(answer.get("value").unwrap()),
+            (
+                i64::try_from(value.numerator()).unwrap(),
+                i64::try_from(value.denominator()).unwrap()
+            ),
+            "{:?} value drifted across the wire",
+            request.kind
+        );
+        assert_eq!(indices_of(answer.get("indices").unwrap()), indices);
+    }
+
+    // The histograms saw one frame per objective.
+    let stats = client.stats().unwrap();
+    let latency = stats.get("stats").unwrap().get("latency").unwrap();
+    for name in ["max_sum", "max_min", "mono"] {
+        assert_eq!(
+            latency.get(name).unwrap().get("count").and_then(Value::as_i64),
+            Some(1),
+            "{name} histogram should hold one sample"
+        );
+    }
+    service.shutdown();
+}
+
+#[test]
+fn unservable_requests_get_typed_422s_and_panics_get_500s() {
+    let service = Service::start(test_config()).unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+
+    // k > n: per-answer 422 infeasible_k; the frame itself is ok.
+    let response = client
+        .request(&serve_doc(
+            "alice",
+            universe_json(5, "numeric"),
+            &[EngineRequest {
+                kind: ObjectiveKind::MaxSum,
+                k: 9,
+            }],
+        ))
+        .unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    let answer = &response.get("answers").and_then(Value::as_array).unwrap()[0];
+    assert_eq!(answer.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(answer.get("code").and_then(Value::as_i64), Some(422));
+    assert_eq!(
+        answer.get("kind").and_then(Value::as_str),
+        Some("infeasible_k")
+    );
+
+    // NaN-emitting oracle: refused at prepare with 422 non_finite_score.
+    let response = client
+        .request(&serve_doc(
+            "alice",
+            universe_json(6, "chaos_nan"),
+            &all_objectives(2),
+        ))
+        .unwrap();
+    for answer in response.get("answers").and_then(Value::as_array).unwrap() {
+        assert_eq!(answer.get("code").and_then(Value::as_i64), Some(422));
+        assert_eq!(
+            answer.get("kind").and_then(Value::as_str),
+            Some("non_finite_score")
+        );
+    }
+
+    // Panicking oracle: 500 worker_panicked — not a dead connection.
+    let response = client
+        .request(&serve_doc(
+            "alice",
+            universe_json(6, "chaos_panic"),
+            &all_objectives(2),
+        ))
+        .unwrap();
+    for answer in response.get("answers").and_then(Value::as_array).unwrap() {
+        assert_eq!(answer.get("code").and_then(Value::as_i64), Some(500));
+        assert_eq!(
+            answer.get("kind").and_then(Value::as_str),
+            Some("worker_panicked")
+        );
+    }
+
+    // The same daemon, the same connection, keeps serving afterward.
+    let response = client
+        .request(&serve_doc(
+            "alice",
+            universe_json(10, "numeric"),
+            &all_objectives(3),
+        ))
+        .unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    for answer in response.get("answers").and_then(Value::as_array).unwrap() {
+        assert_eq!(answer.get("ok").and_then(Value::as_bool), Some(true));
+    }
+    service.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_400s() {
+    let service = Service::start(test_config()).unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+    for doc in [
+        json::parse(r#"{"op": "transmogrify"}"#).unwrap(),
+        json::parse(r#"{"no_op": 1}"#).unwrap(),
+        json::parse(r#"{"op": "serve"}"#).unwrap(),
+        json::parse(r#"{"op": "serve", "tenant": "a", "requests": [], "universe": {"tuples": [[1]], "relevance": {"kind": "constant", "value": [1, 1]}, "distance": {"kind": "constant", "value": [1, 1]}, "lambda": [9, 2]}}"#).unwrap(),
+    ] {
+        let response = client.request(&doc).unwrap();
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(response.get("code").and_then(Value::as_i64), Some(400), "{doc:?}");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn qps_quota_answers_retryable_429() {
+    let service = Service::start(ServiceConfig {
+        admission: AdmissionConfig {
+            qps: 0.0, // no refill: the burst is the whole allowance
+            burst: 2.0,
+            cache_quota_bytes: u64::MAX,
+        },
+        ..test_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+    let request = [EngineRequest {
+        kind: ObjectiveKind::MaxSum,
+        k: 2,
+    }];
+    for _ in 0..2 {
+        let response = client
+            .request(&serve_doc("alice", universe_json(8, "numeric"), &request))
+            .unwrap();
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    }
+    let response = client
+        .request(&serve_doc("alice", universe_json(8, "numeric"), &request))
+        .unwrap();
+    assert_eq!(response.get("code").and_then(Value::as_i64), Some(429));
+    assert_eq!(
+        response.get("kind").and_then(Value::as_str),
+        Some("qps_exceeded")
+    );
+    // Another tenant's bucket is untouched.
+    let response = client
+        .request(&serve_doc("bob", universe_json(8, "numeric"), &request))
+        .unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    service.shutdown();
+}
+
+#[test]
+fn cache_quota_answers_429_before_preparing() {
+    // n = 50 estimates to 50²·8 + 50·48 = 22_400 bytes: one fits the
+    // quota, two distinct universes don't.
+    let service = Service::start(ServiceConfig {
+        admission: AdmissionConfig {
+            qps: 10_000.0,
+            burst: 10_000.0,
+            cache_quota_bytes: 30_000,
+        },
+        ..test_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+    let request = [EngineRequest {
+        kind: ObjectiveKind::MaxMin,
+        k: 3,
+    }];
+    let first = universe_json(50, "numeric");
+    let response = client
+        .request(&serve_doc("alice", first.clone(), &request))
+        .unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    // A second distinct universe blows the ledger.
+    let response = client
+        .request(&serve_doc("alice", universe_json(51, "numeric"), &request))
+        .unwrap();
+    assert_eq!(response.get("code").and_then(Value::as_i64), Some(429));
+    assert_eq!(
+        response.get("kind").and_then(Value::as_str),
+        Some("cache_quota")
+    );
+    // Re-serving the universe already paid for stays free.
+    let response = client.request(&serve_doc("alice", first, &request)).unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    // The refused universe was never prepared: exactly one miss.
+    let stats = client.stats().unwrap();
+    let cache = stats.get("stats").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("misses").and_then(Value::as_i64), Some(1));
+    service.shutdown();
+}
+
+#[test]
+fn saturated_accept_queue_answers_429_queue_full() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        accept_backlog: 1,
+        ..test_config()
+    })
+    .unwrap();
+    // Occupy the only worker (the ping roundtrip proves attachment)…
+    let mut occupant = Client::connect(service.local_addr()).unwrap();
+    assert!(occupant.ping().unwrap());
+    // …fill the single backlog slot…
+    let _queued = Client::connect(service.local_addr()).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    // …and the next connection is rejected with a typed frame, not
+    // dropped on the floor.
+    let mut rejected = Client::connect(service.local_addr()).unwrap();
+    let response = rejected.read_response().unwrap();
+    assert_eq!(response.get("code").and_then(Value::as_i64), Some(429));
+    assert_eq!(
+        response.get("kind").and_then(Value::as_str),
+        Some("queue_full")
+    );
+    // The occupant's connection still works.
+    assert!(occupant.ping().unwrap());
+    service.shutdown();
+}
+
+#[test]
+fn queue_pressure_degrades_to_coreset_mode() {
+    let service = Service::start(ServiceConfig {
+        degrade_watermark: 0, // every in-flight frame exceeds it
+        degrade_min_n: 64,
+        degrade_budget: 16,
+        ..test_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+    // Large universe: transparently served in coreset mode.
+    let response = client
+        .request(&serve_doc(
+            "alice",
+            universe_json(200, "numeric"),
+            &all_objectives(5),
+        ))
+        .unwrap();
+    assert_eq!(response.get("degraded").and_then(Value::as_bool), Some(true));
+    for answer in response.get("answers").and_then(Value::as_array).unwrap() {
+        assert_eq!(answer.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(indices_of(answer.get("indices").unwrap()).len(), 5);
+    }
+    // Small universe: full prepare is cheap, never degraded.
+    let response = client
+        .request(&serve_doc(
+            "alice",
+            universe_json(20, "numeric"),
+            &all_objectives(3),
+        ))
+        .unwrap();
+    assert_eq!(response.get("degraded").and_then(Value::as_bool), Some(false));
+    let stats = client.stats().unwrap();
+    let admission = stats.get("stats").unwrap().get("admission").unwrap();
+    assert_eq!(admission.get("degraded").and_then(Value::as_i64), Some(1));
+    service.shutdown();
+}
+
+#[test]
+fn concurrent_chaos_tenants_never_poison_healthy_ones() {
+    let service = Service::start(test_config()).unwrap();
+    let addr = service.local_addr();
+
+    // Two chaos tenants and one healthy tenant hammer concurrently.
+    let chaos = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        for kind in ["chaos_panic", "chaos_nan", "chaos_panic"] {
+            let response = client
+                .request(&serve_doc("mallory", universe_json(8, kind), &all_objectives(2)))
+                .unwrap();
+            assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        }
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let oracle = Registry::default();
+    let spec = universe_spec(30);
+    for _ in 0..3 {
+        let requests = all_objectives(4);
+        let response = client
+            .request(&serve_doc("alice", universe_json(30, "numeric"), &requests))
+            .unwrap();
+        let answers = response.get("answers").and_then(Value::as_array).unwrap();
+        for (answer, request) in answers.iter().zip(&requests) {
+            let (value, indices) = oracle.try_serve(&spec, *request).unwrap();
+            assert_eq!(
+                ratio_of(answer.get("value").unwrap()).0,
+                i64::try_from(value.numerator()).unwrap()
+            );
+            assert_eq!(indices_of(answer.get("indices").unwrap()), indices);
+        }
+    }
+    chaos.join().unwrap();
+    // The daemon survived every injected fault.
+    assert!(client.ping().unwrap());
+    service.shutdown();
+}

@@ -32,6 +32,7 @@ pub use divr_logic as logic;
 pub use divr_reductions as reductions;
 pub use divr_relquery as relquery;
 pub use divr_server as server;
+pub use divr_service as service;
 
 // The large-universe (coreset) API, lifted from `divr::core::coreset`.
 pub use divr_core::coreset::{
@@ -46,3 +47,6 @@ pub use divr_server::{
 // `divr::core::engine`: apply single-tuple edits to warm prepared
 // state in O(n) instead of re-preparing in O(n²).
 pub use divr_core::engine::{DeltaError, DeltaOp, ServeError};
+// The network front-end, lifted from `divr::service`: the registry on
+// the wire with admission control and fault isolation.
+pub use divr_service::{Client, Service, ServiceConfig};
