@@ -6,6 +6,15 @@
 //! exponential in the query size (the membership problem for CQ is
 //! NP-complete), data complexity polynomial for a fixed query — the
 //! asymmetry the paper's Table I rests on.
+//!
+//! The search is an explicit-stack state machine ([`CqSolutions`]), a
+//! **pull-based iterator** over the projected head tuples: each `next()`
+//! resumes the backtracking exactly where the previous solution left
+//! off, so consumers that stop early (membership probes, streaming
+//! coreset intake, `take(k)` previews) pay only for the prefix they
+//! pull and no intermediate join result is ever materialized. The
+//! eager [`eval_cq`] and the membership probe [`cq_contains`] are both
+//! thin drains of the same iterator.
 
 use crate::database::Database;
 use crate::query::{Comparison, ConjunctiveQuery, Term, Var};
@@ -18,18 +27,9 @@ use std::collections::HashMap;
 /// Evaluates a conjunctive query.
 pub(crate) fn eval_cq(db: &Database, cq: &ConjunctiveQuery) -> Result<Relation> {
     let mut out = Relation::with_arity("Q", cq.head().len());
-    let mut search = Search::new(db, cq, HashMap::new())?;
-    search.run(&mut |env| {
-        let row: Vec<Value> = cq
-            .head()
-            .iter()
-            .map(|t| match t {
-                Term::Const(c) => c.clone(),
-                Term::Var(v) => env[v].clone(),
-            })
-            .collect();
-        out.insert(Tuple::new(row)).map(|_| true)
-    })?;
+    for t in CqSolutions::new(db, cq, HashMap::new())? {
+        out.insert(t)?;
+    }
     Ok(out)
 }
 
@@ -57,30 +57,42 @@ pub(crate) fn cq_contains(db: &Database, cq: &ConjunctiveQuery, t: &Tuple) -> Re
             }
         }
     }
-    let mut found = false;
-    let mut search = Search::new(db, cq, env)?;
-    search.run(&mut |_| {
-        found = true;
-        Ok(false) // stop at the first witness
-    })?;
-    Ok(found)
+    // The head seeding pins every head variable, but the projection of a
+    // deeper witness could still disagree with `t` on repeated constants
+    // — it cannot: head constants were checked above and head variables
+    // are bound, so any solution projects exactly to `t`.
+    Ok(CqSolutions::new(db, cq, env)?.next().is_some())
 }
 
-/// Backtracking state for one CQ evaluation.
-struct Search<'a> {
+/// A pull-based backtracking join over one CQ: an `Iterator` yielding
+/// the projected head tuple of every satisfying assignment, in the
+/// deterministic depth-first order induced by atom order and relation
+/// insertion order. Yields duplicates when distinct assignments project
+/// to the same head tuple — set semantics is the caller's dedup
+/// ([`Relation::insert`] in [`eval_cq`], the `seen` set in
+/// [`super::ResultStream`]).
+pub(crate) struct CqSolutions<'a> {
     relations: Vec<&'a Relation>,
     cq: &'a ConjunctiveQuery,
     env: HashMap<Var, Value>,
     /// `cmp_after[i]` = comparisons fully bound once atom `i` has been
     /// unified (given the atoms processed before it).
     cmp_after: Vec<Vec<&'a Comparison>>,
-    /// Comparisons decidable before any atom (constant-only, or bound by a
-    /// pre-seeded head assignment).
-    cmp_initial: Vec<&'a Comparison>,
+    /// Per-depth scan position: index of the next tuple to try.
+    cursors: Vec<usize>,
+    /// Per-depth variables bound by the currently matched tuple (undone
+    /// before the next candidate at that depth is tried).
+    fresh: Vec<Vec<Var>>,
+    /// The depth currently being advanced.
+    depth: usize,
+    done: bool,
 }
 
-impl<'a> Search<'a> {
-    fn new(
+impl<'a> CqSolutions<'a> {
+    /// A solution iterator seeded with `env` (empty for evaluation;
+    /// head bindings for membership). Fails fast on unknown relations
+    /// and atom/relation arity mismatches.
+    pub(crate) fn new(
         db: &'a Database,
         cq: &'a ConjunctiveQuery,
         env: HashMap<Var, Value>,
@@ -97,6 +109,44 @@ impl<'a> Search<'a> {
             }
             relations.push(rel);
         }
+        Self::with_relations(relations, cq, env)
+    }
+
+    /// Like [`CqSolutions::new`] but with atom `pin` scanning only the
+    /// single tuple `pinned` instead of its full base relation — the
+    /// semi-naive building block for incremental view maintenance: the
+    /// delta of `Q(D ∪ {t})` is the union over occurrences of `t`'s
+    /// relation of these pinned searches.
+    pub(crate) fn new_pinned(
+        db: &'a Database,
+        cq: &'a ConjunctiveQuery,
+        pin: usize,
+        pinned: &'a Relation,
+    ) -> Result<Self> {
+        let mut relations = Vec::with_capacity(cq.atoms().len());
+        for (i, atom) in cq.atoms().iter().enumerate() {
+            let rel = if i == pin {
+                pinned
+            } else {
+                db.relation(&atom.relation)?
+            };
+            if rel.arity() != atom.terms.len() {
+                return Err(Error::ArityMismatch {
+                    relation: atom.relation.clone(),
+                    expected: rel.arity(),
+                    found: atom.terms.len(),
+                });
+            }
+            relations.push(rel);
+        }
+        Self::with_relations(relations, cq, HashMap::new())
+    }
+
+    fn with_relations(
+        relations: Vec<&'a Relation>,
+        cq: &'a ConjunctiveQuery,
+        env: HashMap<Var, Value>,
+    ) -> Result<Self> {
         // Schedule each comparison at the earliest atom index after which
         // all of its variables are bound.
         let mut bound: Vec<Var> = env.keys().cloned().collect();
@@ -127,76 +177,111 @@ impl<'a> Search<'a> {
             });
         }
         debug_assert!(pending.is_empty(), "safety validation guarantees binding");
-        Ok(Search {
+        // Comparisons decidable before any atom (constant-only, or bound
+        // by a pre-seeded head assignment) decide emptiness up front.
+        let done = cmp_initial.iter().any(|c| !check(c, &env)) || cq.atoms().is_empty();
+        let natoms = cq.atoms().len();
+        Ok(CqSolutions {
             relations,
             cq,
             env,
             cmp_after,
-            cmp_initial,
+            cursors: vec![0; natoms],
+            fresh: vec![Vec::new(); natoms],
+            depth: 0,
+            done,
         })
     }
 
-    /// Runs the search; `emit` is called with the full assignment for each
-    /// satisfying leaf and returns `Ok(false)` to stop the search early.
-    fn run(&mut self, emit: &mut dyn FnMut(&HashMap<Var, Value>) -> Result<bool>) -> Result<()> {
-        for c in &self.cmp_initial {
-            if !check(c, &self.env) {
-                return Ok(());
-            }
-        }
-        self.descend(0, emit)?;
-        Ok(())
+    /// Projects the head under the current (complete) assignment.
+    fn project(&self) -> Tuple {
+        let row: Vec<Value> = self
+            .cq
+            .head()
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => self.env[v].clone(),
+            })
+            .collect();
+        Tuple::new(row)
     }
 
-    /// Returns `Ok(false)` when the caller asked to stop.
-    fn descend(
-        &mut self,
-        depth: usize,
-        emit: &mut dyn FnMut(&HashMap<Var, Value>) -> Result<bool>,
-    ) -> Result<bool> {
-        if depth == self.cq.atoms().len() {
-            return emit(&self.env);
+    /// Undoes the bindings made by the tuple currently matched at
+    /// `depth` (no-op if none).
+    fn unbind(&mut self, depth: usize) {
+        for v in self.fresh[depth].drain(..) {
+            self.env.remove(&v);
         }
-        let atom = &self.cq.atoms()[depth];
-        let rel = self.relations[depth];
-        'tuples: for tuple in rel {
-            // Unify atom terms with the tuple, collecting fresh bindings.
-            let mut fresh: Vec<Var> = Vec::new();
-            for (term, val) in atom.terms.iter().zip(tuple.iter()) {
-                let ok = match term {
-                    Term::Const(c) => c == val,
-                    Term::Var(v) => match self.env.get(v) {
-                        Some(prev) => prev == val,
-                        None => {
-                            self.env.insert(v.clone(), val.clone());
-                            fresh.push(v.clone());
-                            true
-                        }
-                    },
-                };
-                if !ok {
-                    for v in fresh.drain(..) {
-                        self.env.remove(&v);
-                    }
-                    continue 'tuples;
-                }
-            }
-            // Apply the comparisons that just became decidable.
-            let cmp_ok = self.cmp_after[depth].iter().all(|c| check(c, &self.env));
-            if cmp_ok {
-                let keep_going = self.descend(depth + 1, emit)?;
-                if !keep_going {
-                    for v in fresh {
-                        self.env.remove(&v);
-                    }
-                    return Ok(false);
-                }
-            }
-            for v in fresh {
-                self.env.remove(&v);
-            }
+    }
+}
+
+impl Iterator for CqSolutions<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
         }
-        Ok(true)
+        let natoms = self.cq.atoms().len();
+        loop {
+            if self.depth == natoms {
+                // A full assignment: yield it, then resume the scan at
+                // the deepest atom on the next call.
+                let t = self.project();
+                self.depth = natoms - 1;
+                return Some(t);
+            }
+            let d = self.depth;
+            // Whatever tuple was matched here last time is exhausted
+            // below; release its bindings before trying the next one.
+            self.unbind(d);
+            let atom = &self.cq.atoms()[d];
+            let rel = self.relations[d];
+            let mut advanced = false;
+            'tuples: while self.cursors[d] < rel.len() {
+                let tuple = &rel.tuples()[self.cursors[d]];
+                self.cursors[d] += 1;
+                // Unify atom terms with the tuple, collecting fresh
+                // bindings.
+                for (term, val) in atom.terms.iter().zip(tuple.iter()) {
+                    let ok = match term {
+                        Term::Const(c) => c == val,
+                        Term::Var(v) => match self.env.get(v) {
+                            Some(prev) => prev == val,
+                            None => {
+                                self.env.insert(v.clone(), val.clone());
+                                self.fresh[d].push(v.clone());
+                                true
+                            }
+                        },
+                    };
+                    if !ok {
+                        self.unbind(d);
+                        continue 'tuples;
+                    }
+                }
+                // Apply the comparisons that just became decidable.
+                if self.cmp_after[d].iter().all(|c| check(c, &self.env)) {
+                    self.depth = d + 1;
+                    if self.depth < natoms {
+                        self.cursors[self.depth] = 0;
+                    }
+                    advanced = true;
+                    break;
+                }
+                self.unbind(d);
+            }
+            if advanced {
+                continue;
+            }
+            // Depth exhausted: backtrack (bindings already released).
+            if d == 0 {
+                self.done = true;
+                return None;
+            }
+            self.depth = d - 1;
+        }
     }
 }
 
@@ -254,6 +339,40 @@ mod tests {
                 Tuple::ints([2, 30]),
             ]
         );
+    }
+
+    #[test]
+    fn solutions_iterator_matches_eager_order() {
+        let d = db();
+        let q = cq_join();
+        let streamed: Vec<Tuple> = CqSolutions::new(&d, &q, HashMap::new()).unwrap().collect();
+        // The iterator yields in the same depth-first order the eager
+        // path inserted in (no duplicates arise for this join).
+        assert_eq!(streamed, eval_cq(&d, &q).unwrap().tuples().to_vec());
+    }
+
+    #[test]
+    fn solutions_iterator_resumes_after_early_stop() {
+        let d = db();
+        let q = cq_join();
+        let mut it = CqSolutions::new(&d, &q, HashMap::new()).unwrap();
+        let first = it.next().unwrap();
+        let rest: Vec<Tuple> = it.collect();
+        assert_eq!(rest.len(), 2);
+        assert!(!rest.contains(&first));
+    }
+
+    #[test]
+    fn pinned_atom_restricts_the_scan() {
+        // Pin S to the single tuple (3, 20): only joins through it.
+        let d = db();
+        let q = cq_join();
+        let mut pinned = Relation::with_arity("S", 2);
+        pinned.insert(Tuple::ints([3, 20])).unwrap();
+        let got: Vec<Tuple> = CqSolutions::new_pinned(&d, &q, 1, &pinned)
+            .unwrap()
+            .collect();
+        assert_eq!(got, vec![Tuple::ints([2, 20])]);
     }
 
     #[test]

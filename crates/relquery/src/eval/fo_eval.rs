@@ -476,8 +476,16 @@ pub(crate) fn eval_fo_query(db: &Database, adom: &[Value], q: &FoQuery) -> Resul
         .map(|v| full.position(v).expect("head covered"))
         .collect();
     let mut out = Relation::with_arity("Q", q.head().len());
-    for row in &full.rows {
-        let t: Tuple = perm.iter().map(|&i| row[i].clone()).collect();
+    // Sort projected rows so FO results have a deterministic order: the
+    // assignment set is hash-ordered, and both `eval_query` and
+    // `stream_query` promise the same sequence for the same input.
+    let mut projected: Vec<Tuple> = full
+        .rows
+        .iter()
+        .map(|row| perm.iter().map(|&i| row[i].clone()).collect())
+        .collect();
+    projected.sort();
+    for t in projected {
         out.insert(t)?;
     }
     Ok(out)

@@ -1,23 +1,33 @@
 //! Query evaluation.
 //!
 //! * `CQ`/`UCQ`: backtracking multiway join with eager application of
-//!   comparison predicates (`cq_eval`).
+//!   comparison predicates (`cq_eval`), exposed both eagerly
+//!   ([`eval_query`]) and as a **pull-based stream** over the final
+//!   projection ([`stream_query`]) that never materializes the full
+//!   result — the feed for serving layers that auto-escalate to
+//!   sub-quadratic preparation on large `Q(D)`.
 //! * `∃FO⁺`/`FO`: bottom-up evaluation over *binding tables* with
 //!   active-domain semantics (`fo_eval`) — negation complements against
 //!   `adom^|vars|`, `∀` is rewritten to `¬∃¬`.
 //! * Membership `t ∈ Q(D)`: decided without materializing `Q(D)`
 //!   (top-down model checking for FO; head-seeded join search for CQ) —
 //!   the key subroutine of the paper's NP/PSPACE upper-bound algorithms.
+//! * Single-insert deltas: [`delta_results`] computes the candidate new
+//!   result tuples of `Q(D ∪ {t})` semi-naively (each occurrence of
+//!   `t`'s relation pinned to `{t}` in turn), the building block of the
+//!   serving registry's warm-universe repair path.
 
 mod cq_eval;
 mod fo_eval;
 
 use crate::adom::active_domain;
 use crate::database::Database;
-use crate::query::Query;
+use crate::query::{ConjunctiveQuery, Query};
 use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::Result;
+use std::collections::HashMap;
+use std::collections::HashSet;
 
 /// Evaluates `Q(D)` under set semantics. The result relation is named `Q`.
 pub fn eval_query(db: &Database, query: &Query) -> Result<Relation> {
@@ -46,6 +56,115 @@ pub fn eval_query(db: &Database, query: &Query) -> Result<Relation> {
             fo_eval::eval_fo_query(db, &adom, fq)
         }
     }
+}
+
+/// A streaming view of `Q(D)` under set semantics: an `Iterator` over
+/// the distinct result tuples, in the same deterministic order
+/// [`eval_query`] produces them, pulled lazily from the join search.
+///
+/// For `CQ`/`UCQ` (and identity queries) no intermediate join result is
+/// ever materialized: each `next()` resumes the backtracking search and
+/// the only `O(|Q(D)|)` state is the dedup set enforcing set semantics.
+/// `FO` queries have no streaming plan (bottom-up binding-table
+/// evaluation needs the full tables); they are evaluated eagerly at
+/// construction and drained from a buffer — same interface, no savings.
+///
+/// All schema errors (unknown relations, atom arity mismatches, unsafe
+/// queries) surface at [`stream_query`] construction; iteration itself
+/// is infallible.
+pub struct ResultStream<'a> {
+    inner: StreamInner<'a>,
+    seen: HashSet<Tuple>,
+    arity: usize,
+}
+
+enum StreamInner<'a> {
+    Identity(std::slice::Iter<'a, Tuple>),
+    /// One solution iterator per disjunct (a plain CQ is one disjunct),
+    /// drained in order.
+    Cq(std::vec::IntoIter<cq_eval::CqSolutions<'a>>, Option<cq_eval::CqSolutions<'a>>),
+    Materialized(std::vec::IntoIter<Tuple>),
+}
+
+impl<'a> ResultStream<'a> {
+    /// The arity of the result tuples.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+impl Iterator for ResultStream<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            let candidate = match &mut self.inner {
+                StreamInner::Identity(it) => it.next().cloned(),
+                StreamInner::Cq(rest, current) => loop {
+                    match current {
+                        Some(solutions) => match solutions.next() {
+                            Some(t) => break Some(t),
+                            None => *current = rest.next(),
+                        },
+                        None => break None,
+                    }
+                },
+                StreamInner::Materialized(it) => it.next(),
+            };
+            match candidate {
+                None => return None,
+                // Set semantics: suppress duplicate projections.
+                Some(t) => {
+                    if self.seen.insert(t.clone()) {
+                        return Some(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streams `Q(D)` without materializing it — see [`ResultStream`].
+pub fn stream_query<'a>(db: &'a Database, query: &'a Query) -> Result<ResultStream<'a>> {
+    query.validate()?;
+    let (inner, arity) = match query {
+        Query::Identity(r) => {
+            let src = db.relation(r)?;
+            (StreamInner::Identity(src.tuples().iter()), src.arity())
+        }
+        Query::Cq(cq) => {
+            let solutions = vec![cq_eval::CqSolutions::new(db, cq, HashMap::new())?];
+            let mut it = solutions.into_iter();
+            let current = it.next();
+            (StreamInner::Cq(it, current), cq.head().len())
+        }
+        Query::Ucq(ucq) => {
+            // Construct every disjunct's search up front so schema
+            // errors cannot surface mid-iteration.
+            let solutions = ucq
+                .disjuncts()
+                .iter()
+                .map(|d| cq_eval::CqSolutions::new(db, d, HashMap::new()))
+                .collect::<Result<Vec<_>>>()?;
+            let mut it = solutions.into_iter();
+            let current = it.next();
+            (StreamInner::Cq(it, current), ucq.arity())
+        }
+        Query::Fo(fq) => {
+            let adom = active_domain(db, query);
+            let out = fo_eval::eval_fo_query(db, &adom, fq)?;
+            let arity = out.arity();
+            (
+                StreamInner::Materialized(out.into_tuples().into_iter()),
+                arity,
+            )
+        }
+    };
+    Ok(ResultStream {
+        inner,
+        seen: HashSet::new(),
+        arity,
+    })
 }
 
 /// Decides `t ∈ Q(D)` without computing all of `Q(D)`.
@@ -84,6 +203,142 @@ pub fn query_contains(db: &Database, query: &Query, t: &Tuple) -> Result<bool> {
                 return Ok(false);
             }
             fo_eval::fo_contains(db, &adom, fq, t)
+        }
+    }
+}
+
+/// The candidate new result tuples of `Q` after `inserted` was added to
+/// base relation `relation` of `db` (which must already contain it) —
+/// computed **semi-naively**: for `CQ`/`UCQ`, the union over occurrences
+/// of `relation` in the body of the search with that one atom pinned to
+/// `{inserted}`, so the cost scales with the delta's derivations, not
+/// with `|Q(D)|`. Candidates may repeat and may already have been
+/// derivable before the insert; callers dedup against the old result.
+///
+/// Returns `Ok(None)` when the query has no incremental plan (`FO`
+/// queries: a single base insert can grow *and shrink* the result under
+/// negation, and the active domain itself shifts) — the caller must
+/// re-evaluate from scratch.
+pub fn delta_results(
+    db: &Database,
+    query: &Query,
+    relation: &str,
+    inserted: &Tuple,
+) -> Result<Option<Vec<Tuple>>> {
+    query.validate()?;
+    match query {
+        Query::Identity(r) => Ok(Some(if r == relation {
+            vec![inserted.clone()]
+        } else {
+            Vec::new()
+        })),
+        Query::Cq(cq) => cq_delta(db, cq, relation, inserted).map(Some),
+        Query::Ucq(ucq) => {
+            let mut out = Vec::new();
+            for d in ucq.disjuncts() {
+                out.extend(cq_delta(db, d, relation, inserted)?);
+            }
+            Ok(Some(out))
+        }
+        Query::Fo(_) => Ok(None),
+    }
+}
+
+fn cq_delta(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    relation: &str,
+    inserted: &Tuple,
+) -> Result<Vec<Tuple>> {
+    let mut pinned = Relation::with_arity(relation, inserted.arity());
+    pinned.insert(inserted.clone())?;
+    let mut out = Vec::new();
+    for (i, atom) in cq.atoms().iter().enumerate() {
+        if atom.relation != relation {
+            continue;
+        }
+        out.extend(cq_eval::CqSolutions::new_pinned(db, cq, i, &pinned)?);
+    }
+    Ok(out)
+}
+
+/// Checks `query` against `db`'s schema **without evaluating it**:
+/// structural validation plus, for every atom, that the referenced
+/// relation exists and the atom's arity matches. The cheap pre-flight
+/// for admission layers that must refuse schema mismatches before
+/// charging for — or running — a join: [`cardinality_bound`]
+/// deliberately answers `u64::MAX` for unknown relations, so without
+/// this check a typo'd relation name looks like an unboundedly large
+/// query instead of a schema error.
+pub fn check_schema(db: &Database, query: &Query) -> Result<()> {
+    fn check_atom(db: &Database, atom: &crate::query::Atom) -> Result<()> {
+        let rel = db.relation(&atom.relation)?;
+        if rel.arity() != atom.terms.len() {
+            return Err(crate::Error::ArityMismatch {
+                relation: atom.relation.clone(),
+                expected: rel.arity(),
+                found: atom.terms.len(),
+            });
+        }
+        Ok(())
+    }
+    fn check_formula(db: &Database, f: &crate::query::Formula) -> Result<()> {
+        use crate::query::Formula;
+        match f {
+            Formula::Atom(a) => check_atom(db, a),
+            Formula::Cmp(_) => Ok(()),
+            Formula::Not(inner) => check_formula(db, inner),
+            Formula::And(parts) | Formula::Or(parts) => {
+                parts.iter().try_for_each(|p| check_formula(db, p))
+            }
+            Formula::Exists(_, inner) | Formula::Forall(_, inner) => check_formula(db, inner),
+        }
+    }
+    query.validate()?;
+    match query {
+        Query::Identity(r) => db.relation(r).map(|_| ()),
+        Query::Cq(cq) => cq.atoms().iter().try_for_each(|a| check_atom(db, a)),
+        Query::Ucq(ucq) => ucq
+            .disjuncts()
+            .iter()
+            .flat_map(|d| d.atoms())
+            .try_for_each(|a| check_atom(db, a)),
+        Query::Fo(fq) => check_formula(db, fq.body()),
+    }
+}
+
+/// An upper bound on `|Q(D)|` computable **without evaluating** the
+/// query — the figure admission control charges before any join runs:
+///
+/// * identity: the relation's size;
+/// * `CQ`: the product of the body relations' sizes (every solution is
+///   one tuple choice per atom), saturating;
+/// * `UCQ`: the sum over disjuncts;
+/// * `FO`: `|adom|^arity` under active-domain semantics.
+///
+/// Unknown relations count as unbounded (`u64::MAX`): the bound must
+/// never under-estimate, and the schema error surfaces with full detail
+/// when evaluation runs.
+pub fn cardinality_bound(db: &Database, query: &Query) -> u64 {
+    fn cq_bound(db: &Database, cq: &ConjunctiveQuery) -> u64 {
+        cq.atoms().iter().fold(1u64, |acc, atom| {
+            let size = match db.relation(&atom.relation) {
+                Ok(r) => r.len() as u64,
+                Err(_) => return u64::MAX,
+            };
+            acc.saturating_mul(size)
+        })
+    }
+    match query {
+        Query::Identity(r) => db.relation(r).map_or(u64::MAX, |rel| rel.len() as u64),
+        Query::Cq(cq) => cq_bound(db, cq),
+        Query::Ucq(ucq) => ucq
+            .disjuncts()
+            .iter()
+            .fold(0u64, |acc, d| acc.saturating_add(cq_bound(db, d))),
+        Query::Fo(fq) => {
+            let adom = active_domain(db, query) .len() as u64;
+            (0..fq.head().len()).fold(1u64, |acc, _| acc.saturating_mul(adom))
         }
     }
 }
@@ -129,5 +384,150 @@ mod tests {
             .unwrap()
             .into();
         assert!(!query_contains(&d, &q, &Tuple::ints([1, 2])).unwrap());
+    }
+
+    #[test]
+    fn stream_matches_eager_for_every_language() {
+        use crate::parser::parse_query;
+        let mut d = db();
+        d.create_relation("S", &["y", "z"]).unwrap();
+        d.insert("S", vec![Value::int(2), Value::int(7)]).unwrap();
+        d.insert("S", vec![Value::int(3), Value::int(8)]).unwrap();
+        let queries = [
+            Query::identity("R"),
+            parse_query("Q(x, z) :- R(x, y), S(y, z)").unwrap(),
+            parse_query("Q(x) :- R(x, y) ; Q(y) :- S(y, z)").unwrap(),
+            parse_query("Q(x) := exists y. R(x, y)").unwrap(),
+        ];
+        for q in &queries {
+            let eager = eval_query(&d, q).unwrap();
+            let streamed: Vec<Tuple> = stream_query(&d, q).unwrap().collect();
+            // Same tuples, same order, already deduplicated.
+            assert_eq!(streamed, eager.tuples().to_vec(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn stream_dedups_across_disjuncts() {
+        use crate::parser::parse_query;
+        let d = db();
+        // Both disjuncts produce the same rows.
+        let q = parse_query("Q(x) :- R(x, y) ; Q(x) :- R(x, z)").unwrap();
+        let streamed: Vec<Tuple> = stream_query(&d, &q).unwrap().collect();
+        assert_eq!(streamed.len(), 2);
+    }
+
+    #[test]
+    fn stream_surfaces_schema_errors_at_construction() {
+        use crate::parser::parse_query;
+        let d = db();
+        let q = parse_query("Q(x) :- R(x, y) ; Q(x) :- Nope(x)").unwrap();
+        assert!(matches!(
+            stream_query(&d, &q),
+            Err(crate::Error::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn delta_results_cover_the_true_delta() {
+        use crate::parser::parse_query;
+        let q = parse_query("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let mut d = db();
+        d.create_relation("S", &["y", "z"]).unwrap();
+        d.insert("S", vec![Value::int(2), Value::int(7)]).unwrap();
+        let before = eval_query(&d, &q).unwrap();
+        // Insert S(3, 9): joins with R(2, 3).
+        let t = Tuple::ints([3, 9]);
+        d.insert_tuple("S", t.clone()).unwrap();
+        let after = eval_query(&d, &q).unwrap();
+        let cands = delta_results(&d, &q, "S", &t).unwrap().unwrap();
+        // Every genuinely new result appears among the candidates…
+        for new in after.tuples().iter().filter(|t| !before.contains(t)) {
+            assert!(cands.contains(new));
+        }
+        // …and every candidate is a real member of the new result.
+        for c in &cands {
+            assert!(after.contains(c));
+        }
+    }
+
+    #[test]
+    fn delta_results_with_self_join_pins_each_occurrence()  {
+        use crate::parser::parse_query;
+        // Q(x, z) :- R(x, y), R(y, z): the inserted tuple can play
+        // either atom.
+        let q = parse_query("Q(x, z) :- R(x, y), R(y, z)").unwrap();
+        let mut d = db();
+        let before = eval_query(&d, &q).unwrap();
+        let t = Tuple::ints([3, 1]);
+        d.insert_tuple("R", t.clone()).unwrap();
+        let after = eval_query(&d, &q).unwrap();
+        let cands = delta_results(&d, &q, "R", &t).unwrap().unwrap();
+        for new in after.tuples().iter().filter(|t| !before.contains(t)) {
+            assert!(cands.contains(new), "missing {new:?}");
+        }
+        assert!(after.len() > before.len());
+    }
+
+    #[test]
+    fn fo_queries_have_no_incremental_plan() {
+        use crate::parser::parse_query;
+        let d = db();
+        let q = parse_query("Q(x) := exists y. R(x, y)").unwrap();
+        assert!(delta_results(&d, &q, "R", &Tuple::ints([5, 6]))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn check_schema_catches_mismatches_without_evaluating() {
+        use crate::parser::parse_query;
+        let d = db();
+        for ok in [
+            "Q(x, y) :- R(x, y)",
+            "Q(x) := exists y. R(x, y)",
+        ] {
+            assert_eq!(check_schema(&d, &parse_query(ok).unwrap()), Ok(()), "{ok}");
+        }
+        assert!(matches!(
+            check_schema(&d, &parse_query("Q(x) :- Nope(x)").unwrap()),
+            Err(crate::Error::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            check_schema(&d, &parse_query("Q(x) :- R(x)").unwrap()),
+            Err(crate::Error::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            check_schema(&d, &parse_query("Q(x) := exists y. (R(x, y) & !R(y))").unwrap()),
+            Err(crate::Error::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            check_schema(&d, &Query::identity("Nope")),
+            Err(crate::Error::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn cardinality_bound_never_underestimates() {
+        use crate::parser::parse_query;
+        let mut d = db();
+        d.create_relation("S", &["y", "z"]).unwrap();
+        d.insert("S", vec![Value::int(2), Value::int(7)]).unwrap();
+        for text in [
+            "Q(x, z) :- R(x, y), S(y, z)",
+            "Q(x) :- R(x, y) ; Q(y) :- S(y, z)",
+            "Q(x) := exists y. R(x, y)",
+        ] {
+            let q = parse_query(text).unwrap();
+            let bound = cardinality_bound(&d, &q);
+            let n = eval_query(&d, &q).unwrap().len() as u64;
+            assert!(bound >= n, "{text}: bound {bound} < |Q(D)| {n}");
+        }
+        assert_eq!(cardinality_bound(&d, &Query::identity("R")), 2);
+        // Unknown relation: unbounded, not a panic.
+        assert_eq!(
+            cardinality_bound(&d, &Query::identity("Nope")),
+            u64::MAX
+        );
     }
 }

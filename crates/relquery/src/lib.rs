@@ -44,9 +44,10 @@ pub mod tuple;
 pub mod value;
 
 pub use database::Database;
+pub use eval::{cardinality_bound, check_schema, delta_results, stream_query, ResultStream};
 pub use query::{
-    Atom, CmpOp, Comparison, ConjunctiveQuery, FoQuery, Formula, Query, QueryLanguage, Term,
-    UnionQuery, Var,
+    Atom, CanonicalQuery, CmpOp, Comparison, ConjunctiveQuery, FoQuery, Formula, Query,
+    QueryLanguage, Term, UnionQuery, Var,
 };
 pub use relation::Relation;
 pub use schema::RelationSchema;

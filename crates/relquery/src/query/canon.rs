@@ -1,0 +1,489 @@
+//! Canonical byte keys for queries — the cache-sharing layer of the
+//! relational front door.
+//!
+//! [`CanonicalQuery::of`] maps a [`Query`] to a byte string such that
+//! **equal bytes imply equivalent queries** (key soundness: distinct
+//! semantics never collide), and for the workhorse fragment —
+//! comparison-free CQs/UCQs of moderate size — **equivalent queries
+//! produce equal bytes**, so syntactic variants (variable renamings,
+//! reordered atoms, duplicate or otherwise redundant atoms) share one
+//! prepared universe in the serving registry.
+//!
+//! The pipeline per CQ:
+//!
+//! 1. comparison-free → [`minimize`] to the tableau core (unique up to
+//!    variable renaming, Chandra–Merlin); with comparisons the core is
+//!    not well-defined, so only exact-duplicate items are dropped and
+//!    comparisons are folded in as pseudo-atoms (with `>`/`≥` flipped
+//!    to `<`/`≤` and symmetric `=`/`≠` operand order chosen
+//!    canonically);
+//! 2. canonical labeling: head variables are numbered in head order,
+//!    then a branch-and-bound search over item orders picks the
+//!    lexicographically least concatenated encoding, numbering body
+//!    variables by first occurrence — this erases both renaming and
+//!    item order. The search explores every tie while a node budget
+//!    lasts (exhaustive for the sizes real queries have), then degrades
+//!    to greedy first-tie: still deterministic and still sound, merely
+//!    no longer guaranteed to unify every equivalent pair.
+//!
+//! UCQs additionally drop disjuncts contained in a sibling
+//! (Sagiv–Yannakakis reduced form, comparison-free only) and sort the
+//! disjunct encodings; a union that reduces to one disjunct encodes
+//! exactly like that plain CQ. `∃FO⁺` queries are normalized through
+//! [`ucq_of`] and share keys with their UCQ
+//! equivalents; full FO (negation/∀) has no canonical form here and
+//! falls back to a raw — deterministic but rename-sensitive — encoding.
+//! Identity queries key on the relation name alone.
+
+use crate::query::{CmpOp, ConjunctiveQuery, Query, Term, UnionQuery, Var};
+use crate::query::{minimize, ucq_of};
+use crate::value::Value;
+use crate::{Error, Result};
+use std::collections::HashMap;
+
+/// Node budget for the exhaustive tie-exploring labeling search. Real
+/// queries have a handful of atoms; the budget only trips on
+/// adversarially symmetric bodies, where greedy fallback keeps the key
+/// sound (just possibly not minimal).
+const SEARCH_BUDGET: usize = 20_000;
+
+/// A query's canonical byte key. Equal keys ⇒ equivalent queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalQuery {
+    bytes: Vec<u8>,
+}
+
+impl CanonicalQuery {
+    /// Computes the canonical key of `query`.
+    ///
+    /// Errors propagate from normalization: [`Error::UnsafeQuery`] for
+    /// domain-dependent `∃FO⁺` disjuncts, plus anything
+    /// [`Query::validate`] rejects.
+    pub fn of(query: &Query) -> Result<Self> {
+        query.validate()?;
+        let bytes = match query {
+            Query::Identity(r) => {
+                let mut b = vec![b'I'];
+                write_bytes(&mut b, r.as_bytes());
+                b
+            }
+            Query::Cq(cq) => {
+                let mut b = vec![b'C'];
+                b.extend_from_slice(&canonical_cq(cq)?);
+                b
+            }
+            Query::Ucq(ucq) => canonical_ucq(ucq)?,
+            Query::Fo(fq) => match ucq_of(fq) {
+                Ok(ucq) => canonical_ucq(&ucq)?,
+                // Negation/∀: no UCQ form exists. A raw structural
+                // encoding keeps the key deterministic; equivalent
+                // formulas that differ syntactically will not share it.
+                Err(Error::MalformedQuery(_)) => {
+                    let mut b = vec![b'F'];
+                    write_bytes(&mut b, format!("{fq}").as_bytes());
+                    b
+                }
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(CanonicalQuery { bytes })
+    }
+
+    /// The canonical key bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+fn canonical_ucq(ucq: &UnionQuery) -> Result<Vec<u8>> {
+    let mut disjuncts: Vec<&ConjunctiveQuery> = ucq.disjuncts().iter().collect();
+    // Sagiv–Yannakakis reduced form: drop disjuncts contained in a
+    // sibling (containment is only decidable here for plain CQs).
+    if disjuncts.iter().all(|d| d.comparisons().is_empty()) {
+        let mut keep = vec![true; disjuncts.len()];
+        for i in 0..disjuncts.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..disjuncts.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if crate::query::contained_in(disjuncts[i], disjuncts[j])? {
+                    // On mutual containment the lower index survives.
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        let mut it = keep.iter();
+        disjuncts.retain(|_| *it.next().unwrap());
+    }
+    let mut encs: Vec<Vec<u8>> = disjuncts
+        .iter()
+        .map(|d| canonical_cq(d))
+        .collect::<Result<_>>()?;
+    encs.sort();
+    encs.dedup();
+    if encs.len() == 1 {
+        // A one-disjunct union is that CQ: share its key exactly.
+        let mut b = vec![b'C'];
+        b.extend_from_slice(&encs[0]);
+        return Ok(b);
+    }
+    let mut b = vec![b'U'];
+    write_u64(&mut b, encs.len() as u64);
+    for e in &encs {
+        write_bytes(&mut b, e);
+    }
+    Ok(b)
+}
+
+/// One body element of a CQ under canonicalization: a relational atom,
+/// or a comparison folded in as a pseudo-atom.
+struct Item {
+    /// Injective label: `[0] ++ relation` or `[1] ++ op symbol`.
+    label: Vec<u8>,
+    terms: Vec<Term>,
+    /// Whether `terms` (always 2 here) may be swapped freely (`=`, `≠`).
+    symmetric: bool,
+}
+
+fn items_of(cq: &ConjunctiveQuery) -> Vec<Item> {
+    let mut items = Vec::new();
+    for a in cq.atoms() {
+        let mut label = vec![0u8];
+        label.extend_from_slice(a.relation.as_bytes());
+        items.push(Item {
+            label,
+            terms: a.terms.clone(),
+            symmetric: false,
+        });
+    }
+    for c in cq.comparisons() {
+        // Orient `<`-family one way so `x > y` and `y < x` coincide.
+        let (op, lhs, rhs) = match c.op {
+            CmpOp::Gt => (CmpOp::Lt, c.rhs.clone(), c.lhs.clone()),
+            CmpOp::Ge => (CmpOp::Le, c.rhs.clone(), c.lhs.clone()),
+            op => (op, c.lhs.clone(), c.rhs.clone()),
+        };
+        let mut label = vec![1u8];
+        label.extend_from_slice(op.symbol().as_bytes());
+        items.push(Item {
+            label,
+            terms: vec![lhs, rhs],
+            symmetric: matches!(op, CmpOp::Eq | CmpOp::Ne),
+        });
+    }
+    // Exact syntactic duplicates contribute nothing.
+    let mut seen: Vec<(Vec<u8>, Vec<Term>)> = Vec::new();
+    items.retain(|it| {
+        let sig = (it.label.clone(), it.terms.clone());
+        if seen.contains(&sig) {
+            false
+        } else {
+            seen.push(sig);
+            true
+        }
+    });
+    items
+}
+
+fn canonical_cq(cq: &ConjunctiveQuery) -> Result<Vec<u8>> {
+    let cq = if cq.comparisons().is_empty() {
+        minimize(cq)?
+    } else {
+        cq.clone()
+    };
+    // Head variables are numbered first, in head-position order — the
+    // head is the query's fixed interface, so this is rename-invariant.
+    let mut assign: HashMap<Var, u64> = HashMap::new();
+    let mut next_id = 0u64;
+    let mut out = Vec::new();
+    write_u64(&mut out, cq.head().len() as u64);
+    for t in cq.head() {
+        encode_term(&mut out, t, &mut |v| {
+            let id = *assign.entry(v.clone()).or_insert_with(|| {
+                let id = next_id;
+                next_id += 1;
+                id
+            });
+            Some(id)
+        });
+    }
+    let items = items_of(&cq);
+    write_u64(&mut out, items.len() as u64);
+    let mut search = Search {
+        items: &items,
+        used: vec![false; items.len()],
+        budget: SEARCH_BUDGET,
+        best: None,
+    };
+    search.run(assign, next_id, Vec::new());
+    out.extend_from_slice(&search.best.unwrap_or_default());
+    Ok(out)
+}
+
+/// Branch-and-bound over item orders for the lexicographically least
+/// concatenation of item encodings.
+struct Search<'a> {
+    items: &'a [Item],
+    used: Vec<bool>,
+    budget: usize,
+    best: Option<Vec<u8>>,
+}
+
+impl Search<'_> {
+    fn run(&mut self, assign: HashMap<Var, u64>, next_id: u64, prefix: Vec<u8>) {
+        if self.items.iter().zip(&self.used).all(|(_, u)| *u) {
+            match &self.best {
+                Some(b) if *b <= prefix => {}
+                _ => self.best = Some(prefix),
+            }
+            return;
+        }
+        // Encode every unused item under the current assignment (new
+        // variables get hypothetical sequential ids) and keep the ties
+        // for the least encoding.
+        let mut min_enc: Option<Vec<u8>> = None;
+        let mut ties: Vec<(usize, Vec<Term>)> = Vec::new();
+        for (i, item) in self.items.iter().enumerate() {
+            if self.used[i] {
+                continue;
+            }
+            let (enc, order) = encode_item(item, &assign, next_id);
+            match &min_enc {
+                Some(m) if *m < enc => {}
+                Some(m) if *m == enc => ties.push((i, order)),
+                _ => {
+                    min_enc = Some(enc);
+                    ties = vec![(i, order)];
+                }
+            }
+        }
+        let min_enc = min_enc.expect("unused item exists");
+        // Branch on every tie while budget lasts; after that, greedy
+        // first-tie (deterministic, sound, possibly non-minimal).
+        let branches = if self.budget == 0 { 1 } else { ties.len() };
+        for (i, order) in ties.into_iter().take(branches) {
+            self.budget = self.budget.saturating_sub(1);
+            let mut assign2 = assign.clone();
+            let mut next2 = next_id;
+            for t in &order {
+                if let Term::Var(v) = t {
+                    assign2.entry(v.clone()).or_insert_with(|| {
+                        let id = next2;
+                        next2 += 1;
+                        id
+                    });
+                }
+            }
+            let mut prefix2 = prefix.clone();
+            write_bytes(&mut prefix2, &min_enc);
+            self.used[i] = true;
+            self.run(assign2, next2, prefix2);
+            self.used[i] = false;
+        }
+    }
+}
+
+/// Encodes one item under `assign`; unseen variables receive sequential
+/// hypothetical ids starting at `next_id`. Returns the encoding and the
+/// term order used (which matters for symmetric comparisons).
+fn encode_item(item: &Item, assign: &HashMap<Var, u64>, next_id: u64) -> (Vec<u8>, Vec<Term>) {
+    let orders: Vec<Vec<Term>> = if item.symmetric {
+        vec![
+            item.terms.clone(),
+            item.terms.iter().rev().cloned().collect(),
+        ]
+    } else {
+        vec![item.terms.clone()]
+    };
+    orders
+        .into_iter()
+        .map(|terms| {
+            let mut local: HashMap<Var, u64> = HashMap::new();
+            let mut next = next_id;
+            let mut b = Vec::new();
+            write_bytes(&mut b, &item.label);
+            write_u64(&mut b, terms.len() as u64);
+            for t in &terms {
+                encode_term(&mut b, t, &mut |v| {
+                    if let Some(id) = assign.get(v) {
+                        return Some(*id);
+                    }
+                    Some(*local.entry(v.clone()).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    }))
+                });
+            }
+            (b, terms)
+        })
+        .min_by(|a, b| a.0.cmp(&b.0))
+        .expect("at least one order")
+}
+
+fn encode_term(out: &mut Vec<u8>, t: &Term, var_id: &mut dyn FnMut(&Var) -> Option<u64>) {
+    match t {
+        Term::Const(v) => {
+            out.push(0u8);
+            encode_value(out, v);
+        }
+        Term::Var(v) => {
+            out.push(1u8);
+            write_u64(out, var_id(v).expect("variable id"));
+        }
+    }
+}
+
+fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0u8);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(1u8);
+            write_bytes(out, s.as_bytes());
+        }
+    }
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn canon(text: &str) -> CanonicalQuery {
+        CanonicalQuery::of(&parse_query(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn variable_renaming_shares_the_key() {
+        assert_eq!(
+            canon("Q(x, z) :- R(x, y), S(y, z)"),
+            canon("Q(a, c) :- R(a, b), S(b, c)"),
+        );
+    }
+
+    #[test]
+    fn atom_reordering_shares_the_key() {
+        assert_eq!(
+            canon("Q(x, z) :- R(x, y), S(y, z)"),
+            canon("Q(x, z) :- S(y, z), R(x, y)"),
+        );
+    }
+
+    #[test]
+    fn duplicate_atoms_share_the_key() {
+        assert_eq!(
+            canon("Q(x) :- R(x, y)"),
+            canon("Q(x) :- R(x, y), R(x, w)"),
+        );
+    }
+
+    #[test]
+    fn redundant_atom_minimized_away() {
+        // R(x, y) ∧ R(x, z): z folds onto y — the core is one atom.
+        assert_eq!(
+            canon("Q(x, y) :- R(x, y), R(x, z)"),
+            canon("Q(x, y) :- R(x, y)"),
+        );
+    }
+
+    #[test]
+    fn near_misses_do_not_collide() {
+        let distinct = [
+            canon("Q(x, z) :- R(x, y), S(y, z)"),
+            canon("Q(x, z) :- R(x, y), S(z, y)"),
+            canon("Q(z, x) :- R(x, y), S(y, z)"),
+            canon("Q(x, z) :- R(x, x), S(x, z)"),
+            canon("Q(x, z) :- R(x, y), T(y, z)"),
+            canon("Q(x, z) :- R(x, y), S(y, z), T(z, x)"),
+        ];
+        for i in 0..distinct.len() {
+            for j in (i + 1)..distinct.len() {
+                assert_ne!(distinct[i], distinct[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_orient_and_commute() {
+        assert_eq!(
+            canon("Q(x) :- R(x, y), x < y"),
+            canon("Q(a) :- R(a, b), b > a"),
+        );
+        assert_eq!(
+            canon("Q(x) :- R(x, y), x != y"),
+            canon("Q(x) :- R(x, y), y != x"),
+        );
+        assert_ne!(
+            canon("Q(x) :- R(x, y), x < y"),
+            canon("Q(x) :- R(x, y), x <= y"),
+        );
+    }
+
+    #[test]
+    fn union_is_order_insensitive_and_reduced() {
+        assert_eq!(
+            canon("Q(x) :- R(x, y) ; Q(x) :- S(x, y)"),
+            canon("Q(a) :- S(a, b) ; Q(c) :- R(c, d)"),
+        );
+        // A disjunct contained in its sibling vanishes: R(x,y) ∧ S(x,x)
+        // ⊑ R(x,y), so the union collapses to the plain CQ and shares
+        // its exact key.
+        assert_eq!(
+            canon("Q(x) :- R(x, y) ; Q(x) :- R(x, y), S(x, x)"),
+            canon("Q(x) :- R(x, y)"),
+        );
+    }
+
+    #[test]
+    fn positive_fo_shares_keys_with_its_ucq() {
+        assert_eq!(
+            canon("Q(x) := exists y. R(x, y)"),
+            canon("Q(x) :- R(x, y)"),
+        );
+    }
+
+    #[test]
+    fn full_fo_is_deterministic() {
+        let a = canon("Q(x) := exists y. (R(x, y) & !S(y, y))");
+        let b = canon("Q(x) := exists y. (R(x, y) & !S(y, y))");
+        assert_eq!(a, b);
+        assert!(a.bytes().starts_with(b"F"));
+    }
+
+    #[test]
+    fn identity_keys_on_relation_name() {
+        let a = CanonicalQuery::of(&Query::identity("R")).unwrap();
+        let b = CanonicalQuery::of(&Query::identity("R")).unwrap();
+        let c = CanonicalQuery::of(&Query::identity("S")).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn constants_distinguish_keys() {
+        assert_ne!(
+            canon("Q(x) :- R(x, 1)"),
+            canon("Q(x) :- R(x, 2)"),
+        );
+        assert_eq!(
+            canon("Q(x) :- R(x, 1)"),
+            canon("Q(y) :- R(y, 1)"),
+        );
+    }
+}

@@ -2,11 +2,13 @@
 //! identity queries, `CQ`, `UCQ`, `∃FO⁺` and `FO`, all with the built-in
 //! predicates `=, ≠, <, ≤, >, ≥`.
 
+pub mod canon;
 mod cq;
 mod fo;
 pub mod normalize;
 pub mod tableau;
 
+pub use canon::CanonicalQuery;
 pub use cq::{ConjunctiveQuery, UnionQuery};
 pub use normalize::ucq_of;
 pub use tableau::{contained_in, equivalent, homomorphism, minimize, ucq_contained_in, Tableau};
@@ -348,6 +350,48 @@ impl Query {
         }
         out.sort();
         out.dedup();
+        out
+    }
+
+    /// The names of every base relation this query reads — the
+    /// dependency set a serving layer fans base-table deltas out over
+    /// (a warm prepared `Q(D)` only needs repair when one of *these*
+    /// relations changes).
+    pub fn relations(&self) -> std::collections::BTreeSet<String> {
+        fn of_formula(f: &Formula, out: &mut std::collections::BTreeSet<String>) {
+            match f {
+                Formula::Atom(a) => {
+                    out.insert(a.relation.clone());
+                }
+                Formula::Cmp(_) => {}
+                Formula::Not(inner) => of_formula(inner, out),
+                Formula::And(parts) | Formula::Or(parts) => {
+                    for p in parts {
+                        of_formula(p, out);
+                    }
+                }
+                Formula::Exists(_, inner) | Formula::Forall(_, inner) => of_formula(inner, out),
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        match self {
+            Query::Identity(r) => {
+                out.insert(r.clone());
+            }
+            Query::Cq(q) => {
+                for a in q.atoms() {
+                    out.insert(a.relation.clone());
+                }
+            }
+            Query::Ucq(q) => {
+                for d in q.disjuncts() {
+                    for a in d.atoms() {
+                        out.insert(a.relation.clone());
+                    }
+                }
+            }
+            Query::Fo(q) => of_formula(q.body(), &mut out),
+        }
         out
     }
 }

@@ -116,6 +116,11 @@ impl Relation {
         &self.tuples
     }
 
+    /// Consumes the relation, returning its tuples (insertion order).
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
     /// Returns a sorted copy of the tuples — handy for order-insensitive
     /// comparisons in tests.
     pub fn sorted_tuples(&self) -> Vec<Tuple> {

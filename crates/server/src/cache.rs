@@ -190,6 +190,34 @@ impl PreparedCache {
         Ok(self.adopt_or_insert(shard, key, prepared))
     }
 
+    /// [`PreparedCache::get_or_try_prepare`] with a caller-supplied
+    /// build step — the hook the query front door uses to prepare from
+    /// a **streaming evaluator** instead of a materialized
+    /// [`UniverseSpec`]. Semantics are identical: hits bump LRU and
+    /// never run `build`; a failing build caches nothing (so a
+    /// malformed or empty query result cannot park a poisoned entry);
+    /// racing builders adopt the first insert. `build` runs outside any
+    /// shard lock and must already validate what it returns.
+    pub fn get_or_try_prepare_with<E>(
+        &self,
+        key: &UniverseKey,
+        build: impl FnOnce() -> Result<PreparedVariant, E>,
+    ) -> Result<PreparedVariant, E> {
+        let shard = self.shard_of(key);
+        {
+            let mut guard = self.lock_shard(shard);
+            if let Some(entry) = guard.entries.get_mut(key) {
+                entry.stamp = self.tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.prepared.clone());
+            }
+        }
+        // Miss: build (and validate) outside the lock.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = build()?;
+        Ok(self.adopt_or_insert(shard, key, prepared))
+    }
+
     /// The common tail of a miss: re-lock, adopt a race winner if one
     /// appeared while we built, otherwise insert and evict past budget.
     fn adopt_or_insert(

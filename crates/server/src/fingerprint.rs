@@ -90,6 +90,14 @@ impl FingerprintEncoder {
         self.push(s.as_bytes());
     }
 
+    /// A raw byte string (length-prefixed) — for embedding an already
+    /// canonical encoding, e.g. a
+    /// [`CanonicalQuery`](divr_relquery::CanonicalQuery)'s key bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        self.push(bytes);
+    }
+
     /// An attribute value, tagged by sort.
     pub fn write_value(&mut self, v: &Value) {
         match v {

@@ -83,11 +83,13 @@
 
 pub mod cache;
 pub mod fingerprint;
+pub mod query;
 pub mod registry;
 pub mod spec;
 
 pub use cache::{CacheStats, PreparedCache};
 pub use fingerprint::{FingerprintEncoder, Fingerprintable, UniverseKey};
+pub use query::{QueryError, QueryFrontDoor, QuerySpec};
 pub use registry::{Answer, CheckedAnswer, Registry, RegistryConfig, RegistryStats, TenantBatch};
 pub use spec::{
     CoresetSpec, PreparedVariant, ServableDistance, ServableRelevance, UniverseSpec,

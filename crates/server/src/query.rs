@@ -1,0 +1,784 @@
+//! The relational front door: query-keyed QRD serving.
+//!
+//! The paper defines diversification over `Q(D)` — the result of a
+//! *query* against a *database* — but the registry proper accepts only
+//! pre-materialized tuple universes. This module closes the gap: a
+//! [`QueryFrontDoor`] owns named [`Database`]s, accepts
+//! ([`QuerySpec`], requests) and serves diversified answers, with
+//! prepared state cached in the registry's byte-budgeted LRU under a
+//! **semantic** key:
+//!
+//! ```text
+//! (database, canonical query tableau, referenced-relation versions,
+//!  relevance ⊕ distance fingerprints, λ, serving mode)
+//! ```
+//!
+//! Because the query component is the [`CanonicalQuery`] tableau core
+//! rather than the query text, syntactically distinct but equivalent
+//! CQs (variable renamings, reordered atoms, redundant atoms) address
+//! the **same** prepared universe — one miss, then hits for every
+//! variant. Because the key pins only the versions of relations the
+//! query *reads*, inserts into unrelated tables leave warm entries
+//! warm.
+//!
+//! Evaluation streams: the CQ evaluator's pull iterator feeds
+//! preparation directly. Universes at or under the auto-escalation
+//! threshold build the exact full matrix; larger ones flow into
+//! [`PreparedCoreset::build_streaming`] without `Q(D)` ever being
+//! materialized as a separate vector.
+//!
+//! Base-table inserts route through the delta machinery:
+//! [`QueryFrontDoor::insert_base_tuple`] computes each affected warm
+//! query's new result tuples **semi-naively**
+//! ([`divr_relquery::delta_results`]) and migrates the prepared entry
+//! in place — `O(Δ · n)` instead of a cold re-evaluate + `O(n²)`
+//! re-prepare — re-keying it under the bumped relation version with
+//! its delta log extended, exactly like [`Registry::apply_delta`].
+
+use crate::cache::PreparedCache;
+use crate::fingerprint::{FingerprintEncoder, UniverseKey};
+use crate::registry::{CheckedAnswer, Registry};
+use crate::spec::{CoresetSpec, OracleAdapter, PreparedVariant, ServableDistance, ServableRelevance};
+use divr_core::coreset::{CoresetConfig, PreparedCoreset, CORESET_AUTO_THRESHOLD};
+use divr_core::engine::{DeltaOp, EngineRequest, PreparedUniverse, ServeError, SolveScratch};
+use divr_core::Ratio;
+use divr_relquery::{delta_results, stream_query, CanonicalQuery, Database, Query, Tuple, Value};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Why a query could not be served at all (per-request diagnoses ride
+/// in each [`CheckedAnswer`] instead).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query itself failed — unknown relation, arity mismatch,
+    /// unsafe or malformed query (maps to a schema-level wire error).
+    Query(divr_relquery::Error),
+    /// No database registered under this name.
+    UnknownDatabase(String),
+    /// `Q(D) = ∅`: there is nothing to diversify. A typed refusal —
+    /// never cached, never a panic.
+    EmptyResult,
+    /// The universe was refused at prepare ([`ServeError::NonFiniteScore`])
+    /// or preparation died ([`ServeError::WorkerPanicked`]).
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Query(e) => write!(f, "query error: {e}"),
+            QueryError::UnknownDatabase(name) => write!(f, "unknown database {name:?}"),
+            QueryError::EmptyResult => write!(f, "query produced an empty result"),
+            QueryError::Serve(e) => write!(f, "serve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<divr_relquery::Error> for QueryError {
+    fn from(e: divr_relquery::Error) -> Self {
+        QueryError::Query(e)
+    }
+}
+
+impl From<ServeError> for QueryError {
+    fn from(e: ServeError) -> Self {
+        QueryError::Serve(e)
+    }
+}
+
+/// What a tenant hands the front door: the query plus the QRD instance
+/// parameters — the query-level analogue of
+/// [`UniverseSpec`](crate::UniverseSpec). The canonical tableau key is
+/// computed once at construction.
+#[derive(Clone)]
+pub struct QuerySpec {
+    query: Query,
+    canon: CanonicalQuery,
+    relations: BTreeSet<String>,
+    rel: Arc<dyn ServableRelevance>,
+    dis: Arc<dyn ServableDistance>,
+    lambda: Ratio,
+    coreset: Option<CoresetSpec>,
+    max_k: usize,
+}
+
+impl QuerySpec {
+    /// Default largest `k` auto-escalated universes are sized for (the
+    /// coreset budget becomes `max(64, 16·max_k)`, the same rule as
+    /// [`CoresetConfig::recommended`]).
+    pub const DEFAULT_MAX_K: usize = 64;
+
+    /// Bundles a query with its diversification parameters, computing
+    /// the canonical tableau key (minimization + canonical labeling —
+    /// this is where equivalent queries converge).
+    ///
+    /// Errors on invalid queries; panics if `λ ∉ [0, 1]` (same contract
+    /// as the rest of the workspace).
+    pub fn new(
+        query: Query,
+        rel: Arc<dyn ServableRelevance>,
+        dis: Arc<dyn ServableDistance>,
+        lambda: Ratio,
+    ) -> Result<Self, QueryError> {
+        assert!(
+            lambda >= Ratio::ZERO && lambda <= Ratio::ONE,
+            "λ must lie in [0, 1]"
+        );
+        let canon = CanonicalQuery::of(&query)?;
+        let relations = query.relations();
+        Ok(QuerySpec {
+            query,
+            canon,
+            relations,
+            rel,
+            dis,
+            lambda,
+            coreset: None,
+            max_k: Self::DEFAULT_MAX_K,
+        })
+    }
+
+    /// Forces coreset serving with an explicit budget regardless of
+    /// `|Q(D)|` (the counterpart of
+    /// [`UniverseSpec::with_coreset`](crate::UniverseSpec::with_coreset)).
+    /// Without this, universes at or below [`CORESET_AUTO_THRESHOLD`]
+    /// build the exact full matrix and larger ones auto-escalate to a
+    /// streamed coreset sized by [`QuerySpec::with_max_k`].
+    pub fn with_coreset(mut self, mode: CoresetSpec) -> Self {
+        self.coreset = Some(mode);
+        self
+    }
+
+    /// Sizes the auto-escalation coreset for requests up to `k` (part
+    /// of the cache key: two sizings are two prepared states).
+    pub fn with_max_k(mut self, max_k: usize) -> Self {
+        self.max_k = max_k.max(1);
+        self
+    }
+
+    /// The query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The canonical tableau key of the query.
+    pub fn canon(&self) -> &CanonicalQuery {
+        &self.canon
+    }
+
+    /// The base relations the query reads (the delta fan-out set).
+    pub fn relations(&self) -> &BTreeSet<String> {
+        &self.relations
+    }
+
+    /// The explicit coreset mode, if forced.
+    pub fn coreset(&self) -> Option<CoresetSpec> {
+        self.coreset
+    }
+
+    /// The λ trade-off.
+    pub fn lambda(&self) -> Ratio {
+        self.lambda
+    }
+
+    /// The largest `k` auto-escalated universes are sized for.
+    pub fn max_k(&self) -> usize {
+        self.max_k
+    }
+
+    /// The coreset budget an auto-escalated universe would use — what
+    /// admission control should assume when a cardinality bound exceeds
+    /// [`CORESET_AUTO_THRESHOLD`].
+    pub fn auto_budget(&self) -> usize {
+        CoresetConfig::recommended(self.max_k).budget
+    }
+
+    /// The auto-escalation coreset configuration.
+    fn auto_config(&self, threads: usize) -> CoresetConfig {
+        CoresetConfig::recommended(self.max_k).with_threads(threads)
+    }
+}
+
+impl std::fmt::Debug for QuerySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuerySpec")
+            .field("query", &format_args!("{}", self.query))
+            .field("lambda", &self.lambda)
+            .field("coreset", &self.coreset)
+            .field("max_k", &self.max_k)
+            .finish()
+    }
+}
+
+/// One registered database plus the bookkeeping that keys and repairs
+/// its warm queries.
+struct DbState {
+    db: Database,
+    /// Monotone per-relation versions, bumped on every content change;
+    /// absent means `0`. Part of every query key that reads the
+    /// relation, so stale prepared state is unreachable by construction.
+    rel_versions: HashMap<String, u64>,
+    /// Warm query universes by their current cache key — the fan-out
+    /// index for base-table deltas.
+    warm: HashMap<UniverseKey, WarmQuery>,
+}
+
+struct WarmQuery {
+    spec: QuerySpec,
+}
+
+/// The query-keyed serving surface. See the module docs for the data
+/// flow; construction just wraps a shared [`Registry`], whose cache
+/// (and byte budget) query-keyed entries share with universe-keyed
+/// ones.
+pub struct QueryFrontDoor {
+    registry: Arc<Registry>,
+    state: RwLock<HashMap<String, DbState>>,
+}
+
+impl QueryFrontDoor {
+    /// A front door over `registry`'s cache and thread budget.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        QueryFrontDoor {
+            registry,
+            state: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The shared registry (query-keyed and universe-keyed entries live
+    /// in one cache; its stats count both).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn read_state(&self) -> RwLockReadGuard<'_, HashMap<String, DbState>> {
+        // Same poison discipline as the cache shards: the map holds
+        // rebuildable bookkeeping, so recover the guard and serve.
+        self.state.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write_state(&self) -> RwLockWriteGuard<'_, HashMap<String, DbState>> {
+        self.state.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn cache(&self) -> &PreparedCache {
+        self.registry.cache()
+    }
+
+    /// Registers (or replaces) a database under `name`. Replacing drops
+    /// the old instance's warm query entries — their content is gone —
+    /// and resets relation versions.
+    pub fn register_database(&self, name: impl Into<String>, db: Database) {
+        let name = name.into();
+        let mut state = self.write_state();
+        if let Some(old) = state.remove(&name) {
+            for key in old.warm.keys() {
+                self.cache().take(key);
+            }
+        }
+        state.insert(
+            name,
+            DbState {
+                db,
+                rel_versions: HashMap::new(),
+                warm: HashMap::new(),
+            },
+        );
+    }
+
+    /// Whether a database is registered under `name`.
+    pub fn has_database(&self, name: &str) -> bool {
+        self.read_state().contains_key(name)
+    }
+
+    /// Whether `spec`'s prepared universe is currently resident (no LRU
+    /// bump, no prepare).
+    pub fn is_warm(&self, db: &str, spec: &QuerySpec) -> Result<bool, QueryError> {
+        Ok(self.cache().contains(&self.key_for(db, spec)?))
+    }
+
+    /// The semantic cache key `spec` currently addresses against
+    /// database `db` — exposed so conformance tests can pin key
+    /// equality for equivalent queries and injectivity for near-misses.
+    pub fn key_for(&self, db: &str, spec: &QuerySpec) -> Result<UniverseKey, QueryError> {
+        let state = self.read_state();
+        let dbst = state
+            .get(db)
+            .ok_or_else(|| QueryError::UnknownDatabase(db.to_string()))?;
+        Ok(Self::key_of(db, dbst, spec))
+    }
+
+    fn key_of(db_name: &str, dbst: &DbState, spec: &QuerySpec) -> UniverseKey {
+        let mut enc = FingerprintEncoder::new();
+        enc.write_tag("query");
+        enc.write_str(db_name);
+        enc.write_tag("canon");
+        enc.write_bytes(spec.canon.bytes());
+        // Only relations the query reads: a version bump elsewhere must
+        // not cool this entry.
+        enc.write_tag("rels");
+        enc.write_usize(spec.relations.len());
+        for r in &spec.relations {
+            enc.write_str(r);
+            enc.write_usize(*dbst.rel_versions.get(r).unwrap_or(&0) as usize);
+        }
+        enc.write_tag("rel");
+        spec.rel.fingerprint(&mut enc);
+        enc.write_tag("dis");
+        spec.dis.fingerprint(&mut enc);
+        enc.write_tag("lambda");
+        enc.write_ratio(spec.lambda);
+        match spec.coreset {
+            None => {
+                enc.write_tag("mode:auto");
+                enc.write_usize(spec.auto_config(1).budget);
+            }
+            Some(cs) => {
+                enc.write_tag("mode:coreset");
+                enc.write_usize(cs.budget);
+                enc.write_usize(cs.refine_rounds);
+            }
+        }
+        enc.into_key()
+    }
+
+    /// Evaluates and prepares `spec` against `db` — the miss path.
+    /// Streaming end to end in auto mode: at most
+    /// `CORESET_AUTO_THRESHOLD + 1` tuples are buffered before the
+    /// build commits to full-matrix or streamed-coreset preparation.
+    fn build_prepared(
+        db: &Database,
+        spec: &QuerySpec,
+        threads: usize,
+    ) -> Result<PreparedVariant, QueryError> {
+        let mut stream = stream_query(db, &spec.query)?;
+        let dis: Arc<dyn divr_core::distance::Distance + Send + Sync> =
+            Arc::new(OracleAdapter(spec.dis.clone()));
+        let prepared = match spec.coreset {
+            Some(mode) => {
+                // Explicit coreset mode materializes, for bit-identity
+                // with the UniverseSpec path (Coreset::select over the
+                // whole universe, not the insertion stream).
+                let universe: Vec<Tuple> = stream.collect();
+                if universe.is_empty() {
+                    return Err(QueryError::EmptyResult);
+                }
+                let config = CoresetConfig {
+                    budget: mode.budget,
+                    refine_rounds: mode.refine_rounds,
+                    threads,
+                };
+                PreparedVariant::Coreset(Arc::new(PreparedCoreset::build_shared(
+                    universe,
+                    &*spec.rel,
+                    dis,
+                    spec.lambda,
+                    &config,
+                )))
+            }
+            None => {
+                // Pull until we know which side of the threshold this
+                // universe lands on.
+                let mut head: Vec<Tuple> = Vec::new();
+                while head.len() <= CORESET_AUTO_THRESHOLD {
+                    match stream.next() {
+                        Some(t) => head.push(t),
+                        None => break,
+                    }
+                }
+                if head.is_empty() {
+                    return Err(QueryError::EmptyResult);
+                }
+                if head.len() <= CORESET_AUTO_THRESHOLD {
+                    PreparedVariant::Full(Arc::new(PreparedUniverse::build_shared(
+                        head,
+                        &*spec.rel,
+                        dis,
+                        spec.lambda,
+                        threads,
+                    )))
+                } else {
+                    // Above threshold: the rest of the evaluation flows
+                    // straight into coreset maintenance — Q(D) is never
+                    // a second vector.
+                    let config = spec.auto_config(threads);
+                    PreparedVariant::Coreset(Arc::new(PreparedCoreset::build_streaming(
+                        head.into_iter().chain(stream),
+                        &*spec.rel,
+                        dis,
+                        spec.lambda,
+                        &config,
+                    )))
+                }
+            }
+        };
+        prepared.check_finite().map_err(QueryError::Serve)?;
+        Ok(prepared)
+    }
+
+    /// Serves a batch of requests for one query — evaluate + prepare on
+    /// a semantic-key miss, straight to the solve on a hit — with the
+    /// registry's fault isolation: per-request `catch_unwind`, typed
+    /// infeasibility diagnoses, one reused scratch.
+    pub fn serve_query(
+        &self,
+        db: &str,
+        spec: &QuerySpec,
+        requests: &[EngineRequest],
+    ) -> Result<Vec<CheckedAnswer>, QueryError> {
+        let threads = self.registry.solve_threads();
+        let (key, prepared) = {
+            let state = self.read_state();
+            let dbst = state
+                .get(db)
+                .ok_or_else(|| QueryError::UnknownDatabase(db.to_string()))?;
+            let key = Self::key_of(db, dbst, spec);
+            let prepared = self.cache().get_or_try_prepare_with(&key, || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    Self::build_prepared(&dbst.db, spec, threads)
+                }))
+                .unwrap_or(Err(QueryError::Serve(ServeError::WorkerPanicked)))
+            })?;
+            (key, prepared)
+        };
+        // Record the warm entry outside the read lock (idempotent; the
+        // delta fan-out needs the spec to re-key and repair it).
+        {
+            let mut state = self.write_state();
+            if let Some(dbst) = state.get_mut(db) {
+                dbst.warm
+                    .entry(key)
+                    .or_insert_with(|| WarmQuery { spec: spec.clone() });
+            }
+        }
+        let mut scratch = SolveScratch::new();
+        let mut answers = Vec::with_capacity(requests.len());
+        for &request in requests {
+            let attempt = {
+                let s = &mut scratch;
+                catch_unwind(AssertUnwindSafe(|| prepared.serve_with(threads, request, s)))
+            };
+            answers.push(match attempt {
+                Ok(Some(answer)) => Ok(answer),
+                Ok(None) => Err(prepared.classify_infeasible(request.k)),
+                Err(_) => {
+                    scratch = SolveScratch::new();
+                    Err(ServeError::WorkerPanicked)
+                }
+            });
+        }
+        Ok(answers)
+    }
+
+    /// The universe sequence the front door is serving for `spec` right
+    /// now — warm state's exact tuple order (which after deltas is
+    /// *original order + appended repairs*, not a cold re-evaluation
+    /// order), preparing on a miss. This is the sequence a differential
+    /// oracle must feed the materialized path to expect bit-identical
+    /// answers.
+    pub fn universe_of(&self, db: &str, spec: &QuerySpec) -> Result<Vec<Tuple>, QueryError> {
+        let threads = self.registry.solve_threads();
+        let state = self.read_state();
+        let dbst = state
+            .get(db)
+            .ok_or_else(|| QueryError::UnknownDatabase(db.to_string()))?;
+        let key = Self::key_of(db, dbst, spec);
+        let prepared = self
+            .cache()
+            .get_or_try_prepare_with(&key, || Self::build_prepared(&dbst.db, spec, threads))?;
+        Ok(match &prepared {
+            PreparedVariant::Full(p) => p.universe().to_vec(),
+            PreparedVariant::Coreset(p) => p.universe().to_vec(),
+        })
+    }
+
+    /// Inserts one tuple into a base relation and **delta-repairs every
+    /// warm query universe it affects**: for each warm spec reading
+    /// `relation`, the new result tuples are computed semi-naively,
+    /// deduplicated against the prepared universe (set semantics), and
+    /// appended through the in-place delta path — full-matrix entries
+    /// extend their matrix `O(Δ · n)`, streamed-coreset entries extend
+    /// their insertion stream — then the entry is re-inserted under the
+    /// bumped relation version with its version advanced and the
+    /// operations logged, exactly like [`Registry::apply_delta`]. Warm
+    /// queries *not* reading `relation` keep their keys and stay warm.
+    ///
+    /// Returns `Ok(false)` (and changes nothing, set semantics) if the
+    /// tuple was already present.
+    ///
+    /// Entries that cannot be repaired incrementally — FO queries with
+    /// no semi-naive plan, or prepared state shared so widely it cannot
+    /// be mutated — are dropped and simply go cold; the next serve
+    /// re-prepares at the new version. Nothing is ever served stale.
+    pub fn insert_base_tuple(
+        &self,
+        db: &str,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<bool, QueryError> {
+        let mut state = self.write_state();
+        let dbst = state
+            .get_mut(db)
+            .ok_or_else(|| QueryError::UnknownDatabase(db.to_string()))?;
+        let tuple = Tuple::new(values.clone());
+        if !dbst.db.insert(relation, values)? {
+            return Ok(false);
+        }
+        *dbst.rel_versions.entry(relation.to_string()).or_insert(0) += 1;
+
+        // Fan out to the warm queries that read this relation.
+        let affected: Vec<UniverseKey> = dbst
+            .warm
+            .iter()
+            .filter(|(_, w)| w.spec.relations.contains(relation))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for old_key in affected {
+            let w = dbst.warm.remove(&old_key).expect("collected from warm");
+            let new_key = Self::key_of(db, dbst, &w.spec);
+            let Some((prepared, version, mut log)) = self.cache().take(&old_key) else {
+                // Evicted since it was recorded: nothing to migrate.
+                continue;
+            };
+            let fresh = match delta_results(&dbst.db, &w.spec.query, relation, &tuple) {
+                Ok(Some(candidates)) => {
+                    let existing: HashSet<&Tuple> = match &prepared {
+                        PreparedVariant::Full(p) => p.universe().iter().collect(),
+                        PreparedVariant::Coreset(p) => p.universe().iter().collect(),
+                    };
+                    let mut fresh: Vec<Tuple> = Vec::new();
+                    for c in candidates {
+                        if !existing.contains(&c) && !fresh.contains(&c) {
+                            fresh.push(c);
+                        }
+                    }
+                    fresh
+                }
+                // No incremental plan (FO) or the delta evaluation
+                // failed: drop the entry, next serve re-prepares cold.
+                Ok(None) | Err(_) => continue,
+            };
+            let count = fresh.len() as u64;
+            let migrated = if fresh.is_empty() {
+                // Result unchanged — carry the state to the new key
+                // untouched (no version bump: no delta was applied).
+                prepared
+            } else {
+                match prepared {
+                    PreparedVariant::Full(arc) => {
+                        let mut p = Arc::try_unwrap(arc).unwrap_or_else(|a| a.fork());
+                        for t in &fresh {
+                            let rel = w.spec.rel.rel(t);
+                            p.insert_tuple(t.clone(), rel);
+                            log.push(DeltaOp::Insert(t.clone()));
+                        }
+                        PreparedVariant::Full(Arc::new(p))
+                    }
+                    PreparedVariant::Coreset(arc) => {
+                        // The streamed-coreset contract is determinism
+                        // in the insertion sequence, so extending the
+                        // stream *is* the repair. A widely shared Arc
+                        // cannot be mutated — drop it and go cold.
+                        let Ok(mut p) = Arc::try_unwrap(arc) else {
+                            continue;
+                        };
+                        for t in &fresh {
+                            let rel = w.spec.rel.rel(t);
+                            p.insert_tuple(t.clone(), rel);
+                            log.push(DeltaOp::Insert(t.clone()));
+                        }
+                        PreparedVariant::Coreset(Arc::new(p))
+                    }
+                }
+            };
+            self.cache()
+                .insert_versioned(&new_key, migrated, version + count, log);
+            dbst.warm.insert(new_key, w);
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use crate::spec::UniverseSpec;
+    use divr_core::distance::NumericDistance;
+    use divr_core::problem::ObjectiveKind;
+    use divr_core::relevance::AttributeRelevance;
+    use divr_relquery::parser::parse_query;
+
+    fn rel() -> Arc<dyn ServableRelevance> {
+        Arc::new(AttributeRelevance {
+            attr: 1,
+            default: Ratio::ZERO,
+        })
+    }
+
+    fn dis() -> Arc<dyn ServableDistance> {
+        Arc::new(NumericDistance {
+            attr: 0,
+            fallback: Ratio::ZERO,
+        })
+    }
+
+    fn front() -> QueryFrontDoor {
+        QueryFrontDoor::new(Arc::new(Registry::new(RegistryConfig {
+            workers: 2,
+            solve_threads: 2,
+            ..RegistryConfig::default()
+        })))
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("R", &["x", "y"]).unwrap();
+        db.create_relation("S", &["y", "z"]).unwrap();
+        for i in 0..40i64 {
+            db.insert("R", vec![Value::int(i), Value::int(i % 7)]).unwrap();
+            db.insert("S", vec![Value::int(i % 7), Value::int(3 * i)]).unwrap();
+        }
+        db
+    }
+
+    fn spec(text: &str) -> QuerySpec {
+        QuerySpec::new(parse_query(text).unwrap(), rel(), dis(), Ratio::new(1, 2)).unwrap()
+    }
+
+    fn reqs() -> Vec<EngineRequest> {
+        ObjectiveKind::ALL
+            .into_iter()
+            .map(|kind| EngineRequest { kind, k: 5 })
+            .collect()
+    }
+
+    #[test]
+    fn serving_matches_materialized_universe() {
+        let f = front();
+        f.register_database("main", db());
+        let q = spec("Q(x, z) :- R(x, y), S(y, z)");
+        let answers = f.serve_query("main", &q, &reqs()).unwrap();
+        // Oracle: materialize Q(D) by hand (eager eval = stream order)
+        // and serve through the registry's universe path.
+        let universe = divr_relquery::eval::eval_query(&db(), q.query())
+            .unwrap()
+            .into_tuples();
+        let uspec = UniverseSpec::new(universe, rel(), dis(), Ratio::new(1, 2));
+        let oracle = Registry::default();
+        for (a, request) in answers.iter().zip(reqs()) {
+            let expect = oracle.try_serve(&uspec, request).unwrap();
+            assert_eq!(a.as_ref().unwrap(), &expect);
+        }
+    }
+
+    #[test]
+    fn equivalent_queries_share_one_prepared_entry() {
+        let f = front();
+        f.register_database("main", db());
+        let variants = [
+            spec("Q(x, z) :- R(x, y), S(y, z)"),
+            spec("Q(a, c) :- S(b, c), R(a, b)"),
+            spec("Q(x, z) :- R(x, y), S(y, z), R(x, w)"),
+        ];
+        let keys: Vec<UniverseKey> = variants
+            .iter()
+            .map(|s| f.key_for("main", s).unwrap())
+            .collect();
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[0], keys[2]);
+        let expect: Vec<CheckedAnswer> = f.serve_query("main", &variants[0], &reqs()).unwrap();
+        for v in &variants[1..] {
+            assert_eq!(f.serve_query("main", v, &reqs()).unwrap(), expect);
+        }
+        let stats = f.registry().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        // A near-miss (swapped S columns) is a different key.
+        let near = spec("Q(x, z) :- R(x, y), S(z, y)");
+        assert_ne!(f.key_for("main", &near).unwrap(), keys[0]);
+    }
+
+    #[test]
+    fn empty_result_is_a_typed_error() {
+        let f = front();
+        f.register_database("main", db());
+        let q = spec("Q(x) :- R(x, y), y > 100");
+        assert_eq!(
+            f.serve_query("main", &q, &reqs()),
+            Err(QueryError::EmptyResult)
+        );
+        // Nothing cached for the refused query.
+        assert!(!f.is_warm("main", &q).unwrap());
+    }
+
+    #[test]
+    fn unknown_database_and_unknown_relation_are_typed() {
+        let f = front();
+        assert!(matches!(
+            f.serve_query("nope", &spec("Q(x) :- R(x, y)"), &reqs()),
+            Err(QueryError::UnknownDatabase(_))
+        ));
+        f.register_database("main", db());
+        let q = spec("Q(x) :- Missing(x, y)");
+        assert!(matches!(
+            f.serve_query("main", &q, &reqs()),
+            Err(QueryError::Query(divr_relquery::Error::UnknownRelation(_)))
+        ));
+    }
+
+    #[test]
+    fn base_insert_repairs_warm_entries_and_matches_cold_universe() {
+        let f = front();
+        f.register_database("main", db());
+        let q = spec("Q(x, z) :- R(x, y), S(y, z)");
+        f.serve_query("main", &q, &reqs()).unwrap();
+        assert_eq!(f.registry().stats().misses, 1);
+
+        // Insert a joining R-tuple: the warm entry must migrate, not
+        // cool down.
+        assert!(f
+            .insert_base_tuple("main", "R", vec![Value::int(100), Value::int(3)])
+            .unwrap());
+        let answers = f.serve_query("main", &q, &reqs()).unwrap();
+        let stats = f.registry().stats();
+        assert_eq!(stats.misses, 1, "delta repair must not cold-prepare");
+
+        // Oracle: the migrated universe order is old order + appended
+        // delta tuples; serving it through the universe path must be
+        // bit-identical.
+        let universe = f.universe_of("main", &q).unwrap();
+        let uspec = UniverseSpec::new(universe, rel(), dis(), Ratio::new(1, 2));
+        let oracle = Registry::default();
+        for (a, request) in answers.iter().zip(reqs()) {
+            let expect = oracle.try_serve(&uspec, request).unwrap();
+            assert_eq!(a.as_ref().unwrap(), &expect);
+        }
+
+        // Duplicate insert: set semantics, no change, no version bump.
+        let key = f.key_for("main", &q).unwrap();
+        assert!(!f
+            .insert_base_tuple("main", "R", vec![Value::int(100), Value::int(3)])
+            .unwrap());
+        assert_eq!(f.key_for("main", &q).unwrap(), key);
+    }
+
+    #[test]
+    fn inserts_into_unreferenced_relations_keep_entries_warm() {
+        let f = front();
+        let mut d = db();
+        d.create_relation("T", &["a"]).unwrap();
+        f.register_database("main", d);
+        let q = spec("Q(x, z) :- R(x, y), S(y, z)");
+        let key = f.key_for("main", &q).unwrap();
+        f.serve_query("main", &q, &reqs()).unwrap();
+        f.insert_base_tuple("main", "T", vec![Value::int(9)]).unwrap();
+        // Key unchanged, entry still warm.
+        assert_eq!(f.key_for("main", &q).unwrap(), key);
+        f.serve_query("main", &q, &[reqs()[0]]).unwrap();
+        assert_eq!(f.registry().stats().misses, 1);
+    }
+}

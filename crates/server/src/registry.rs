@@ -99,6 +99,18 @@ impl Registry {
         }
     }
 
+    /// The underlying prepared-state cache — shared with the query
+    /// front door so query-keyed and universe-keyed entries live under
+    /// one byte budget (the key namespaces are tag-disjoint).
+    pub(crate) fn cache(&self) -> &PreparedCache {
+        &self.cache
+    }
+
+    /// Solver thread budget per single-universe serve.
+    pub(crate) fn solve_threads(&self) -> usize {
+        self.solve_threads
+    }
+
     /// The prepared state for `spec` — cached, or built and cached.
     /// Full-matrix for plain specs; coreset state (no `n × n`
     /// allocation) for specs in [`UniverseSpec::with_coreset`] mode.

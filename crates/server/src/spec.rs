@@ -24,7 +24,7 @@ impl<T: Distance + Fingerprintable + Send + Sync> ServableDistance for T {}
 
 /// Adapts the servable oracle to the plain `Distance + Send + Sync`
 /// object the prepared universe stores.
-struct OracleAdapter(Arc<dyn ServableDistance>);
+pub(crate) struct OracleAdapter(pub(crate) Arc<dyn ServableDistance>);
 
 impl Distance for OracleAdapter {
     fn dist(&self, a: &Tuple, b: &Tuple) -> Ratio {

@@ -9,14 +9,21 @@
 //! 2. **Eviction never serves stale state** — insert → evict →
 //!    re-prepare yields a prepared universe with identical matrices
 //!    and identical served answers.
+//! 3. **Tableau-equivalent queries share one entry** — syntactically
+//!    distinct conjunctive queries related by variable renaming, atom
+//!    reordering and atom duplication produce the *same* front-door
+//!    key and pin exactly one registry miss between them, while
+//!    non-equivalent near-misses (a changed head, an extra
+//!    non-redundant atom) never collide.
 
 use divr_core::distance::TableDistance;
 use divr_core::engine::EngineRequest;
 use divr_core::prelude::*;
 use divr_core::relevance::TableRelevance;
 use divr_core::Ratio;
-use divr_relquery::Tuple;
-use divr_server::{Registry, RegistryConfig, UniverseSpec};
+use divr_relquery::parser::parse_query;
+use divr_relquery::{Database, Tuple};
+use divr_server::{QueryFrontDoor, QuerySpec, Registry, RegistryConfig, UniverseSpec};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -108,8 +115,216 @@ fn mutations(raw: &RawContent) -> Vec<RawContent> {
     out
 }
 
+/// A random conjunctive query over relations `R0`, `R1`, … with full
+/// relations behind it (every tuple over `{0, 1, 2}`), so `Q(D)` is
+/// never empty and every generated request is servable.
+#[derive(Debug, Clone)]
+struct RawCq {
+    /// Arity of `R0`, `R1`, ….
+    arities: Vec<usize>,
+    /// `(relation, term codes)` per atom; codes `0..6` are variables,
+    /// `6..9` the constants `0..2`, and `13` renders as the constant
+    /// `7` — outside the data domain, which the near-miss mutant below
+    /// relies on.
+    atoms: Vec<(usize, Vec<u8>)>,
+}
+
+fn raw_cq_strategy() -> impl Strategy<Value = RawCq> {
+    proptest::collection::vec(1usize..=2, 1..=3).prop_flat_map(|arities| {
+        let n = arities.len();
+        proptest::collection::vec(
+            (0usize..n, proptest::collection::vec(0u8..9, 2)),
+            1..=3,
+        )
+        .prop_map(move |raw_atoms| {
+            let atoms = raw_atoms
+                .into_iter()
+                .enumerate()
+                .map(|(ai, (r, codes))| {
+                    let arity = arities[r];
+                    let mut cs: Vec<u8> =
+                        (0..arity).map(|j| codes[j % codes.len()]).collect();
+                    if ai == 0 {
+                        // At least one variable exists, so the head is
+                        // never empty and the query is safe.
+                        cs[0] %= 6;
+                    }
+                    (r, cs)
+                })
+                .collect();
+            RawCq {
+                arities: arities.clone(),
+                atoms,
+            }
+        })
+    })
+}
+
+/// The head projection: distinct body variables in first-appearance
+/// order, capped at two — fixed once per raw query so every rendered
+/// variant projects the *same* thing.
+fn head_codes(raw: &RawCq) -> Vec<u8> {
+    let mut seen = Vec::new();
+    for (_, codes) in &raw.atoms {
+        for &c in codes {
+            if c < 6 && !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+    }
+    seen.truncate(2);
+    seen
+}
+
+/// Renders query text from an atom order, a head, and a variable
+/// renaming (`perm[v]` is the printed index of variable `v`).
+fn render_cq(raw: &RawCq, perm: &[u8; 6], order: &[usize], head: &[u8]) -> String {
+    let term = |code: u8| {
+        if code < 6 {
+            format!("v{}", perm[code as usize])
+        } else {
+            format!("{}", code - 6)
+        }
+    };
+    let body: Vec<String> = order
+        .iter()
+        .map(|&i| {
+            let (r, codes) = &raw.atoms[i];
+            let terms: Vec<String> = codes.iter().map(|&c| term(c)).collect();
+            format!("R{}({})", r, terms.join(", "))
+        })
+        .collect();
+    let head: Vec<String> = head.iter().map(|&c| term(c)).collect();
+    format!("Q({}) :- {}", head.join(", "), body.join(", "))
+}
+
+/// The `seed`-th permutation of `0..6` (factorial number system), so
+/// the shim needs no shuffle combinator.
+fn nth_permutation(mut seed: usize) -> [u8; 6] {
+    let mut pool: Vec<u8> = (0..6).collect();
+    let mut out = [0u8; 6];
+    for (i, f) in [120usize, 24, 6, 2, 1, 1].into_iter().enumerate() {
+        let idx = (seed / f) % pool.len();
+        seed %= f;
+        out[i] = pool.remove(idx);
+    }
+    out
+}
+
+/// Every relation fully populated over `{0, 1, 2}`.
+fn full_db(arities: &[usize]) -> Database {
+    let mut db = Database::new();
+    for (i, &arity) in arities.iter().enumerate() {
+        let attrs: Vec<String> = (0..arity).map(|j| format!("c{j}")).collect();
+        let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let name = format!("R{i}");
+        db.create_relation(&name, &refs).unwrap();
+        for x in 0..3i64 {
+            if arity == 1 {
+                db.insert_tuple(&name, Tuple::ints([x])).unwrap();
+            } else {
+                for y in 0..3i64 {
+                    db.insert_tuple(&name, Tuple::ints([x, y])).unwrap();
+                }
+            }
+        }
+    }
+    db
+}
+
+fn query_spec(text: &str) -> QuerySpec {
+    QuerySpec::new(
+        parse_query(text).unwrap(),
+        Arc::new(AttributeRelevance {
+            attr: 0,
+            default: Ratio::ZERO,
+        }),
+        Arc::new(HammingDistance { weight: Ratio::ONE }),
+        Ratio::new(1, 2),
+    )
+    .unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Variable renaming + atom reordering + atom duplication compose
+    /// into a syntactically distinct but tableau-equivalent query: same
+    /// front-door key, identical answers, exactly one registry miss
+    /// between all variants. Non-equivalent near-misses — a duplicated
+    /// head variable (different arity), an extra atom constrained to a
+    /// constant no other atom mentions (survives minimization) — must
+    /// not collide with the original's key.
+    #[test]
+    fn equivalent_queries_share_exactly_one_entry(
+        raw in raw_cq_strategy(),
+        perm_seed in 1usize..720,
+        rot in 1usize..3,
+        dup in 0usize..3,
+    ) {
+        let n_atoms = raw.atoms.len();
+        let head = head_codes(&raw);
+        let identity = [0u8, 1, 2, 3, 4, 5];
+        let base_order: Vec<usize> = (0..n_atoms).collect();
+        let base = render_cq(&raw, &identity, &base_order, &head);
+
+        // Equivalent variant: rename every variable, rotate the body,
+        // and duplicate one atom.
+        let perm = nth_permutation(perm_seed);
+        let mut variant_order: Vec<usize> =
+            (0..n_atoms).map(|i| (i + rot) % n_atoms).collect();
+        variant_order.push(dup % n_atoms);
+        let variant = render_cq(&raw, &perm, &variant_order, &head);
+
+        let front = QueryFrontDoor::new(Arc::new(Registry::default()));
+        front.register_database("db", full_db(&raw.arities));
+        let spec_a = query_spec(&base);
+        let spec_b = query_spec(&variant);
+
+        let key_a = front.key_for("db", &spec_a).unwrap();
+        let key_b = front.key_for("db", &spec_b).unwrap();
+        prop_assert_eq!(
+            &key_a, &key_b,
+            "equivalent queries {:?} and {:?} keyed apart", &base, &variant
+        );
+
+        // Exactly one miss between the two, and identical answers.
+        let requests: Vec<EngineRequest> = ObjectiveKind::ALL
+            .into_iter()
+            .map(|kind| EngineRequest { kind, k: 2 })
+            .collect();
+        let got_a = front.serve_query("db", &spec_a, &requests).unwrap();
+        let got_b = front.serve_query("db", &spec_b, &requests).unwrap();
+        for (a, b) in got_a.iter().zip(&got_b) {
+            // Full relations keep Q(D) at ≥ 3 tuples, so k = 2 is
+            // always feasible.
+            let a = a.as_ref().expect("feasible by construction");
+            let b = b.as_ref().expect("feasible by construction");
+            prop_assert_eq!(a, b, "equivalent queries answered differently");
+        }
+        prop_assert_eq!(front.registry().stats().misses, 1, "expected exactly one prepare");
+        prop_assert!(front.registry().stats().hits >= 1);
+
+        // Near-miss 1: duplicated head variable (arity changes).
+        let mut fat_head = head.clone();
+        fat_head.push(fat_head[0]);
+        let mutant = render_cq(&raw, &identity, &base_order, &fat_head);
+        let key_m = front.key_for("db", &query_spec(&mutant)).unwrap();
+        prop_assert!(key_a != key_m, "head mutant {:?} collided", &mutant);
+
+        // Near-miss 2: an extra atom pinned to the constant 7, which no
+        // other atom (domain 0..=2) mentions — it cannot fold away
+        // under minimization, so the query is strictly narrower.
+        let mut widened = raw.clone();
+        let extra_rel = dup % raw.arities.len();
+        widened
+            .atoms
+            .push((extra_rel, vec![13; raw.arities[extra_rel]]));
+        let widened_order: Vec<usize> = (0..widened.atoms.len()).collect();
+        let mutant = render_cq(&widened, &identity, &widened_order, &head);
+        let key_m = front.key_for("db", &query_spec(&mutant)).unwrap();
+        prop_assert!(key_a != key_m, "extra-atom mutant {:?} collided", &mutant);
+    }
 
     /// Distinct relevance/distance/λ content ⇒ distinct keys; equal
     /// content (any insertion order, fresh `Arc`s) ⇒ equal keys.

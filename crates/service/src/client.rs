@@ -62,22 +62,44 @@ pub fn serve_doc(tenant: &str, universe: Value, requests: &[EngineRequest]) -> V
         ("op", Value::Str("serve".into())),
         ("tenant", Value::Str(tenant.into())),
         ("universe", universe),
-        (
-            "requests",
-            Value::Array(
-                requests
-                    .iter()
-                    .map(|r| {
-                        object([
-                            (
-                                "objective",
-                                Value::Str(objective_to_str(r.kind).into()),
-                            ),
-                            ("k", Value::Int(r.k as i64)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
+        ("requests", requests_json(requests)),
     ])
+}
+
+/// Builds a `query` frame document: a conjunctive query over a shipped
+/// database, plus the diversification parameters that on the `serve`
+/// path would ride inside the universe object.
+pub fn query_doc(
+    tenant: &str,
+    query: &str,
+    database: Value,
+    relevance: Value,
+    distance: Value,
+    lambda: Value,
+    requests: &[EngineRequest],
+) -> Value {
+    object([
+        ("op", Value::Str("query".into())),
+        ("tenant", Value::Str(tenant.into())),
+        ("query", Value::Str(query.into())),
+        ("database", database),
+        ("relevance", relevance),
+        ("distance", distance),
+        ("lambda", lambda),
+        ("requests", requests_json(requests)),
+    ])
+}
+
+fn requests_json(requests: &[EngineRequest]) -> Value {
+    Value::Array(
+        requests
+            .iter()
+            .map(|r| {
+                object([
+                    ("objective", Value::Str(objective_to_str(r.kind).into())),
+                    ("k", Value::Int(r.k as i64)),
+                ])
+            })
+            .collect(),
+    )
 }

@@ -24,6 +24,14 @@
 //!   bit-identical and the process alive. The [`wire`] module's
 //!   `chaos_panic` / `chaos_nan` distance kinds exist to prove exactly
 //!   that, end-to-end, through the real protocol.
+//! * **Relational front door** (`{"op": "query"}`): a frame may carry
+//!   a *database and a conjunctive query over it* instead of a
+//!   materialized universe. The daemon evaluates `Q(D)` (streaming
+//!   into a coreset past the auto-escalation threshold) and serves
+//!   diversification through [`divr_server::QueryFrontDoor`], keyed by
+//!   the query's canonical tableau — semantically equivalent queries
+//!   hit the same prepared universe. Admission charges a cardinality
+//!   *bound* before evaluation ever runs.
 //! * **Observability** ([`histogram`]): lock-free log-bucketed latency
 //!   histograms per objective, exported by `{"op": "stats"}` — the
 //!   numbers `BENCH_service.json` gates regressions on.
@@ -41,6 +49,6 @@ pub mod server;
 pub mod wire;
 
 pub use admission::{Admission, AdmissionConfig, Rejection};
-pub use client::{serve_doc, Client};
+pub use client::{query_doc, serve_doc, Client};
 pub use histogram::{Histogram, LatencyStats};
 pub use server::{Service, ServiceConfig};

@@ -36,9 +36,15 @@ use crate::admission::{estimate_prepared_bytes, Admission, AdmissionConfig, Reje
 use crate::histogram::LatencyStats;
 use crate::json::{self, object, Value};
 use crate::proto::{serve_error_status, write_frame, FrameTooLarge};
-use crate::wire::{objective_to_str, ratio_to_json, requests_from_json, universe_from_json};
+use crate::wire::{
+    coreset_from_json, database_from_json, distance_from_json, objective_to_str, ratio_from_json,
+    ratio_to_json, relevance_from_json, requests_from_json, universe_from_json,
+};
+use divr_core::coreset::CORESET_AUTO_THRESHOLD;
 use divr_core::problem::ObjectiveKind;
-use divr_server::{Registry, RegistryConfig, TenantBatch};
+use divr_core::Ratio;
+use divr_relquery::parser::parse_query;
+use divr_server::{QueryError, QueryFrontDoor, QuerySpec, Registry, RegistryConfig, TenantBatch};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -93,7 +99,10 @@ impl Default for ServiceConfig {
 }
 
 struct Shared {
-    registry: Registry,
+    registry: Arc<Registry>,
+    /// The query-keyed serving surface (`{"op": "query"}`), sharing the
+    /// same registry cache — and byte budget — as universe-keyed serves.
+    front: QueryFrontDoor,
     admission: Admission,
     latency: LatencyStats,
     stop: AtomicBool,
@@ -124,8 +133,10 @@ impl Service {
     pub fn start(config: ServiceConfig) -> io::Result<Service> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let registry = Arc::new(Registry::new(config.registry));
         let shared = Arc::new(Shared {
-            registry: Registry::new(config.registry),
+            front: QueryFrontDoor::new(Arc::clone(&registry)),
+            registry,
             admission: Admission::new(config.admission),
             latency: LatencyStats::new(),
             stop: AtomicBool::new(false),
@@ -336,6 +347,7 @@ fn handle_frame(shared: &Shared, payload: &[u8]) -> Value {
         Some("ping") => object([("ok", Value::Bool(true)), ("op", Value::Str("pong".into()))]),
         Some("stats") => stats_frame(shared),
         Some("serve") => handle_serve(shared, &doc),
+        Some("query") => handle_query(shared, &doc),
         Some(other) => error_frame(400, "bad_request", &format!("unknown op {other:?}")),
         None => error_frame(400, "bad_request", "frame needs a string \"op\""),
     }
@@ -407,32 +419,209 @@ fn handle_serve(shared: &Shared, doc: &Value) -> Value {
     }
     drop(depth);
 
-    let answers_json: Vec<Value> = answers
-        .into_iter()
-        .map(|answer| match answer {
-            Ok((value, indices)) => object([
-                ("ok", Value::Bool(true)),
-                ("value", ratio_to_json(value)),
-                (
-                    "indices",
-                    Value::Array(
-                        indices
-                            .into_iter()
-                            .map(|i| Value::Int(i as i64))
-                            .collect(),
-                    ),
-                ),
-            ]),
-            Err(e) => {
-                let (kind, code) = serve_error_status(&e);
-                error_frame(code, kind, &e.to_string())
-            }
-        })
-        .collect();
     object([
         ("ok", Value::Bool(true)),
         ("degraded", Value::Bool(degraded)),
-        ("answers", Value::Array(answers_json)),
+        ("answers", answers_json(answers)),
+    ])
+}
+
+/// Encodes a batch of per-request outcomes: `{"ok", "value",
+/// "indices"}` on success, a typed error object (the same shape as a
+/// frame-level error) per failed request.
+fn answers_json(answers: Vec<divr_server::CheckedAnswer>) -> Value {
+    Value::Array(
+        answers
+            .into_iter()
+            .map(|answer| match answer {
+                Ok((value, indices)) => object([
+                    ("ok", Value::Bool(true)),
+                    ("value", ratio_to_json(value)),
+                    (
+                        "indices",
+                        Value::Array(
+                            indices
+                                .into_iter()
+                                .map(|i| Value::Int(i as i64))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+                Err(e) => {
+                    let (kind, code) = serve_error_status(&e);
+                    error_frame(code, kind, &e.to_string())
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The `(kind, code)` a front-door refusal maps to on the wire:
+/// schema-level query failures (unknown relation, arity mismatch,
+/// unsafe query) are `422 schema_mismatch` — the frame was well-formed,
+/// the query just doesn't fit the shipped database; `Q(D) = ∅` is a
+/// typed `422 empty_result` (never a panic, at either layer); prepare
+/// failures reuse the serve-error vocabulary.
+fn query_error_frame(e: &QueryError) -> Value {
+    match e {
+        QueryError::Query(_) => error_frame(422, "schema_mismatch", &e.to_string()),
+        QueryError::EmptyResult => error_frame(422, "empty_result", &e.to_string()),
+        // The front door only sees databases this handler registered.
+        QueryError::UnknownDatabase(_) => error_frame(500, "worker_panicked", &e.to_string()),
+        QueryError::Serve(se) => {
+            let (kind, code) = serve_error_status(se);
+            error_frame(code, kind, &e.to_string())
+        }
+    }
+}
+
+/// `{"op": "query"}` — the relational front door on the wire: the frame
+/// carries the *database and a conjunctive query over it* instead of a
+/// materialized universe. The daemon evaluates `Q(D)` and serves
+/// diversification over it through [`QueryFrontDoor`], so semantically
+/// equivalent queries (variable renamings, reordered atoms, redundant
+/// atoms) hit the same prepared universe.
+///
+/// Admission runs **before evaluation**: the rate gate is identical to
+/// `serve`, and the cache-byte gate charges an estimate driven by the
+/// evaluator's cardinality *bound* (a product of relation sizes — never
+/// an underestimate), so a tenant cannot make the daemon evaluate a
+/// huge join it has no quota to serve. The watermark degradation of the
+/// `serve` path does not apply here; instead any result past
+/// [`CORESET_AUTO_THRESHOLD`] auto-escalates to a streamed coreset
+/// (sized by `max_k`) inside the front door itself, which bounds
+/// prepared bytes without a load signal.
+fn handle_query(shared: &Shared, doc: &Value) -> Value {
+    let Some(tenant) = doc.get("tenant").and_then(Value::as_str) else {
+        return error_frame(400, "bad_request", "query needs a string \"tenant\"");
+    };
+    let Some(text) = doc.get("query").and_then(Value::as_str) else {
+        return error_frame(400, "bad_request", "query needs a string \"query\"");
+    };
+    // Malformed query *text* is a 400 — the frame itself is broken.
+    // Schema-level mismatches against the shipped database surface
+    // later as 422s.
+    let query = match parse_query(text) {
+        Ok(query) => query,
+        Err(e) => return error_frame(400, "bad_request", &format!("malformed query: {e}")),
+    };
+    let (db_name, db) = match doc.get("database").ok_or("query needs a database") {
+        Ok(v) => match database_from_json(v) {
+            Ok(pair) => pair,
+            Err(e) => return error_frame(400, "bad_request", &e),
+        },
+        Err(e) => return error_frame(400, "bad_request", e),
+    };
+    let rel = match doc.get("relevance").ok_or("query needs relevance") {
+        Ok(v) => match relevance_from_json(v) {
+            Ok(rel) => rel,
+            Err(e) => return error_frame(400, "bad_request", &e),
+        },
+        Err(e) => return error_frame(400, "bad_request", e),
+    };
+    let dis = match doc.get("distance").ok_or("query needs distance") {
+        Ok(v) => match distance_from_json(v) {
+            Ok(dis) => dis,
+            Err(e) => return error_frame(400, "bad_request", &e),
+        },
+        Err(e) => return error_frame(400, "bad_request", e),
+    };
+    let lambda = match doc.get("lambda").ok_or("query needs lambda") {
+        Ok(v) => match ratio_from_json(v) {
+            Ok(lambda) if lambda >= Ratio::ZERO && lambda <= Ratio::ONE => lambda,
+            Ok(_) => return error_frame(400, "bad_request", "lambda must lie in [0, 1]"),
+            Err(e) => return error_frame(400, "bad_request", &e),
+        },
+        Err(e) => return error_frame(400, "bad_request", e),
+    };
+    let requests = match doc.get("requests").ok_or("query needs requests") {
+        Ok(v) => match requests_from_json(v) {
+            Ok(requests) => requests,
+            Err(e) => return error_frame(400, "bad_request", &e),
+        },
+        Err(e) => return error_frame(400, "bad_request", e),
+    };
+
+    // Rate gate, same currency as `serve`: one token per answer.
+    if let Err(rejection) = shared
+        .admission
+        .admit_requests(tenant, requests.len() as f64)
+    {
+        return rejection_frame(&rejection);
+    }
+
+    // Schema pre-flight, before anything is charged or prepared: an
+    // unknown relation or a wrong-arity atom is a 422 here, not an
+    // unbounded cardinality estimate below.
+    if let Err(e) = divr_relquery::check_schema(&db, &query) {
+        return query_error_frame(&QueryError::Query(e));
+    }
+
+    // Cardinality bound *before* evaluation — a saturating product of
+    // relation sizes, never an underestimate — drives the cache-byte
+    // estimate below.
+    let bound = divr_relquery::cardinality_bound(&db, &query);
+
+    let mut spec = match QuerySpec::new(query, rel, dis, lambda) {
+        Ok(spec) => spec,
+        Err(e) => return query_error_frame(&e),
+    };
+    if let Some(mode) = doc.get("coreset") {
+        match coreset_from_json(mode) {
+            Ok(mode) => spec = spec.with_coreset(mode),
+            Err(e) => return error_frame(400, "bad_request", &e),
+        }
+    }
+    if let Some(k) = doc.get("max_k") {
+        match k.as_i64().and_then(|k| usize::try_from(k).ok()).filter(|&k| k > 0) {
+            Some(k) => spec = spec.with_max_k(k),
+            None => return error_frame(400, "bad_request", "max_k must be a positive integer"),
+        }
+    }
+
+    let depth = DepthGuard::enter(&shared.depth);
+
+    // Content-addressed registration is idempotent: a name collision
+    // *is* a content match, so an already-registered database keeps its
+    // warm query universes instead of being dropped and re-registered.
+    if !shared.front.has_database(&db_name) {
+        shared.front.register_database(db_name.clone(), db);
+    }
+
+    // Cache-byte gate. The bound is clamped before the quadratic
+    // estimate (past the clamp the estimate already dwarfs any real
+    // quota), and a bound past the auto-escalation threshold is charged
+    // at the coreset footprint it will actually prepare.
+    let n_bound = usize::try_from(bound).unwrap_or(usize::MAX).min(1 << 26);
+    let budget = spec.coreset().map(|mode| mode.budget).or_else(|| {
+        (n_bound > CORESET_AUTO_THRESHOLD).then(|| spec.auto_budget())
+    });
+    let key = match shared.front.key_for(&db_name, &spec) {
+        Ok(key) => key,
+        Err(e) => return query_error_frame(&e),
+    };
+    if let Err(rejection) = shared
+        .admission
+        .charge_universe(tenant, &key, estimate_prepared_bytes(n_bound, budget))
+    {
+        return rejection_frame(&rejection);
+    }
+
+    let started = Instant::now();
+    let answers = match shared.front.serve_query(&db_name, &spec, &requests) {
+        Ok(answers) => answers,
+        Err(e) => return query_error_frame(&e),
+    };
+    let elapsed = started.elapsed();
+    for request in &requests {
+        shared.latency.record(request.kind, elapsed);
+    }
+    drop(depth);
+
+    object([
+        ("ok", Value::Bool(true)),
+        ("database", Value::Str(db_name)),
+        ("answers", answers_json(answers)),
     ])
 }
 

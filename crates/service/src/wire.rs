@@ -20,7 +20,7 @@ use divr_core::engine::EngineRequest;
 use divr_core::problem::ObjectiveKind;
 use divr_core::relevance::{AttributeRelevance, ConstantRelevance};
 use divr_core::Ratio;
-use divr_relquery::Tuple;
+use divr_relquery::{Database, Tuple};
 use divr_server::{
     CoresetSpec, FingerprintEncoder, Fingerprintable, ServableDistance, ServableRelevance,
     UniverseSpec,
@@ -119,7 +119,63 @@ fn tuple_from_json(v: &Value) -> Result<Tuple, String> {
     Ok(Tuple::new(values))
 }
 
-fn relevance_from_json(v: &Value) -> Result<Arc<dyn ServableRelevance>, String> {
+/// Decodes one `database` object —
+/// `{"relations": [{"name", "attrs", "rows"}, …]}` — into a
+/// [`Database`] plus a **content-derived** registration name
+/// (`db-<digest>` over the canonical encoding of every relation's
+/// schema and rows). Content addressing makes registration idempotent:
+/// two frames shipping the same database bytes land on the same name,
+/// so the second finds the first's warm query universes, and any edit
+/// to the content is a different database rather than a silent
+/// in-place mutation.
+pub fn database_from_json(v: &Value) -> Result<(String, Database), String> {
+    let relations = v
+        .get("relations")
+        .and_then(Value::as_array)
+        .ok_or("database needs a relations array")?;
+    let mut db = Database::new();
+    let mut enc = FingerprintEncoder::new();
+    enc.write_tag("wire-db");
+    enc.write_usize(relations.len());
+    for relation in relations {
+        let name = relation
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("relation needs a string name")?;
+        let attrs_json = relation
+            .get("attrs")
+            .and_then(Value::as_array)
+            .ok_or("relation needs an attrs array")?;
+        let attrs: Vec<&str> = attrs_json
+            .iter()
+            .map(|a| a.as_str().ok_or("relation attrs must be strings"))
+            .collect::<Result<_, _>>()?;
+        db.create_relation(name, &attrs).map_err(|e| e.to_string())?;
+        enc.write_tag("rel");
+        enc.write_str(name);
+        enc.write_usize(attrs.len());
+        for attr in &attrs {
+            enc.write_str(attr);
+        }
+        let rows = relation
+            .get("rows")
+            .and_then(Value::as_array)
+            .ok_or("relation needs a rows array")?;
+        for row in rows {
+            let tuple = tuple_from_json(row)?;
+            // Set semantics: duplicates are dropped by insert and
+            // skipped in the fingerprint, so a database listing the
+            // same row twice names the same content.
+            if db.insert_tuple(name, tuple.clone()).map_err(|e| e.to_string())? {
+                enc.write_tuple(&tuple);
+            }
+        }
+    }
+    Ok((format!("db-{:032x}", enc.into_key().digest()), db))
+}
+
+/// Decodes one `relevance` object (`{"kind": "constant"|"attribute", …}`).
+pub fn relevance_from_json(v: &Value) -> Result<Arc<dyn ServableRelevance>, String> {
     match v.get("kind").and_then(Value::as_str) {
         Some("constant") => {
             let value = ratio_from_json(v.get("value").ok_or("constant relevance needs value")?)?;
@@ -142,7 +198,8 @@ fn relevance_from_json(v: &Value) -> Result<Arc<dyn ServableRelevance>, String> 
     }
 }
 
-fn distance_from_json(v: &Value) -> Result<Arc<dyn ServableDistance>, String> {
+/// Decodes one `distance` object (`{"kind": "constant"|"numeric"|"hamming"|…}`).
+pub fn distance_from_json(v: &Value) -> Result<Arc<dyn ServableDistance>, String> {
     match v.get("kind").and_then(Value::as_str) {
         Some("constant") => {
             let value = ratio_from_json(v.get("value").ok_or("constant distance needs value")?)?;
@@ -192,25 +249,30 @@ pub fn universe_from_json(v: &Value) -> Result<UniverseSpec, String> {
     }
     let mut spec = UniverseSpec::new(tuples, rel, dis, lambda);
     if let Some(mode) = v.get("coreset") {
-        let budget = mode
-            .get("budget")
-            .and_then(Value::as_i64)
-            .and_then(|b| usize::try_from(b).ok())
-            .filter(|&b| b > 0)
-            .ok_or("coreset mode needs a positive budget")?;
-        let refine_rounds = match mode.get("refine_rounds") {
-            Some(r) => r
-                .as_i64()
-                .and_then(|x| usize::try_from(x).ok())
-                .ok_or("refine_rounds must be a non-negative integer")?,
-            None => 0,
-        };
-        spec = spec.with_coreset(CoresetSpec {
-            budget,
-            refine_rounds,
-        });
+        spec = spec.with_coreset(coreset_from_json(mode)?);
     }
     Ok(spec)
+}
+
+/// Decodes one `coreset` object (`{"budget", "refine_rounds"?}`).
+pub fn coreset_from_json(mode: &Value) -> Result<CoresetSpec, String> {
+    let budget = mode
+        .get("budget")
+        .and_then(Value::as_i64)
+        .and_then(|b| usize::try_from(b).ok())
+        .filter(|&b| b > 0)
+        .ok_or("coreset mode needs a positive budget")?;
+    let refine_rounds = match mode.get("refine_rounds") {
+        Some(r) => r
+            .as_i64()
+            .and_then(|x| usize::try_from(x).ok())
+            .ok_or("refine_rounds must be a non-negative integer")?,
+        None => 0,
+    };
+    Ok(CoresetSpec {
+        budget,
+        refine_rounds,
+    })
 }
 
 /// Decodes the `requests` array of `{"objective", "k"}` objects.

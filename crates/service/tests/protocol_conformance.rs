@@ -6,10 +6,11 @@ use divr_core::problem::ObjectiveKind;
 use divr_core::relevance::AttributeRelevance;
 use divr_core::distance::NumericDistance;
 use divr_core::Ratio;
-use divr_relquery::Tuple;
-use divr_server::{Registry, UniverseSpec};
+use divr_relquery::parser::parse_query;
+use divr_relquery::{Database, Tuple};
+use divr_server::{QueryError, QueryFrontDoor, QuerySpec, Registry, UniverseSpec};
 use divr_service::json::{self, Value};
-use divr_service::{serve_doc, AdmissionConfig, Client, Service, ServiceConfig};
+use divr_service::{query_doc, serve_doc, AdmissionConfig, Client, Service, ServiceConfig};
 use std::sync::Arc;
 
 fn test_config() -> ServiceConfig {
@@ -354,6 +355,222 @@ fn queue_pressure_degrades_to_coreset_mode() {
     let stats = client.stats().unwrap();
     let admission = stats.get("stats").unwrap().get("admission").unwrap();
     assert_eq!(admission.get("degraded").and_then(Value::as_i64), Some(1));
+    service.shutdown();
+}
+
+/// The JSON form of the relational test database: six employees over
+/// three departments, plus an always-empty relation for the
+/// empty-result path.
+fn database_json() -> Value {
+    json::parse(
+        r#"{
+            "relations": [
+                {"name": "emp", "attrs": ["dept", "salary"],
+                 "rows": [[0, 3], [1, 5], [2, 6], [0, 9], [1, 2], [2, 8]]},
+                {"name": "dept", "attrs": ["id"], "rows": [[0], [1], [2]]},
+                {"name": "void", "attrs": ["x"], "rows": []}
+            ]
+        }"#,
+    )
+    .unwrap()
+}
+
+/// The library-form twin of [`database_json`] (same insertion order —
+/// the differential oracle depends on it).
+fn database() -> Database {
+    let mut db = Database::new();
+    db.create_relation("emp", &["dept", "salary"]).unwrap();
+    for row in [[0, 3], [1, 5], [2, 6], [0, 9], [1, 2], [2, 8]] {
+        db.insert_tuple("emp", Tuple::ints(row)).unwrap();
+    }
+    db.create_relation("dept", &["id"]).unwrap();
+    for id in 0..3 {
+        db.insert_tuple("dept", Tuple::ints([id])).unwrap();
+    }
+    db.create_relation("void", &["x"]).unwrap();
+    db
+}
+
+fn query_spec(text: &str) -> QuerySpec {
+    QuerySpec::new(
+        parse_query(text).unwrap(),
+        Arc::new(AttributeRelevance {
+            attr: 1,
+            default: Ratio::ZERO,
+        }),
+        Arc::new(NumericDistance {
+            attr: 0,
+            fallback: Ratio::ZERO,
+        }),
+        Ratio::new(1, 2),
+    )
+    .unwrap()
+}
+
+/// Builds the wire twin of [`query_spec`]'s parameters around `text`.
+fn query_frame(tenant: &str, text: &str, requests: &[EngineRequest]) -> Value {
+    query_doc(
+        tenant,
+        text,
+        database_json(),
+        json::parse(r#"{"kind": "attribute", "attr": 1, "default": [0, 1]}"#).unwrap(),
+        json::parse(r#"{"kind": "numeric", "attr": 0}"#).unwrap(),
+        json::parse("[1, 2]").unwrap(),
+        requests,
+    )
+}
+
+#[test]
+fn query_answers_match_the_front_door_oracle() {
+    let service = Service::start(test_config()).unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+
+    let requests = all_objectives(3);
+    let text = "Q(d, s) :- emp(d, s), dept(d)";
+    let response = client.request(&query_frame("alice", text, &requests)).unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    let answers = response.get("answers").and_then(Value::as_array).unwrap();
+    assert_eq!(answers.len(), 3);
+
+    // Oracle: the same (query, database) pair through the library
+    // front door.
+    let front = QueryFrontDoor::new(Arc::new(Registry::default()));
+    front.register_database("main", database());
+    let spec = query_spec(text);
+    let want = front.serve_query("main", &spec, &requests).unwrap();
+    for (answer, oracle) in answers.iter().zip(&want) {
+        assert_eq!(answer.get("ok").and_then(Value::as_bool), Some(true));
+        let (value, indices) = oracle.as_ref().unwrap();
+        assert_eq!(
+            ratio_of(answer.get("value").unwrap()),
+            (
+                i64::try_from(value.numerator()).unwrap(),
+                i64::try_from(value.denominator()).unwrap()
+            ),
+            "query answer value drifted across the wire"
+        );
+        assert_eq!(&indices_of(answer.get("indices").unwrap()), indices);
+    }
+
+    // A tableau-equivalent renaming of the same query, same database
+    // content: the daemon must land on the warm entry — still exactly
+    // one cache miss after both frames.
+    let renamed = "Q(a, b) :- dept(a), emp(a, b), dept(a)";
+    let response = client
+        .request(&query_frame("alice", renamed, &requests))
+        .unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    let renamed_answers = response.get("answers").and_then(Value::as_array).unwrap();
+    for (a, b) in answers.iter().zip(renamed_answers) {
+        assert_eq!(
+            indices_of(a.get("indices").unwrap()),
+            indices_of(b.get("indices").unwrap()),
+            "equivalent query answered differently"
+        );
+    }
+    let stats = client.stats().unwrap();
+    let cache = stats.get("stats").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("misses").and_then(Value::as_i64), Some(1));
+    assert!(cache.get("hits").and_then(Value::as_i64).unwrap() >= 1);
+    service.shutdown();
+}
+
+#[test]
+fn malformed_query_text_is_a_400() {
+    let service = Service::start(test_config()).unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+    // Broken syntax: refused while parsing, before any evaluation.
+    let response = client
+        .request(&query_frame("alice", "Q(x :- emp(x", &all_objectives(2)))
+        .unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(response.get("code").and_then(Value::as_i64), Some(400));
+    assert_eq!(
+        response.get("kind").and_then(Value::as_str),
+        Some("bad_request")
+    );
+    // A missing query string is the same refusal.
+    let response = client
+        .request(&json::parse(r#"{"op": "query", "tenant": "alice"}"#).unwrap())
+        .unwrap();
+    assert_eq!(response.get("code").and_then(Value::as_i64), Some(400));
+    service.shutdown();
+}
+
+#[test]
+fn schema_mismatch_is_a_422() {
+    let service = Service::start(test_config()).unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+    // Well-formed text over a relation the shipped database lacks, and
+    // a well-formed text using a relation at the wrong arity: both are
+    // 422s — the frame is fine, the query doesn't fit the schema.
+    for text in ["Q(x) :- nosuch(x)", "Q(x) :- dept(x, x)"] {
+        let response = client
+            .request(&query_frame("alice", text, &all_objectives(2)))
+            .unwrap();
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false), "{text}");
+        assert_eq!(response.get("code").and_then(Value::as_i64), Some(422), "{text}");
+        assert_eq!(
+            response.get("kind").and_then(Value::as_str),
+            Some("schema_mismatch"),
+            "{text}"
+        );
+    }
+    // The connection keeps serving afterward.
+    assert!(client.ping().unwrap());
+    service.shutdown();
+}
+
+#[test]
+fn infeasible_k_on_the_query_path_reuses_the_typed_422() {
+    let service = Service::start(test_config()).unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+    // |Q(D)| = 6 here; k = 50 is infeasible per-request, not a frame
+    // error.
+    let response = client
+        .request(&query_frame(
+            "alice",
+            "Q(d, s) :- emp(d, s)",
+            &[EngineRequest {
+                kind: ObjectiveKind::MaxSum,
+                k: 50,
+            }],
+        ))
+        .unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    let answer = &response.get("answers").and_then(Value::as_array).unwrap()[0];
+    assert_eq!(answer.get("code").and_then(Value::as_i64), Some(422));
+    assert_eq!(
+        answer.get("kind").and_then(Value::as_str),
+        Some("infeasible_k")
+    );
+    service.shutdown();
+}
+
+#[test]
+fn empty_query_result_is_typed_at_both_layers() {
+    // Registry layer: a typed refusal, not a panic.
+    let front = QueryFrontDoor::new(Arc::new(Registry::default()));
+    front.register_database("main", database());
+    let err = front
+        .serve_query("main", &query_spec("Q(x) :- void(x)"), &all_objectives(1))
+        .unwrap_err();
+    assert_eq!(err, QueryError::EmptyResult);
+
+    // Daemon layer: the same refusal as a typed 422 frame, and the
+    // daemon keeps serving afterward.
+    let service = Service::start(test_config()).unwrap();
+    let mut client = Client::connect(service.local_addr()).unwrap();
+    let response = client
+        .request(&query_frame("alice", "Q(x) :- void(x)", &all_objectives(1)))
+        .unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(response.get("code").and_then(Value::as_i64), Some(422));
+    assert_eq!(
+        response.get("kind").and_then(Value::as_str),
+        Some("empty_result")
+    );
+    assert!(client.ping().unwrap());
     service.shutdown();
 }
 

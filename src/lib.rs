@@ -43,6 +43,10 @@ pub use divr_core::coreset::{
 pub use divr_server::{
     CoresetSpec, PreparedVariant, Registry, RegistryConfig, TenantBatch, UniverseSpec,
 };
+// The relational front door, lifted from `divr::server`: serve
+// diversification straight off a (query, database) pair, keyed by the
+// query's canonical tableau so equivalent queries share warm state.
+pub use divr_server::{QueryError, QueryFrontDoor, QuerySpec};
 // The mutable-universe (delta) vocabulary, lifted from
 // `divr::core::engine`: apply single-tuple edits to warm prepared
 // state in O(n) instead of re-preparing in O(n²).
