@@ -75,6 +75,7 @@
 //! ```
 
 use crate::avail::GenMarks;
+use crate::deadline::Deadline;
 use crate::distance::Distance;
 use crate::engine::{
     argmax_with_ties, default_threads, resolve_ties_exact, Engine, EngineRequest,
@@ -226,18 +227,36 @@ impl Coreset {
         budget: usize,
         threads: usize,
     ) -> Coreset {
+        Self::try_select_deadline(universe, rel_exact, dis, budget, threads, Deadline::none())
+            .expect("unbounded deadline cannot be exceeded")
+    }
+
+    /// [`Coreset::select`] under a cooperative [`Deadline`], checked
+    /// between phase-1 coverage passes and between Gonzalez
+    /// farthest-point iterations — each an `O(n)` scan, so an
+    /// abandoned selection overshoots its deadline by at most one
+    /// pass. Returns `Err(ServeError::DeadlineExceeded)` on
+    /// abandonment; partial state is dropped.
+    pub fn try_select_deadline(
+        universe: &[Tuple],
+        rel_exact: &[Ratio],
+        dis: &(dyn Distance + Sync),
+        budget: usize,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Coreset, ServeError> {
         let n = universe.len();
         assert_eq!(rel_exact.len(), n, "one relevance score per item");
         let threads = threads.max(1);
         let m = budget.max(1).min(n);
         if m == n {
             // Identity coreset: every item represents itself.
-            return Coreset {
+            return Ok(Coreset {
                 indices: (0..n).collect(),
                 assignment: (0..n).collect(),
                 nearest: vec![0.0; n],
                 covering_radius: 0.0,
-            };
+            });
         }
 
         // Phase 1: top-⌈m/2⌉ by exact relevance, lowest index on ties.
@@ -258,6 +277,8 @@ impl Coreset {
         let mut nearest = vec![f64::INFINITY; n];
         let mut assignment = vec![0usize; n];
         for (pos, &r) in reps.iter().enumerate() {
+            // Deadline checkpoint: one coverage pass is O(n).
+            deadline.check()?;
             let rep_tuple = &universe[r];
             par_update(n, threads, &mut nearest, &mut assignment, |i, slot, asg| {
                 let d = dis.dist_f64(&universe[i], rep_tuple);
@@ -270,6 +291,8 @@ impl Coreset {
 
         // Phase 2: farthest-point rounds.
         while reps.len() < m {
+            // Deadline checkpoint: one Gonzalez iteration is O(n).
+            deadline.check()?;
             let eval = |i: usize| {
                 if selected.is_marked(i) {
                     None
@@ -313,12 +336,12 @@ impl Coreset {
             *asg = new_pos[*asg];
         }
         let covering_radius = nearest.iter().fold(0.0f64, |a, &b| a.max(b));
-        Coreset {
+        Ok(Coreset {
             indices,
             assignment,
             nearest,
             covering_radius,
-        }
+        })
     }
 
     /// Number of representatives `m`.
@@ -378,28 +401,61 @@ impl PreparedCoreset {
         lambda: Ratio,
         config: &CoresetConfig,
     ) -> PreparedCoreset {
+        Self::try_build_shared_deadline(universe, rel, dis, lambda, config, Deadline::none())
+            .expect("unbounded deadline cannot be exceeded")
+    }
+
+    /// [`PreparedCoreset::build_shared`] under a cooperative
+    /// [`Deadline`]: the `O(n)` relevance pass, the `O(n·m)` selection
+    /// (checked per Gonzalez iteration), and the `m × m` sub-universe
+    /// matrix build (checked per row) all poll it, so an expensive
+    /// prepare is abandoned with [`ServeError::DeadlineExceeded`]
+    /// within one `O(n)` slice instead of running to completion. A
+    /// refused prepare leaves nothing behind.
+    pub fn try_build_shared_deadline(
+        universe: Vec<Tuple>,
+        rel: &dyn Relevance,
+        dis: Arc<dyn Distance + Send + Sync>,
+        lambda: Ratio,
+        config: &CoresetConfig,
+        deadline: Deadline,
+    ) -> Result<PreparedCoreset, ServeError> {
         assert!(
             lambda >= Ratio::ZERO && lambda <= Ratio::ONE,
             "λ must lie in [0, 1]"
         );
         let threads = config.threads.max(1);
-        let rel_exact: Vec<Ratio> = universe.iter().map(|t| rel.rel(t)).collect();
+        let mut rel_exact: Vec<Ratio> = Vec::with_capacity(universe.len());
+        for (i, t) in universe.iter().enumerate() {
+            if i.is_multiple_of(64) {
+                deadline.check()?;
+            }
+            rel_exact.push(rel.rel(t));
+        }
         let rel_f: Vec<f64> = rel_exact.iter().map(Ratio::to_f64).collect();
-        let coreset = Coreset::select(&universe, &rel_exact, &*dis, config.budget, threads);
+        let coreset = Coreset::try_select_deadline(
+            &universe,
+            &rel_exact,
+            &*dis,
+            config.budget,
+            threads,
+            deadline,
+        )?;
         let sub_universe: Vec<Tuple> = coreset
             .indices()
             .iter()
             .map(|&i| universe[i].clone())
             .collect();
         let sub_rels: Vec<Ratio> = coreset.indices().iter().map(|&i| rel_exact[i]).collect();
-        let sub = Arc::new(PreparedUniverse::build_shared_with_scores(
+        let sub = Arc::new(PreparedUniverse::try_build_shared_with_scores_deadline(
             sub_universe,
             sub_rels,
             dis.clone(),
             lambda,
             threads,
-        ));
-        PreparedCoreset {
+            deadline,
+        )?);
+        Ok(PreparedCoreset {
             universe,
             dis,
             rel_exact,
@@ -408,7 +464,7 @@ impl PreparedCoreset {
             config: *config,
             coreset,
             sub,
-        }
+        })
     }
 
     /// Prepares the coreset path from a **tuple stream** without ever
@@ -434,14 +490,32 @@ impl PreparedCoreset {
         lambda: Ratio,
         config: &CoresetConfig,
     ) -> PreparedCoreset {
+        Self::try_build_streaming_deadline(tuples, rel, dis, lambda, config, Deadline::none())
+            .expect("unbounded deadline cannot be exceeded")
+    }
+
+    /// [`PreparedCoreset::build_streaming`] under a cooperative
+    /// [`Deadline`], checked per streamed insert (each insert is at
+    /// most `O(n)` work). Returns [`ServeError::DeadlineExceeded`] on
+    /// abandonment; the partially built state is dropped.
+    pub fn try_build_streaming_deadline(
+        tuples: impl IntoIterator<Item = Tuple>,
+        rel: &dyn Relevance,
+        dis: Arc<dyn Distance + Send + Sync>,
+        lambda: Ratio,
+        config: &CoresetConfig,
+        deadline: Deadline,
+    ) -> Result<PreparedCoreset, ServeError> {
         let mut it = tuples.into_iter();
         let seed: Vec<Tuple> = it.by_ref().take(config.budget.max(1)).collect();
-        let mut prepared = Self::build_shared(seed, rel, dis, lambda, config);
+        let mut prepared =
+            Self::try_build_shared_deadline(seed, rel, dis, lambda, config, deadline)?;
         for t in it {
+            deadline.check()?;
             let r = rel.rel(&t);
             prepared.insert_tuple(t, r);
         }
-        prepared
+        Ok(prepared)
     }
 
     /// Full-universe size `n`.
@@ -701,6 +775,7 @@ impl std::fmt::Debug for PreparedCoreset {
 pub struct CoresetEngine {
     prepared: Arc<PreparedCoreset>,
     threads: usize,
+    deadline: Deadline,
 }
 
 impl CoresetEngine {
@@ -726,7 +801,19 @@ impl CoresetEngine {
         CoresetEngine {
             prepared,
             threads: threads.max(1),
+            deadline: Deadline::none(),
         }
+    }
+
+    /// Attaches a cooperative [`Deadline`], checked between the
+    /// coreset-local solver rounds and between refinement rounds (same
+    /// contract as [`Engine::with_deadline`]): a tripped deadline makes
+    /// the `Option` entry points return `None`, and
+    /// [`CoresetEngine::try_serve`] disambiguates that to
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The shared prepared state this engine serves from.
@@ -820,8 +907,13 @@ impl CoresetEngine {
         if request.k > m {
             return Err(ServeError::ExceedsCoresetBudget { k: request.k, m, n });
         }
-        self.serve(request)
-            .ok_or(ServeError::InfeasibleK { k: request.k, n })
+        self.serve(request).ok_or_else(|| {
+            if self.deadline.exceeded() {
+                ServeError::DeadlineExceeded
+            } else {
+                ServeError::InfeasibleK { k: request.k, n }
+            }
+        })
     }
 
     /// [`CoresetEngine::serve`] against a reusable [`SolveScratch`]
@@ -853,7 +945,8 @@ impl CoresetEngine {
         if request.k > p.m() {
             return None;
         }
-        let sub_engine = Engine::from_prepared(p.sub.clone(), self.threads);
+        let sub_engine =
+            Engine::from_prepared(p.sub.clone(), self.threads).with_deadline(self.deadline);
         if !sub_engine.solve_into(request.kind, request.k, scratch, out) {
             return None;
         }
@@ -862,6 +955,14 @@ impl CoresetEngine {
         }
         if request.kind != ObjectiveKind::Mono {
             for _ in 0..p.config.refine_rounds {
+                // Deadline checkpoint: a refinement round is O(n·k)
+                // oracle calls. The answer so far is a valid feasible
+                // set, but serving semantics are all-or-nothing — a
+                // request that missed its deadline gets the typed
+                // error, not a silently less-refined answer.
+                if self.deadline.exceeded() {
+                    return None;
+                }
                 if !self.refine_round(request.kind, out) {
                     break;
                 }

@@ -67,6 +67,7 @@
 
 use crate::approx::ms_pair_weight_parts;
 use crate::avail::{GenMarks, IndexSet};
+use crate::deadline::Deadline;
 use crate::distance::Distance;
 use crate::problem::ObjectiveKind;
 use crate::ratio::Ratio;
@@ -74,7 +75,7 @@ use crate::relevance::Relevance;
 use divr_relquery::Tuple;
 use std::collections::BinaryHeap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Relative/absolute half-width of the float tie window: candidates
@@ -203,6 +204,25 @@ impl DistanceMatrix {
         threads: usize,
         seed_weights: Option<(&[f64], f64, f64)>, // (rel_f, one_minus, lam)
     ) -> (Self, Option<Vec<PairSeed>>) {
+        Self::try_build_with_seed(universe, dis, threads, seed_weights, Deadline::none())
+            .expect("unbounded deadline cannot be exceeded")
+    }
+
+    /// [`DistanceMatrix::build_with_seed`] under a cooperative
+    /// [`Deadline`], checked at **row boundaries**: each worker polls
+    /// the deadline (and a shared cancel flag, so one tripped worker
+    /// stops the rest) before filling the next row. A row is `O(n)`
+    /// work, so an abandoned build overshoots its deadline by at most
+    /// one row per worker. Returns `Err(ServeError::DeadlineExceeded)`
+    /// on abandonment — the partially filled matrix is dropped, never
+    /// observed.
+    pub(crate) fn try_build_with_seed(
+        universe: &[Tuple],
+        dis: &(dyn Distance + Sync),
+        threads: usize,
+        seed_weights: Option<(&[f64], f64, f64)>, // (rel_f, one_minus, lam)
+        deadline: Deadline,
+    ) -> Result<(Self, Option<Vec<PairSeed>>), ServeError> {
         let n = universe.len();
         let stride = n + matrix_pad(n);
         let mut data = vec![0.0f64; stride * stride];
@@ -216,7 +236,7 @@ impl DistanceMatrix {
             ]
         });
         if n == 0 {
-            return (DistanceMatrix { n, stride, data }, seed);
+            return Ok((DistanceMatrix { n, stride, data }, seed));
         }
         // Fills row i's strict upper triangle, then (fused mode) scans
         // the still-hot tail for the anchor's best partner. Rows arrive
@@ -249,6 +269,10 @@ impl DistanceMatrix {
             Some(s) => s.iter_mut().map(Some).collect(),
             None => (0..n).map(|_| None).collect(),
         };
+        // Deadline checkpoints sit at row boundaries; a shared flag
+        // fans one worker's trip out to the others without waiting for
+        // each to poll the clock independently.
+        let cancelled = AtomicBool::new(false);
         if threads <= 1 || n * n < 4096 {
             for ((i, row), slot) in data
                 .chunks_mut(stride)
@@ -256,6 +280,9 @@ impl DistanceMatrix {
                 .enumerate()
                 .zip(seed_slots.drain(..))
             {
+                if deadline.exceeded() {
+                    return Err(ServeError::DeadlineExceeded);
+                }
                 fill_row(i, row, slot);
             }
         } else {
@@ -275,22 +302,36 @@ impl DistanceMatrix {
             }
             std::thread::scope(|scope| {
                 let fill_row = &fill_row;
+                let cancelled = &cancelled;
                 for bucket in buckets {
                     scope.spawn(move || {
                         for (i, row, slot) in bucket {
+                            if cancelled.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            if deadline.exceeded() {
+                                cancelled.store(true, Ordering::Relaxed);
+                                return;
+                            }
                             fill_row(i, row, slot);
                         }
                     });
                 }
             });
+            if cancelled.load(Ordering::Relaxed) {
+                return Err(ServeError::DeadlineExceeded);
+            }
         }
         // Mirror the strict upper triangle onto the lower one.
         for i in 0..n {
+            if deadline.exceeded() {
+                return Err(ServeError::DeadlineExceeded);
+            }
             for j in (i + 1)..n {
                 data[j * stride + i] = data[i * stride + j];
             }
         }
-        (DistanceMatrix { n, stride, data }, seed)
+        Ok((DistanceMatrix { n, stride, data }, seed))
     }
 
     /// Number of universe items.
@@ -708,6 +749,13 @@ pub enum ServeError {
     /// every other tenant's answer is unaffected, and the process (and
     /// the shared cache) keeps serving.
     WorkerPanicked,
+    /// The request's cooperative [`Deadline`] passed before the work
+    /// finished: the prepare or solve was abandoned at the next
+    /// checkpoint (a matrix row, a Gonzalez iteration, a solver round).
+    /// Retryable — nothing about the universe is wrong, and an
+    /// abandoned prepare is never cached, so a retry with a looser
+    /// deadline starts clean.
+    DeadlineExceeded,
 }
 
 /// Which oracle produced an offending score (see
@@ -747,6 +795,9 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::WorkerPanicked => {
                 write!(f, "a worker thread panicked while solving this request")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "the request deadline passed before the work finished")
             }
         }
     }
@@ -839,6 +890,7 @@ pub struct Engine<'a> {
     lam: f64,
     one_minus: f64,
     threads: usize,
+    deadline: Deadline,
 }
 
 /// The exact distance oracle a prepared universe keeps for tie
@@ -979,6 +1031,23 @@ impl<'a> PreparedUniverse<'a> {
         lambda: Ratio,
         threads: usize,
     ) -> Self {
+        Self::try_from_scores(universe, rel_exact, dis, lambda, threads, Deadline::none())
+            .expect("unbounded deadline cannot be exceeded")
+    }
+
+    /// [`PreparedUniverse::from_scores`] under a cooperative
+    /// [`Deadline`]: the `O(n²)` matrix build checks it at row
+    /// boundaries and the whole prepare is abandoned (nothing cached,
+    /// nothing observable) with [`ServeError::DeadlineExceeded`] once
+    /// it trips.
+    fn try_from_scores(
+        universe: Vec<Tuple>,
+        rel_exact: Vec<Ratio>,
+        dis: DistOracle<'a>,
+        lambda: Ratio,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Self, ServeError> {
         assert!(
             lambda >= Ratio::ZERO && lambda <= Ratio::ONE,
             "λ must lie in [0, 1]"
@@ -999,10 +1068,10 @@ impl<'a> PreparedUniverse<'a> {
         let weights = Some((rel_f.as_slice(), one_minus, lam));
         let (matrix, seed) = match &dis {
             DistOracle::Borrowed(d) => {
-                DistanceMatrix::build_with_seed(&universe, *d, threads.max(1), weights)
+                DistanceMatrix::try_build_with_seed(&universe, *d, threads.max(1), weights, deadline)?
             }
             DistOracle::Shared(d) => {
-                DistanceMatrix::build_with_seed(&universe, &**d, threads.max(1), weights)
+                DistanceMatrix::try_build_with_seed(&universe, &**d, threads.max(1), weights, deadline)?
             }
         };
         let ms_seed = OnceLock::new();
@@ -1011,7 +1080,7 @@ impl<'a> PreparedUniverse<'a> {
             let _ = ms_seed.set(seed);
             preamble_builds.store(1, Ordering::Relaxed);
         }
-        PreparedUniverse {
+        Ok(PreparedUniverse {
             universe,
             dis,
             rel_exact,
@@ -1023,7 +1092,7 @@ impl<'a> PreparedUniverse<'a> {
             gmm_seed: OnceLock::new(),
             ms_seed,
             preamble_builds,
-        }
+        })
     }
 
     /// [`PreparedUniverse::build`] over an owned, shareable oracle: the
@@ -1058,6 +1127,61 @@ impl<'a> PreparedUniverse<'a> {
         threads: usize,
     ) -> PreparedUniverse<'static> {
         PreparedUniverse::from_scores(universe, rel_exact, DistOracle::Shared(dis), lambda, threads)
+    }
+
+    /// [`PreparedUniverse::build_shared`] under a cooperative
+    /// [`Deadline`]: the relevance pass checks it every item and the
+    /// `O(n²)` matrix build checks it every row, so an expensive
+    /// prepare is abandoned within one `O(n)` slice of the deadline
+    /// with [`ServeError::DeadlineExceeded`] instead of running to
+    /// completion. A refused prepare leaves nothing behind — callers
+    /// (the serving cache) must not cache the error.
+    pub fn try_build_shared_deadline(
+        universe: Vec<Tuple>,
+        rel: &dyn Relevance,
+        dis: Arc<dyn Distance + Send + Sync>,
+        lambda: Ratio,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<PreparedUniverse<'static>, ServeError> {
+        let mut rel_exact = Vec::with_capacity(universe.len());
+        for (i, t) in universe.iter().enumerate() {
+            // O(n) total; poll every 64 items so even an expensive
+            // relevance oracle cannot overshoot by more than 64 evals.
+            if i.is_multiple_of(64) {
+                deadline.check()?;
+            }
+            rel_exact.push(rel.rel(t));
+        }
+        PreparedUniverse::try_from_scores(
+            universe,
+            rel_exact,
+            DistOracle::Shared(dis),
+            lambda,
+            threads,
+            deadline,
+        )
+    }
+
+    /// [`PreparedUniverse::build_shared_with_scores`] under a
+    /// cooperative [`Deadline`] (see
+    /// [`PreparedUniverse::try_build_shared_deadline`]).
+    pub fn try_build_shared_with_scores_deadline(
+        universe: Vec<Tuple>,
+        rel_exact: Vec<Ratio>,
+        dis: Arc<dyn Distance + Send + Sync>,
+        lambda: Ratio,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<PreparedUniverse<'static>, ServeError> {
+        PreparedUniverse::try_from_scores(
+            universe,
+            rel_exact,
+            DistOracle::Shared(dis),
+            lambda,
+            threads,
+            deadline,
+        )
     }
 
     /// Number of universe items.
@@ -1446,7 +1570,20 @@ impl<'a> Engine<'a> {
             lam: lambda.to_f64(),
             one_minus: (Ratio::ONE - lambda).to_f64(),
             threads: threads.max(1),
+            deadline: Deadline::none(),
         }
+    }
+
+    /// Attaches a cooperative [`Deadline`], checked between solver
+    /// rounds: once it trips, the in-flight solve is abandoned at the
+    /// next round boundary and the `Option` entry points return `None`
+    /// ([`Engine::try_serve`] disambiguates to
+    /// [`ServeError::DeadlineExceeded`]). With the default
+    /// [`Deadline::none`] (or any deadline that never trips) results
+    /// are bit-identical to an engine without one.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The shared prepared state this engine solves against.
@@ -1706,6 +1843,11 @@ impl<'a> Engine<'a> {
             ..
         } = scratch;
         while out.len() + 1 < k {
+            // Deadline checkpoint: one round is O(n) amortized, so a
+            // tripped deadline abandons the solve within one round.
+            if self.deadline.exceeded() {
+                return false;
+            }
             // Pop phase (CELF-style): a popped entry whose cached
             // partner is still available carries its anchor's *exact*
             // current row best (weights are static; availability only
@@ -2029,6 +2171,10 @@ impl<'a> Engine<'a> {
             (0..n).map(|t| self.prepared.matrix.get(i, t).min(self.prepared.matrix.get(j, t))),
         );
         while out.len() < k {
+            // Deadline checkpoint: one GMM round is an O(n) scan.
+            if self.deadline.exceeded() {
+                return false;
+            }
             let eval = |t: usize| {
                 if marks.is_marked(t) {
                     return None;
@@ -2162,6 +2308,10 @@ impl<'a> Engine<'a> {
         nearest.clear();
         nearest.extend_from_slice(self.prepared.matrix.row(first));
         while out.len() < k {
+            // Deadline checkpoint: one MMR round is an O(n) scan.
+            if self.deadline.exceeded() {
+                return false;
+            }
             let eval = |t: usize| {
                 if marks.is_marked(t) {
                     return None;
@@ -2210,6 +2360,12 @@ impl<'a> Engine<'a> {
         out.clear();
         let n = self.n();
         if k > n {
+            return false;
+        }
+        // Deadline checkpoint before the sort (the whole selection is
+        // one O(n log n) pass; first request also pays the O(n²)
+        // row-sum preamble below).
+        if self.deadline.exceeded() {
             return false;
         }
         let scores = self.mono_scores_f64();
@@ -2317,6 +2473,11 @@ impl<'a> Engine<'a> {
             return (value_exact, current);
         }
         for _ in 0..max_rounds {
+            // Deadline checkpoint: `current` is always a valid feasible
+            // set, so a tripped deadline just stops improving it.
+            if self.deadline.exceeded() {
+                break;
+            }
             let value_f = self.objective_f64(kind, &current);
             let current_ref = &current;
             // Flattened swap space: slot = pos * n + cand.
@@ -2372,18 +2533,26 @@ impl<'a> Engine<'a> {
         self.serve_with(request, &mut SolveScratch::new())
     }
 
-    /// [`Engine::serve`] with a typed error instead of `None`: the only
-    /// way a request over a full matrix can fail is asking for more
-    /// items than the universe holds — a live concern once
+    /// [`Engine::serve`] with a typed error instead of `None`: a
+    /// request over a full matrix fails by asking for more items than
+    /// the universe holds — a live concern once
     /// [`PreparedUniverse::remove_tuple`] can shrink a warm universe
-    /// below a tenant's `k`.
+    /// below a tenant's `k` — or by its [`Deadline`] tripping
+    /// mid-solve. The two are disambiguated by re-checking the
+    /// deadline: it is monotone, so once a solver round saw it
+    /// exceeded, it stays exceeded here.
     pub fn try_serve(&self, request: EngineRequest) -> Result<(Ratio, Vec<usize>), ServeError> {
         let n = self.n();
         if request.k > n {
             return Err(ServeError::InfeasibleK { k: request.k, n });
         }
-        self.serve(request)
-            .ok_or(ServeError::InfeasibleK { k: request.k, n })
+        self.serve(request).ok_or_else(|| {
+            if self.deadline.exceeded() {
+                ServeError::DeadlineExceeded
+            } else {
+                ServeError::InfeasibleK { k: request.k, n }
+            }
+        })
     }
 
     /// [`Engine::serve`] against a reusable [`SolveScratch`]: after the

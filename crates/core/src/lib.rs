@@ -60,6 +60,7 @@ pub mod axioms;
 pub mod combin;
 pub mod constraints;
 pub mod coreset;
+pub mod deadline;
 pub mod dispersion;
 pub mod distance;
 pub mod engine;
@@ -76,6 +77,7 @@ pub use coreset::{
     Coreset, CoresetConfig, CoresetEngine, PreparedCoreset, SharedCoreset,
     CORESET_AUTO_THRESHOLD,
 };
+pub use deadline::{Budget, Deadline};
 pub use dispersion::{Dispersion, DispersionVariant};
 pub use distance::{
     ClosureDistance, ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
@@ -99,6 +101,7 @@ pub use streaming::StreamingDiversifier;
 pub mod prelude {
     pub use crate::constraints::{CmPred, Constraint};
     pub use crate::coreset::{CoresetConfig, CoresetEngine, PreparedCoreset, SharedCoreset};
+    pub use crate::deadline::{Budget, Deadline};
     pub use crate::distance::{
         ConstantDistance, Distance, HammingDistance, NumericDistance, TableDistance,
     };

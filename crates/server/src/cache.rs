@@ -35,6 +35,7 @@
 use crate::fingerprint::UniverseKey;
 use crate::spec::{PreparedVariant, UniverseSpec};
 use divr_core::engine::{DeltaOp, ServeError};
+use divr_core::Deadline;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -187,6 +188,36 @@ impl PreparedCache {
         // Miss: build and validate outside the lock.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let prepared = spec.try_prepare_variant(threads)?;
+        Ok(self.adopt_or_insert(shard, key, prepared))
+    }
+
+    /// [`PreparedCache::get_or_try_prepare`] under a cooperative
+    /// [`Deadline`]: a **hit** is returned immediately regardless of
+    /// the deadline (it is `O(1)` work); a **miss** builds under the
+    /// deadline and, once it trips, fails with
+    /// [`ServeError::DeadlineExceeded`] — and like every failing build,
+    /// the abandoned prepare is **never cached**, so a retry with a
+    /// looser deadline starts from a clean miss rather than a poisoned
+    /// entry.
+    pub fn get_or_try_prepare_deadline(
+        &self,
+        key: &UniverseKey,
+        spec: &UniverseSpec,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<PreparedVariant, ServeError> {
+        let shard = self.shard_of(key);
+        {
+            let mut guard = self.lock_shard(shard);
+            if let Some(entry) = guard.entries.get_mut(key) {
+                entry.stamp = self.tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.prepared.clone());
+            }
+        }
+        // Miss: build and validate outside the lock, under the deadline.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = spec.try_prepare_variant_deadline(threads, deadline)?;
         Ok(self.adopt_or_insert(shard, key, prepared))
     }
 

@@ -41,7 +41,7 @@ use crate::registry::{CheckedAnswer, Registry};
 use crate::spec::{CoresetSpec, OracleAdapter, PreparedVariant, ServableDistance, ServableRelevance};
 use divr_core::coreset::{CoresetConfig, PreparedCoreset, CORESET_AUTO_THRESHOLD};
 use divr_core::engine::{DeltaOp, EngineRequest, PreparedUniverse, ServeError, SolveScratch};
-use divr_core::Ratio;
+use divr_core::{Deadline, Ratio};
 use divr_relquery::{delta_results, stream_query, CanonicalQuery, Database, Query, Tuple, Value};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -353,6 +353,7 @@ impl QueryFrontDoor {
         db: &Database,
         spec: &QuerySpec,
         threads: usize,
+        deadline: Deadline,
     ) -> Result<PreparedVariant, QueryError> {
         let mut stream = stream_query(db, &spec.query)?;
         let dis: Arc<dyn divr_core::distance::Distance + Send + Sync> =
@@ -371,19 +372,29 @@ impl QueryFrontDoor {
                     refine_rounds: mode.refine_rounds,
                     threads,
                 };
-                PreparedVariant::Coreset(Arc::new(PreparedCoreset::build_shared(
-                    universe,
-                    &*spec.rel,
-                    dis,
-                    spec.lambda,
-                    &config,
-                )))
+                PreparedVariant::Coreset(Arc::new(
+                    PreparedCoreset::try_build_shared_deadline(
+                        universe,
+                        &*spec.rel,
+                        dis,
+                        spec.lambda,
+                        &config,
+                        deadline,
+                    )
+                    .map_err(QueryError::Serve)?,
+                ))
             }
             None => {
                 // Pull until we know which side of the threshold this
-                // universe lands on.
+                // universe lands on. Evaluation itself polls the
+                // deadline every 64 tuples — a query whose result set
+                // is huge must not blow the budget before preparation
+                // even starts.
                 let mut head: Vec<Tuple> = Vec::new();
                 while head.len() <= CORESET_AUTO_THRESHOLD {
+                    if head.len().is_multiple_of(64) {
+                        deadline.check().map_err(QueryError::Serve)?;
+                    }
                     match stream.next() {
                         Some(t) => head.push(t),
                         None => break,
@@ -393,25 +404,33 @@ impl QueryFrontDoor {
                     return Err(QueryError::EmptyResult);
                 }
                 if head.len() <= CORESET_AUTO_THRESHOLD {
-                    PreparedVariant::Full(Arc::new(PreparedUniverse::build_shared(
-                        head,
-                        &*spec.rel,
-                        dis,
-                        spec.lambda,
-                        threads,
-                    )))
+                    PreparedVariant::Full(Arc::new(
+                        PreparedUniverse::try_build_shared_deadline(
+                            head,
+                            &*spec.rel,
+                            dis,
+                            spec.lambda,
+                            threads,
+                            deadline,
+                        )
+                        .map_err(QueryError::Serve)?,
+                    ))
                 } else {
                     // Above threshold: the rest of the evaluation flows
                     // straight into coreset maintenance — Q(D) is never
                     // a second vector.
                     let config = spec.auto_config(threads);
-                    PreparedVariant::Coreset(Arc::new(PreparedCoreset::build_streaming(
-                        head.into_iter().chain(stream),
-                        &*spec.rel,
-                        dis,
-                        spec.lambda,
-                        &config,
-                    )))
+                    PreparedVariant::Coreset(Arc::new(
+                        PreparedCoreset::try_build_streaming_deadline(
+                            head.into_iter().chain(stream),
+                            &*spec.rel,
+                            dis,
+                            spec.lambda,
+                            &config,
+                            deadline,
+                        )
+                        .map_err(QueryError::Serve)?,
+                    ))
                 }
             }
         };
@@ -429,6 +448,22 @@ impl QueryFrontDoor {
         spec: &QuerySpec,
         requests: &[EngineRequest],
     ) -> Result<Vec<CheckedAnswer>, QueryError> {
+        self.serve_query_deadline(db, spec, requests, Deadline::none())
+    }
+
+    /// [`QueryFrontDoor::serve_query`] under a cooperative [`Deadline`]
+    /// spanning evaluation, preparation, and the solves: a miss that
+    /// cannot finish in time fails with
+    /// [`ServeError::DeadlineExceeded`] and caches **nothing** (clean
+    /// retry), a warm hit still serves, and each solve checks the
+    /// deadline between rounds.
+    pub fn serve_query_deadline(
+        &self,
+        db: &str,
+        spec: &QuerySpec,
+        requests: &[EngineRequest],
+        deadline: Deadline,
+    ) -> Result<Vec<CheckedAnswer>, QueryError> {
         let threads = self.registry.solve_threads();
         let (key, prepared) = {
             let state = self.read_state();
@@ -438,7 +473,7 @@ impl QueryFrontDoor {
             let key = Self::key_of(db, dbst, spec);
             let prepared = self.cache().get_or_try_prepare_with(&key, || {
                 catch_unwind(AssertUnwindSafe(|| {
-                    Self::build_prepared(&dbst.db, spec, threads)
+                    Self::build_prepared(&dbst.db, spec, threads, deadline)
                 }))
                 .unwrap_or(Err(QueryError::Serve(ServeError::WorkerPanicked)))
             })?;
@@ -459,10 +494,15 @@ impl QueryFrontDoor {
         for &request in requests {
             let attempt = {
                 let s = &mut scratch;
-                catch_unwind(AssertUnwindSafe(|| prepared.serve_with(threads, request, s)))
+                catch_unwind(AssertUnwindSafe(|| {
+                    prepared.serve_with_deadline(threads, request, s, deadline)
+                }))
             };
             answers.push(match attempt {
                 Ok(Some(answer)) => Ok(answer),
+                // Deadline aborts surface as `None` too; the deadline
+                // is monotone, so re-checking disambiguates race-free.
+                Ok(None) if deadline.exceeded() => Err(ServeError::DeadlineExceeded),
                 Ok(None) => Err(prepared.classify_infeasible(request.k)),
                 Err(_) => {
                     scratch = SolveScratch::new();
@@ -488,7 +528,9 @@ impl QueryFrontDoor {
         let key = Self::key_of(db, dbst, spec);
         let prepared = self
             .cache()
-            .get_or_try_prepare_with(&key, || Self::build_prepared(&dbst.db, spec, threads))?;
+            .get_or_try_prepare_with(&key, || {
+                Self::build_prepared(&dbst.db, spec, threads, Deadline::none())
+            })?;
         Ok(match &prepared {
             PreparedVariant::Full(p) => p.universe().to_vec(),
             PreparedVariant::Coreset(p) => p.universe().to_vec(),

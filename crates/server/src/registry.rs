@@ -5,7 +5,7 @@ use crate::spec::{PreparedVariant, UniverseSpec};
 use divr_core::engine::{
     default_threads, DeltaError, DeltaOp, EngineRequest, ServeError, SolveScratch,
 };
-use divr_core::Ratio;
+use divr_core::{Deadline, Ratio};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -258,6 +258,25 @@ impl Registry {
     /// without re-solving. Tenants with zero requests are skipped before
     /// the cache is touched (no prepare, no eviction pressure).
     pub fn serve_mixed_checked(&self, batch: &[TenantBatch]) -> Vec<Vec<CheckedAnswer>> {
+        self.serve_mixed_checked_deadline(batch, Deadline::none())
+    }
+
+    /// [`Registry::serve_mixed_checked`] under a cooperative
+    /// [`Deadline`] covering the whole batch: prepares poll it at
+    /// matrix-row / Gonzalez-iteration boundaries, solves between
+    /// rounds. Requests whose work is abandoned after the deadline
+    /// trips get [`ServeError::DeadlineExceeded`]; an abandoned prepare
+    /// is **never cached** (only `Ok` builds are inserted), so a retry
+    /// with a looser deadline starts from a clean miss. Cache **hits**
+    /// are served even past the deadline — they are `O(1)` fetches, and
+    /// refusing them would only waste the work already done. With
+    /// [`Deadline::none`] this is exactly
+    /// [`Registry::serve_mixed_checked`].
+    pub fn serve_mixed_checked_deadline(
+        &self,
+        batch: &[TenantBatch],
+        deadline: Deadline,
+    ) -> Vec<Vec<CheckedAnswer>> {
         // Deduplicate universes by content, keeping each distinct key
         // (fingerprinting is O(content); never pay it twice per batch).
         // Zero-request tenants are excluded: they contribute no solve
@@ -314,10 +333,11 @@ impl Registry {
                             break;
                         }
                         let p = catch_unwind(AssertUnwindSafe(|| {
-                            self.cache.get_or_try_prepare(
+                            self.cache.get_or_try_prepare_deadline(
                                 &distinct_keys[i],
                                 distinct[i],
                                 prepare_threads,
+                                deadline,
                             )
                         }))
                         .unwrap_or(Err(ServeError::WorkerPanicked));
@@ -361,11 +381,15 @@ impl Registry {
                     let attempt = {
                         let s = &mut *scratch;
                         catch_unwind(AssertUnwindSafe(|| {
-                            prep.serve_with(solve_threads, request, s)
+                            prep.serve_with_deadline(solve_threads, request, s, deadline)
                         }))
                     };
                     match attempt {
                         Ok(Some(answer)) => Ok(answer),
+                        // `None` is either genuine infeasibility or a
+                        // deadline abort; the deadline is monotone, so
+                        // re-checking it here disambiguates race-free.
+                        Ok(None) if deadline.exceeded() => Err(ServeError::DeadlineExceeded),
                         Ok(None) => Err(prep.classify_infeasible(request.k)),
                         Err(_) => {
                             // The unwind may have torn the scratch
@@ -441,6 +465,19 @@ impl Registry {
             .get_or_try_prepare(&spec.key(), spec, self.solve_threads)
     }
 
+    /// [`Registry::try_prepare`] under a cooperative [`Deadline`]: a
+    /// cache hit returns immediately; a miss builds under the deadline
+    /// and fails with [`ServeError::DeadlineExceeded`] once it trips —
+    /// the abandoned build is never cached.
+    pub fn try_prepare_deadline(
+        &self,
+        spec: &UniverseSpec,
+        deadline: Deadline,
+    ) -> Result<PreparedVariant, ServeError> {
+        self.cache
+            .get_or_try_prepare_deadline(&spec.key(), spec, self.solve_threads, deadline)
+    }
+
     /// Like [`Registry::serve`], but with a typed diagnosis instead of
     /// `None` when no answer exists: [`ServeError::InfeasibleK`] when
     /// `k` exceeds the universe (e.g. after removals shrank it below
@@ -454,6 +491,21 @@ impl Registry {
         request: EngineRequest,
     ) -> Result<(Ratio, Vec<usize>), ServeError> {
         self.try_prepare(spec)?.try_serve(self.solve_threads, request)
+    }
+
+    /// [`Registry::try_serve`] under a cooperative [`Deadline`]
+    /// spanning prepare **and** solve: either phase failing the
+    /// deadline yields [`ServeError::DeadlineExceeded`], the abandoned
+    /// prepare is never cached, and a warm entry still serves (the
+    /// solve itself checks the deadline between rounds).
+    pub fn try_serve_deadline(
+        &self,
+        spec: &UniverseSpec,
+        request: EngineRequest,
+        deadline: Deadline,
+    ) -> Result<(Ratio, Vec<usize>), ServeError> {
+        self.try_prepare_deadline(spec, deadline)?
+            .try_serve_deadline(self.solve_threads, request, deadline)
     }
 
     /// Applies one delta operation to a universe and returns the spec of

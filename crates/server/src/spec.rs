@@ -8,7 +8,7 @@ use divr_core::engine::{
     DeltaError, DeltaOp, Engine, EngineRequest, PreparedUniverse, ServeError, SolveScratch,
 };
 use divr_core::relevance::Relevance;
-use divr_core::{Ratio, SharedPrepared};
+use divr_core::{Deadline, Ratio, SharedPrepared};
 use divr_relquery::Tuple;
 use std::sync::Arc;
 
@@ -160,11 +160,49 @@ impl PreparedVariant {
         threads: usize,
         request: EngineRequest,
     ) -> Result<(Ratio, Vec<usize>), ServeError> {
+        self.try_serve_deadline(threads, request, Deadline::none())
+    }
+
+    /// [`PreparedVariant::try_serve`] under a cooperative [`Deadline`]:
+    /// the solve checks it between rounds and fails with
+    /// [`ServeError::DeadlineExceeded`] once it trips. With
+    /// [`Deadline::none`] (or any deadline that never trips) answers
+    /// are bit-identical to the undeadlined form.
+    pub fn try_serve_deadline(
+        &self,
+        threads: usize,
+        request: EngineRequest,
+        deadline: Deadline,
+    ) -> Result<(Ratio, Vec<usize>), ServeError> {
         match self {
-            PreparedVariant::Full(p) => Engine::from_prepared(p.clone(), threads).try_serve(request),
-            PreparedVariant::Coreset(p) => {
-                CoresetEngine::from_prepared(p.clone(), threads).try_serve(request)
-            }
+            PreparedVariant::Full(p) => Engine::from_prepared(p.clone(), threads)
+                .with_deadline(deadline)
+                .try_serve(request),
+            PreparedVariant::Coreset(p) => CoresetEngine::from_prepared(p.clone(), threads)
+                .with_deadline(deadline)
+                .try_serve(request),
+        }
+    }
+
+    /// [`PreparedVariant::serve_with`] under a cooperative [`Deadline`]
+    /// — the deadline-aware scratch-reusing form the registry's batch
+    /// workers use. `None` on infeasibility **or** a tripped deadline;
+    /// callers that need to tell the two apart re-check the deadline
+    /// (it is monotone) or use [`PreparedVariant::try_serve_deadline`].
+    pub fn serve_with_deadline(
+        &self,
+        threads: usize,
+        request: EngineRequest,
+        scratch: &mut SolveScratch,
+        deadline: Deadline,
+    ) -> Option<(Ratio, Vec<usize>)> {
+        match self {
+            PreparedVariant::Full(p) => Engine::from_prepared(p.clone(), threads)
+                .with_deadline(deadline)
+                .serve_with(request, scratch),
+            PreparedVariant::Coreset(p) => CoresetEngine::from_prepared(p.clone(), threads)
+                .with_deadline(deadline)
+                .serve_with(request, scratch),
         }
     }
 
@@ -404,6 +442,48 @@ impl UniverseSpec {
     /// cache a refused universe.
     pub fn try_prepare_variant(&self, threads: usize) -> Result<PreparedVariant, ServeError> {
         let prepared = self.prepare_variant(threads);
+        prepared.check_finite()?;
+        Ok(prepared)
+    }
+
+    /// [`UniverseSpec::try_prepare_variant`] under a cooperative
+    /// [`Deadline`]: the `O(n²)` (or `O(n·m)`) build polls it at row /
+    /// iteration boundaries and is abandoned with
+    /// [`ServeError::DeadlineExceeded`] once it trips — the partially
+    /// built state is dropped and must never be cached (the registry's
+    /// cache only inserts `Ok` results, which preserves that).
+    pub fn try_prepare_variant_deadline(
+        &self,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<PreparedVariant, ServeError> {
+        let prepared = match self.coreset {
+            None => PreparedVariant::Full(Arc::new(
+                PreparedUniverse::try_build_shared_deadline(
+                    self.universe.clone(),
+                    &*self.rel,
+                    Arc::new(OracleAdapter(self.dis.clone())),
+                    self.lambda,
+                    threads,
+                    deadline,
+                )?,
+            )),
+            Some(mode) => {
+                let config = CoresetConfig {
+                    budget: mode.budget,
+                    refine_rounds: mode.refine_rounds,
+                    threads,
+                };
+                PreparedVariant::Coreset(Arc::new(PreparedCoreset::try_build_shared_deadline(
+                    self.universe.clone(),
+                    &*self.rel,
+                    Arc::new(OracleAdapter(self.dis.clone())),
+                    self.lambda,
+                    &config,
+                    deadline,
+                )?))
+            }
+        };
         prepared.check_finite()?;
         Ok(prepared)
     }

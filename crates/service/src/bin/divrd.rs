@@ -1,32 +1,81 @@
 //! `divrd` — the diversification daemon.
 //!
 //! ```text
-//! divrd [ADDR] [WORKERS]
+//! divrd [ADDR] [WORKERS] [--idle-timeout-ms N] [--default-deadline-ms N] [--max-frame-bytes N]
 //! ```
 //!
 //! Binds `ADDR` (default `127.0.0.1:7411`; use port `0` for an
 //! ephemeral port), spawns `WORKERS` connection workers (default 4),
-//! prints the bound address to stderr, and serves until killed. See
-//! `divr_service` for the protocol.
+//! prints the bound address to stderr, and serves until its stdin
+//! closes — the supervisor-friendly shutdown signal: a process manager
+//! (or an operator's `Ctrl-D`) closing the pipe triggers a *graceful
+//! drain* (in-flight frames finish, new frames get a retryable `503
+//! draining`) before the process exits. See `divr_service` for the
+//! protocol.
+//!
+//! Flags:
+//!
+//! * `--idle-timeout-ms N` — reap connections silent for `N` ms.
+//! * `--default-deadline-ms N` — deadline for frames that carry no
+//!   `deadline_ms` of their own (default: unbounded).
+//! * `--max-frame-bytes N` — largest request frame accepted.
 
 use divr_service::{Service, ServiceConfig};
+use std::io::Read;
 use std::time::Duration;
 
+fn flag_value(flag: &str, args: &mut std::iter::Peekable<std::env::Args>) -> u64 {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} needs an integer value"))
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7411".to_string());
-    let workers = args
-        .next()
-        .map(|w| w.parse::<usize>().expect("WORKERS must be an integer"))
-        .unwrap_or(4);
-    let config = ServiceConfig {
-        addr,
-        workers,
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:7411".to_string(),
         ..ServiceConfig::default()
     };
+    let mut positional = 0;
+    let mut args = std::env::args().peekable();
+    args.next(); // argv[0]
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(flag_value(&arg, &mut args));
+            }
+            "--default-deadline-ms" => {
+                config.default_deadline_ms = Some(flag_value(&arg, &mut args));
+            }
+            "--max-frame-bytes" => {
+                config.max_frame_bytes = flag_value(&arg, &mut args) as usize;
+            }
+            _ if positional == 0 => {
+                config.addr = arg;
+                positional += 1;
+            }
+            _ if positional == 1 => {
+                config.workers = arg.parse().expect("WORKERS must be an integer");
+                positional += 1;
+            }
+            other => panic!("unexpected argument {other:?}"),
+        }
+    }
     let service = Service::start(config).expect("failed to bind");
     eprintln!("divrd listening on {}", service.local_addr());
+
+    // Block until stdin closes (EOF), then drain gracefully. Reading
+    // in a loop tolerates stray bytes on the pipe; only EOF exits.
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin().lock();
     loop {
-        std::thread::sleep(Duration::from_secs(3600));
+        match stdin.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
     }
+    eprintln!("divrd draining");
+    service.shutdown();
+    eprintln!("divrd stopped");
 }

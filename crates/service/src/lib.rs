@@ -32,6 +32,21 @@
 //!   the query's canonical tableau — semantically equivalent queries
 //!   hit the same prepared universe. Admission charges a cardinality
 //!   *bound* before evaluation ever runs.
+//! * **Deadlines and drain** ([`server`], [`proto`]): frames may carry
+//!   `deadline_ms`; the work below polls a cooperative
+//!   `divr_core::Deadline` at its checkpoint boundaries and answers a
+//!   retryable `504 deadline_exceeded` (abandoned prepares are never
+//!   cached). [`Service::shutdown`] drains gracefully: in-flight
+//!   frames finish within a grace period while new work gets a
+//!   retryable `503 draining`. Idle connections are reaped; slow
+//!   readers are bounded by a write timeout.
+//! * **Self-healing client** ([`client`]): typed failures
+//!   ([`ClientError`]) and a [`RetryPolicy`] of capped jittered
+//!   backoff that honors `retry_after_ms` and never hangs on a dead
+//!   daemon. The [`chaos`] module's deterministic fault-injecting
+//!   proxy (latency, truncation, resets, corruption) drives the
+//!   fault-matrix suite proving every fault ends in a typed error or
+//!   a correct answer.
 //! * **Observability** ([`histogram`]): lock-free log-bucketed latency
 //!   histograms per objective, exported by `{"op": "stats"}` — the
 //!   numbers `BENCH_service.json` gates regressions on.
@@ -41,6 +56,7 @@
 //! `divrd` binary wraps the same entry point for the command line.
 
 pub mod admission;
+pub mod chaos;
 pub mod client;
 pub mod histogram;
 pub mod json;
@@ -49,6 +65,8 @@ pub mod server;
 pub mod wire;
 
 pub use admission::{Admission, AdmissionConfig, Rejection};
-pub use client::{query_doc, serve_doc, Client};
+pub use chaos::{ChaosProxy, Fault};
+pub use client::{query_doc, serve_doc, Client, ClientError, RetryPolicy};
 pub use histogram::{Histogram, LatencyStats};
+pub use proto::is_retryable_code;
 pub use server::{Service, ServiceConfig};

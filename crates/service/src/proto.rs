@@ -15,10 +15,16 @@
 //! | 422  | `infeasible_k`, `exceeds_coreset_budget`, `non_finite_score` | valid frame, unservable request |
 //! | 429  | `queue_full`, `qps_exceeded`, `cache_quota` | admission control pushed back |
 //! | 500  | `worker_panicked` | fault isolated to this request |
+//! | 503  | `draining` | the daemon is shutting down gracefully |
+//! | 504  | `deadline_exceeded` | the frame's `deadline_ms` passed before the work finished |
 //!
-//! `429`s are *retryable* (the client backs off); `422`s are not (the
-//! request itself is wrong); `500` means a worker died solving this
-//! specific request and everything else kept serving.
+//! `429`s, `503`s, and `504`s are *retryable* (error frames carry
+//! `"retryable": true`, and 429/503 may carry a `retry_after_ms` hint
+//! the client honors); `422`s are not (the request itself is wrong);
+//! `500` means a worker died solving this specific request and
+//! everything else kept serving. A `504` abandoned its prepare at a
+//! cooperative checkpoint and cached nothing, so a retry with a looser
+//! deadline starts clean.
 
 use divr_core::engine::ServeError;
 use std::io::{self, Read, Write};
@@ -83,7 +89,17 @@ pub fn serve_error_status(e: &ServeError) -> (&'static str, u16) {
         ServeError::ExceedsCoresetBudget { .. } => ("exceeds_coreset_budget", 422),
         ServeError::NonFiniteScore { .. } => ("non_finite_score", 422),
         ServeError::WorkerPanicked => ("worker_panicked", 500),
+        ServeError::DeadlineExceeded => ("deadline_exceeded", 504),
     }
+}
+
+/// Whether a wire status code marks a *retryable* failure: the request
+/// was fine, the service just could not take it right now (`429`
+/// admission pushback, `503` draining, `504` deadline) — the client's
+/// [`RetryPolicy`](crate::RetryPolicy) backs off and retries these and
+/// nothing else.
+pub fn is_retryable_code(code: u16) -> bool {
+    matches!(code, 429 | 503 | 504)
 }
 
 #[cfg(test)]

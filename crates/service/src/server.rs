@@ -35,14 +35,15 @@
 use crate::admission::{estimate_prepared_bytes, Admission, AdmissionConfig, Rejection};
 use crate::histogram::LatencyStats;
 use crate::json::{self, object, Value};
-use crate::proto::{serve_error_status, write_frame, FrameTooLarge};
+use crate::proto::{is_retryable_code, serve_error_status, write_frame, FrameTooLarge};
 use crate::wire::{
     coreset_from_json, database_from_json, distance_from_json, objective_to_str, ratio_from_json,
     ratio_to_json, relevance_from_json, requests_from_json, universe_from_json,
 };
 use divr_core::coreset::CORESET_AUTO_THRESHOLD;
+use divr_core::engine::ServeError;
 use divr_core::problem::ObjectiveKind;
-use divr_core::Ratio;
+use divr_core::{Deadline, Ratio};
 use divr_relquery::parser::parse_query;
 use divr_server::{QueryError, QueryFrontDoor, QuerySpec, Registry, RegistryConfig, TenantBatch};
 use std::io::{self, Read};
@@ -76,6 +77,20 @@ pub struct ServiceConfig {
     /// Universes smaller than this are never degraded (their full
     /// prepare is already cheap).
     pub degrade_min_n: usize,
+    /// Deadline applied to `serve`/`query` frames that do not carry
+    /// their own `deadline_ms`; `None` means such frames are unbounded
+    /// (the historical behavior).
+    pub default_deadline_ms: Option<u64>,
+    /// A connection that delivers no bytes for this long is reaped (the
+    /// slow-loris guard: a dribbling or abandoned socket cannot pin a
+    /// worker forever).
+    pub idle_timeout: Duration,
+    /// Budget for writing one response frame to a slow-reading client
+    /// before the connection is dropped.
+    pub write_timeout: Duration,
+    /// How long [`Service::shutdown`] waits for in-flight frames to
+    /// finish before closing sockets.
+    pub drain_grace: Duration,
     /// Per-tenant rate and cache quotas.
     pub admission: AdmissionConfig,
     /// Sizing for the underlying registry.
@@ -92,6 +107,10 @@ impl Default for ServiceConfig {
             degrade_watermark: 8,
             degrade_budget: 64,
             degrade_min_n: 512,
+            default_deadline_ms: None,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            drain_grace: Duration::from_secs(2),
             admission: AdmissionConfig::default(),
             registry: RegistryConfig::default(),
         }
@@ -106,15 +125,25 @@ struct Shared {
     admission: Admission,
     latency: LatencyStats,
     stop: AtomicBool,
+    /// Draining: in-flight frames finish, new work frames get a
+    /// retryable `503 draining` until the grace period closes sockets.
+    draining: AtomicBool,
     /// Serve frames currently between admission and response.
     depth: AtomicUsize,
     frames: AtomicU64,
     rejected_queue: AtomicU64,
     degraded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    reaped_idle: AtomicU64,
+    draining_refused: AtomicU64,
     max_frame_bytes: usize,
     degrade_watermark: usize,
     degrade_budget: usize,
     degrade_min_n: usize,
+    default_deadline_ms: Option<u64>,
+    idle_timeout: Duration,
+    write_timeout: Duration,
+    drain_grace: Duration,
 }
 
 /// A running daemon: acceptor thread + worker pool over one shared
@@ -140,14 +169,22 @@ impl Service {
             admission: Admission::new(config.admission),
             latency: LatencyStats::new(),
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             depth: AtomicUsize::new(0),
             frames: AtomicU64::new(0),
             rejected_queue: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            reaped_idle: AtomicU64::new(0),
+            draining_refused: AtomicU64::new(0),
             max_frame_bytes: config.max_frame_bytes,
             degrade_watermark: config.degrade_watermark,
             degrade_budget: config.degrade_budget.max(1),
             degrade_min_n: config.degrade_min_n,
+            default_deadline_ms: config.default_deadline_ms,
+            idle_timeout: config.idle_timeout,
+            write_timeout: config.write_timeout,
+            drain_grace: config.drain_grace,
         });
 
         let (tx, rx) = sync_channel::<TcpStream>(config.accept_backlog.max(1));
@@ -197,10 +234,31 @@ impl Service {
         self.addr
     }
 
-    /// Stops accepting, drains and joins every thread. Also runs on
-    /// drop; the explicit form exists so callers can sequence it.
+    /// Graceful shutdown: flips the daemon into draining (in-flight
+    /// frames finish; new work frames get a retryable `503 draining`),
+    /// waits up to the configured `drain_grace` for in-flight depth to
+    /// reach zero, then stops accepting and joins every thread.
+    ///
+    /// Drop still runs the abrupt stop (no grace wait) so tests that
+    /// just let a `Service` fall out of scope stay fast.
     pub fn shutdown(mut self) {
+        self.begin_drain();
+        let started = Instant::now();
+        while self.shared.depth.load(Ordering::SeqCst) > 0
+            && started.elapsed() < self.shared.drain_grace
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
         self.stop_and_join();
+    }
+
+    /// Enters the draining state without stopping: in-flight frames
+    /// finish, new `serve`/`query` frames get `503 draining` (`ping`
+    /// and `stats` still answer, so health checks can watch the drain).
+    /// [`Service::shutdown`] calls this first; exposed so tests and
+    /// operators can observe a drain in progress.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
     }
 
     fn stop_and_join(&mut self) {
@@ -246,29 +304,28 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
 
 /// Accumulates stream bytes and yields whole frames, surviving read
 /// timeouts mid-frame (partial bytes stay buffered) so the worker can
-/// poll the stop flag without ever losing frame sync.
+/// poll the stop flag without ever losing frame sync — and reaping the
+/// connection once no byte has arrived for the configured idle
+/// timeout, so a dribbling or abandoned socket (a torn frame whose
+/// rest never comes, a slow-loris prefix) cannot pin a worker forever.
 struct FrameReader {
     buf: Vec<u8>,
+    last_byte_at: Instant,
 }
 
 impl FrameReader {
-    fn next(
-        &mut self,
-        stream: &mut TcpStream,
-        max_bytes: usize,
-        stop: &AtomicBool,
-    ) -> io::Result<Option<Vec<u8>>> {
+    fn next(&mut self, stream: &mut TcpStream, shared: &Shared) -> io::Result<Option<Vec<u8>>> {
         loop {
             if self.buf.len() >= 4 {
                 let mut len_bytes = [0u8; 4];
                 len_bytes.copy_from_slice(&self.buf[..4]);
                 let len = u32::from_be_bytes(len_bytes) as usize;
-                if len > max_bytes {
+                if len > shared.max_frame_bytes {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         FrameTooLarge {
                             len,
-                            max_bytes,
+                            max_bytes: shared.max_frame_bytes,
                         },
                     ));
                 }
@@ -278,13 +335,20 @@ impl FrameReader {
                     return Ok(Some(payload));
                 }
             }
-            if stop.load(Ordering::SeqCst) {
+            if shared.stop.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            if self.last_byte_at.elapsed() >= shared.idle_timeout {
+                shared.reaped_idle.fetch_add(1, Ordering::Relaxed);
                 return Ok(None);
             }
             let mut chunk = [0u8; 4096];
             match stream.read(&mut chunk) {
                 Ok(0) => return Ok(None),
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.last_byte_at = Instant::now();
+                }
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -301,9 +365,15 @@ impl FrameReader {
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let mut reader = FrameReader { buf: Vec::new() };
+    // Slow-reader guard: a client that stops draining its socket costs
+    // at most one write timeout, not a wedged worker.
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let mut reader = FrameReader {
+        buf: Vec::new(),
+        last_byte_at: Instant::now(),
+    };
     loop {
-        let payload = match reader.next(&mut stream, shared.max_frame_bytes, &shared.stop) {
+        let payload = match reader.next(&mut stream, shared) {
             Ok(Some(payload)) => payload,
             Ok(None) => return,
             Err(e) => {
@@ -327,11 +397,62 @@ fn error_frame(code: u16, kind: &str, detail: &str) -> Value {
         ("code", Value::Int(i64::from(code))),
         ("kind", Value::Str(kind.to_string())),
         ("detail", Value::Str(detail.to_string())),
+        ("retryable", Value::Bool(is_retryable_code(code))),
     ])
 }
 
+/// An `error_frame` carrying the `retry_after_ms` hint a backing-off
+/// client feeds straight into its sleep.
+fn error_frame_with_hint(code: u16, kind: &str, detail: &str, retry_after_ms: u64) -> Value {
+    let Value::Object(mut fields) = error_frame(code, kind, detail) else {
+        unreachable!("error_frame always builds an object");
+    };
+    fields.push((
+        "retry_after_ms".to_string(),
+        counter(retry_after_ms),
+    ));
+    Value::Object(fields)
+}
+
 fn rejection_frame(rejection: &Rejection) -> Value {
-    error_frame(429, rejection.kind(), &rejection.to_string())
+    match rejection {
+        Rejection::QpsExceeded { retry_after_ms } => {
+            error_frame_with_hint(429, rejection.kind(), &rejection.to_string(), *retry_after_ms)
+        }
+        _ => error_frame(429, rejection.kind(), &rejection.to_string()),
+    }
+}
+
+/// The `503 draining` a work frame gets once [`Service::begin_drain`]
+/// has run: retryable, hinting the client to come back after the grace
+/// window (when a replacement instance is expected to hold the port).
+fn draining_frame(shared: &Shared) -> Value {
+    shared.draining_refused.fetch_add(1, Ordering::Relaxed);
+    error_frame_with_hint(
+        503,
+        "draining",
+        "the daemon is draining for shutdown; retry against its successor",
+        shared.drain_grace.as_millis().try_into().unwrap_or(u64::MAX),
+    )
+}
+
+/// Resolves the deadline a work frame runs under: its own
+/// `deadline_ms` when present (must be a positive integer), else the
+/// service-wide default, else unbounded.
+fn frame_deadline(shared: &Shared, doc: &Value) -> Result<Deadline, Value> {
+    match doc.get("deadline_ms") {
+        None => Ok(shared
+            .default_deadline_ms
+            .map_or(Deadline::none(), Deadline::in_ms)),
+        Some(v) => match v.as_i64().and_then(|ms| u64::try_from(ms).ok()).filter(|&ms| ms > 0) {
+            Some(ms) => Ok(Deadline::in_ms(ms)),
+            None => Err(error_frame(
+                400,
+                "bad_request",
+                "deadline_ms must be a positive integer",
+            )),
+        },
+    }
 }
 
 fn handle_frame(shared: &Shared, payload: &[u8]) -> Value {
@@ -346,6 +467,9 @@ fn handle_frame(shared: &Shared, payload: &[u8]) -> Value {
     match doc.get("op").and_then(Value::as_str) {
         Some("ping") => object([("ok", Value::Bool(true)), ("op", Value::Str("pong".into()))]),
         Some("stats") => stats_frame(shared),
+        // Work frames are refused while draining; ping/stats above
+        // still answer so health checks can watch the drain happen.
+        Some("serve" | "query") if shared.draining.load(Ordering::SeqCst) => draining_frame(shared),
         Some("serve") => handle_serve(shared, &doc),
         Some("query") => handle_query(shared, &doc),
         Some(other) => error_frame(400, "bad_request", &format!("unknown op {other:?}")),
@@ -370,6 +494,10 @@ fn handle_serve(shared: &Shared, doc: &Value) -> Value {
             Err(e) => return error_frame(400, "bad_request", &e),
         },
         Err(e) => return error_frame(400, "bad_request", e),
+    };
+    let deadline = match frame_deadline(shared, doc) {
+        Ok(deadline) => deadline,
+        Err(frame) => return frame,
     };
 
     // Rate gate: microseconds spent here guard O(n²) work behind it.
@@ -408,16 +536,37 @@ fn handle_serve(shared: &Shared, doc: &Value) -> Value {
     }
 
     let started = Instant::now();
-    let mut results = shared.registry.serve_mixed_checked(&[TenantBatch {
-        spec,
-        requests: requests.clone(),
-    }]);
+    let mut results = shared.registry.serve_mixed_checked_deadline(
+        &[TenantBatch {
+            spec,
+            requests: requests.clone(),
+        }],
+        deadline,
+    );
     let elapsed = started.elapsed();
     let answers = results.pop().unwrap_or_default();
     for request in &requests {
         shared.latency.record(request.kind, elapsed);
     }
     drop(depth);
+
+    // A batch whose every request died at the deadline becomes one
+    // frame-level retryable 504 (what a retrying client keys off);
+    // a partial trip keeps the per-answer error objects instead.
+    let tripped = answers
+        .iter()
+        .filter(|a| matches!(a, Err(ServeError::DeadlineExceeded)))
+        .count();
+    if tripped > 0 {
+        shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+    if tripped == answers.len() && tripped > 0 {
+        return error_frame(
+            504,
+            "deadline_exceeded",
+            "the frame's deadline passed before the work finished; nothing was cached",
+        );
+    }
 
     object([
         ("ok", Value::Bool(true)),
@@ -541,6 +690,10 @@ fn handle_query(shared: &Shared, doc: &Value) -> Value {
         },
         Err(e) => return error_frame(400, "bad_request", e),
     };
+    let deadline = match frame_deadline(shared, doc) {
+        Ok(deadline) => deadline,
+        Err(frame) => return frame,
+    };
 
     // Rate gate, same currency as `serve`: one token per answer.
     if let Err(rejection) = shared
@@ -608,15 +761,26 @@ fn handle_query(shared: &Shared, doc: &Value) -> Value {
     }
 
     let started = Instant::now();
-    let answers = match shared.front.serve_query(&db_name, &spec, &requests) {
+    let answers = match shared.front.serve_query_deadline(&db_name, &spec, &requests, deadline) {
         Ok(answers) => answers,
-        Err(e) => return query_error_frame(&e),
+        Err(e) => {
+            if matches!(e, QueryError::Serve(ServeError::DeadlineExceeded)) {
+                shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            return query_error_frame(&e);
+        }
     };
     let elapsed = started.elapsed();
     for request in &requests {
         shared.latency.record(request.kind, elapsed);
     }
     drop(depth);
+    if answers
+        .iter()
+        .any(|a| matches!(a, Err(ServeError::DeadlineExceeded)))
+    {
+        shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
 
     object([
         ("ok", Value::Bool(true)),
@@ -694,6 +858,27 @@ fn stats_frame(shared: &Shared) -> Value {
                         ("evictions", counter(cache.evictions)),
                         ("entries", counter(cache.entries as u64)),
                         ("bytes", counter(cache.bytes as u64)),
+                    ]),
+                ),
+                (
+                    "robustness",
+                    object([
+                        (
+                            "deadline_exceeded",
+                            counter(shared.deadline_exceeded.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "reaped_idle",
+                            counter(shared.reaped_idle.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "draining_refused",
+                            counter(shared.draining_refused.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "draining",
+                            Value::Bool(shared.draining.load(Ordering::SeqCst)),
+                        ),
                     ]),
                 ),
                 (
