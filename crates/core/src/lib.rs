@@ -57,6 +57,7 @@
 pub mod approx;
 pub mod avail;
 pub mod axioms;
+pub mod codec;
 pub mod combin;
 pub mod constraints;
 pub mod coreset;
@@ -72,6 +73,7 @@ pub mod relevance;
 pub mod solvers;
 pub mod streaming;
 
+pub use codec::{crc32, ByteReader, ByteWriter, CodecError};
 pub use constraints::{CmOp, CmPred, Constraint};
 pub use coreset::{
     Coreset, CoresetConfig, CoresetEngine, PreparedCoreset, SharedCoreset,

@@ -59,6 +59,16 @@ impl Database {
         }
     }
 
+    /// Removes a tuple from the named relation. Returns `Ok(true)` if
+    /// it was present (insertion order of the survivors is preserved;
+    /// see [`Relation::remove`]).
+    pub fn remove_tuple(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        match self.relations.get_mut(relation) {
+            Some(r) => Ok(r.remove(tuple)),
+            None => Err(Error::UnknownRelation(relation.to_string())),
+        }
+    }
+
     /// Looks up a relation by name.
     pub fn relation(&self, name: &str) -> Result<&Relation> {
         self.relations

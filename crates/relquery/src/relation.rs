@@ -101,6 +101,23 @@ impl Relation {
         self.insert(Tuple::new(values))
     }
 
+    /// Removes a tuple. Returns `true` if it was present. Insertion
+    /// order of the remaining tuples is preserved (O(n) shift), so
+    /// iteration — and everything downstream that derives determinism
+    /// from it — stays reproducible across removals.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        if !self.index.remove(tuple) {
+            return false;
+        }
+        let i = self
+            .tuples
+            .iter()
+            .position(|t| t == tuple)
+            .expect("index and tuple vector agree");
+        self.tuples.remove(i);
+        true
+    }
+
     /// Membership test (O(1) expected).
     pub fn contains(&self, tuple: &Tuple) -> bool {
         self.index.contains(tuple)

@@ -139,6 +139,22 @@ pub struct UniverseKey {
 }
 
 impl UniverseKey {
+    /// Rebuilds a key from its canonical content encoding (recomputing
+    /// the FNV-1a digest) — the durability layer's path from persisted
+    /// key bytes back to a live cache key. For any key,
+    /// `UniverseKey::from_bytes(key.bytes()) == key`.
+    pub fn from_bytes(bytes: &[u8]) -> UniverseKey {
+        let mut digest = FNV128_OFFSET;
+        for &b in bytes {
+            digest ^= u128::from(b);
+            digest = digest.wrapping_mul(FNV128_PRIME);
+        }
+        UniverseKey {
+            digest,
+            bytes: Arc::from(bytes.to_vec().into_boxed_slice()),
+        }
+    }
+
     /// The 128-bit content digest (shard selector, hash value).
     pub fn digest(&self) -> u128 {
         self.digest

@@ -83,12 +83,16 @@
 
 pub mod cache;
 pub mod fingerprint;
+pub mod persist;
 pub mod query;
 pub mod registry;
 pub mod spec;
 
 pub use cache::{CacheStats, PreparedCache};
 pub use fingerprint::{FingerprintEncoder, Fingerprintable, UniverseKey};
+pub use persist::{
+    CheckpointReport, Durability, DurabilityStats, RecoverMode, RecoverReport,
+};
 pub use query::{QueryError, QueryFrontDoor, QuerySpec};
 pub use registry::{Answer, CheckedAnswer, Registry, RegistryConfig, RegistryStats, TenantBatch};
 pub use spec::{

@@ -1,0 +1,657 @@
+//! Record encodings: every durable mutation as one self-contained,
+//! decodable byte payload.
+//!
+//! The encodings reuse the registry's fingerprint vocabulary
+//! byte-for-byte — oracle configurations are persisted as their
+//! fingerprint bytes and decoded by dispatching on the fingerprint's
+//! own type tag (`rel:attr`, `dis:table`, …). That gives the format a
+//! built-in honesty check: after decoding an oracle, the decoder
+//! re-fingerprints the reconstruction and requires the bytes to match,
+//! so `decode(encode(x))` is provably `x` at the content-key level or
+//! the record is rejected.
+//!
+//! Not everything a live process serves is persistable: oracles with
+//! unknown fingerprint tags (e.g. the chaos-test oracles) and queries
+//! whose text does not re-parse to the same canonical tableau have no
+//! durable form. [`encode_record`] detects both by round-tripping at
+//! encode time and returns [`Unpersistable`] — the caller skips the
+//! record and counts it, and the write-ahead log never contains a
+//! record that recovery could not resolve.
+
+use crate::fingerprint::FingerprintEncoder;
+use crate::query::QuerySpec;
+use crate::spec::{CoresetSpec, ServableDistance, ServableRelevance, UniverseSpec};
+use divr_core::distance::{ConstantDistance, HammingDistance, NumericDistance, TableDistance};
+use divr_core::relevance::{AttributeRelevance, ConstantRelevance, TableRelevance};
+use divr_core::{ByteReader, ByteWriter, CodecError, Ratio};
+use divr_relquery::parser::parse_query;
+use divr_relquery::{CanonicalQuery, Database, Relation, RelationSchema};
+use std::sync::Arc;
+
+use super::{Record, WarmKind, WarmQueryRecord};
+
+/// The record has no durable form (unknown oracle type, or a query
+/// whose text does not round-trip through the parser). Skipped and
+/// counted, never written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unpersistable;
+
+/// The fingerprint bytes of one oracle — the persisted form.
+fn fingerprint_bytes(f: impl FnOnce(&mut FingerprintEncoder)) -> Vec<u8> {
+    let mut enc = FingerprintEncoder::new();
+    f(&mut enc);
+    enc.into_key().bytes().to_vec()
+}
+
+/// Rebuilds a relevance oracle from its fingerprint bytes. The
+/// reconstruction is re-fingerprinted and must reproduce `bytes`
+/// exactly — decode is the inverse of the fingerprint or it fails.
+pub(super) fn decode_relevance(bytes: &[u8]) -> Result<Arc<dyn ServableRelevance>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let out: Arc<dyn ServableRelevance> = match r.read_str()? {
+        "rel:const" => Arc::new(ConstantRelevance(r.read_ratio()?)),
+        "rel:attr" => Arc::new(AttributeRelevance {
+            attr: r.read_usize()?,
+            default: r.read_ratio()?,
+        }),
+        "rel:table" => {
+            let mut table = TableRelevance::with_default(r.read_ratio()?);
+            let entries = r.read_usize()?;
+            for _ in 0..entries {
+                let t = r.read_tuple()?;
+                let v = r.read_ratio()?;
+                table = table.with(t, v);
+            }
+            Arc::new(table)
+        }
+        _ => return Err(CodecError::Invalid("relevance tag")),
+    };
+    if !r.is_empty() {
+        return Err(CodecError::Invalid("relevance trailing bytes"));
+    }
+    if fingerprint_bytes(|e| out.fingerprint(e)) != bytes {
+        return Err(CodecError::Invalid("relevance round-trip"));
+    }
+    Ok(out)
+}
+
+/// Rebuilds a distance oracle from its fingerprint bytes (same
+/// round-trip contract as [`decode_relevance`]).
+pub(super) fn decode_distance(bytes: &[u8]) -> Result<Arc<dyn ServableDistance>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let out: Arc<dyn ServableDistance> = match r.read_str()? {
+        "dis:const" => Arc::new(ConstantDistance(r.read_ratio()?)),
+        "dis:numeric" => Arc::new(NumericDistance {
+            attr: r.read_usize()?,
+            fallback: r.read_ratio()?,
+        }),
+        "dis:hamming" => Arc::new(HammingDistance {
+            weight: r.read_ratio()?,
+        }),
+        "dis:table" => {
+            let mut table = TableDistance::with_default(r.read_ratio()?);
+            let entries = r.read_usize()?;
+            for _ in 0..entries {
+                let a = r.read_tuple()?;
+                let b = r.read_tuple()?;
+                let v = r.read_ratio()?;
+                table = table.with(a, b, v);
+            }
+            Arc::new(table)
+        }
+        _ => return Err(CodecError::Invalid("distance tag")),
+    };
+    if !r.is_empty() {
+        return Err(CodecError::Invalid("distance trailing bytes"));
+    }
+    if fingerprint_bytes(|e| out.fingerprint(e)) != bytes {
+        return Err(CodecError::Invalid("distance round-trip"));
+    }
+    Ok(out)
+}
+
+fn read_lambda(r: &mut ByteReader<'_>) -> Result<Ratio, CodecError> {
+    let lambda = r.read_ratio()?;
+    // `UniverseSpec::new` / `QuerySpec::new` assert this range; a
+    // decoder must refuse, not panic.
+    if lambda < Ratio::ZERO || lambda > Ratio::ONE {
+        return Err(CodecError::Invalid("lambda range"));
+    }
+    Ok(lambda)
+}
+
+fn write_coreset(w: &mut ByteWriter, mode: Option<CoresetSpec>) {
+    match mode {
+        None => w.write_u8(0),
+        Some(cs) => {
+            w.write_u8(1);
+            w.write_usize(cs.budget);
+            w.write_usize(cs.refine_rounds);
+        }
+    }
+}
+
+fn read_coreset(r: &mut ByteReader<'_>) -> Result<Option<CoresetSpec>, CodecError> {
+    match r.read_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(CoresetSpec {
+            budget: r.read_usize()?,
+            refine_rounds: r.read_usize()?,
+        })),
+        _ => Err(CodecError::Invalid("coreset mode tag")),
+    }
+}
+
+fn encode_universe_spec(w: &mut ByteWriter, spec: &UniverseSpec) {
+    w.write_usize(spec.universe().len());
+    for t in spec.universe() {
+        w.write_tuple(t);
+    }
+    w.write_bytes(&fingerprint_bytes(|e| spec.relevance().fingerprint(e)));
+    w.write_bytes(&fingerprint_bytes(|e| spec.distance().fingerprint(e)));
+    w.write_ratio(spec.lambda());
+    write_coreset(w, spec.coreset());
+}
+
+fn decode_universe_spec(r: &mut ByteReader<'_>) -> Result<UniverseSpec, CodecError> {
+    let n = r.read_usize()?;
+    if n > r.remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let mut universe = Vec::with_capacity(n);
+    for _ in 0..n {
+        universe.push(r.read_tuple()?);
+    }
+    let rel = decode_relevance(r.read_bytes()?)?;
+    let dis = decode_distance(r.read_bytes()?)?;
+    let lambda = read_lambda(r)?;
+    let spec = UniverseSpec::new(universe, rel, dis, lambda);
+    Ok(match read_coreset(r)? {
+        None => spec,
+        Some(mode) => spec.with_coreset(mode),
+    })
+}
+
+fn encode_query_spec(w: &mut ByteWriter, spec: &QuerySpec) {
+    w.write_str(&spec.query().to_string());
+    w.write_bytes(&fingerprint_bytes(|e| spec.relevance().fingerprint(e)));
+    w.write_bytes(&fingerprint_bytes(|e| spec.distance().fingerprint(e)));
+    w.write_ratio(spec.lambda());
+    write_coreset(w, spec.coreset());
+    w.write_usize(spec.max_k());
+}
+
+fn decode_query_spec(r: &mut ByteReader<'_>) -> Result<QuerySpec, CodecError> {
+    let text = r.read_str()?;
+    let query = parse_query(text).map_err(|_| CodecError::Invalid("query text"))?;
+    let rel = decode_relevance(r.read_bytes()?)?;
+    let dis = decode_distance(r.read_bytes()?)?;
+    let lambda = read_lambda(r)?;
+    let mut spec =
+        QuerySpec::new(query, rel, dis, lambda).map_err(|_| CodecError::Invalid("query spec"))?;
+    if let Some(mode) = read_coreset(r)? {
+        spec = spec.with_coreset(mode);
+    }
+    Ok(spec.with_max_k(r.read_usize()?.max(1)))
+}
+
+fn encode_database(w: &mut ByteWriter, db: &Database) {
+    w.write_usize(db.relation_count());
+    for rel in db.relations() {
+        w.write_str(rel.name());
+        w.write_usize(rel.arity());
+        for attr in rel.schema().attributes() {
+            w.write_str(attr);
+        }
+        w.write_usize(rel.len());
+        for t in rel.iter() {
+            w.write_tuple(t);
+        }
+    }
+}
+
+fn decode_database(r: &mut ByteReader<'_>) -> Result<Database, CodecError> {
+    let relations = r.read_usize()?;
+    let mut db = Database::new();
+    for _ in 0..relations {
+        let name = r.read_str()?.to_string();
+        let arity = r.read_usize()?;
+        if arity > r.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let mut attrs = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            attrs.push(r.read_str()?.to_string());
+        }
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let mut relation = Relation::new(RelationSchema::new(name.as_str(), &attr_refs));
+        let tuples = r.read_usize()?;
+        for _ in 0..tuples {
+            let t = r.read_tuple()?;
+            relation
+                .insert(t)
+                .map_err(|_| CodecError::Invalid("relation tuple"))?;
+        }
+        if db.has_relation(&name) {
+            return Err(CodecError::Invalid("duplicate relation"));
+        }
+        db.add_relation(relation);
+    }
+    Ok(db)
+}
+
+fn write_warm_kind(w: &mut ByteWriter, kind: WarmKind) {
+    w.write_u8(match kind {
+        WarmKind::Full => 0,
+        WarmKind::CoresetExplicit => 1,
+        WarmKind::CoresetStreamed => 2,
+    });
+}
+
+fn read_warm_kind(r: &mut ByteReader<'_>) -> Result<WarmKind, CodecError> {
+    match r.read_u8()? {
+        0 => Ok(WarmKind::Full),
+        1 => Ok(WarmKind::CoresetExplicit),
+        2 => Ok(WarmKind::CoresetStreamed),
+        _ => Err(CodecError::Invalid("warm kind tag")),
+    }
+}
+
+/// The identity of one warm query entry, independent of relation
+/// versions: canonical tableau ⊕ oracle fingerprints ⊕ λ ⊕ serving mode
+/// ⊕ sizing. The book's dedup key (relation versions restart at zero on
+/// recovery, so they must not participate).
+pub(super) fn query_ident(spec: &QuerySpec) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.write_bytes(spec.canon().bytes());
+    w.write_bytes(&fingerprint_bytes(|e| spec.relevance().fingerprint(e)));
+    w.write_bytes(&fingerprint_bytes(|e| spec.distance().fingerprint(e)));
+    w.write_ratio(spec.lambda());
+    write_coreset(&mut w, spec.coreset());
+    w.write_usize(spec.max_k());
+    w.into_bytes()
+}
+
+/// Whether both of a spec's oracles have a durable form.
+fn oracles_persistable(
+    rel: &Arc<dyn ServableRelevance>,
+    dis: &Arc<dyn ServableDistance>,
+) -> bool {
+    decode_relevance(&fingerprint_bytes(|e| rel.fingerprint(e))).is_ok()
+        && decode_distance(&fingerprint_bytes(|e| dis.fingerprint(e))).is_ok()
+}
+
+/// Whether a query spec round-trips: its oracles decode and its text
+/// re-parses to the same canonical tableau (`Identity` queries, whose
+/// display form is not parser syntax, do not).
+fn query_persistable(spec: &QuerySpec) -> bool {
+    if !oracles_persistable(spec.relevance(), spec.distance()) {
+        return false;
+    }
+    let Ok(parsed) = parse_query(&spec.query().to_string()) else {
+        return false;
+    };
+    match CanonicalQuery::of(&parsed) {
+        Ok(canon) => canon.bytes() == spec.canon().bytes(),
+        Err(_) => false,
+    }
+}
+
+const TAG_WARM_UNIVERSE: u8 = 1;
+const TAG_DELTA: u8 = 2;
+const TAG_REGISTER_DB: u8 = 3;
+const TAG_BASE_INSERT: u8 = 4;
+const TAG_BASE_REMOVE: u8 = 5;
+const TAG_WARM_QUERY: u8 = 6;
+
+/// Encodes one record into a WAL/snapshot payload, validating at encode
+/// time that recovery will be able to decode it (see module docs).
+pub(super) fn encode_record(rec: &Record) -> Result<Vec<u8>, Unpersistable> {
+    let mut w = ByteWriter::new();
+    match rec {
+        Record::WarmUniverse { spec, version, log } => {
+            if !oracles_persistable(spec.relevance(), spec.distance()) {
+                return Err(Unpersistable);
+            }
+            w.write_u8(TAG_WARM_UNIVERSE);
+            encode_universe_spec(&mut w, spec);
+            w.write_u64(*version);
+            w.write_usize(log.len());
+            for op in log {
+                w.write_delta_op(op);
+            }
+        }
+        Record::Delta { base_key, op } => {
+            w.write_u8(TAG_DELTA);
+            w.write_bytes(base_key);
+            w.write_delta_op(op);
+        }
+        Record::RegisterDb { name, db } => {
+            w.write_u8(TAG_REGISTER_DB);
+            w.write_str(name);
+            encode_database(&mut w, db);
+        }
+        Record::BaseInsert {
+            db,
+            relation,
+            tuple,
+        } => {
+            w.write_u8(TAG_BASE_INSERT);
+            w.write_str(db);
+            w.write_str(relation);
+            w.write_tuple(tuple);
+        }
+        Record::BaseRemove {
+            db,
+            relation,
+            tuple,
+        } => {
+            w.write_u8(TAG_BASE_REMOVE);
+            w.write_str(db);
+            w.write_str(relation);
+            w.write_tuple(tuple);
+        }
+        Record::WarmQuery { db, entry } => {
+            if !query_persistable(&entry.spec) {
+                return Err(Unpersistable);
+            }
+            w.write_u8(TAG_WARM_QUERY);
+            w.write_str(db);
+            encode_query_spec(&mut w, &entry.spec);
+            w.write_usize(entry.universe.len());
+            for t in &entry.universe {
+                w.write_tuple(t);
+            }
+            write_warm_kind(&mut w, entry.kind);
+            w.write_usize(entry.base_len);
+            w.write_u64(entry.version);
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+/// Decodes one WAL/snapshot payload. Total: corruption that survived
+/// the CRC (or version skew) yields an error, never a panic.
+pub(super) fn decode_record(payload: &[u8]) -> Result<Record, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let rec = match r.read_u8()? {
+        TAG_WARM_UNIVERSE => {
+            let spec = decode_universe_spec(&mut r)?;
+            let version = r.read_u64()?;
+            let ops = r.read_usize()?;
+            if ops > r.remaining() {
+                return Err(CodecError::Truncated);
+            }
+            let mut log = Vec::with_capacity(ops);
+            for _ in 0..ops {
+                log.push(r.read_delta_op()?);
+            }
+            Record::WarmUniverse { spec, version, log }
+        }
+        TAG_DELTA => Record::Delta {
+            base_key: r.read_bytes()?.to_vec(),
+            op: r.read_delta_op()?,
+        },
+        TAG_REGISTER_DB => Record::RegisterDb {
+            name: r.read_str()?.to_string(),
+            db: decode_database(&mut r)?,
+        },
+        TAG_BASE_INSERT => Record::BaseInsert {
+            db: r.read_str()?.to_string(),
+            relation: r.read_str()?.to_string(),
+            tuple: r.read_tuple()?,
+        },
+        TAG_BASE_REMOVE => Record::BaseRemove {
+            db: r.read_str()?.to_string(),
+            relation: r.read_str()?.to_string(),
+            tuple: r.read_tuple()?,
+        },
+        TAG_WARM_QUERY => {
+            let db = r.read_str()?.to_string();
+            let spec = decode_query_spec(&mut r)?;
+            let n = r.read_usize()?;
+            if n > r.remaining() {
+                return Err(CodecError::Truncated);
+            }
+            let mut universe = Vec::with_capacity(n);
+            for _ in 0..n {
+                universe.push(r.read_tuple()?);
+            }
+            let kind = read_warm_kind(&mut r)?;
+            let base_len = r.read_usize()?;
+            let version = r.read_u64()?;
+            if kind == WarmKind::CoresetExplicit && spec.coreset().is_none() {
+                return Err(CodecError::Invalid("explicit kind without mode"));
+            }
+            Record::WarmQuery {
+                db,
+                entry: WarmQueryRecord {
+                    spec,
+                    universe,
+                    kind,
+                    base_len,
+                    version,
+                },
+            }
+        }
+        _ => return Err(CodecError::Invalid("record tag")),
+    };
+    if !r.is_empty() {
+        return Err(CodecError::Invalid("record trailing bytes"));
+    }
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprintable;
+    use divr_core::engine::DeltaOp;
+    use divr_relquery::{Tuple, Value};
+
+    fn rel() -> Arc<dyn ServableRelevance> {
+        Arc::new(AttributeRelevance {
+            attr: 1,
+            default: Ratio::ZERO,
+        })
+    }
+
+    fn dis() -> Arc<dyn ServableDistance> {
+        Arc::new(NumericDistance {
+            attr: 0,
+            fallback: Ratio::ONE,
+        })
+    }
+
+    fn tuples(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::ints([i, i % 7])).collect()
+    }
+
+    #[test]
+    fn universe_record_round_trips_to_same_key() {
+        let spec = UniverseSpec::new(tuples(12), rel(), dis(), Ratio::new(1, 2))
+            .with_coreset(CoresetSpec::with_budget(8));
+        let rec = Record::WarmUniverse {
+            spec: spec.clone(),
+            version: 3,
+            log: vec![DeltaOp::Insert(Tuple::ints([99, 1])), DeltaOp::Remove(2)],
+        };
+        let payload = encode_record(&rec).unwrap();
+        match decode_record(&payload).unwrap() {
+            Record::WarmUniverse {
+                spec: decoded,
+                version,
+                log,
+            } => {
+                assert_eq!(decoded.key(), spec.key());
+                assert_eq!(version, 3);
+                assert_eq!(log.len(), 2);
+            }
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_oracles_round_trip() {
+        let t = |i| Tuple::ints([i]);
+        let table_rel: Arc<dyn ServableRelevance> = Arc::new(
+            TableRelevance::with_default(Ratio::new(1, 3))
+                .with(t(1), Ratio::ONE)
+                .with(t(2), Ratio::new(2, 5)),
+        );
+        let table_dis: Arc<dyn ServableDistance> = Arc::new(
+            TableDistance::with_default(Ratio::ZERO)
+                .with(t(1), t(2), Ratio::ONE)
+                .with(t(2), t(3), Ratio::new(1, 2)),
+        );
+        let rel_fp = fingerprint_bytes(|e| table_rel.fingerprint(e));
+        let dis_fp = fingerprint_bytes(|e| table_dis.fingerprint(e));
+        let rel2 = decode_relevance(&rel_fp).unwrap();
+        let dis2 = decode_distance(&dis_fp).unwrap();
+        assert_eq!(fingerprint_bytes(|e| rel2.fingerprint(e)), rel_fp);
+        assert_eq!(fingerprint_bytes(|e| dis2.fingerprint(e)), dis_fp);
+    }
+
+    #[test]
+    fn query_record_round_trips_to_same_ident() {
+        let query = parse_query("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+        let spec = QuerySpec::new(query, rel(), dis(), Ratio::new(1, 2))
+            .unwrap()
+            .with_max_k(16);
+        let rec = Record::WarmQuery {
+            db: "main".into(),
+            entry: WarmQueryRecord {
+                spec: spec.clone(),
+                universe: tuples(5),
+                kind: WarmKind::Full,
+                base_len: 5,
+                version: 0,
+            },
+        };
+        let payload = encode_record(&rec).unwrap();
+        match decode_record(&payload).unwrap() {
+            Record::WarmQuery { db, entry } => {
+                assert_eq!(db, "main");
+                assert_eq!(query_ident(&entry.spec), query_ident(&spec));
+                assert_eq!(entry.universe, tuples(5));
+                assert_eq!(entry.kind, WarmKind::Full);
+            }
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn database_record_round_trips() {
+        let mut db = Database::new();
+        db.create_relation("R", &["x", "y"]).unwrap();
+        db.insert("R", vec![Value::int(1), Value::str("a")]).unwrap();
+        db.insert("R", vec![Value::int(2), Value::str("b")]).unwrap();
+        let rec = Record::RegisterDb {
+            name: "main".into(),
+            db,
+        };
+        let payload = encode_record(&rec).unwrap();
+        match decode_record(&payload).unwrap() {
+            Record::RegisterDb { name, db } => {
+                assert_eq!(name, "main");
+                let r = db.relation("R").unwrap();
+                assert_eq!(r.len(), 2);
+                assert_eq!(r.schema().attributes(), &["x", "y"]);
+                assert!(r.contains(&Tuple::new(vec![Value::int(1), Value::str("a")])));
+            }
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_oracle_is_unpersistable_not_a_panic() {
+        struct Alien;
+        impl divr_core::relevance::Relevance for Alien {
+            fn rel(&self, _t: &Tuple) -> Ratio {
+                Ratio::ONE
+            }
+        }
+        impl Fingerprintable for Alien {
+            fn fingerprint(&self, enc: &mut FingerprintEncoder) {
+                enc.write_tag("rel:alien");
+            }
+        }
+        let spec = UniverseSpec::new(tuples(3), Arc::new(Alien), dis(), Ratio::new(1, 2));
+        let rec = Record::WarmUniverse {
+            spec,
+            version: 0,
+            log: Vec::new(),
+        };
+        assert_eq!(encode_record(&rec), Err(Unpersistable));
+    }
+
+    #[test]
+    fn every_truncation_of_every_record_is_rejected() {
+        let query = parse_query("Q(x, y) :- R(x, y)").unwrap();
+        let spec = QuerySpec::new(query, rel(), dis(), Ratio::new(1, 2)).unwrap();
+        let records = vec![
+            encode_record(&Record::WarmUniverse {
+                spec: UniverseSpec::new(tuples(4), rel(), dis(), Ratio::new(1, 3)),
+                version: 1,
+                log: vec![DeltaOp::Remove(0)],
+            })
+            .unwrap(),
+            encode_record(&Record::Delta {
+                base_key: vec![1, 2, 3],
+                op: DeltaOp::Insert(Tuple::ints([7, 8])),
+            })
+            .unwrap(),
+            encode_record(&Record::BaseInsert {
+                db: "main".into(),
+                relation: "R".into(),
+                tuple: Tuple::ints([1, 2]),
+            })
+            .unwrap(),
+            encode_record(&Record::WarmQuery {
+                db: "main".into(),
+                entry: WarmQueryRecord {
+                    spec,
+                    universe: tuples(3),
+                    kind: WarmKind::CoresetStreamed,
+                    base_len: 3,
+                    version: 2,
+                },
+            })
+            .unwrap(),
+        ];
+        for payload in records {
+            assert!(decode_record(&payload).is_ok());
+            for cut in 0..payload.len() {
+                assert!(
+                    decode_record(&payload[..cut]).is_err(),
+                    "prefix of length {cut} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_out_of_range_is_rejected_not_asserted() {
+        // Hand-corrupt a valid record's λ to 2/1 and check the decoder
+        // refuses instead of tripping the constructor assert.
+        let spec = UniverseSpec::new(tuples(2), rel(), dis(), Ratio::new(1, 2));
+        let payload = encode_record(&Record::WarmUniverse {
+            spec,
+            version: 0,
+            log: Vec::new(),
+        })
+        .unwrap();
+        let one_half = Ratio::new(1, 2);
+        let mut needle = ByteWriter::new();
+        needle.write_ratio(one_half);
+        let pos = payload
+            .windows(needle.bytes().len())
+            .rposition(|w| w == needle.bytes())
+            .unwrap();
+        let mut corrupt = payload.clone();
+        let mut bad = ByteWriter::new();
+        bad.write_ratio(Ratio::int(2));
+        corrupt[pos..pos + bad.bytes().len()].copy_from_slice(bad.bytes());
+        assert!(decode_record(&corrupt).is_err());
+    }
+}

@@ -1,0 +1,896 @@
+//! Crash-safe durability: checksummed snapshots + a write-ahead delta
+//! log, with warm restarts.
+//!
+//! ## Design: the book mirrors the serving state
+//!
+//! [`Durability`] keeps a **book** — a self-contained mirror of
+//! everything warm: universe specs with their delta logs, registered
+//! databases, and each warm query's exact universe *sequence*. Every
+//! durable mutation is a record; a live hook applies the record to
+//! the book and appends it to the write-ahead log **in one critical
+//! section**, and recovery applies the same records through the same
+//! `Book::apply_record` — so replay equals live *by construction*:
+//! there is exactly one state-transition function, not a live one and a
+//! replay one that could drift.
+//!
+//! Query universes are persisted as sequences, not re-evaluated on
+//! recovery: a delta-repaired entry's order is *original evaluation
+//! order + appended repairs*, which a fresh evaluation would not
+//! reproduce, and answer tie-breaking follows index order. Restoring
+//! from the sequence (plus the variant kind and coreset base length)
+//! rebuilds prepared state bit-identical to what the crashed process
+//! was serving — the delta-conformance invariant that a prepare from a
+//! sequence equals the delta-migrated state that produced it.
+//!
+//! ## What is (and is not) guaranteed
+//!
+//! * A record acknowledged durable (WAL append returned) survives any
+//!   crash; recovery restores a **consistent prefix** of the record
+//!   stream — a torn tail or corrupt frame drops everything from the
+//!   first bad byte on, never a middle record with later ones kept.
+//! * Recovery never panics on arbitrary file corruption (CRC framing +
+//!   total decoders + whole-or-nothing snapshot validation).
+//! * Relation versions restart at zero after recovery. They exist only
+//!   inside cache keys, so the recovered process is internally
+//!   consistent; version numbers are not meaningful across restarts.
+//! * Warmth may diverge from a never-crashed process under cache
+//!   eviction or contended-`Arc` entry drops (the book cannot observe
+//!   either); checkpoints reconcile by pruning entries the live
+//!   process no longer holds. Content correctness never depends on
+//!   this — keys are content-addressed, so a warmer-than-live entry is
+//!   still the *right* entry.
+//! * Oracles with unknown fingerprint tags and queries whose text does
+//!   not round-trip through the parser have no durable form; their
+//!   entries are skipped and counted (`skipped_unpersistable`), and
+//!   the WAL never contains a record recovery could not resolve.
+//!
+//! ## Lock order
+//!
+//! Front-door hooks run under the front door's `state` lock and then
+//! take the durability `inner` lock. Checkpoints therefore **never**
+//! query live structures while holding `inner`: phase A clones the
+//! candidate lists under `inner`, phase B checks liveness against the
+//! registry/front door with `inner` released, phase C re-locks `inner`
+//! to prune exactly what B saw dead, serialize the book, and rotate
+//! the WAL — entries created between A and C are simply retained.
+
+mod codec;
+mod files;
+
+use crate::fingerprint::UniverseKey;
+use crate::query::{QueryFrontDoor, QuerySpec};
+use crate::registry::Registry;
+use crate::spec::{PreparedVariant, UniverseSpec};
+use divr_core::engine::DeltaOp;
+use divr_relquery::eval::query_contains;
+use divr_relquery::{delta_results, Database, Tuple};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// How [`Durability::recover`] rebuilds warm state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoverMode {
+    /// Rebuild every recovered universe and warm query before serving
+    /// (restart cost up front, first requests all hit).
+    Eager,
+    /// Re-register databases only; entries rebuild on demand. Entries
+    /// never re-demanded leave the book at the next checkpoint.
+    Lazy,
+}
+
+impl std::str::FromStr for RecoverMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "eager" => Ok(RecoverMode::Eager),
+            "lazy" => Ok(RecoverMode::Lazy),
+            other => Err(format!("unknown recover mode {other:?} (eager|lazy)")),
+        }
+    }
+}
+
+/// Which prepared shape a warm query entry had — the restore recipe.
+/// `Full` rebuilds the matrix over the persisted sequence;
+/// `CoresetExplicit` re-selects over the first `base_len` tuples and
+/// streams the rest in (matching a live entry that was built by
+/// selection and then delta-repaired); `CoresetStreamed` streams the
+/// whole sequence (the streaming contract makes prefix-build + inserts
+/// equal whole-sequence streaming).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WarmKind {
+    Full,
+    CoresetExplicit,
+    CoresetStreamed,
+}
+
+/// One warm query entry as the book tracks it: the spec plus the exact
+/// universe sequence currently being served.
+#[derive(Clone, Debug)]
+pub(crate) struct WarmQueryRecord {
+    pub(crate) spec: QuerySpec,
+    pub(crate) universe: Vec<Tuple>,
+    pub(crate) kind: WarmKind,
+    pub(crate) base_len: usize,
+    pub(crate) version: u64,
+}
+
+/// One durable mutation — the single vocabulary shared by live
+/// logging, snapshots, and replay.
+#[derive(Debug)]
+pub(crate) enum Record {
+    /// A universe became warm (registry-keyed).
+    WarmUniverse {
+        spec: UniverseSpec,
+        version: u64,
+        log: Vec<DeltaOp>,
+    },
+    /// A delta applied to a warm universe, addressed by its
+    /// pre-mutation content key.
+    Delta { base_key: Vec<u8>, op: DeltaOp },
+    /// A database registered (or replaced) at the front door.
+    RegisterDb { name: String, db: Database },
+    /// A base-table insert (fans out to warm queries on replay exactly
+    /// as it did live).
+    BaseInsert {
+        db: String,
+        relation: String,
+        tuple: Tuple,
+    },
+    /// A base-table removal.
+    BaseRemove {
+        db: String,
+        relation: String,
+        tuple: Tuple,
+    },
+    /// A query became warm (front-door-keyed).
+    WarmQuery { db: String, entry: WarmQueryRecord },
+}
+
+struct BookUniverse {
+    spec: UniverseSpec,
+    version: u64,
+    log: Vec<DeltaOp>,
+}
+
+#[derive(Default)]
+struct BookDb {
+    db: Database,
+    /// Warm queries by version-independent identity
+    /// ([`codec::query_ident`]).
+    warm: HashMap<Vec<u8>, WarmQueryRecord>,
+}
+
+/// The durable mirror of the serving state. All mutation goes through
+/// [`Book::apply_record`] — the one transition function live hooks and
+/// replay share.
+#[derive(Default)]
+struct Book {
+    universes: HashMap<UniverseKey, BookUniverse>,
+    dbs: BTreeMap<String, BookDb>,
+}
+
+impl Book {
+    fn apply_record(&mut self, rec: &Record) {
+        match rec {
+            Record::WarmUniverse { spec, version, log } => {
+                self.universes.insert(
+                    spec.key(),
+                    BookUniverse {
+                        spec: spec.clone(),
+                        version: *version,
+                        log: log.clone(),
+                    },
+                );
+            }
+            Record::Delta { base_key, op } => {
+                let key = UniverseKey::from_bytes(base_key);
+                let Some(mut entry) = self.universes.remove(&key) else {
+                    return;
+                };
+                // An op invalid against this content (possible only
+                // under replay skew) drops the entry — it goes cold,
+                // never stale.
+                if let Ok(next) = entry.spec.apply(op) {
+                    entry.log.push(op.clone());
+                    self.universes.insert(
+                        next.key(),
+                        BookUniverse {
+                            spec: next,
+                            version: entry.version + 1,
+                            log: entry.log,
+                        },
+                    );
+                }
+            }
+            Record::RegisterDb { name, db } => {
+                // Replacement drops the old instance's warm entries,
+                // mirroring the front door.
+                self.dbs.insert(
+                    name.clone(),
+                    BookDb {
+                        db: db.clone(),
+                        warm: HashMap::new(),
+                    },
+                );
+            }
+            Record::BaseInsert {
+                db,
+                relation,
+                tuple,
+            } => {
+                let Some(bdb) = self.dbs.get_mut(db) else {
+                    return;
+                };
+                // Idempotent under replay: already present → no-op
+                // (the live path validates absence before logging).
+                if bdb.db.insert_tuple(relation, tuple.clone()).ok() != Some(true) {
+                    return;
+                }
+                let BookDb { db: base, warm } = bdb;
+                let affected: Vec<Vec<u8>> = warm
+                    .iter()
+                    .filter(|(_, q)| q.spec.relations().contains(relation))
+                    .map(|(id, _)| id.clone())
+                    .collect();
+                for id in affected {
+                    let q = warm.get_mut(&id).expect("collected from warm");
+                    // Mirrors `QueryFrontDoor::insert_base_tuple`:
+                    // semi-naive candidates, deduplicated against the
+                    // sequence, appended; no plan → the entry goes
+                    // cold.
+                    match delta_results(base, q.spec.query(), relation, tuple) {
+                        Ok(Some(candidates)) => {
+                            let mut fresh: Vec<Tuple> = Vec::new();
+                            {
+                                let existing: HashSet<&Tuple> = q.universe.iter().collect();
+                                for c in candidates {
+                                    if !existing.contains(&c) && !fresh.contains(&c) {
+                                        fresh.push(c);
+                                    }
+                                }
+                            }
+                            q.version += fresh.len() as u64;
+                            q.universe.extend(fresh);
+                        }
+                        Ok(None) | Err(_) => {
+                            warm.remove(&id);
+                        }
+                    }
+                }
+            }
+            Record::BaseRemove {
+                db,
+                relation,
+                tuple,
+            } => {
+                let Some(bdb) = self.dbs.get_mut(db) else {
+                    return;
+                };
+                let BookDb { db: base, warm } = bdb;
+                let present = base
+                    .relation(relation)
+                    .map(|r| r.contains(tuple))
+                    .unwrap_or(false);
+                if !present {
+                    return;
+                }
+                // Candidate plans against the PRE-removal state —
+                // exactly the tuples whose derivations could involve
+                // the removed base tuple (mirrors
+                // `QueryFrontDoor::remove_base_tuple`).
+                let plans: Vec<(Vec<u8>, Option<Vec<Tuple>>)> = warm
+                    .iter()
+                    .filter(|(_, q)| q.spec.relations().contains(relation))
+                    .map(|(id, q)| {
+                        let plan = delta_results(base, q.spec.query(), relation, tuple)
+                            .ok()
+                            .flatten();
+                        (id.clone(), plan)
+                    })
+                    .collect();
+                let _ = base.remove_tuple(relation, tuple);
+                for (id, plan) in plans {
+                    let Some(candidates) = plan else {
+                        warm.remove(&id);
+                        continue;
+                    };
+                    let q = warm.get_mut(&id).expect("collected from warm");
+                    let mut doomed: Vec<Tuple> = Vec::new();
+                    let mut broken = false;
+                    for c in candidates {
+                        if doomed.contains(&c) || !q.universe.contains(&c) {
+                            continue;
+                        }
+                        match query_contains(base, q.spec.query(), &c) {
+                            Ok(true) => {}
+                            Ok(false) => doomed.push(c),
+                            Err(_) => {
+                                broken = true;
+                                break;
+                            }
+                        }
+                    }
+                    if broken {
+                        warm.remove(&id);
+                        continue;
+                    }
+                    if doomed.is_empty() {
+                        continue;
+                    }
+                    if q.kind != WarmKind::Full {
+                        // Coreset state cannot un-derive a removed
+                        // tuple's contributions in O(Δ·n); live drops
+                        // it cold and so does the book.
+                        warm.remove(&id);
+                        continue;
+                    }
+                    for t in &doomed {
+                        if let Some(i) = q.universe.iter().position(|u| u == t) {
+                            q.universe.swap_remove(i);
+                        }
+                    }
+                    q.version += doomed.len() as u64;
+                    if q.universe.is_empty() {
+                        warm.remove(&id);
+                    }
+                }
+            }
+            Record::WarmQuery { db, entry } => {
+                let Some(bdb) = self.dbs.get_mut(db) else {
+                    return;
+                };
+                bdb.warm
+                    .insert(codec::query_ident(&entry.spec), entry.clone());
+            }
+        }
+    }
+
+    /// The book as a flat record stream: applying these records to an
+    /// empty book reproduces it (universes are standalone; each
+    /// database precedes its warm queries).
+    fn serialize(&self, skipped: &AtomicU64) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut push = |rec: &Record| match codec::encode_record(rec) {
+            Ok(payload) => out.push(payload),
+            Err(_) => {
+                skipped.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        for entry in self.universes.values() {
+            push(&Record::WarmUniverse {
+                spec: entry.spec.clone(),
+                version: entry.version,
+                log: entry.log.clone(),
+            });
+        }
+        for (name, bdb) in &self.dbs {
+            push(&Record::RegisterDb {
+                name: name.clone(),
+                db: bdb.db.clone(),
+            });
+            for entry in bdb.warm.values() {
+                push(&Record::WarmQuery {
+                    db: name.clone(),
+                    entry: entry.clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+struct Inner {
+    book: Book,
+    wal: files::WalWriter,
+    /// The sequence number the next WAL rotation will use.
+    next_seq: u64,
+}
+
+/// What one recovery rebuilt.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverReport {
+    /// Databases re-registered at the front door.
+    pub recovered_databases: usize,
+    /// Universe entries rebuilt into the registry cache (eager mode).
+    pub recovered_universes: usize,
+    /// Warm query entries rebuilt at the front door (eager mode).
+    pub recovered_queries: usize,
+    /// Entries whose rebuild failed or panicked (left cold, not lost —
+    /// the book still has them until a checkpoint prunes).
+    pub failed_entries: usize,
+}
+
+/// What one checkpoint wrote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// Records in the snapshot.
+    pub records: usize,
+    /// The WAL cut: segments below this sequence were superseded.
+    pub cut_seq: u64,
+}
+
+/// Counter snapshot for the wire `stats` op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DurabilityStats {
+    /// Records appended to the WAL this process lifetime.
+    pub wal_records: u64,
+    /// WAL appends that failed at the I/O layer (the record is NOT
+    /// durable; serving continued).
+    pub wal_io_errors: u64,
+    /// Snapshots written.
+    pub snapshots_written: u64,
+    /// Size of the newest snapshot.
+    pub last_snapshot_bytes: u64,
+    /// Entries with no durable form, skipped at log/serialize time.
+    pub skipped_unpersistable: u64,
+    /// WAL records replayed at the last open.
+    pub wal_records_replayed: u64,
+    /// Torn/corrupt WAL tails dropped at the last open.
+    pub torn_tail_dropped: u64,
+    /// Invalid snapshots skipped at the last open.
+    pub snapshots_discarded: u64,
+    /// Universe + query entries rebuilt by the last recover.
+    pub recovered_entries: u64,
+    /// Databases re-registered by the last recover.
+    pub recovered_databases: u64,
+}
+
+/// The durability subsystem: one per data directory. See the module
+/// docs for the design; the serving hooks are `log_*`, the restart
+/// path is [`Durability::open`] → [`Durability::recover`] →
+/// [`Registry::attach_durability`], and [`Durability::checkpoint`]
+/// compacts the log into a snapshot.
+pub struct Durability {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    /// Serializes checkpoints (the snapshot temp file is shared).
+    ckpt: Mutex<()>,
+    wal_records: AtomicU64,
+    wal_io_errors: AtomicU64,
+    snapshots_written: AtomicU64,
+    last_snapshot_bytes: AtomicU64,
+    skipped_unpersistable: AtomicU64,
+    wal_records_replayed: AtomicU64,
+    torn_tail_dropped: AtomicU64,
+    snapshots_discarded: AtomicU64,
+    recovered_entries: AtomicU64,
+    recovered_databases: AtomicU64,
+}
+
+impl Durability {
+    /// Opens (creating if needed) a data directory: loads the newest
+    /// fully-valid snapshot, replays the WAL up to the first torn or
+    /// corrupt frame (the consistent prefix), and opens a fresh WAL
+    /// segment — recovery never appends after a torn tail.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Arc<Durability>> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let scan = files::scan_dir(&dir)?;
+
+        let mut book = Book::default();
+        let mut discarded = 0u64;
+        let mut cut = 0u64;
+        for (seq, path) in &scan.snapshots {
+            match Self::load_snapshot(path, *seq) {
+                Some(records) => {
+                    for rec in &records {
+                        book.apply_record(rec);
+                    }
+                    cut = *seq;
+                    break;
+                }
+                None => discarded += 1,
+            }
+        }
+
+        let mut replayed = 0u64;
+        let mut torn = 0u64;
+        let mut expect: Option<u64> = None;
+        'wal: for (seq, path) in &scan.segments {
+            if *seq < cut {
+                continue;
+            }
+            if expect.is_some_and(|e| *seq != e) {
+                // A gap in the segment chain: everything after it is
+                // out of order — stop at the consistent prefix.
+                torn += 1;
+                break;
+            }
+            expect = Some(*seq + 1);
+            let Ok(Some((header_seq, frames, clean))) = files::read_wal_segment(path) else {
+                torn += 1;
+                break;
+            };
+            if header_seq != *seq {
+                torn += 1;
+                break;
+            }
+            for payload in frames {
+                match codec::decode_record(&payload) {
+                    Ok(rec) => {
+                        book.apply_record(&rec);
+                        replayed += 1;
+                    }
+                    Err(_) => {
+                        torn += 1;
+                        break 'wal;
+                    }
+                }
+            }
+            if !clean {
+                torn += 1;
+                break;
+            }
+        }
+
+        let seq = scan.max_seq.max(cut) + 1;
+        let wal = files::WalWriter::create(&dir, seq)?;
+        let d = Durability {
+            dir,
+            inner: Mutex::new(Inner {
+                book,
+                wal,
+                next_seq: seq + 1,
+            }),
+            ckpt: Mutex::new(()),
+            wal_records: AtomicU64::new(0),
+            wal_io_errors: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            last_snapshot_bytes: AtomicU64::new(0),
+            skipped_unpersistable: AtomicU64::new(0),
+            wal_records_replayed: AtomicU64::new(replayed),
+            torn_tail_dropped: AtomicU64::new(torn),
+            snapshots_discarded: AtomicU64::new(discarded),
+            recovered_entries: AtomicU64::new(0),
+            recovered_databases: AtomicU64::new(0),
+        };
+        Ok(Arc::new(d))
+    }
+
+    /// A snapshot is trusted whole or not at all: every frame must
+    /// checksum, the end marker must agree, and every record must
+    /// decode.
+    fn load_snapshot(path: &Path, seq: u64) -> Option<Vec<Record>> {
+        let (cut, frames) = files::read_snapshot(path).ok().flatten()?;
+        if cut != seq {
+            return None;
+        }
+        let mut records = Vec::with_capacity(frames.len());
+        for payload in frames {
+            records.push(codec::decode_record(&payload).ok()?);
+        }
+        Some(records)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // The book is rebuildable bookkeeping; recover a poisoned
+        // guard rather than refusing to serve.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Rebuilds live serving state from the recovered book. Call
+    /// **before** [`Registry::attach_durability`] so the restore paths
+    /// do not re-log what the book already holds.
+    pub fn recover(
+        &self,
+        registry: &Registry,
+        front: &QueryFrontDoor,
+        mode: RecoverMode,
+    ) -> RecoverReport {
+        // Clone out of the book first: rebuilding prepares O(n²)
+        // state and must not run under `inner` (lock-order rule — see
+        // module docs).
+        let (dbs, universes, queries) = {
+            let inner = self.lock();
+            let dbs: Vec<(String, Database)> = inner
+                .book
+                .dbs
+                .iter()
+                .map(|(name, b)| (name.clone(), b.db.clone()))
+                .collect();
+            let universes: Vec<(UniverseSpec, u64, Vec<DeltaOp>)> = inner
+                .book
+                .universes
+                .values()
+                .map(|e| (e.spec.clone(), e.version, e.log.clone()))
+                .collect();
+            let queries: Vec<(String, WarmQueryRecord)> = inner
+                .book
+                .dbs
+                .iter()
+                .flat_map(|(name, b)| b.warm.values().map(|q| (name.clone(), q.clone())))
+                .collect();
+            (dbs, universes, queries)
+        };
+        let mut report = RecoverReport::default();
+        for (name, db) in dbs {
+            front.register_database(name, db);
+            report.recovered_databases += 1;
+        }
+        if mode == RecoverMode::Eager {
+            for (spec, version, log) in universes {
+                let restored = catch_unwind(AssertUnwindSafe(|| {
+                    registry.restore_entry(&spec, version, log.clone())
+                }));
+                match restored {
+                    Ok(Ok(())) => report.recovered_universes += 1,
+                    _ => report.failed_entries += 1,
+                }
+            }
+            for (db, q) in queries {
+                let restored = catch_unwind(AssertUnwindSafe(|| {
+                    front.restore_warm_query(
+                        &db,
+                        &q.spec,
+                        q.universe.clone(),
+                        q.kind == WarmKind::CoresetStreamed,
+                        q.base_len,
+                        q.version,
+                    )
+                }));
+                match restored {
+                    Ok(Ok(())) => report.recovered_queries += 1,
+                    _ => report.failed_entries += 1,
+                }
+            }
+        }
+        self.recovered_databases
+            .store(report.recovered_databases as u64, Ordering::Relaxed);
+        self.recovered_entries.store(
+            (report.recovered_universes + report.recovered_queries) as u64,
+            Ordering::Relaxed,
+        );
+        report
+    }
+
+    /// Applies a record to the book and appends it to the WAL in one
+    /// critical section. The caller constructs the record; gating
+    /// (dedup, unresolvable-base checks) happens here under the lock.
+    fn apply_and_log(&self, inner: &mut Inner, rec: &Record) {
+        let payload = match codec::encode_record(rec) {
+            Ok(p) => p,
+            Err(_) => {
+                self.skipped_unpersistable.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        inner.book.apply_record(rec);
+        match inner.wal.append(&payload) {
+            Ok(()) => {
+                self.wal_records.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Serving continues; the counter is the honesty signal
+                // that this record is not durable.
+                self.wal_io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A universe became warm in the registry cache.
+    pub(crate) fn log_warm_universe(&self, spec: &UniverseSpec) {
+        let key = spec.key();
+        let mut inner = self.lock();
+        if inner.book.universes.contains_key(&key) {
+            return;
+        }
+        self.apply_and_log(
+            &mut inner,
+            &Record::WarmUniverse {
+                spec: spec.clone(),
+                version: 0,
+                log: Vec::new(),
+            },
+        );
+    }
+
+    /// A delta is about to migrate the entry at `spec`'s key. Logged
+    /// only when the book holds the base — the WAL never contains a
+    /// delta recovery could not resolve.
+    pub(crate) fn log_delta(&self, spec: &UniverseSpec, op: &DeltaOp) {
+        let key = spec.key();
+        let mut inner = self.lock();
+        if !inner.book.universes.contains_key(&key) {
+            return;
+        }
+        self.apply_and_log(
+            &mut inner,
+            &Record::Delta {
+                base_key: key.bytes().to_vec(),
+                op: op.clone(),
+            },
+        );
+    }
+
+    /// A database is being registered at the front door.
+    pub(crate) fn log_register_db(&self, name: &str, db: &Database) {
+        let mut inner = self.lock();
+        self.apply_and_log(
+            &mut inner,
+            &Record::RegisterDb {
+                name: name.to_string(),
+                db: db.clone(),
+            },
+        );
+    }
+
+    /// A base-table insert is about to happen (write-ahead: the caller
+    /// validated it will succeed, logs, then mutates).
+    pub(crate) fn log_base_insert(&self, db: &str, relation: &str, tuple: &Tuple) {
+        let mut inner = self.lock();
+        if !inner.book.dbs.contains_key(db) {
+            return;
+        }
+        self.apply_and_log(
+            &mut inner,
+            &Record::BaseInsert {
+                db: db.to_string(),
+                relation: relation.to_string(),
+                tuple: tuple.clone(),
+            },
+        );
+    }
+
+    /// A base-table removal is about to happen.
+    pub(crate) fn log_base_remove(&self, db: &str, relation: &str, tuple: &Tuple) {
+        let mut inner = self.lock();
+        if !inner.book.dbs.contains_key(db) {
+            return;
+        }
+        self.apply_and_log(
+            &mut inner,
+            &Record::BaseRemove {
+                db: db.to_string(),
+                relation: relation.to_string(),
+                tuple: tuple.clone(),
+            },
+        );
+    }
+
+    /// A query became warm at the front door (miss path only; hits
+    /// must not pay the O(n) sequence copy).
+    pub(crate) fn log_warm_query(&self, db: &str, spec: &QuerySpec, prepared: &PreparedVariant) {
+        let universe: Vec<Tuple> = match prepared {
+            PreparedVariant::Full(p) => p.universe().to_vec(),
+            PreparedVariant::Coreset(p) => p.universe().to_vec(),
+        };
+        let kind = match prepared {
+            PreparedVariant::Full(_) => WarmKind::Full,
+            PreparedVariant::Coreset(_) if spec.coreset().is_some() => WarmKind::CoresetExplicit,
+            PreparedVariant::Coreset(_) => WarmKind::CoresetStreamed,
+        };
+        let ident = codec::query_ident(spec);
+        let base_len = universe.len();
+        let mut inner = self.lock();
+        let Some(bdb) = inner.book.dbs.get(db) else {
+            return;
+        };
+        if bdb.warm.contains_key(&ident) {
+            return;
+        }
+        self.apply_and_log(
+            &mut inner,
+            &Record::WarmQuery {
+                db: db.to_string(),
+                entry: WarmQueryRecord {
+                    spec: spec.clone(),
+                    universe,
+                    kind,
+                    base_len,
+                    version: 0,
+                },
+            },
+        );
+    }
+
+    /// Writes a checkpoint: prunes book entries the live process no
+    /// longer holds, serializes the book into a durable snapshot, and
+    /// rotates the WAL (superseded segments and snapshots are deleted
+    /// once the new snapshot is durable).
+    ///
+    /// Three phases to respect the lock order (module docs): candidate
+    /// gathering under `inner`, liveness checks against the live
+    /// structures with `inner` released, prune + serialize + rotate
+    /// back under `inner`. Entries born between the phases are
+    /// retained.
+    pub fn checkpoint(
+        &self,
+        registry: &Registry,
+        front: &QueryFrontDoor,
+    ) -> io::Result<CheckpointReport> {
+        let _one_at_a_time = self.ckpt.lock().unwrap_or_else(|p| p.into_inner());
+
+        // Phase A: clone the candidate lists (brief lock).
+        let (universe_keys, query_entries) = {
+            let inner = self.lock();
+            let universe_keys: Vec<UniverseKey> =
+                inner.book.universes.keys().cloned().collect();
+            let query_entries: Vec<(String, Vec<u8>, QuerySpec)> = inner
+                .book
+                .dbs
+                .iter()
+                .flat_map(|(name, b)| {
+                    b.warm
+                        .iter()
+                        .map(|(id, q)| (name.clone(), id.clone(), q.spec.clone()))
+                })
+                .collect();
+            (universe_keys, query_entries)
+        };
+
+        // Phase B: liveness against the live structures — `inner` is
+        // NOT held (is_warm takes the front door's state lock, which
+        // hooks acquire before `inner`).
+        let dead_universes: Vec<UniverseKey> = universe_keys
+            .into_iter()
+            .filter(|k| !registry.cache().contains(k))
+            .collect();
+        let dead_queries: Vec<(String, Vec<u8>)> = query_entries
+            .into_iter()
+            .filter_map(|(db, id, spec)| match front.is_warm(&db, &spec) {
+                Ok(true) => None,
+                _ => Some((db, id)),
+            })
+            .collect();
+
+        // Phase C: prune exactly what B saw dead, serialize, rotate.
+        // Rotation and serialization share one critical section so no
+        // record can land in both the snapshot and the new segment.
+        let (cut_seq, records) = {
+            let mut inner = self.lock();
+            for key in &dead_universes {
+                inner.book.universes.remove(key);
+            }
+            for (db, id) in &dead_queries {
+                if let Some(bdb) = inner.book.dbs.get_mut(db) {
+                    bdb.warm.remove(id);
+                }
+            }
+            let records = inner.book.serialize(&self.skipped_unpersistable);
+            let cut_seq = inner.next_seq;
+            let fresh = files::WalWriter::create(&self.dir, cut_seq)?;
+            inner.wal = fresh;
+            inner.next_seq = cut_seq + 1;
+            (cut_seq, records)
+        };
+
+        let snapshot_bytes = files::write_snapshot(&self.dir, cut_seq, &records)?;
+        files::prune_superseded(&self.dir, cut_seq);
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.last_snapshot_bytes
+            .store(snapshot_bytes, Ordering::Relaxed);
+        Ok(CheckpointReport {
+            snapshot_bytes,
+            records: records.len(),
+            cut_seq,
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_io_errors: self.wal_io_errors.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            last_snapshot_bytes: self.last_snapshot_bytes.load(Ordering::Relaxed),
+            skipped_unpersistable: self.skipped_unpersistable.load(Ordering::Relaxed),
+            wal_records_replayed: self.wal_records_replayed.load(Ordering::Relaxed),
+            torn_tail_dropped: self.torn_tail_dropped.load(Ordering::Relaxed),
+            snapshots_discarded: self.snapshots_discarded.load(Ordering::Relaxed),
+            recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
+            recovered_databases: self.recovered_databases.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -179,6 +179,16 @@ impl QuerySpec {
         self.coreset
     }
 
+    /// The relevance oracle.
+    pub fn relevance(&self) -> &Arc<dyn ServableRelevance> {
+        &self.rel
+    }
+
+    /// The distance oracle.
+    pub fn distance(&self) -> &Arc<dyn ServableDistance> {
+        &self.dis
+    }
+
     /// The λ trade-off.
     pub fn lambda(&self) -> Ratio {
         self.lambda
@@ -278,6 +288,11 @@ impl QueryFrontDoor {
             for key in old.warm.keys() {
                 self.cache().take(key);
             }
+        }
+        // Journal under the state lock so concurrent registrations and
+        // base-table edits reach the book in serving order.
+        if let Some(d) = self.registry.durability() {
+            d.log_register_db(&name, &db);
         }
         state.insert(
             name,
@@ -465,6 +480,9 @@ impl QueryFrontDoor {
         deadline: Deadline,
     ) -> Result<Vec<CheckedAnswer>, QueryError> {
         let threads = self.registry.solve_threads();
+        // Whether this call actually built (vs hit): only a fresh build
+        // is new warmth worth journaling.
+        let built = std::cell::Cell::new(false);
         let (key, prepared) = {
             let state = self.read_state();
             let dbst = state
@@ -472,6 +490,7 @@ impl QueryFrontDoor {
                 .ok_or_else(|| QueryError::UnknownDatabase(db.to_string()))?;
             let key = Self::key_of(db, dbst, spec);
             let prepared = self.cache().get_or_try_prepare_with(&key, || {
+                built.set(true);
                 catch_unwind(AssertUnwindSafe(|| {
                     Self::build_prepared(&dbst.db, spec, threads, deadline)
                 }))
@@ -485,8 +504,19 @@ impl QueryFrontDoor {
             let mut state = self.write_state();
             if let Some(dbst) = state.get_mut(db) {
                 dbst.warm
-                    .entry(key)
+                    .entry(key.clone()) // O(1): Arc'd bytes
                     .or_insert_with(|| WarmQuery { spec: spec.clone() });
+                // Journal fresh warmth under the state lock (the
+                // state → durability lock order every hook uses), so no
+                // base-table edit can interleave between the build and
+                // the book seeing it. Skipped if a concurrent edit
+                // already re-keyed this query — the entry we built is
+                // no longer the one being served.
+                if built.get() && Self::key_of(db, dbst, spec) == key {
+                    if let Some(d) = self.registry.durability() {
+                        d.log_warm_query(db, spec, &prepared);
+                    }
+                }
             }
         }
         let mut scratch = SolveScratch::new();
@@ -565,10 +595,28 @@ impl QueryFrontDoor {
         let dbst = state
             .get_mut(db)
             .ok_or_else(|| QueryError::UnknownDatabase(db.to_string()))?;
-        let tuple = Tuple::new(values.clone());
-        if !dbst.db.insert(relation, values)? {
-            return Ok(false);
+        let tuple = Tuple::new(values);
+        // Write-ahead discipline: validate that the mutation will
+        // succeed, journal it, then mutate — the in-memory insert is
+        // never acknowledged before it is durable.
+        {
+            let rel = dbst.db.relation(relation)?;
+            if tuple.arity() != rel.arity() {
+                return Err(QueryError::Query(divr_relquery::Error::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected: rel.arity(),
+                    found: tuple.arity(),
+                }));
+            }
+            if rel.contains(&tuple) {
+                return Ok(false);
+            }
         }
+        if let Some(d) = self.registry.durability() {
+            d.log_base_insert(db, relation, &tuple);
+        }
+        let inserted = dbst.db.insert_tuple(relation, tuple.clone())?;
+        debug_assert!(inserted, "validated as absent above");
         *dbst.rel_versions.entry(relation.to_string()).or_insert(0) += 1;
 
         // Fan out to the warm queries that read this relation.
@@ -641,6 +689,259 @@ impl QueryFrontDoor {
             dbst.warm.insert(new_key, w);
         }
         Ok(true)
+    }
+
+    /// Removes one tuple from a base relation and repairs every warm
+    /// query universe it affects — the deletion counterpart of
+    /// [`QueryFrontDoor::insert_base_tuple`].
+    ///
+    /// Deletion is harder than insertion under set semantics: a result
+    /// tuple the removed base tuple *could* derive may still have other
+    /// derivations. The fan-out therefore runs in two steps per
+    /// affected warm query: [`divr_relquery::delta_results`] against
+    /// the **pre-removal** database enumerates exactly the result
+    /// tuples whose derivations could involve the removed tuple (the
+    /// candidates), then each candidate is re-checked against the
+    /// post-removal database
+    /// ([`divr_relquery::eval::query_contains`]) — only candidates
+    /// with **no** surviving derivation leave the universe. Full-matrix
+    /// entries migrate in place through the `O(n)` row/column
+    /// swap-remove path with their versions advanced and
+    /// [`DeltaOp::Remove`] logged per departure; universes the removal
+    /// leaves untouched carry their prepared state to the bumped
+    /// version without a rebuild.
+    ///
+    /// Returns `Ok(false)` (and changes nothing) if the tuple was not
+    /// present.
+    ///
+    /// Entries that cannot be repaired incrementally — FO queries with
+    /// no semi-naive plan, coreset entries (which cannot un-derive a
+    /// departed tuple's contributions in `O(Δ·n)`), universes shrunk to
+    /// empty, or prepared state shared too widely to mutate — are
+    /// dropped and go cold; the next serve re-prepares at the new
+    /// version. Nothing is ever served stale.
+    pub fn remove_base_tuple(
+        &self,
+        db: &str,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<bool, QueryError> {
+        let mut state = self.write_state();
+        let dbst = state
+            .get_mut(db)
+            .ok_or_else(|| QueryError::UnknownDatabase(db.to_string()))?;
+        let tuple = Tuple::new(values);
+        // Write-ahead discipline, as in insert: validate, journal,
+        // mutate.
+        {
+            let rel = dbst.db.relation(relation)?;
+            if tuple.arity() != rel.arity() {
+                return Err(QueryError::Query(divr_relquery::Error::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected: rel.arity(),
+                    found: tuple.arity(),
+                }));
+            }
+            if !rel.contains(&tuple) {
+                return Ok(false);
+            }
+        }
+        if let Some(d) = self.registry.durability() {
+            d.log_base_remove(db, relation, &tuple);
+        }
+
+        // Candidate plans must run against the PRE-removal database —
+        // after the removal the joins that involved the tuple are gone
+        // and the plan would come back empty.
+        let affected: Vec<UniverseKey> = dbst
+            .warm
+            .iter()
+            .filter(|(_, w)| w.spec.relations.contains(relation))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut plans: Vec<(UniverseKey, Option<Vec<Tuple>>)> = Vec::with_capacity(affected.len());
+        for key in affected {
+            let w = &dbst.warm[&key];
+            let plan = delta_results(&dbst.db, &w.spec.query, relation, &tuple)
+                .ok()
+                .flatten();
+            plans.push((key, plan));
+        }
+
+        let removed = dbst.db.remove_tuple(relation, &tuple)?;
+        debug_assert!(removed, "validated as present above");
+        *dbst.rel_versions.entry(relation.to_string()).or_insert(0) += 1;
+
+        for (old_key, plan) in plans {
+            let w = dbst.warm.remove(&old_key).expect("collected from warm");
+            let Some((prepared, version, mut log)) = self.cache().take(&old_key) else {
+                // Evicted since it was recorded: nothing to migrate.
+                continue;
+            };
+            let Some(candidates) = plan else {
+                // No incremental plan (FO): cold at the new version.
+                continue;
+            };
+            // Which candidates actually left the result? Each is
+            // re-checked against the post-removal database — a tuple
+            // with another derivation stays.
+            let mut doomed: Vec<Tuple> = Vec::new();
+            let mut broken = false;
+            {
+                let universe: &[Tuple] = match &prepared {
+                    PreparedVariant::Full(p) => p.universe(),
+                    PreparedVariant::Coreset(p) => p.universe(),
+                };
+                for c in candidates {
+                    if doomed.contains(&c) || !universe.contains(&c) {
+                        continue;
+                    }
+                    match divr_relquery::eval::query_contains(&dbst.db, &w.spec.query, &c) {
+                        Ok(true) => {}
+                        Ok(false) => doomed.push(c),
+                        Err(_) => {
+                            broken = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if broken {
+                continue;
+            }
+            let new_key = Self::key_of(db, dbst, &w.spec);
+            if doomed.is_empty() {
+                // Result unchanged — carry the state to the new key
+                // untouched (no version bump: no delta was applied).
+                self.cache().insert_versioned(&new_key, prepared, version, log);
+                dbst.warm.insert(new_key, w);
+                continue;
+            }
+            match prepared {
+                PreparedVariant::Full(arc) => {
+                    let mut p = Arc::try_unwrap(arc).unwrap_or_else(|a| a.fork());
+                    for t in &doomed {
+                        let Some(i) = p.universe().iter().position(|u| u == t) else {
+                            continue;
+                        };
+                        p.remove_tuple(i).expect("position taken from the universe");
+                        log.push(DeltaOp::Remove(i));
+                    }
+                    if p.universe().is_empty() {
+                        // Q(D) = ∅ now: nothing to diversify. Drop the
+                        // entry; the next serve gets the typed
+                        // EmptyResult refusal.
+                        continue;
+                    }
+                    let count = doomed.len() as u64;
+                    self.cache().insert_versioned(
+                        &new_key,
+                        PreparedVariant::Full(Arc::new(p)),
+                        version + count,
+                        log,
+                    );
+                    dbst.warm.insert(new_key, w);
+                }
+                // Coreset state cannot un-derive a removed tuple's
+                // contributions incrementally: cold.
+                PreparedVariant::Coreset(_) => continue,
+            }
+        }
+        Ok(true)
+    }
+
+    /// Rebuilds one recovered warm query entry — database already
+    /// re-registered, `universe` the exact sequence the crashed process
+    /// was serving — into prepared state bit-identical to it.
+    /// `streamed` picks the auto-escalated streaming build for specs
+    /// without an explicit coreset; explicit-coreset specs re-select
+    /// over the first `base_len` tuples and stream the delta tail, the
+    /// same path that built the original. Already-warm content is left
+    /// untouched.
+    pub(crate) fn restore_warm_query(
+        &self,
+        db: &str,
+        spec: &QuerySpec,
+        universe: Vec<Tuple>,
+        streamed: bool,
+        base_len: usize,
+        version: u64,
+    ) -> Result<(), QueryError> {
+        if universe.is_empty() {
+            return Err(QueryError::EmptyResult);
+        }
+        let threads = self.registry.solve_threads();
+        let dis: Arc<dyn divr_core::distance::Distance + Send + Sync> =
+            Arc::new(OracleAdapter(spec.dis.clone()));
+        let mut state = self.write_state();
+        let dbst = state
+            .get_mut(db)
+            .ok_or_else(|| QueryError::UnknownDatabase(db.to_string()))?;
+        let key = Self::key_of(db, dbst, spec);
+        if self.cache().contains(&key) {
+            dbst.warm
+                .entry(key)
+                .or_insert_with(|| WarmQuery { spec: spec.clone() });
+            return Ok(());
+        }
+        let prepared = match spec.coreset {
+            Some(mode) => {
+                let config = CoresetConfig {
+                    budget: mode.budget,
+                    refine_rounds: mode.refine_rounds,
+                    threads,
+                };
+                let base_len = base_len.min(universe.len());
+                let mut universe = universe;
+                let tail = universe.split_off(base_len);
+                let mut p = PreparedCoreset::try_build_shared_deadline(
+                    universe,
+                    &*spec.rel,
+                    dis,
+                    spec.lambda,
+                    &config,
+                    Deadline::none(),
+                )
+                .map_err(QueryError::Serve)?;
+                for t in tail {
+                    let rel = spec.rel.rel(&t);
+                    p.insert_tuple(t, rel);
+                }
+                PreparedVariant::Coreset(Arc::new(p))
+            }
+            None if streamed => {
+                let config = spec.auto_config(threads);
+                PreparedVariant::Coreset(Arc::new(
+                    PreparedCoreset::try_build_streaming_deadline(
+                        universe,
+                        &*spec.rel,
+                        dis,
+                        spec.lambda,
+                        &config,
+                        Deadline::none(),
+                    )
+                    .map_err(QueryError::Serve)?,
+                ))
+            }
+            None => PreparedVariant::Full(Arc::new(
+                PreparedUniverse::try_build_shared_deadline(
+                    universe,
+                    &*spec.rel,
+                    dis,
+                    spec.lambda,
+                    threads,
+                    Deadline::none(),
+                )
+                .map_err(QueryError::Serve)?,
+            )),
+        };
+        prepared.check_finite().map_err(QueryError::Serve)?;
+        // Empty delta log: the restored entry is equivalent to a cold
+        // prepare of its current content; the version survives for
+        // observability and future migrations.
+        self.cache().insert_versioned(&key, prepared, version, Vec::new());
+        dbst.warm.insert(key, WarmQuery { spec: spec.clone() });
+        Ok(())
     }
 }
 
@@ -806,6 +1107,106 @@ mod tests {
             .insert_base_tuple("main", "R", vec![Value::int(100), Value::int(3)])
             .unwrap());
         assert_eq!(f.key_for("main", &q).unwrap(), key);
+    }
+
+    #[test]
+    fn base_remove_repairs_warm_entries_and_matches_cold_universe() {
+        let f = front();
+        f.register_database("main", db());
+        let q = spec("Q(x, z) :- R(x, y), S(y, z)");
+        f.serve_query("main", &q, &reqs()).unwrap();
+        assert_eq!(f.registry().stats().misses, 1);
+
+        // Remove an R-tuple that joins: the warm entry must migrate
+        // through the removal path, not cool down.
+        assert!(f
+            .remove_base_tuple("main", "R", vec![Value::int(5), Value::int(5)])
+            .unwrap());
+        let answers = f.serve_query("main", &q, &reqs()).unwrap();
+        let stats = f.registry().stats();
+        assert_eq!(stats.misses, 1, "delta repair must not cold-prepare");
+
+        // Oracle 1: the repaired universe must equal a cold evaluation
+        // as a SET (order differs: swap-remove).
+        let mut repaired = f.universe_of("main", &q).unwrap();
+        let mut cold = {
+            let mut d = db();
+            d.remove_tuple("R", &Tuple::ints([5, 5])).unwrap();
+            divr_relquery::eval::eval_query(&d, q.query())
+                .unwrap()
+                .into_tuples()
+        };
+        repaired.sort();
+        cold.sort();
+        assert_eq!(repaired, cold);
+
+        // Oracle 2: answers must be bit-identical to the universe path
+        // over the repaired sequence.
+        let universe = f.universe_of("main", &q).unwrap();
+        let uspec = UniverseSpec::new(universe, rel(), dis(), Ratio::new(1, 2));
+        let oracle = Registry::default();
+        for (a, request) in answers.iter().zip(reqs()) {
+            let expect = oracle.try_serve(&uspec, request).unwrap();
+            assert_eq!(a.as_ref().unwrap(), &expect);
+        }
+
+        // Absent tuple: set semantics, no change, no version bump.
+        let key = f.key_for("main", &q).unwrap();
+        assert!(!f
+            .remove_base_tuple("main", "R", vec![Value::int(5), Value::int(5)])
+            .unwrap());
+        assert_eq!(f.key_for("main", &q).unwrap(), key);
+    }
+
+    #[test]
+    fn base_remove_keeps_tuples_with_other_derivations() {
+        // Q(y) :- R(x, y): result tuple (5) derives from every R(_, 5).
+        // Removing one such R-tuple must NOT evict (5) while another
+        // derivation survives.
+        let f = front();
+        let mut d = Database::new();
+        d.create_relation("R", &["x", "y"]).unwrap();
+        for i in 0..10i64 {
+            d.insert("R", vec![Value::int(i), Value::int(i % 3)]).unwrap();
+        }
+        f.register_database("main", d);
+        let q = QuerySpec::new(
+            parse_query("Q(y) :- R(x, y)").unwrap(),
+            Arc::new(AttributeRelevance {
+                attr: 0,
+                default: Ratio::ZERO,
+            }),
+            dis(),
+            Ratio::new(1, 2),
+        )
+        .unwrap();
+        f.serve_query("main", &q, &[reqs()[0]]).unwrap();
+        let before = f.universe_of("main", &q).unwrap();
+        // (0, 0) removed; (3, 0), (6, 0), (9, 0) still derive (0).
+        assert!(f
+            .remove_base_tuple("main", "R", vec![Value::int(0), Value::int(0)])
+            .unwrap());
+        assert_eq!(f.registry().stats().misses, 1, "stayed warm");
+        let after = f.universe_of("main", &q).unwrap();
+        assert_eq!(before, after, "no result tuple lost a sole derivation");
+    }
+
+    #[test]
+    fn base_remove_unknown_database_and_relation_are_typed() {
+        let f = front();
+        assert!(matches!(
+            f.remove_base_tuple("nope", "R", vec![Value::int(1)]),
+            Err(QueryError::UnknownDatabase(_))
+        ));
+        f.register_database("main", db());
+        assert!(matches!(
+            f.remove_base_tuple("main", "Missing", vec![Value::int(1)]),
+            Err(QueryError::Query(divr_relquery::Error::UnknownRelation(_)))
+        ));
+        assert!(matches!(
+            f.remove_base_tuple("main", "R", vec![Value::int(1)]),
+            Err(QueryError::Query(divr_relquery::Error::ArityMismatch { .. }))
+        ));
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub struct Registry {
     cache: PreparedCache,
     workers: usize,
     solve_threads: usize,
+    /// Optional durability subsystem; set once at startup (after
+    /// recovery) and consulted by every warm/delta transition.
+    persist: OnceLock<Arc<crate::persist::Durability>>,
 }
 
 impl Default for Registry {
@@ -96,7 +99,47 @@ impl Registry {
             cache: PreparedCache::new(config.byte_budget, config.shards),
             workers: config.workers.max(1),
             solve_threads: config.solve_threads.max(1),
+            persist: OnceLock::new(),
         }
+    }
+
+    /// Attaches the durability subsystem: from here on, warm
+    /// transitions and deltas are journaled. Call **after**
+    /// [`crate::persist::Durability::recover`] so restored entries are
+    /// not re-logged. A second attach is ignored.
+    pub fn attach_durability(&self, d: Arc<crate::persist::Durability>) {
+        let _ = self.persist.set(d);
+    }
+
+    /// The attached durability subsystem, if any.
+    pub fn durability(&self) -> Option<&Arc<crate::persist::Durability>> {
+        self.persist.get()
+    }
+
+    /// Journals a fresh warm universe (no-op when durability is off or
+    /// the book already has it).
+    fn note_warm(&self, spec: &UniverseSpec) {
+        if let Some(d) = self.persist.get() {
+            d.log_warm_universe(spec);
+        }
+    }
+
+    /// Rebuilds one recovered universe entry into the cache at its
+    /// recovered version and delta log. Already-resident content is
+    /// left untouched.
+    pub fn restore_entry(
+        &self,
+        spec: &UniverseSpec,
+        version: u64,
+        log: Vec<DeltaOp>,
+    ) -> Result<(), ServeError> {
+        let key = spec.key();
+        if self.cache.contains(&key) {
+            return Ok(());
+        }
+        let prepared = spec.try_prepare_variant(self.solve_threads)?;
+        self.cache.insert_versioned(&key, prepared, version, log);
+        Ok(())
     }
 
     /// The underlying prepared-state cache — shared with the query
@@ -115,7 +158,13 @@ impl Registry {
     /// Full-matrix for plain specs; coreset state (no `n × n`
     /// allocation) for specs in [`UniverseSpec::with_coreset`] mode.
     pub fn prepare(&self, spec: &UniverseSpec) -> PreparedVariant {
-        self.cache.get_or_prepare(&spec.key(), spec, self.solve_threads)
+        let key = spec.key();
+        let resident = self.cache.contains(&key);
+        let prepared = self.cache.get_or_prepare(&key, spec, self.solve_threads);
+        if !resident {
+            self.note_warm(spec);
+        }
+        prepared
     }
 
     /// Serves one request against one universe.
@@ -319,6 +368,12 @@ impl Registry {
         // its own slot failed and the claiming loop moves on.
         let prepared: Vec<OnceLock<Result<PreparedVariant, ServeError>>> =
             (0..distinct.len()).map(|_| OnceLock::new()).collect();
+        // Residency before the prepare phase decides which slots are
+        // *fresh* warmth worth journaling once the phase completes.
+        let resident: Vec<bool> = distinct_keys
+            .iter()
+            .map(|k| self.cache.contains(k))
+            .collect();
         let workers = self.workers.min(units.max(distinct.len())).max(1);
         let solve_threads = (self.solve_threads / workers).max(1);
         {
@@ -345,6 +400,11 @@ impl Registry {
                     });
                 }
             });
+        }
+        for (i, slot) in prepared.iter().enumerate() {
+            if !resident[i] && matches!(slot.get(), Some(Ok(_))) {
+                self.note_warm(distinct[i]);
+            }
         }
 
         // Phase 2: flatten request units and solve with work stealing.
@@ -461,8 +521,15 @@ impl Registry {
     /// [`ServeError::NonFiniteScore`] and never cached; already-resident
     /// entries are returned as-is.
     pub fn try_prepare(&self, spec: &UniverseSpec) -> Result<PreparedVariant, ServeError> {
-        self.cache
-            .get_or_try_prepare(&spec.key(), spec, self.solve_threads)
+        let key = spec.key();
+        let resident = self.cache.contains(&key);
+        let prepared = self
+            .cache
+            .get_or_try_prepare(&key, spec, self.solve_threads)?;
+        if !resident {
+            self.note_warm(spec);
+        }
+        Ok(prepared)
     }
 
     /// [`Registry::try_prepare`] under a cooperative [`Deadline`]: a
@@ -474,8 +541,18 @@ impl Registry {
         spec: &UniverseSpec,
         deadline: Deadline,
     ) -> Result<PreparedVariant, ServeError> {
-        self.cache
-            .get_or_try_prepare_deadline(&spec.key(), spec, self.solve_threads, deadline)
+        let key = spec.key();
+        let resident = self.cache.contains(&key);
+        let prepared = self.cache.get_or_try_prepare_deadline(
+            &key,
+            spec,
+            self.solve_threads,
+            deadline,
+        )?;
+        if !resident {
+            self.note_warm(spec);
+        }
+        Ok(prepared)
     }
 
     /// Like [`Registry::serve`], but with a typed diagnosis instead of
@@ -537,6 +614,11 @@ impl Registry {
         op: &DeltaOp,
     ) -> Result<UniverseSpec, DeltaError> {
         let mutated = spec.apply(op)?;
+        // Write-ahead: the delta is durable (when the book holds the
+        // base) before the in-memory migration is acknowledged.
+        if let Some(d) = self.persist.get() {
+            d.log_delta(spec, op);
+        }
         if let Some((prepared, version, mut log)) = self.cache.take(&spec.key()) {
             let migrated = match prepared {
                 PreparedVariant::Full(arc) => {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! divrd [ADDR] [WORKERS] [--idle-timeout-ms N] [--default-deadline-ms N] [--max-frame-bytes N]
+//!       [--data-dir PATH] [--recover-mode eager|lazy] [--checkpoint-interval-ms N]
 //! ```
 //!
 //! Binds `ADDR` (default `127.0.0.1:7411`; use port `0` for an
@@ -10,8 +11,8 @@
 //! closes — the supervisor-friendly shutdown signal: a process manager
 //! (or an operator's `Ctrl-D`) closing the pipe triggers a *graceful
 //! drain* (in-flight frames finish, new frames get a retryable `503
-//! draining`) before the process exits. See `divr_service` for the
-//! protocol.
+//! draining`) followed by a final checkpoint, so the successor restarts
+//! warm. See `divr_service` for the protocol.
 //!
 //! Flags:
 //!
@@ -19,8 +20,17 @@
 //! * `--default-deadline-ms N` — deadline for frames that carry no
 //!   `deadline_ms` of their own (default: unbounded).
 //! * `--max-frame-bytes N` — largest request frame accepted.
+//! * `--data-dir PATH` — enable crash-safe durability (checksummed
+//!   snapshots + write-ahead log) rooted at `PATH`; a restart recovers
+//!   the registered databases and warm entries from it.
+//! * `--recover-mode eager|lazy` — whether the restart rebuilds warm
+//!   entries up front (`eager`, the default: first requests hit) or
+//!   re-registers databases only (`lazy`: fast open, cold cache).
+//! * `--checkpoint-interval-ms N` — compact the WAL into a snapshot
+//!   every `N` ms (default: only on graceful drain and explicit
+//!   `{"op": "checkpoint"}` frames).
 
-use divr_service::{Service, ServiceConfig};
+use divr_service::{RecoverMode, Service, ServiceConfig};
 use std::io::Read;
 use std::time::Duration;
 
@@ -28,6 +38,11 @@ fn flag_value(flag: &str, args: &mut std::iter::Peekable<std::env::Args>) -> u64
     args.next()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| panic!("{flag} needs an integer value"))
+}
+
+fn flag_str(flag: &str, args: &mut std::iter::Peekable<std::env::Args>) -> String {
+    args.next()
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
 }
 
 fn main() {
@@ -48,6 +63,18 @@ fn main() {
             }
             "--max-frame-bytes" => {
                 config.max_frame_bytes = flag_value(&arg, &mut args) as usize;
+            }
+            "--data-dir" => {
+                config.data_dir = Some(flag_str(&arg, &mut args).into());
+            }
+            "--recover-mode" => {
+                config.recover_mode = flag_str(&arg, &mut args)
+                    .parse::<RecoverMode>()
+                    .unwrap_or_else(|e| panic!("--recover-mode: {e}"));
+            }
+            "--checkpoint-interval-ms" => {
+                config.checkpoint_interval =
+                    Some(Duration::from_millis(flag_value(&arg, &mut args)));
             }
             _ if positional == 0 => {
                 config.addr = arg;

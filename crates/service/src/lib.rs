@@ -50,6 +50,17 @@
 //! * **Observability** ([`histogram`]): lock-free log-bucketed latency
 //!   histograms per objective, exported by `{"op": "stats"}` — the
 //!   numbers `BENCH_service.json` gates regressions on.
+//! * **Durability** (`divr_server::persist`, wired by [`server`]): a
+//!   daemon started with a data directory journals every registration,
+//!   base-table mutation, and warm prepare to a checksummed write-ahead
+//!   log *before* acknowledging it, and compacts the log into
+//!   length-prefixed, CRC-framed snapshots — on a timer, on
+//!   `{"op": "checkpoint"}`, and on graceful drain (so a drained
+//!   daemon's successor restarts 100% warm with zero replay). Recovery
+//!   tolerates torn tails and corrupt files by halting replay at the
+//!   first bad frame: a consistent prefix, never a panic. The
+//!   `{"op": "mutate"}` frame edits one base tuple through the same
+//!   journal-first path, repairing affected warm universes in place.
 //!
 //! Start one with [`Service::start`]; talk to it with [`Client`] or
 //! any socket that can write a 4-byte length and some JSON. The
@@ -70,3 +81,6 @@ pub use client::{query_doc, serve_doc, Client, ClientError, RetryPolicy};
 pub use histogram::{Histogram, LatencyStats};
 pub use proto::is_retryable_code;
 pub use server::{Service, ServiceConfig};
+// Re-exported so daemon embedders can configure durability without
+// depending on divr_server directly.
+pub use divr_server::{DurabilityStats, RecoverMode};

@@ -38,16 +38,20 @@ use crate::json::{self, object, Value};
 use crate::proto::{is_retryable_code, serve_error_status, write_frame, FrameTooLarge};
 use crate::wire::{
     coreset_from_json, database_from_json, distance_from_json, objective_to_str, ratio_from_json,
-    ratio_to_json, relevance_from_json, requests_from_json, universe_from_json,
+    ratio_to_json, relevance_from_json, requests_from_json, tuple_from_json, universe_from_json,
 };
 use divr_core::coreset::CORESET_AUTO_THRESHOLD;
 use divr_core::engine::ServeError;
 use divr_core::problem::ObjectiveKind;
 use divr_core::{Deadline, Ratio};
 use divr_relquery::parser::parse_query;
-use divr_server::{QueryError, QueryFrontDoor, QuerySpec, Registry, RegistryConfig, TenantBatch};
+use divr_server::{
+    Durability, QueryError, QueryFrontDoor, QuerySpec, RecoverMode, Registry, RegistryConfig,
+    TenantBatch,
+};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -95,6 +99,17 @@ pub struct ServiceConfig {
     pub admission: AdmissionConfig,
     /// Sizing for the underlying registry.
     pub registry: RegistryConfig,
+    /// Data directory for crash-safe durability (checksummed snapshots
+    /// plus a write-ahead log; see [`divr_server::persist`]). `None`
+    /// (the default) serves purely in memory, exactly as before.
+    pub data_dir: Option<PathBuf>,
+    /// How a restart rebuilds warm state from the data directory:
+    /// [`RecoverMode::Eager`] pays the rebuilds up front so first
+    /// requests hit; [`RecoverMode::Lazy`] re-registers databases only.
+    pub recover_mode: RecoverMode,
+    /// Background checkpoint cadence; `None` checkpoints only on
+    /// graceful shutdown and explicit `{"op": "checkpoint"}` frames.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -113,6 +128,9 @@ impl Default for ServiceConfig {
             drain_grace: Duration::from_secs(2),
             admission: AdmissionConfig::default(),
             registry: RegistryConfig::default(),
+            data_dir: None,
+            recover_mode: RecoverMode::Eager,
+            checkpoint_interval: None,
         }
     }
 }
@@ -122,6 +140,8 @@ struct Shared {
     /// The query-keyed serving surface (`{"op": "query"}`), sharing the
     /// same registry cache — and byte budget — as universe-keyed serves.
     front: QueryFrontDoor,
+    /// The durability subsystem when a data directory is configured.
+    durability: Option<Arc<Durability>>,
     admission: Admission,
     latency: LatencyStats,
     stop: AtomicBool,
@@ -154,6 +174,7 @@ pub struct Service {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
 }
 
 impl Service {
@@ -163,9 +184,23 @@ impl Service {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let registry = Arc::new(Registry::new(config.registry));
+        let front = QueryFrontDoor::new(Arc::clone(&registry));
+        // Durability bring-up order matters: recover into the live
+        // structures FIRST, attach SECOND — so the restore paths do not
+        // re-journal what the book already holds.
+        let durability = match &config.data_dir {
+            Some(dir) => {
+                let d = Durability::open(dir)?;
+                d.recover(&registry, &front, config.recover_mode);
+                registry.attach_durability(Arc::clone(&d));
+                Some(d)
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
-            front: QueryFrontDoor::new(Arc::clone(&registry)),
+            front,
             registry,
+            durability,
             admission: Admission::new(config.admission),
             latency: LatencyStats::new(),
             stop: AtomicBool::new(false),
@@ -220,11 +255,33 @@ impl Service {
             })
         };
 
+        // Periodic checkpointer: compacts the WAL into a snapshot on a
+        // cadence so recovery replay stays short. Sleeps in small
+        // slices to notice the stop flag promptly.
+        let checkpointer = match (config.checkpoint_interval, &shared.durability) {
+            (Some(interval), Some(d)) => {
+                let d = Arc::clone(d);
+                let shared = Arc::clone(&shared);
+                Some(std::thread::spawn(move || {
+                    let mut last = Instant::now();
+                    while !shared.stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(25));
+                        if last.elapsed() >= interval {
+                            let _ = d.checkpoint(&shared.registry, &shared.front);
+                            last = Instant::now();
+                        }
+                    }
+                }))
+            }
+            _ => None,
+        };
+
         Ok(Service {
             shared,
             addr,
             acceptor: Some(acceptor),
             workers,
+            checkpointer,
         })
     }
 
@@ -249,6 +306,12 @@ impl Service {
         {
             std::thread::sleep(Duration::from_millis(5));
         }
+        // Snapshot-on-drain: with no frames in flight, one final
+        // checkpoint captures the whole warm working set, so the
+        // successor restarts 100% warm with zero WAL replay.
+        if let Some(d) = &self.shared.durability {
+            let _ = d.checkpoint(&self.shared.registry, &self.shared.front);
+        }
         self.stop_and_join();
     }
 
@@ -271,6 +334,9 @@ impl Service {
         // The acceptor owned the sender; workers drain Disconnected
         // (or hit their poll timeout and see the stop flag).
         for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.checkpointer.take() {
             let _ = handle.join();
         }
     }
@@ -469,9 +535,15 @@ fn handle_frame(shared: &Shared, payload: &[u8]) -> Value {
         Some("stats") => stats_frame(shared),
         // Work frames are refused while draining; ping/stats above
         // still answer so health checks can watch the drain happen.
-        Some("serve" | "query") if shared.draining.load(Ordering::SeqCst) => draining_frame(shared),
+        // Checkpoint stays answerable while draining — it is how the
+        // drain itself persists the warm set.
+        Some("serve" | "query" | "mutate") if shared.draining.load(Ordering::SeqCst) => {
+            draining_frame(shared)
+        }
         Some("serve") => handle_serve(shared, &doc),
         Some("query") => handle_query(shared, &doc),
+        Some("mutate") => handle_mutate(shared, &doc),
+        Some("checkpoint") => handle_checkpoint(shared),
         Some(other) => error_frame(400, "bad_request", &format!("unknown op {other:?}")),
         None => error_frame(400, "bad_request", "frame needs a string \"op\""),
     }
@@ -789,6 +861,84 @@ fn handle_query(shared: &Shared, doc: &Value) -> Value {
     ])
 }
 
+/// `{"op": "mutate"}` — edits one base tuple of a registered database:
+/// `"action": "insert"` routes through the front door's delta-prepare
+/// path (affected warm universes repaired in `O(n)` per the paper's
+/// dynamic setting), `"action": "remove"` through the deletion fan-out
+/// (doomed tuples swap-removed from warm `Full` entries, other
+/// derivations kept). With durability on, the edit is journaled to the
+/// WAL *before* the in-memory mutation is acknowledged.
+fn handle_mutate(shared: &Shared, doc: &Value) -> Value {
+    let Some(tenant) = doc.get("tenant").and_then(Value::as_str) else {
+        return error_frame(400, "bad_request", "mutate needs a string \"tenant\"");
+    };
+    let Some(db) = doc.get("database").and_then(Value::as_str) else {
+        return error_frame(400, "bad_request", "mutate needs a string \"database\"");
+    };
+    let Some(relation) = doc.get("relation").and_then(Value::as_str) else {
+        return error_frame(400, "bad_request", "mutate needs a string \"relation\"");
+    };
+    let Some(action) = doc.get("action").and_then(Value::as_str) else {
+        return error_frame(400, "bad_request", "mutate needs a string \"action\"");
+    };
+    let tuple = match doc.get("tuple").ok_or("mutate needs a tuple") {
+        Ok(v) => match tuple_from_json(v) {
+            Ok(tuple) => tuple,
+            Err(e) => return error_frame(400, "bad_request", &e),
+        },
+        Err(e) => return error_frame(400, "bad_request", e),
+    };
+    // One token per mutation — the same rate currency as answers, so a
+    // tenant cannot sidestep its QPS quota by hammering the write path.
+    if let Err(rejection) = shared.admission.admit_requests(tenant, 1.0) {
+        return rejection_frame(&rejection);
+    }
+    let values = tuple.iter().cloned().collect();
+    let outcome = match action {
+        "insert" => shared.front.insert_base_tuple(db, relation, values),
+        "remove" => shared.front.remove_base_tuple(db, relation, values),
+        other => {
+            return error_frame(
+                400,
+                "bad_request",
+                &format!("unknown action {other:?} (expected \"insert\" or \"remove\")"),
+            )
+        }
+    };
+    match outcome {
+        Ok(changed) => object([("ok", Value::Bool(true)), ("changed", Value::Bool(changed))]),
+        // Unlike the query path (which registers databases itself), the
+        // mutate frame names a database the client claims exists — an
+        // unknown name is the client's schema error, not ours.
+        Err(e @ QueryError::UnknownDatabase(_)) => {
+            error_frame(422, "unknown_database", &e.to_string())
+        }
+        Err(e) => query_error_frame(&e),
+    }
+}
+
+/// `{"op": "checkpoint"}` — forces a snapshot + WAL rotation now.
+/// Answered even while draining (it is how operators persist the warm
+/// set before taking an instance down by force).
+fn handle_checkpoint(shared: &Shared) -> Value {
+    let Some(d) = &shared.durability else {
+        return error_frame(
+            422,
+            "durability_disabled",
+            "no data directory configured; start the daemon with --data-dir",
+        );
+    };
+    match d.checkpoint(&shared.registry, &shared.front) {
+        Ok(report) => object([
+            ("ok", Value::Bool(true)),
+            ("snapshot_bytes", counter(report.snapshot_bytes)),
+            ("records", counter(report.records as u64)),
+            ("cut_seq", counter(report.cut_seq)),
+        ]),
+        Err(e) => error_frame(500, "io_error", &format!("checkpoint failed: {e}")),
+    }
+}
+
 struct DepthGuard<'a> {
     depth: &'a AtomicUsize,
     in_flight: usize,
@@ -831,6 +981,25 @@ fn stats_frame(shared: &Shared) -> Value {
     );
     let (admitted, rejected_qps, rejected_cache) = shared.admission.counters();
     let cache = shared.registry.stats();
+    let durability = match &shared.durability {
+        None => object([("enabled", Value::Bool(false))]),
+        Some(d) => {
+            let s = d.stats();
+            object([
+                ("enabled", Value::Bool(true)),
+                ("wal_records", counter(s.wal_records)),
+                ("wal_io_errors", counter(s.wal_io_errors)),
+                ("snapshots_written", counter(s.snapshots_written)),
+                ("last_snapshot_bytes", counter(s.last_snapshot_bytes)),
+                ("skipped_unpersistable", counter(s.skipped_unpersistable)),
+                ("wal_records_replayed", counter(s.wal_records_replayed)),
+                ("torn_tail_dropped", counter(s.torn_tail_dropped)),
+                ("snapshots_discarded", counter(s.snapshots_discarded)),
+                ("recovered_entries", counter(s.recovered_entries)),
+                ("recovered_databases", counter(s.recovered_databases)),
+            ])
+        }
+    };
     object([
         ("ok", Value::Bool(true)),
         (
@@ -881,6 +1050,7 @@ fn stats_frame(shared: &Shared) -> Value {
                         ),
                     ]),
                 ),
+                ("durability", durability),
                 (
                     "depth",
                     counter(shared.depth.load(Ordering::SeqCst) as u64),

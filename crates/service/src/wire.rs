@@ -106,7 +106,10 @@ pub fn ratio_to_json(r: Ratio) -> Value {
     Value::Array(vec![component(r.numerator()), component(r.denominator())])
 }
 
-fn tuple_from_json(v: &Value) -> Result<Tuple, String> {
+/// Decodes one tuple — a JSON array of integers and strings (the same
+/// shape universes and database rows use; `{"op": "mutate"}` frames
+/// carry one for the edited base tuple).
+pub fn tuple_from_json(v: &Value) -> Result<Tuple, String> {
     let items = v.as_array().ok_or("tuple must be an array")?;
     let mut values = Vec::with_capacity(items.len());
     for item in items {
